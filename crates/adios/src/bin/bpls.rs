@@ -1,0 +1,83 @@
+//! `bpls` — list the contents of BP-lite files (the ADIOS inspection tool).
+//!
+//! ```text
+//! cargo run -p adios --bin bpls -- <file.bp> [<file.bp> ...]
+//! ```
+//!
+//! Works on both single-step `.bp` blobs (written by `FileMethod`) and
+//! multi-step container files (written by `BpFileMethod`).
+
+use adios::bpfile::BpFileReader;
+use adios::{AttrValue, StepData};
+
+fn describe_step(indent: &str, group: &str, data: &StepData) {
+    println!("{indent}step {:>6}  group '{group}'", data.step());
+    for (name, value) in data.values() {
+        let dims = value.dims();
+        let shape = if dims.local.is_empty() {
+            "scalar".to_string()
+        } else if dims.global.is_empty() {
+            format!("local[{}]", dims.local.iter().map(u64::to_string).collect::<Vec<_>>().join("x"))
+        } else {
+            format!(
+                "global[{}] offset[{}]",
+                dims.global.iter().map(u64::to_string).collect::<Vec<_>>().join("x"),
+                dims.offset.iter().map(u64::to_string).collect::<Vec<_>>().join("x")
+            )
+        };
+        println!(
+            "{indent}  var  {:<20} {:<4} {:<28} {} bytes",
+            name,
+            value.dtype().to_string(),
+            shape,
+            value.byte_len()
+        );
+    }
+    for (key, attr) in data.attrs() {
+        let shown = match attr {
+            AttrValue::Str(s) => format!("\"{s}\""),
+            other => other.to_string(),
+        };
+        println!("{indent}  attr {key:<20} = {shown}");
+    }
+}
+
+fn list_file(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{path}:");
+    // Try the container format first, then a single-step blob.
+    match BpFileReader::open(path) {
+        Ok(mut reader) => {
+            println!("  BP container, {} step(s)", reader.len());
+            for ix in 0..reader.len() {
+                let step = reader.read_at(ix)?;
+                describe_step("  ", &step.group, &step.data);
+            }
+            Ok(())
+        }
+        Err(_) => {
+            let raw = std::fs::read(path)?;
+            let step = adios::bp::decode(bytes::Bytes::from(raw))?;
+            println!("  single-step BP blob");
+            describe_step("  ", &step.group, &step.data);
+            Ok(())
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: bpls <file.bp> [<file.bp> ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        if let Err(e) = list_file(path) {
+            eprintln!("bpls: {path}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Transport methods: where an opened group's steps go.
+//!
+//! ADIOS's defining feature is that an application writes through one API
+//! and the *method* bound to the group decides whether bytes go to a file, a
+//! staging transport, or nowhere. Container management exploits exactly this
+//! indirection: when a downstream container is taken offline, the upstream
+//! component's output method is switched from staging to file (with
+//! provenance attributes) without touching application code.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::bp;
+use crate::group::{Group, StepData};
+
+/// A destination for output steps.
+pub trait Method: Send {
+    /// Delivers one output step. Returns the number of bytes accepted.
+    fn write_step(&mut self, group: &Group, step: &StepData) -> std::io::Result<u64>;
+
+    /// Flushes and closes the destination.
+    fn close(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Short name of the method, for diagnostics and provenance.
+    fn name(&self) -> &'static str;
+}
+
+/// Discards all data (used to measure pure API overhead).
+#[derive(Debug, Default)]
+pub struct NullMethod {
+    steps: u64,
+}
+
+impl NullMethod {
+    /// Creates a new discarding method.
+    pub fn new() -> Self {
+        NullMethod::default()
+    }
+
+    /// Steps accepted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Method for NullMethod {
+    fn write_step(&mut self, _group: &Group, step: &StepData) -> std::io::Result<u64> {
+        self.steps += 1;
+        Ok(step.payload_bytes())
+    }
+
+    fn name(&self) -> &'static str {
+        "NULL"
+    }
+}
+
+/// Writes each step as a BP-lite file `<dir>/<group>.<step>.bp`.
+#[derive(Debug)]
+pub struct FileMethod {
+    dir: PathBuf,
+    written: Vec<PathBuf>,
+}
+
+impl FileMethod {
+    /// Creates the method, ensuring `dir` exists.
+    pub fn new(dir: impl AsRef<Path>) -> std::io::Result<FileMethod> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(FileMethod { dir: dir.as_ref().to_path_buf(), written: Vec::new() })
+    }
+
+    /// Paths of the files written so far, in order.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// Reads a step file back.
+    pub fn read_step(path: impl AsRef<Path>) -> std::io::Result<bp::BpStep> {
+        let data = fs::read(path)?;
+        bp::decode(bytes::Bytes::from(data))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Method for FileMethod {
+    fn write_step(&mut self, group: &Group, step: &StepData) -> std::io::Result<u64> {
+        let blob = bp::encode(group.name(), step);
+        let path = self.dir.join(format!("{}.{:06}.bp", group.name(), step.step()));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(&blob)?;
+        self.written.push(path);
+        Ok(blob.len() as u64)
+    }
+
+    fn name(&self) -> &'static str {
+        "POSIX"
+    }
+}
+
+/// Keeps encoded steps in memory behind a shared handle — a stand-in for a
+/// staging transport endpoint in threaded tests, and the reader side for
+/// inspection.
+#[derive(Clone, Debug, Default)]
+pub struct MemSink {
+    steps: Arc<Mutex<Vec<bytes::Bytes>>>,
+}
+
+impl MemSink {
+    /// Creates an empty sink.
+    pub fn new() -> MemSink {
+        MemSink::default()
+    }
+
+    /// Number of steps captured.
+    pub fn len(&self) -> usize {
+        self.steps.lock().unwrap().len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes the captured step at `ix`.
+    pub fn decode(&self, ix: usize) -> Option<bp::BpStep> {
+        let blob = self.steps.lock().unwrap().get(ix)?.clone();
+        bp::decode(blob).ok()
+    }
+}
+
+/// Writes encoded steps into a [`MemSink`].
+#[derive(Debug)]
+pub struct MemMethod {
+    sink: MemSink,
+}
+
+impl MemMethod {
+    /// Creates a method feeding `sink`.
+    pub fn new(sink: MemSink) -> MemMethod {
+        MemMethod { sink }
+    }
+}
+
+impl Method for MemMethod {
+    fn write_step(&mut self, group: &Group, step: &StepData) -> std::io::Result<u64> {
+        let blob = bp::encode(group.name(), step);
+        let n = blob.len() as u64;
+        self.sink.steps.lock().unwrap().push(blob);
+        Ok(n)
+    }
+
+    fn name(&self) -> &'static str {
+        "MEM"
+    }
+}
+
+/// An open output stream: a group bound to a swappable method.
+///
+/// The method can be replaced mid-run (the container runtime's
+/// offline-switch); the swap takes effect at the next step boundary, exactly
+/// as ADIOS method selection does.
+pub struct Output {
+    group: Group,
+    method: Box<dyn Method>,
+    steps_written: u64,
+    bytes_written: u64,
+}
+
+impl Output {
+    /// Opens an output for `group` using `method`.
+    pub fn open(group: Group, method: Box<dyn Method>) -> Output {
+        Output { group, method, steps_written: 0, bytes_written: 0 }
+    }
+
+    /// The bound group schema.
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The current method's name.
+    pub fn method_name(&self) -> &'static str {
+        self.method.name()
+    }
+
+    /// Writes one step through the current method.
+    pub fn write_step(&mut self, step: &StepData) -> std::io::Result<u64> {
+        let n = self.method.write_step(&self.group, step)?;
+        self.steps_written += 1;
+        self.bytes_written += n;
+        Ok(n)
+    }
+
+    /// Swaps the transport method, closing the old one. Returns the old
+    /// method's name.
+    pub fn switch_method(&mut self, mut method: Box<dyn Method>) -> std::io::Result<&'static str> {
+        std::mem::swap(&mut self.method, &mut method);
+        let mut old = method;
+        old.close()?;
+        Ok(old.name())
+    }
+
+    /// Steps written across all methods.
+    pub fn steps_written(&self) -> u64 {
+        self.steps_written
+    }
+
+    /// Bytes accepted across all methods.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Closes the output.
+    pub fn close(mut self) -> std::io::Result<()> {
+        self.method.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{DataType, Dims, Value};
+
+    fn group_and_step() -> (Group, StepData) {
+        let mut g = Group::new("g");
+        g.define_var("x", DataType::F64);
+        let mut s = StepData::new(5);
+        s.write(&g, "x", Value::from_f64(&[1.0, 2.0, 3.0], Dims::local1d(3)).unwrap()).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn null_method_counts_steps() {
+        let (g, s) = group_and_step();
+        let mut m = NullMethod::new();
+        assert_eq!(m.write_step(&g, &s).unwrap(), 24);
+        assert_eq!(m.steps(), 1);
+        assert_eq!(m.name(), "NULL");
+    }
+
+    #[test]
+    fn file_method_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("adios-test-{}", std::process::id()));
+        let (g, s) = group_and_step();
+        let mut m = FileMethod::new(&dir).unwrap();
+        m.write_step(&g, &s).unwrap();
+        assert_eq!(m.written().len(), 1);
+        let back = FileMethod::read_step(&m.written()[0]).unwrap();
+        assert_eq!(back.group, "g");
+        assert_eq!(back.data.value("x").unwrap().as_f64().unwrap(), &[1.0, 2.0, 3.0]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_method_captures_steps() {
+        let (g, s) = group_and_step();
+        let sink = MemSink::new();
+        let mut m = MemMethod::new(sink.clone());
+        m.write_step(&g, &s).unwrap();
+        assert_eq!(sink.len(), 1);
+        let back = sink.decode(0).unwrap();
+        assert_eq!(back.data.step(), 5);
+    }
+
+    #[test]
+    fn output_switches_method_midstream() {
+        let (g, s) = group_and_step();
+        let sink = MemSink::new();
+        let mut out = Output::open(g, Box::new(MemMethod::new(sink.clone())));
+        out.write_step(&s).unwrap();
+        assert_eq!(out.method_name(), "MEM");
+        let old = out.switch_method(Box::new(NullMethod::new())).unwrap();
+        assert_eq!(old, "MEM");
+        out.write_step(&s).unwrap();
+        assert_eq!(out.method_name(), "NULL");
+        // The sink saw only the first step.
+        assert_eq!(sink.len(), 1);
+        assert_eq!(out.steps_written(), 2);
+        out.close().unwrap();
+    }
+}

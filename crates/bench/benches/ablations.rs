@@ -1,0 +1,268 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **async vs. sync data movement** — the paper cites up-to-2× I/O
+//!    gains from asynchronous staging;
+//! 2. **scheduled vs. greedy pulls** — DataStager's server-directed I/O
+//!    bounds the interconnect perturbation seen by control/monitoring
+//!    traffic;
+//! 3. **writer pause (strong consistency) vs. lazy decrease** — the
+//!    Fig. 7 transient motivates weaker consistency, but lazy decrease
+//!    puts buffered steps at risk;
+//! 4. **round-robin replica growth vs. MPI-style relaunch** — why the
+//!    compute model determines resize cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use datatap::TransportCosts;
+use iocontainers::protocol::{estimate, run_decrease, run_increase, ProtocolLayout};
+use iocontainers::{run_pipeline, ExperimentConfig, MonitorConfig};
+use sim_core::{shared, Sim, SimDuration, SimTime};
+use simnet::{LaunchModel, Network, NetworkConfig, NodeId};
+
+const STEP_BYTES: u64 = 67_000_000; // one 256-node output step
+const BW: u64 = 1_600_000_000;
+
+/// Simulated application run: `steps` outputs with `compute` of work each.
+/// Sync mode blocks the app for the transfer; async buffers and overlaps.
+fn app_run(sync: bool, steps: u32, compute: SimDuration) -> SimDuration {
+    let mut sim = Sim::new(1);
+    let net = Network::new(NetworkConfig::portals_xt4());
+    let app = NodeId(0);
+    let stage = NodeId(1);
+    let finished = shared(SimTime::ZERO);
+
+    fn do_step(
+        sim: &mut Sim,
+        net: &simnet::Net,
+        app: NodeId,
+        stage: NodeId,
+        remaining: u32,
+        sync: bool,
+        compute: SimDuration,
+        finished: sim_core::Shared<SimTime>,
+    ) {
+        if remaining == 0 {
+            *finished.borrow_mut() = sim.now();
+            return;
+        }
+        let net2 = net.clone();
+        sim.schedule_in(compute, move |sim| {
+            if sync {
+                let net3 = net2.clone();
+                Network::transfer(&net2, sim, app, stage, STEP_BYTES, move |sim| {
+                    do_step(sim, &net3, app, stage, remaining - 1, sync, compute, finished);
+                });
+            } else {
+                // Asynchronous staging: the transfer proceeds in the
+                // background; the app continues immediately.
+                Network::transfer(&net2, sim, app, stage, STEP_BYTES, |_| {});
+                do_step(sim, &net2, app, stage, remaining - 1, sync, compute, finished);
+            }
+        });
+    }
+
+    do_step(&mut sim, &net, app, stage, steps, sync, compute, finished.clone());
+    sim.run();
+    let t = *finished.borrow();
+    t.since(SimTime::ZERO)
+}
+
+fn ablation_async(c: &mut Criterion) {
+    // Transfer time ≈ 42 ms at 1.6 GB/s; pick compute of the same order so
+    // overlap matters — the regime where the paper's 2x applies.
+    let compute = SimDuration::from_millis(45);
+    let sync_t = app_run(true, 50, compute);
+    let async_t = app_run(false, 50, compute);
+    println!("# Ablation: async vs sync staging (50 steps, 67 MB each)");
+    println!("sync_total_s   {:.3}", sync_t.as_secs_f64());
+    println!("async_total_s  {:.3}", async_t.as_secs_f64());
+    println!("speedup        {:.2}x\n", sync_t / async_t);
+    assert!(sync_t / async_t > 1.5, "async staging must approach the paper's 2x");
+
+    c.bench_function("ablation_async_sim", |b| {
+        b.iter(|| black_box(app_run(false, 50, compute)))
+    });
+}
+
+/// Measures the latency of a monitoring control message that lands at a
+/// staging node while `bulk` transfers are being pulled into it.
+fn control_latency_during_pulls(in_flight_cap: Option<usize>) -> SimDuration {
+    let mut sim = Sim::new(2);
+    let net = Network::new(NetworkConfig::portals_xt4());
+    let reader = NodeId(0);
+    let bulk = 8u32;
+
+    match in_flight_cap {
+        None => {
+            // Greedy: every announced step is pulled immediately.
+            for w in 1..=bulk {
+                Network::rdma_get(&net, &mut sim, reader, NodeId(w), STEP_BYTES, |_| {});
+            }
+        }
+        Some(cap) => {
+            // Server-directed: at most `cap` pulls outstanding.
+            fn pull_next(
+                sim: &mut Sim,
+                net: &simnet::Net,
+                reader: NodeId,
+                next: u32,
+                last: u32,
+            ) {
+                if next > last {
+                    return;
+                }
+                let net2 = net.clone();
+                Network::rdma_get(net, sim, reader, NodeId(next), STEP_BYTES, move |sim| {
+                    pull_next(sim, &net2, reader, next + 1, last);
+                });
+            }
+            for i in 0..cap.min(bulk as usize) as u32 {
+                // Issue the first `cap` chains; each chain continues on
+                // completion.
+                let stride = bulk.div_ceil(cap as u32);
+                let first = 1 + i * stride;
+                let last = (first + stride - 1).min(bulk);
+                if first <= bulk {
+                    pull_next(&mut sim, &net, reader, first, last);
+                }
+            }
+        }
+    }
+
+    // A monitoring message arrives at the reader shortly after the burst
+    // begins.
+    let delivered = shared(SimTime::ZERO);
+    let d2 = delivered.clone();
+    let net2 = net.clone();
+    sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+        let sent = sim.now();
+        let d3 = d2.clone();
+        Network::send_control(&net2, sim, NodeId(99), NodeId(0), move |sim| {
+            *d3.borrow_mut() = sim.now();
+            let _ = sent;
+        });
+    });
+    sim.run();
+    let at = *delivered.borrow();
+    at.since(SimTime::ZERO + SimDuration::from_millis(1))
+}
+
+fn ablation_scheduling(c: &mut Criterion) {
+    let greedy = control_latency_during_pulls(None);
+    let scheduled = control_latency_during_pulls(Some(1));
+    println!("# Ablation: scheduled vs greedy pulls (control-message latency during 8-step burst)");
+    println!("greedy_control_latency_ms     {:.3}", greedy.as_secs_f64() * 1e3);
+    println!("scheduled_control_latency_ms  {:.3}", scheduled.as_secs_f64() * 1e3);
+    println!("improvement                   {:.1}x\n", greedy / scheduled);
+    assert!(
+        greedy > scheduled,
+        "scheduling must bound control-plane perturbation: {greedy} vs {scheduled}"
+    );
+
+    c.bench_function("ablation_scheduling_sim", |b| {
+        b.iter(|| black_box(control_latency_during_pulls(Some(1))))
+    });
+}
+
+fn ablation_pause(c: &mut Criterion) {
+    let costs = TransportCosts::default();
+    let run = |queued: u64| {
+        let mut sim = Sim::new(3);
+        let net = Network::new(NetworkConfig::portals_xt4());
+        let layout = ProtocolLayout::microbench(8, 16);
+        let victims: Vec<NodeId> = layout.replicas[..4].to_vec();
+        run_decrease(&mut sim, &net, &layout, &victims, &costs, queued, BW)
+    };
+    let strong = run(STEP_BYTES / 8);
+    let lazy = run(0);
+    println!("# Ablation: writer pause (strong consistency) vs lazy decrease");
+    println!("strong_total_ms  {:.3}  (drains one buffered step per writer)", strong.total.as_secs_f64() * 1e3);
+    println!("lazy_total_ms    {:.3}  (buffered steps at risk of loss)", lazy.total.as_secs_f64() * 1e3);
+    println!("pause_cost_ratio {:.1}x\n", strong.total / lazy.total);
+    assert!(strong.total > lazy.total * 2, "the pause must be the dominant cost");
+
+    c.bench_function("ablation_pause_sim", |b| b.iter(|| black_box(run(STEP_BYTES / 8))));
+}
+
+fn ablation_scaling(c: &mut Criterion) {
+    let costs = TransportCosts::default();
+    println!("# Ablation: round-robin replica growth vs MPI-style relaunch (grow by k)");
+    println!("{:>3}  {:>16}  {:>18}", "k", "rr_growth_ms", "mpi_relaunch_s");
+    for k in [1u32, 4, 16] {
+        // RR: the increase protocol only (EVPath-style runtimes launch
+        // replicas without aprun).
+        let mut sim = Sim::new(7);
+        let net = Network::new(NetworkConfig::portals_xt4());
+        let layout = ProtocolLayout::microbench(8, 4);
+        let new: Vec<NodeId> = (1000..1000 + k).map(NodeId).collect();
+        let rr = run_increase(&mut sim, &net, &layout, &new, &costs, LaunchModel::Instant);
+
+        // MPI: complete teardown (pause + drain + teardown of all 4+k
+        // ranks) plus a full aprun relaunch.
+        let mut sim2 = Sim::new(7);
+        let teardown = estimate::decrease(8, 4 + k, &costs, SimDuration::from_micros(10), 0, BW);
+        let relaunch = LaunchModel::Aprun.sample(&mut sim2);
+        let mpi_total = rr.total + teardown + relaunch;
+        println!(
+            "{:>3}  {:>16.3}  {:>18.1}",
+            k,
+            rr.total.as_secs_f64() * 1e3,
+            mpi_total.as_secs_f64()
+        );
+        assert!(
+            mpi_total > rr.total * 100,
+            "relaunch-based growth must dwarf replica growth"
+        );
+    }
+    println!();
+
+    c.bench_function("ablation_scaling_sim", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(7);
+            let net = Network::new(NetworkConfig::portals_xt4());
+            let layout = ProtocolLayout::microbench(8, 4);
+            let new: Vec<NodeId> = (1000..1016).map(NodeId).collect();
+            black_box(run_increase(&mut sim, &net, &layout, &new, &costs, LaunchModel::Instant))
+        })
+    });
+}
+
+/// Monitoring frequency vs. perturbation: the paper's flexible monitoring
+/// exists to let the sampling rate be tuned down when probes are costly.
+fn ablation_monitoring(c: &mut Criterion) {
+    let bonds_mean = |report_every: u64| {
+        let mut cfg = ExperimentConfig::fig7();
+        cfg.monitoring = MonitorConfig {
+            report_every,
+            per_sample_cost: SimDuration::from_secs(1),
+            delivery_delay: SimDuration::from_micros(20),
+        };
+        cfg.steps = 20;
+        let run = run_pipeline(cfg);
+        let id = run
+            .log
+            .containers()
+            .find(|&id| run.log.name_of(id) == "Bonds")
+            .expect("bonds registered");
+        let pts = run.log.latency_series(id).expect("series").points().to_vec();
+        pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64
+    };
+    let every_step = bonds_mean(1);
+    let every_8th = bonds_mean(8);
+    println!("# Ablation: monitoring frequency (1 s probe cost)");
+    println!("bonds_mean_latency_s (sample every step)  {every_step:.2}");
+    println!("bonds_mean_latency_s (sample every 8th)   {every_8th:.2}
+");
+    assert!(every_step > every_8th, "heavy monitoring must perturb the bottleneck");
+
+    c.bench_function("ablation_monitoring_sim", |b| b.iter(|| black_box(bonds_mean(8))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_async, ablation_scheduling, ablation_pause, ablation_scaling,
+        ablation_monitoring
+}
+criterion_main!(benches);

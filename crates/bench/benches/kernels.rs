@@ -1,0 +1,92 @@
+//! Benchmarks of the real analytics kernels (Table I's components) and
+//! the MD workload generator, at laptop-scale atom counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mdsim::{MdConfig, MdEngine};
+use smartpointer::{split_snapshot, AggregationTree, Bonds, CSym, Cna};
+
+fn md_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdsim_step");
+    for cells in [4u32, 6, 8] {
+        let cfg = MdConfig { cells: (cells, cells, cells), ..MdConfig::default() };
+        let atoms = cfg.atom_count();
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &cfg, |b, cfg| {
+            let mut md = MdEngine::new(cfg.clone());
+            b.iter(|| {
+                md.step();
+                black_box(md.md_step())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn md_step_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdsim_step_threads");
+    for threads in [1usize, 2, 4] {
+        let cfg = MdConfig { cells: (8, 8, 8), threads, ..MdConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &cfg, |b, cfg| {
+            let mut md = MdEngine::new(cfg.clone());
+            b.iter(|| {
+                md.step();
+                black_box(md.md_step())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn analytics(c: &mut Criterion) {
+    let snap = MdEngine::new(MdConfig::default()).run_epoch(2);
+    let bonds_out = Bonds::default().compute(&snap);
+
+    let mut group = c.benchmark_group("smartpointer");
+    group.bench_function("helper_aggregate_8", |b| {
+        let tree = AggregationTree::new(2);
+        b.iter(|| black_box(tree.aggregate(split_snapshot(&snap, 8))));
+    });
+    group.bench_function("bonds_cell_list", |b| {
+        let k = Bonds::default();
+        b.iter(|| black_box(k.compute(&snap)));
+    });
+    group.bench_function("bonds_n2_paper_kernel", |b| {
+        let k = Bonds::default();
+        b.iter(|| black_box(k.compute_n2(&snap)));
+    });
+    group.bench_function("csym", |b| {
+        let k = CSym::default();
+        b.iter(|| black_box(k.compute(&bonds_out)));
+    });
+    group.bench_function("cna", |b| {
+        b.iter(|| black_box(Cna.compute(&bonds_out)));
+    });
+    group.finish();
+}
+
+/// Table II's workload generator: producing one output step (epoch + dump)
+/// at increasing crystal sizes, verifying the size accounting on the way.
+fn table2_datasizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_output_step");
+    for cells in [4u32, 6, 8] {
+        let cfg = MdConfig { cells: (cells, cells, cells), ..MdConfig::default() };
+        let atoms = cfg.atom_count() as u64;
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &cfg, |b, cfg| {
+            let mut md = MdEngine::new(cfg.clone());
+            b.iter(|| {
+                let snap = md.run_epoch(1);
+                assert_eq!(snap.staged_bytes(), atoms * mdsim::OUTPUT_BYTES_PER_ATOM);
+                black_box(snap)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = md_step, md_step_parallel, analytics, table2_datasizes
+}
+criterion_main!(benches);

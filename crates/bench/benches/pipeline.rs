@@ -1,0 +1,56 @@
+//! Benchmarks regenerating the managed-pipeline experiments (Figs. 7–10):
+//! each iteration simulates the full weak-scaling scenario, including
+//! monitoring and management. The simulated series are printed once per
+//! run via the shared `bench` library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iocontainers::{run_pipeline, ExperimentConfig, PolicyConfig};
+
+fn fig7(c: &mut Criterion) {
+    println!("{}", bench::fig7().render());
+    c.bench_function("fig7_managed_256x13", |b| {
+        b.iter(|| black_box(run_pipeline(ExperimentConfig::fig7())))
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    println!("{}", bench::fig8().render());
+    c.bench_function("fig8_managed_512x24", |b| {
+        b.iter(|| black_box(run_pipeline(ExperimentConfig::fig8())))
+    });
+}
+
+fn fig9(c: &mut Criterion) {
+    println!("{}", bench::fig9().render());
+    c.bench_function("fig9_managed_1024x24", |b| {
+        b.iter(|| black_box(run_pipeline(ExperimentConfig::fig9())))
+    });
+}
+
+fn fig10(c: &mut Criterion) {
+    println!("{}", bench::fig10().render());
+    c.bench_function("fig10_e2e_1024x24", |b| {
+        b.iter(|| black_box(run_pipeline(ExperimentConfig::fig10())))
+    });
+}
+
+fn unmanaged_baseline(c: &mut Criterion) {
+    c.bench_function("fig9_unmanaged_baseline", |b| {
+        b.iter(|| {
+            let mut cfg = ExperimentConfig::fig9();
+            cfg.policy = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+            let run = run_pipeline(cfg);
+            assert!(run.blocked_at.is_some(), "unmanaged run must block");
+            black_box(run)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7, fig8, fig9, fig10, unmanaged_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Benchmarks regenerating the protocol microbenchmarks: Fig. 4
+//! (increase), Fig. 5 (decrease), and Fig. 6 (D2T transactions). The
+//! benchmark time is the harness cost of simulating one operation; the
+//! *simulated* operation times are printed once per run via the shared
+//! `bench` library (the same rows `figures` prints).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use d2t::{run_transaction, FaultPlan, TxnConfig};
+use datatap::TransportCosts;
+use iocontainers::protocol::{run_decrease, run_increase, ProtocolLayout};
+use sim_core::Sim;
+use simnet::{LaunchModel, Network, NetworkConfig, NodeId};
+
+fn fig4_increase(c: &mut Criterion) {
+    println!("{}", bench::fig4().render());
+    let mut group = c.benchmark_group("fig4_increase_protocol");
+    for &k in &bench::RESIZE_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = Sim::new(4);
+                let net = Network::new(NetworkConfig::portals_xt4());
+                let layout = ProtocolLayout::microbench(8, 4);
+                let new: Vec<NodeId> = (1000..1000 + k).map(NodeId).collect();
+                black_box(run_increase(
+                    &mut sim,
+                    &net,
+                    &layout,
+                    &new,
+                    &TransportCosts::default(),
+                    LaunchModel::Instant,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig5_decrease(c: &mut Criterion) {
+    println!("{}", bench::fig5().render());
+    let mut group = c.benchmark_group("fig5_decrease_protocol");
+    for &k in &bench::RESIZE_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut sim = Sim::new(5);
+                let net = Network::new(NetworkConfig::portals_xt4());
+                let layout = ProtocolLayout::microbench(8, 32);
+                let victims: Vec<NodeId> = layout.replicas[..k as usize].to_vec();
+                black_box(run_decrease(
+                    &mut sim,
+                    &net,
+                    &layout,
+                    &victims,
+                    &TransportCosts::default(),
+                    8_000_000,
+                    1_600_000_000,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig6_transactions(c: &mut Criterion) {
+    println!("{}", bench::fig6().render());
+    let mut group = c.benchmark_group("fig6_d2t_transaction");
+    for &(writers, readers) in &bench::TXN_SWEEP {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{writers}x{readers}")),
+            &(writers, readers),
+            |b, &(writers, readers)| {
+                b.iter(|| {
+                    let mut sim = Sim::new(6);
+                    let net = Network::new(NetworkConfig::qdr_torus((18, 18, 18)));
+                    let cfg = TxnConfig { writers, readers, ..TxnConfig::default() };
+                    black_box(run_transaction(&mut sim, &net, &cfg, &FaultPlan::default()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4_increase, fig5_decrease, fig6_transactions
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Benchmarks of the I/O substrates: the BP-lite codec, the DataTap staged
+//! channel, and EVPath overlay dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use adios::{DataType, Dims, Group, StepData, Value};
+use datatap::channel;
+use evpath::{Action, Event, Overlay};
+
+fn sample_step(elems: usize) -> (Group, StepData) {
+    let mut g = Group::new("atoms");
+    g.define_var("x", DataType::F64);
+    let data: Vec<f64> = (0..elems).map(|i| i as f64).collect();
+    let mut s = StepData::new(1);
+    s.write(&g, "x", Value::from_f64(&data, Dims::local1d(elems as u64)).unwrap()).unwrap();
+    (g, s)
+}
+
+fn bp_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bp_codec");
+    for elems in [1_000usize, 100_000, 1_000_000] {
+        let (_, step) = sample_step(elems);
+        let bytes = (elems * 8) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("encode", elems), &step, |b, step| {
+            b.iter(|| black_box(adios::bp::encode("atoms", step)));
+        });
+        let blob = adios::bp::encode("atoms", &step);
+        group.bench_with_input(BenchmarkId::new("decode", elems), &blob, |b, blob| {
+            b.iter(|| black_box(adios::bp::decode(blob.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn datatap_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datatap_channel");
+    group.bench_function("write_pull_round_trip", |b| {
+        let (w, r) = channel(64);
+        b.iter(|| {
+            w.try_write(StepData::new(0)).unwrap();
+            black_box(r.try_pull().unwrap());
+        });
+    });
+    group.bench_function("cross_thread_throughput_1k_steps", |b| {
+        b.iter(|| {
+            let (w, r) = channel(64);
+            let producer = std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    w.write(StepData::new(i)).unwrap();
+                }
+            });
+            let mut n = 0;
+            while n < 1_000 {
+                r.pull().unwrap();
+                n += 1;
+            }
+            producer.join().unwrap();
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+fn evpath_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evpath");
+    group.bench_function("submit_flush_1k_events", |b| {
+        let ov = Overlay::new("bench");
+        let sink = ov.add_stone(Action::Terminal(Box::new(|ev| {
+            black_box(ev.id());
+        })));
+        let filter = ov.add_stone(Action::Filter {
+            predicate: Box::new(|ev| *ev.expect::<u64>() % 2 == 0),
+            target: sink,
+        });
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                ov.submit(filter, Event::new(i));
+            }
+            ov.flush();
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bp_codec, datatap_channel, evpath_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p bench --release --bin figures -- all
+//! cargo run -p bench --release --bin figures -- fig7
+//! ```
+
+use bench::{
+    fig10, fig4, fig5, fig6, fig7, fig8, fig9, sweep_cadence, sweep_staging, table1, table2,
+    Table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+
+    let jobs: Vec<(&str, fn() -> Table)> = vec![
+        ("table1", table1 as fn() -> Table),
+        ("table2", table2),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("sweep_staging", sweep_staging as fn() -> Table),
+        ("sweep_cadence", sweep_cadence),
+    ];
+
+    let selected: Vec<&(&str, fn() -> Table)> = if what == "all" {
+        jobs.iter().collect()
+    } else {
+        jobs.iter().filter(|(name, _)| *name == what).collect()
+    };
+
+    if selected.is_empty() {
+        eprintln!(
+            "unknown figure '{what}'; expected one of: all {}",
+            jobs.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+        );
+        std::process::exit(2);
+    }
+
+    for (_, job) in selected {
+        println!("{}", job().render());
+    }
+}

@@ -1,0 +1,482 @@
+//! Shared harness code for the figure generators and Criterion benches.
+//!
+//! Each public `*_rows` function computes the data behind one table or
+//! figure of the paper and returns it as printable rows, so the `figures`
+//! binary, the Criterion benches, and the integration tests all consume
+//! the same implementation.
+
+use d2t::{run_transaction, BroadcastShape, FaultPlan, TxnConfig};
+use datatap::TransportCosts;
+use iocontainers::protocol::{run_decrease, run_increase, ProtocolLayout};
+use iocontainers::{run_pipeline, Action, ExperimentConfig, PipelineRun};
+use sim_core::{Sim, SimDuration};
+use simnet::{LaunchModel, Network, NetworkConfig, NodeId};
+
+/// A labeled table: header plus rows of cells.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (printed above the data).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = format!("# {}\n", self.title);
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn ms(d: SimDuration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn us(d: SimDuration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Table I: SmartPointer analysis-action characteristics, generated from
+/// the live component metadata.
+pub fn table1() -> Table {
+    let rows = smartpointer::table1()
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.complexity.to_string(),
+                c.models.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(", "),
+                if c.dynamic_branching { "Yes" } else { "No" }.to_string(),
+            ]
+        })
+        .collect();
+    Table {
+        title: "Table I: Characteristics for SmartPointer Analysis Actions".into(),
+        header: vec!["Component".into(), "Complexity".into(), "Compute Model".into(), "Dynamic Branching".into()],
+        rows,
+    }
+}
+
+/// Table II: weak-scaling experiment data sizes.
+pub fn table2() -> Table {
+    let rows = mdsim::TABLE2
+        .iter()
+        .map(|&(nodes, atoms)| {
+            let mib = mdsim::output_bytes(atoms) as f64 / (1024.0 * 1024.0);
+            vec![nodes.to_string(), atoms.to_string(), format!("{mib:.1} MiB")]
+        })
+        .collect();
+    Table {
+        title: "Table II: Experiment Data Sizes (per output step)".into(),
+        header: vec!["Node Count".into(), "Atoms".into(), "Data size".into()],
+        rows,
+    }
+}
+
+/// The replica-count sweep used by Figs. 4 and 5.
+pub const RESIZE_SWEEP: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Fig. 4: time to increase container size, split into the dominant
+/// intra-container metadata exchange and the negligible manager messages.
+/// The `aprun` launch cost is reported in its own column, factored out of
+/// the totals exactly as the paper does.
+pub fn fig4() -> Table {
+    let costs = TransportCosts::default();
+    let mut rows = Vec::new();
+    for &k in &RESIZE_SWEEP {
+        let mut sim = Sim::new(4);
+        let net = Network::new(NetworkConfig::portals_xt4());
+        let layout = ProtocolLayout::microbench(8, 4);
+        let new: Vec<NodeId> = (1000..1000 + k).map(NodeId).collect();
+        let r = run_increase(&mut sim, &net, &layout, &new, &costs, LaunchModel::Aprun);
+        rows.push(vec![
+            k.to_string(),
+            ms(r.total),
+            ms(r.intra_container),
+            us(r.manager_msgs),
+            format!("{:.1}", r.launch.as_secs_f64()),
+        ]);
+    }
+    Table {
+        title: "Fig. 4: Time to Increase Container Size (8 upstream writers)".into(),
+        header: vec![
+            "replicas_added".into(),
+            "total_ms".into(),
+            "intra_container_ms".into(),
+            "manager_msgs_us".into(),
+            "aprun_s (factored out)".into(),
+        ],
+        rows,
+    }
+}
+
+/// Fig. 5: time to decrease container size; dominated by waiting for the
+/// upstream DataTap writers to pause and drain.
+pub fn fig5() -> Table {
+    let costs = TransportCosts::default();
+    // One 67 MB output step buffered across 8 writers at decrease time.
+    let queued_per_writer = mdsim::output_bytes(mdsim::atoms_for_nodes(256)) / 8;
+    let mut rows = Vec::new();
+    for &k in &RESIZE_SWEEP {
+        let mut sim = Sim::new(5);
+        let net = Network::new(NetworkConfig::portals_xt4());
+        let layout = ProtocolLayout::microbench(8, 32);
+        let victims: Vec<NodeId> = layout.replicas[..k as usize].to_vec();
+        let r = run_decrease(
+            &mut sim,
+            &net,
+            &layout,
+            &victims,
+            &costs,
+            queued_per_writer,
+            1_600_000_000,
+        );
+        rows.push(vec![
+            k.to_string(),
+            ms(r.total),
+            ms(r.pause_wait),
+            us(r.intra_container),
+            us(r.manager_msgs),
+        ]);
+    }
+    Table {
+        title: "Fig. 5: Time to Decrease Container Size (8 writers, one buffered step)".into(),
+        header: vec![
+            "replicas_removed".into(),
+            "total_ms".into(),
+            "writer_pause_ms".into(),
+            "teardown_us".into(),
+            "manager_msgs_us".into(),
+        ],
+        rows,
+    }
+}
+
+/// The writer:reader core ratios of Fig. 6.
+pub const TXN_SWEEP: [(u32, u32); 7] =
+    [(64, 4), (128, 4), (256, 4), (512, 4), (1024, 8), (2048, 8), (4096, 16)];
+
+/// Fig. 6: D2T transaction completion time vs. writer:reader core ratio.
+pub fn fig6() -> Table {
+    let mut rows = Vec::new();
+    for &(writers, readers) in &TXN_SWEEP {
+        let run = |broadcast| {
+            let mut sim = Sim::new(6);
+            let net = Network::new(NetworkConfig::qdr_torus((18, 18, 18)));
+            let cfg = TxnConfig { writers, readers, broadcast, ..TxnConfig::default() };
+            run_transaction(&mut sim, &net, &cfg, &FaultPlan::default())
+        };
+        let tree = run(BroadcastShape::Tree { fanout: 8 });
+        let flat = run(BroadcastShape::Flat);
+        rows.push(vec![
+            format!("{writers}:{readers}"),
+            ms(tree.duration),
+            ms(flat.duration),
+            tree.messages.to_string(),
+        ]);
+    }
+    Table {
+        title: "Fig. 6: Resilience (D2T) Protocol Overhead vs writer:reader ratio".into(),
+        header: vec![
+            "writers:readers".into(),
+            "txn_time_ms (tree)".into(),
+            "txn_time_ms (flat)".into(),
+            "messages".into(),
+        ],
+        rows,
+    }
+}
+
+/// Renders a pipeline run's per-container latency samples and management
+/// actions (the content of Figs. 7–9).
+pub fn pipeline_figure(title: &str, run: &PipelineRun) -> Table {
+    let mut rows = Vec::new();
+    for id in run.log.containers() {
+        let name = run.log.name_of(id);
+        if let Some(series) = run.log.latency_series(id) {
+            for &(t, v) in series.points() {
+                rows.push(vec![
+                    format!("{:.1}", t.as_secs_f64()),
+                    name.to_string(),
+                    format!("{v:.2}"),
+                ]);
+            }
+        }
+    }
+    rows.sort_by(|a, b| {
+        a[0].parse::<f64>().unwrap().partial_cmp(&b[0].parse::<f64>().unwrap()).unwrap()
+    });
+    for (t, action) in run.log.actions() {
+        rows.push(vec![
+            format!("{:.1}", t.as_secs_f64()),
+            "ACTION".into(),
+            describe_action(run, action),
+        ]);
+    }
+    Table {
+        title: title.into(),
+        header: vec!["t_s".into(), "container".into(), "latency_s / action".into()],
+        rows,
+    }
+}
+
+fn describe_action(run: &PipelineRun, action: &Action) -> String {
+    match action {
+        Action::Increase { container, added, source } => {
+            let src = match source {
+                iocontainers::ResourceSource::Spare => "spare".to_string(),
+                iocontainers::ResourceSource::StolenFrom(d) => {
+                    format!("stolen from {}", run.log.name_of(*d))
+                }
+            };
+            format!("increase {} by {added} ({src})", run.log.name_of(*container))
+        }
+        Action::Decrease { container, removed } => {
+            format!("decrease {} by {removed}", run.log.name_of(*container))
+        }
+        Action::Offline { containers } => format!(
+            "offline: {}",
+            containers.iter().map(|c| run.log.name_of(*c)).collect::<Vec<_>>().join(", ")
+        ),
+        Action::Activate { container } => format!("activate {}", run.log.name_of(*container)),
+        Action::Blocked { container } => {
+            format!("PIPELINE BLOCKED at {}", run.log.name_of(*container))
+        }
+        Action::TradeAborted { donor, recipient } => format!(
+            "trade aborted: {} -> {} (rolled back)",
+            run.log.name_of(*donor),
+            run.log.name_of(*recipient)
+        ),
+    }
+}
+
+/// Fig. 7 data: events for 256 simulation + 13 staging nodes.
+pub fn fig7() -> Table {
+    pipeline_figure(
+        "Fig. 7: Events emitted for 256 simulation and 13 staging nodes",
+        &run_pipeline(ExperimentConfig::fig7()),
+    )
+}
+
+/// Fig. 8 data: events for 512 simulation + 24 staging nodes.
+pub fn fig8() -> Table {
+    pipeline_figure(
+        "Fig. 8: Events emitted for 512 simulation and 24 staging nodes",
+        &run_pipeline(ExperimentConfig::fig8()),
+    )
+}
+
+/// Fig. 9 data: events for 1024 simulation + 24 staging nodes.
+pub fn fig9() -> Table {
+    pipeline_figure(
+        "Fig. 9: Events emitted for 1024 simulation and 24 staging nodes",
+        &run_pipeline(ExperimentConfig::fig9()),
+    )
+}
+
+/// Fig. 10 data: end-to-end latency for the Fig. 9 configuration.
+pub fn fig10() -> Table {
+    let run = run_pipeline(ExperimentConfig::fig10());
+    let mut rows: Vec<Vec<String>> = run
+        .log
+        .e2e_series()
+        .points()
+        .iter()
+        .map(|&(t, v)| vec![format!("{:.1}", t.as_secs_f64()), format!("{v:.2}")])
+        .collect();
+    for (t, action) in run.log.actions() {
+        rows.push(vec![
+            format!("{:.1}", t.as_secs_f64()),
+            format!("ACTION: {}", describe_action(&run, action)),
+        ]);
+    }
+    rows.sort_by(|a, b| {
+        a[0].parse::<f64>().unwrap().partial_cmp(&b[0].parse::<f64>().unwrap()).unwrap()
+    });
+    Table {
+        title: "Fig. 10: End-to-End Latency (1024 simulation, 24 staging nodes)".into(),
+        header: vec!["t_s".into(), "end_to_end_s".into()],
+        rows,
+    }
+}
+
+/// Sensitivity sweep: how the 512-node scenario's outcome changes with
+/// the staging-area size — the "sizing" decision containers free users
+/// from making by hand.
+pub fn sweep_staging() -> Table {
+    let mut rows = Vec::new();
+    // (staging size, initial helper/bonds/csym allocation): allocations
+    // shrink with the area; whatever is left over starts spare.
+    let points: [(u32, (u32, u32, u32)); 6] = [
+        (8, (2, 2, 4)),
+        (10, (2, 2, 6)),
+        (14, (6, 2, 6)),
+        (20, (12, 2, 6)),
+        (24, (12, 2, 6)),
+        (32, (12, 2, 6)),
+    ];
+    for (staging, (helper, bonds, csym)) in points {
+        let mut cfg = ExperimentConfig::fig8();
+        cfg.staging_nodes = staging;
+        cfg.initial =
+            smartpointer::Table1Names { helper, bonds, csym, cna: cfg.initial.cna };
+        let run = run_pipeline(cfg);
+        let increases: u32 = run
+            .log
+            .actions()
+            .iter()
+            .filter_map(|(_, a)| match a {
+                Action::Increase { added, .. } => Some(*added),
+                _ => None,
+            })
+            .sum();
+        let offline = if run.offline.is_empty() { "-".to_string() } else { run.offline.join("+") };
+        let blocked = run.blocked_at.map(|t| format!("{:.0}s", t.as_secs_f64()));
+        rows.push(vec![
+            staging.to_string(),
+            increases.to_string(),
+            offline,
+            blocked.unwrap_or_else(|| "-".into()),
+            format!("{:.1}", run.log.e2e_series().max_value().unwrap_or(0.0)),
+        ]);
+    }
+    Table {
+        title: "Sweep: staging-area size vs outcome (512 simulation nodes)".into(),
+        header: vec![
+            "staging_nodes".into(),
+            "nodes_added".into(),
+            "offline".into(),
+            "blocked_at".into(),
+            "e2e_peak_s".into(),
+        ],
+        rows,
+    }
+}
+
+/// Sensitivity sweep: output cadence vs. outcome at the Fig. 8 scale.
+pub fn sweep_cadence() -> Table {
+    let mut rows = Vec::new();
+    for cadence_s in [8u64, 10, 15, 20, 30, 45] {
+        let mut cfg = ExperimentConfig::fig8();
+        cfg.cadence = SimDuration::from_secs(cadence_s);
+        cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
+        let run = run_pipeline(cfg);
+        let increases: u32 = run
+            .log
+            .actions()
+            .iter()
+            .filter_map(|(_, a)| match a {
+                Action::Increase { added, .. } => Some(*added),
+                _ => None,
+            })
+            .sum();
+        let offline = if run.offline.is_empty() { "-".to_string() } else { run.offline.join("+") };
+        rows.push(vec![
+            cadence_s.to_string(),
+            increases.to_string(),
+            offline,
+            if run.blocked_at.is_some() { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    Table {
+        title: "Sweep: output cadence vs outcome (512 simulation nodes, 24 staging)".into(),
+        header: vec![
+            "cadence_s".into(),
+            "nodes_added".into(),
+            "offline".into(),
+            "blocked".into(),
+        ],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_nonempty() {
+        for t in [table1(), table2(), fig4(), fig5(), fig6()] {
+            assert!(!t.rows.is_empty(), "{} has no rows", t.title);
+            let text = t.render();
+            assert!(text.lines().count() >= t.rows.len() + 2);
+        }
+    }
+
+    #[test]
+    fn fig4_total_grows_monotonically() {
+        let t = fig4();
+        let totals: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        for w in totals.windows(2) {
+            assert!(w[1] > w[0], "fig4 totals must grow: {totals:?}");
+        }
+    }
+
+    #[test]
+    fn fig5_pause_dominates_everywhere() {
+        let t = fig5();
+        for row in &t.rows {
+            let total: f64 = row[1].parse().unwrap();
+            let pause: f64 = row[2].parse().unwrap();
+            assert!(pause / total > 0.8, "pause must dominate: {row:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_scales_sublinearly() {
+        let t = fig6();
+        let first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        // 64 -> 4096 writers is 64x; time must grow far less than 64x.
+        assert!(last / first < 16.0, "fig6 ratio {}", last / first);
+    }
+
+    #[test]
+    fn sweeps_show_the_expected_regimes() {
+        let staging = sweep_staging();
+        // The smallest staging area cannot save Bonds (offline or blocked);
+        // the largest absorbs the load.
+        let first = &staging.rows[0];
+        assert!(first[2] != "-" || first[3] != "-", "18 nodes must degrade: {first:?}");
+        let last = staging.rows.last().unwrap();
+        assert_eq!(last[2], "-", "32 nodes must suffice: {last:?}");
+
+        let cadence = sweep_cadence();
+        // Faster cadences demand more nodes; the slowest needs none.
+        let fast: u32 = cadence.rows[0][1].parse().unwrap();
+        let slow: u32 = cadence.rows.last().unwrap()[1].parse().unwrap();
+        assert!(fast > slow, "fast cadence must demand more nodes ({fast} vs {slow})");
+        assert_eq!(slow, 0);
+    }
+
+    #[test]
+    fn fig10_contains_offline_action() {
+        let t = fig10();
+        assert!(t.rows.iter().any(|r| r[1].contains("offline")), "no offline action in fig10");
+    }
+}

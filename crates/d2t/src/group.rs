@@ -1,0 +1,255 @@
+//! Pure vote/ack bookkeeping for one participant group.
+//!
+//! D2T (doubly-distributed transactions) coordinates two *groups* of
+//! processes — the writers of one application and the readers of another —
+//! each under its own sub-coordinator, with a root coordinator above them.
+//! This module is the sub-coordinator's pure state machine: collect votes,
+//! detect completion, aggregate a group verdict, then collect acks. All
+//! transitions are idempotent so duplicated or reordered messages cannot
+//! corrupt the outcome.
+
+use std::collections::BTreeSet;
+
+/// A participant's vote on the prepare phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Vote {
+    /// Ready to commit.
+    Yes,
+    /// Must abort.
+    No,
+}
+
+/// The coordinator's final decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// All groups voted yes.
+    Commit,
+    /// Some participant voted no or timed out.
+    Abort,
+}
+
+/// Vote collection state for one group of `size` participants.
+#[derive(Clone, Debug)]
+pub struct VoteCollector {
+    size: usize,
+    yes: BTreeSet<u32>,
+    no: BTreeSet<u32>,
+}
+
+impl VoteCollector {
+    /// Starts collecting for a group of `size` participants.
+    pub fn new(size: usize) -> VoteCollector {
+        VoteCollector { size, yes: BTreeSet::new(), no: BTreeSet::new() }
+    }
+
+    /// Records a vote. Re-votes are ignored (first vote wins), making the
+    /// collector idempotent under message duplication.
+    pub fn record(&mut self, participant: u32, vote: Vote) {
+        if self.yes.contains(&participant) || self.no.contains(&participant) {
+            return;
+        }
+        match vote {
+            Vote::Yes => self.yes.insert(participant),
+            Vote::No => self.no.insert(participant),
+        };
+    }
+
+    /// Number of votes received.
+    pub fn received(&self) -> usize {
+        self.yes.len() + self.no.len()
+    }
+
+    /// True once every participant has voted.
+    pub fn complete(&self) -> bool {
+        self.received() >= self.size
+    }
+
+    /// The group verdict: `Yes` only if *all* participants voted yes.
+    /// Called at completion or at timeout (missing votes count as no).
+    pub fn verdict(&self) -> Vote {
+        if self.no.is_empty() && self.yes.len() >= self.size {
+            Vote::Yes
+        } else {
+            Vote::No
+        }
+    }
+
+    /// True if any explicit no-vote arrived (early-abort opportunity).
+    pub fn any_no(&self) -> bool {
+        !self.no.is_empty()
+    }
+}
+
+/// A partial vote aggregate flowing up a dissemination tree: D2T's
+/// scalability comes from combining votes in the tree instead of funnelling
+/// every vote through the sub-coordinator's NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Aggregate {
+    /// Votes folded into this aggregate.
+    pub count: u32,
+    /// True if any folded vote was no.
+    pub any_no: bool,
+}
+
+impl Aggregate {
+    /// An aggregate of a single vote.
+    pub fn from_vote(v: Vote) -> Aggregate {
+        Aggregate { count: 1, any_no: v == Vote::No }
+    }
+
+    /// Folds another aggregate in.
+    pub fn merge(&mut self, other: Aggregate) {
+        self.count += other.count;
+        self.any_no |= other.any_no;
+    }
+
+    /// The verdict over `expected` participants; missing votes count as no.
+    pub fn verdict(&self, expected: u32) -> Vote {
+        if !self.any_no && self.count >= expected {
+            Vote::Yes
+        } else {
+            Vote::No
+        }
+    }
+}
+
+/// Ack collection for the decision phase.
+#[derive(Clone, Debug)]
+pub struct AckCollector {
+    size: usize,
+    acked: BTreeSet<u32>,
+}
+
+impl AckCollector {
+    /// Starts collecting acks from `size` participants.
+    pub fn new(size: usize) -> AckCollector {
+        AckCollector { size, acked: BTreeSet::new() }
+    }
+
+    /// Records an ack (idempotent).
+    pub fn record(&mut self, participant: u32) {
+        self.acked.insert(participant);
+    }
+
+    /// True once every participant acked.
+    pub fn complete(&self) -> bool {
+        self.acked.len() >= self.size
+    }
+
+    /// Number of acks received.
+    pub fn received(&self) -> usize {
+        self.acked.len()
+    }
+}
+
+/// Root-coordinator aggregation over group verdicts.
+#[derive(Clone, Debug)]
+pub struct RootState {
+    expected_groups: usize,
+    verdicts: Vec<Vote>,
+}
+
+impl RootState {
+    /// Starts a transaction spanning `groups` sub-coordinators.
+    pub fn new(groups: usize) -> RootState {
+        RootState { expected_groups: groups, verdicts: Vec::with_capacity(groups) }
+    }
+
+    /// Records one group verdict.
+    pub fn record(&mut self, verdict: Vote) {
+        self.verdicts.push(verdict);
+    }
+
+    /// The decision once all groups reported; `None` while still waiting.
+    pub fn decision(&self) -> Option<Decision> {
+        if self.verdicts.len() < self.expected_groups {
+            return None;
+        }
+        Some(if self.verdicts.iter().all(|&v| v == Vote::Yes) {
+            Decision::Commit
+        } else {
+            Decision::Abort
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_yes_commits() {
+        let mut c = VoteCollector::new(3);
+        for p in 0..3 {
+            c.record(p, Vote::Yes);
+        }
+        assert!(c.complete());
+        assert_eq!(c.verdict(), Vote::Yes);
+    }
+
+    #[test]
+    fn single_no_aborts_group() {
+        let mut c = VoteCollector::new(3);
+        c.record(0, Vote::Yes);
+        c.record(1, Vote::No);
+        c.record(2, Vote::Yes);
+        assert_eq!(c.verdict(), Vote::No);
+        assert!(c.any_no());
+    }
+
+    #[test]
+    fn missing_votes_abort_at_timeout() {
+        let mut c = VoteCollector::new(4);
+        c.record(0, Vote::Yes);
+        assert!(!c.complete());
+        // Timeout path consults the verdict with votes missing.
+        assert_eq!(c.verdict(), Vote::No);
+    }
+
+    #[test]
+    fn duplicate_votes_are_idempotent() {
+        let mut c = VoteCollector::new(2);
+        c.record(0, Vote::Yes);
+        c.record(0, Vote::No); // duplicate, ignored
+        c.record(1, Vote::Yes);
+        assert_eq!(c.received(), 2);
+        assert_eq!(c.verdict(), Vote::Yes);
+    }
+
+    #[test]
+    fn acks_complete_exactly_once() {
+        let mut a = AckCollector::new(2);
+        a.record(0);
+        a.record(0);
+        assert!(!a.complete());
+        a.record(1);
+        assert!(a.complete());
+        assert_eq!(a.received(), 2);
+    }
+
+    #[test]
+    fn aggregate_merge_and_verdict() {
+        let mut a = Aggregate::from_vote(Vote::Yes);
+        a.merge(Aggregate::from_vote(Vote::Yes));
+        assert_eq!(a.verdict(2), Vote::Yes);
+        assert_eq!(a.verdict(3), Vote::No, "missing votes abort");
+        a.merge(Aggregate::from_vote(Vote::No));
+        assert_eq!(a.verdict(3), Vote::No);
+        assert_eq!(a.count, 3);
+        assert!(a.any_no);
+    }
+
+    #[test]
+    fn root_requires_all_groups() {
+        let mut r = RootState::new(2);
+        r.record(Vote::Yes);
+        assert_eq!(r.decision(), None);
+        r.record(Vote::Yes);
+        assert_eq!(r.decision(), Some(Decision::Commit));
+
+        let mut r = RootState::new(2);
+        r.record(Vote::Yes);
+        r.record(Vote::No);
+        assert_eq!(r.decision(), Some(Decision::Abort));
+    }
+}

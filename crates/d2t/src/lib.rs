@@ -1,0 +1,36 @@
+//! # d2t — doubly-distributed transactions
+//!
+//! A reimplementation of the D2T protocol (Lofstead et al.) the paper uses
+//! to make container control operations resilient: two *groups* of
+//! processes — e.g. the writers of one application and the readers of
+//! another — each coordinate under a sub-coordinator, and a root
+//! coordinator commits only when both groups vote unanimously. Resource
+//! trades between containers ride on this so a node is never "removed from
+//! the donor but never added to the recipient" under failure.
+//!
+//! * [`group`](VoteCollector) — the pure, idempotent vote/ack state
+//!   machines (unit- and property-tested in isolation);
+//! * [`run_transaction`] — drives them over the simulated interconnect,
+//!   producing the transaction-completion times of the paper's Fig. 6,
+//!   with fault injection ([`FaultPlan`]) for lost and negative votes.
+//!
+//! ## Example
+//! ```
+//! use d2t::{run_transaction, Decision, FaultPlan, TxnConfig};
+//! use sim_core::Sim;
+//! use simnet::{Network, NetworkConfig};
+//!
+//! let mut sim = Sim::new(1);
+//! let net = Network::new(NetworkConfig::qdr_torus((16, 16, 16)));
+//! let cfg = TxnConfig { writers: 128, readers: 4, ..TxnConfig::default() };
+//! let report = run_transaction(&mut sim, &net, &cfg, &FaultPlan::default());
+//! assert_eq!(report.decision, Decision::Commit);
+//! ```
+
+#![warn(missing_docs)]
+
+mod group;
+mod simrun;
+
+pub use group::{AckCollector, Aggregate, Decision, RootState, Vote, VoteCollector};
+pub use simrun::{run_transaction, BroadcastShape, FaultPlan, TxnConfig, TxnReport};

@@ -1,0 +1,589 @@
+//! Executes a D2T transaction over the simulated interconnect.
+//!
+//! Drives the pure state machines of [`crate::group`] with real (simulated)
+//! message exchanges. Each group's participants form a dissemination tree
+//! rooted at its sub-coordinator: prepares and decisions flow down the
+//! tree, votes and acks are *aggregated* up the tree (the mechanism that
+//! gives D2T its scalability — the sub-coordinator never funnels one
+//! message per participant through its NIC). The transaction-completion
+//! time this produces is the quantity of the paper's Fig. 6.
+
+use std::collections::{BTreeSet, HashMap};
+use sim_core::{shared, Shared, Sim, SimDuration, SimTime};
+use simnet::{Net, Network, NodeId};
+
+use crate::group::{Aggregate, Decision, RootState, Vote};
+
+/// How a sub-coordinator disseminates to (and aggregates from) its group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BroadcastShape {
+    /// Star topology: the sub-coordinator talks to every participant
+    /// directly (serializes at its NIC; the naive baseline).
+    Flat,
+    /// K-ary tree: participants forward down and aggregate up.
+    Tree {
+        /// Children per node.
+        fanout: usize,
+    },
+}
+
+/// Configuration of one transaction.
+#[derive(Clone, Debug)]
+pub struct TxnConfig {
+    /// Writer-group size (e.g. 512 simulation cores).
+    pub writers: u32,
+    /// Reader-group size (e.g. 4 staging cores).
+    pub readers: u32,
+    /// Dissemination/aggregation shape within each group.
+    pub broadcast: BroadcastShape,
+    /// Local prepare work each participant performs before voting.
+    pub work_time: SimDuration,
+    /// Sub-coordinator vote timeout; missing votes abort the group.
+    pub vote_timeout: SimDuration,
+    /// Root timeout: if a sub-coordinator never reports (e.g. it died),
+    /// the root aborts the transaction rather than blocking forever.
+    pub root_timeout: SimDuration,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig {
+            writers: 512,
+            readers: 4,
+            broadcast: BroadcastShape::Tree { fanout: 8 },
+            work_time: SimDuration::from_micros(50),
+            vote_timeout: SimDuration::from_millis(250),
+            root_timeout: SimDuration::from_millis(600),
+        }
+    }
+}
+
+/// Injected failures.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Writers whose vote is lost (never sent; the group aborts at timeout).
+    pub drop_writer_votes: BTreeSet<u32>,
+    /// Writers that explicitly vote no.
+    pub writer_no_votes: BTreeSet<u32>,
+    /// Readers whose vote is lost.
+    pub drop_reader_votes: BTreeSet<u32>,
+    /// Readers that explicitly vote no.
+    pub reader_no_votes: BTreeSet<u32>,
+    /// Kill the writer group's sub-coordinator: its verdict never reaches
+    /// the root, which must abort at its own timeout rather than hang.
+    pub kill_writer_subcoord: bool,
+}
+
+impl FaultPlan {
+    /// True when no faults are injected.
+    pub fn is_clean(&self) -> bool {
+        self.drop_writer_votes.is_empty()
+            && self.writer_no_votes.is_empty()
+            && self.drop_reader_votes.is_empty()
+            && self.reader_no_votes.is_empty()
+            && !self.kill_writer_subcoord
+    }
+}
+
+/// Result of a completed transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Commit or abort.
+    pub decision: Decision,
+    /// Time from begin until the root holds all acks (or times out).
+    pub duration: SimDuration,
+    /// Total control messages exchanged.
+    pub messages: u64,
+    /// True when the root aborted because a sub-coordinator never
+    /// reported (coordinator-level failure handling).
+    pub timed_out: bool,
+}
+
+/// A dissemination tree over a group, rooted at the sub-coordinator.
+#[derive(Clone, Debug)]
+struct TreeTopo {
+    root: NodeId,
+    children: HashMap<NodeId, Vec<NodeId>>,
+    size: u32,
+}
+
+impl TreeTopo {
+    fn build(members: &[NodeId], shape: BroadcastShape) -> TreeTopo {
+        let root = members[0];
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        match shape {
+            BroadcastShape::Flat => {
+                children.insert(root, members[1..].to_vec());
+            }
+            BroadcastShape::Tree { fanout } => {
+                fn assign(
+                    parent: NodeId,
+                    rest: &[NodeId],
+                    fanout: usize,
+                    children: &mut HashMap<NodeId, Vec<NodeId>>,
+                ) {
+                    if rest.is_empty() {
+                        return;
+                    }
+                    let k = rest.len().div_ceil(fanout).max(1);
+                    for chunk in rest.chunks(k) {
+                        let head = chunk[0];
+                        children.entry(parent).or_default().push(head);
+                        assign(head, &chunk[1..], fanout, children);
+                    }
+                }
+                assign(root, &members[1..], fanout.max(2), &mut children);
+            }
+        }
+        TreeTopo { root, children, size: members.len() as u32 }
+    }
+
+    fn children_of(&self, n: NodeId) -> &[NodeId] {
+        self.children.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Participants in the subtree rooted at `n`, including `n`.
+    fn subtree_size(&self, n: NodeId) -> u32 {
+        1 + self.children_of(n).iter().map(|&c| self.subtree_size(c)).sum::<u32>()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Phase {
+    Prepare,
+    Ack,
+}
+
+/// Per-node aggregation state for one phase of one group.
+struct NodeAgg {
+    expected: u32, // own contribution + full child subtrees
+    agg: Aggregate,
+    sent: bool,
+}
+
+struct GroupRt {
+    topo: TreeTopo,
+    agg: HashMap<(Phase, NodeId), NodeAgg>,
+    verdict_sent: bool,
+    acked: bool,
+}
+
+struct Runtime {
+    root_node: NodeId,
+    groups: Vec<GroupRt>,
+    root: RootState,
+    decision: Option<Decision>,
+    started: SimTime,
+    report: Option<TxnReport>,
+    msgs_at_start: u64,
+}
+
+/// Node layout: writers first, then readers, then the root coordinator.
+fn layout(cfg: &TxnConfig) -> (Vec<NodeId>, Vec<NodeId>, NodeId) {
+    let writers: Vec<NodeId> = (0..cfg.writers).map(NodeId).collect();
+    let readers: Vec<NodeId> = (cfg.writers..cfg.writers + cfg.readers).map(NodeId).collect();
+    let root = NodeId(cfg.writers + cfg.readers);
+    (writers, readers, root)
+}
+
+/// Runs one transaction to completion inside `sim`, returning its report.
+///
+/// # Panics
+/// Panics if either group is empty.
+pub fn run_transaction(
+    sim: &mut Sim,
+    net: &Net,
+    cfg: &TxnConfig,
+    faults: &FaultPlan,
+) -> TxnReport {
+    assert!(cfg.writers > 0 && cfg.readers > 0, "both groups must be non-empty");
+    let (writers, readers, root_node) = layout(cfg);
+
+    let mk_group = |members: &[NodeId]| GroupRt {
+        topo: TreeTopo::build(members, cfg.broadcast),
+        agg: HashMap::new(),
+        verdict_sent: false,
+        acked: false,
+    };
+    let rt = shared(Runtime {
+        root_node,
+        groups: vec![mk_group(&writers), mk_group(&readers)],
+        root: RootState::new(2),
+        decision: None,
+        started: sim.now(),
+        report: None,
+        msgs_at_start: net.borrow().stats().messages,
+    });
+
+    // Root failure detection: if any sub-coordinator never reports, the
+    // transaction aborts at the root timeout instead of hanging.
+    {
+        let rt2 = rt.clone();
+        let net2 = net.clone();
+        sim.schedule_in(cfg.root_timeout, move |sim| {
+            let mut r = rt2.borrow_mut();
+            if r.report.is_none() && r.decision.is_none() {
+                r.decision = Some(Decision::Abort);
+                let duration = sim.now().since(r.started);
+                let messages = net2.borrow().stats().messages - r.msgs_at_start;
+                r.report =
+                    Some(TxnReport { decision: Decision::Abort, duration, messages, timed_out: true });
+            }
+        });
+    }
+
+    // Phase 1: root -> sub-coordinators; prepare flows down each tree.
+    for gix in 0..2 {
+        let sub = rt.borrow().groups[gix].topo.root;
+        let net2 = net.clone();
+        let rt2 = rt.clone();
+        let cfg2 = cfg.clone();
+        let faults2 = faults.clone();
+        let killed = gix == 0 && faults.kill_writer_subcoord;
+        Network::send_control(net, sim, root_node, sub, move |sim| {
+            if killed {
+                // The sub-coordinator crashed on receipt: no prepares go
+                // out, no verdict ever comes back.
+                return;
+            }
+            // Arm the group's vote timeout.
+            {
+                let net3 = net2.clone();
+                let rt3 = rt2.clone();
+                sim.schedule_in(cfg2.vote_timeout, move |sim| {
+                    send_verdict_if_needed(sim, &net3, &rt3, gix, true);
+                });
+            }
+            prepare_at(sim, &net2, &rt2, &cfg2, &faults2, gix, sub);
+        });
+    }
+
+    sim.run();
+    let report = rt.borrow().report.expect("transaction must terminate");
+    report
+}
+
+/// Fault lookup: (vote is dropped, vote is an explicit no).
+fn fault_of(faults: &FaultPlan, gix: usize, pid: u32) -> (bool, bool) {
+    if gix == 0 {
+        (faults.drop_writer_votes.contains(&pid), faults.writer_no_votes.contains(&pid))
+    } else {
+        (faults.drop_reader_votes.contains(&pid), faults.reader_no_votes.contains(&pid))
+    }
+}
+
+/// Handles Prepare arriving at `node`: forward to children, do local work,
+/// contribute the local vote, and pass the aggregate up when complete.
+fn prepare_at(
+    sim: &mut Sim,
+    net: &Net,
+    rt: &Shared<Runtime>,
+    cfg: &TxnConfig,
+    faults: &FaultPlan,
+    gix: usize,
+    node: NodeId,
+) {
+    let (children, expected, base) = {
+        let r = rt.borrow();
+        let topo = &r.groups[gix].topo;
+        (topo.children_of(node).to_vec(), topo.subtree_size(node), group_base(&r, gix))
+    };
+    rt.borrow_mut().groups[gix]
+        .agg
+        .insert((Phase::Prepare, node), NodeAgg { expected, agg: Aggregate::default(), sent: false });
+
+    // Forward down the tree.
+    for &child in &children {
+        let net2 = net.clone();
+        let rt2 = rt.clone();
+        let cfg2 = cfg.clone();
+        let faults2 = faults.clone();
+        Network::send_control(net, sim, node, child, move |sim| {
+            prepare_at(sim, &net2, &rt2, &cfg2, &faults2, gix, child);
+        });
+    }
+
+    // Local prepare work, then contribute the local vote.
+    let pid = node.0 - base;
+    let (dropped, votes_no) = fault_of(faults, gix, pid);
+    if dropped {
+        return; // this subtree never completes; the timeout aborts the group
+    }
+    let vote = if votes_no { Vote::No } else { Vote::Yes };
+    let net2 = net.clone();
+    let rt2 = rt.clone();
+    sim.schedule_in(cfg.work_time, move |sim| {
+        contribute(sim, &net2, &rt2, gix, Phase::Prepare, node, Aggregate::from_vote(vote));
+    });
+}
+
+fn group_base(r: &Runtime, gix: usize) -> u32 {
+    // Writers start at node 0; readers start right after the writers.
+    if gix == 0 {
+        0
+    } else {
+        r.groups[0].topo.size
+    }
+}
+
+/// Folds `contribution` into `node`'s phase aggregate; when the subtree is
+/// complete, sends the aggregate to the parent (or completes the phase at
+/// the sub-coordinator).
+fn contribute(
+    sim: &mut Sim,
+    net: &Net,
+    rt: &Shared<Runtime>,
+    gix: usize,
+    phase: Phase,
+    node: NodeId,
+    contribution: Aggregate,
+) {
+    let (complete, parent_opt, agg) = {
+        let mut r = rt.borrow_mut();
+        let g = &mut r.groups[gix];
+        let entry = g.agg.get_mut(&(phase, node)).expect("aggregation state installed");
+        entry.agg.merge(contribution);
+        if entry.sent || entry.agg.count < entry.expected {
+            return;
+        }
+        entry.sent = true;
+        let agg = entry.agg;
+        let is_root = node == g.topo.root;
+        let parent = if is_root { None } else { Some(parent_of(&g.topo, node)) };
+        (is_root, parent, agg)
+    };
+
+    if complete {
+        match phase {
+            Phase::Prepare => send_verdict_if_needed(sim, net, rt, gix, false),
+            Phase::Ack => send_group_ack(sim, net, rt, gix),
+        }
+    } else if let Some(parent) = parent_opt {
+        let net2 = net.clone();
+        let rt2 = rt.clone();
+        Network::send_control(net, sim, node, parent, move |sim| {
+            contribute(sim, &net2, &rt2, gix, phase, parent, agg);
+        });
+    }
+}
+
+fn parent_of(topo: &TreeTopo, node: NodeId) -> NodeId {
+    for (&p, kids) in &topo.children {
+        if kids.contains(&node) {
+            return p;
+        }
+    }
+    unreachable!("non-root node {node} must have a parent")
+}
+
+/// Sends the group verdict to the root coordinator exactly once.
+fn send_verdict_if_needed(sim: &mut Sim, net: &Net, rt: &Shared<Runtime>, gix: usize, timeout: bool) {
+    let (sub, root_node, verdict) = {
+        let mut r = rt.borrow_mut();
+        let g = &mut r.groups[gix];
+        if g.verdict_sent {
+            return;
+        }
+        let root = g.topo.root;
+        let expected = g.topo.size;
+        let agg =
+            g.agg.get(&(Phase::Prepare, root)).map(|e| e.agg).unwrap_or_default();
+        if !timeout && agg.count < expected {
+            return;
+        }
+        g.verdict_sent = true;
+        (root, r.root_node, agg.verdict(expected))
+    };
+    let net2 = net.clone();
+    let rt2 = rt.clone();
+    Network::send_control(net, sim, sub, root_node, move |sim| {
+        on_verdict(sim, &net2, &rt2, verdict);
+    });
+}
+
+/// Root coordinator: collect verdicts, decide, push the decision down.
+fn on_verdict(sim: &mut Sim, net: &Net, rt: &Shared<Runtime>, verdict: Vote) {
+    let decision = {
+        let mut r = rt.borrow_mut();
+        r.root.record(verdict);
+        match r.root.decision() {
+            Some(d) if r.decision.is_none() => {
+                r.decision = Some(d);
+                Some(d)
+            }
+            _ => None,
+        }
+    };
+    let Some(_decision) = decision else { return };
+
+    for gix in 0..2 {
+        let (root_node, sub) = {
+            let r = rt.borrow();
+            (r.root_node, r.groups[gix].topo.root)
+        };
+        let net2 = net.clone();
+        let rt2 = rt.clone();
+        Network::send_control(net, sim, root_node, sub, move |sim| {
+            decide_at(sim, &net2, &rt2, gix, sub);
+        });
+    }
+}
+
+/// Decision arriving at `node`: forward down, apply locally, ack up.
+fn decide_at(sim: &mut Sim, net: &Net, rt: &Shared<Runtime>, gix: usize, node: NodeId) {
+    let (children, expected) = {
+        let r = rt.borrow();
+        let topo = &r.groups[gix].topo;
+        (topo.children_of(node).to_vec(), topo.subtree_size(node))
+    };
+    rt.borrow_mut().groups[gix]
+        .agg
+        .insert((Phase::Ack, node), NodeAgg { expected, agg: Aggregate::default(), sent: false });
+
+    for &child in &children {
+        let net2 = net.clone();
+        let rt2 = rt.clone();
+        Network::send_control(net, sim, node, child, move |sim| {
+            decide_at(sim, &net2, &rt2, gix, child);
+        });
+    }
+
+    // Applying the decision is local and immediate; contribute the ack.
+    contribute(sim, net, rt, gix, Phase::Ack, node, Aggregate::from_vote(Vote::Yes));
+}
+
+/// A group finished acking; when both have, the transaction completes.
+fn send_group_ack(sim: &mut Sim, net: &Net, rt: &Shared<Runtime>, gix: usize) {
+    let (sub, root_node) = {
+        let r = rt.borrow();
+        (r.groups[gix].topo.root, r.root_node)
+    };
+    let rt2 = rt.clone();
+    let net2 = net.clone();
+    Network::send_control(net, sim, sub, root_node, move |sim| {
+        let mut r = rt2.borrow_mut();
+        r.groups[gix].acked = true;
+        if r.report.is_none() && r.groups.iter().all(|g| g.acked) {
+            let duration = sim.now().since(r.started);
+            let messages = net2.borrow().stats().messages - r.msgs_at_start;
+            r.report = Some(TxnReport {
+                decision: r.decision.expect("decision precedes acks"),
+                duration,
+                messages,
+                timed_out: false,
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NetworkConfig;
+
+    fn run(cfg: &TxnConfig, faults: &FaultPlan) -> TxnReport {
+        let mut sim = Sim::new(7);
+        let net = Network::new(NetworkConfig::qdr_torus((16, 16, 16)));
+        run_transaction(&mut sim, &net, cfg, faults)
+    }
+
+    #[test]
+    fn clean_transaction_commits() {
+        let r = run(&TxnConfig::default(), &FaultPlan::default());
+        assert_eq!(r.decision, Decision::Commit);
+        assert!(r.duration > SimDuration::ZERO);
+        // Prepare down + votes up + decision down + acks up: ≥4 tree edges
+        // per participant minus shared paths; at minimum 4 msgs per member
+        // along the tree.
+        assert!(r.messages as u32 >= 4 * (512 + 4 - 2));
+    }
+
+    #[test]
+    fn explicit_no_vote_aborts() {
+        let mut faults = FaultPlan::default();
+        faults.writer_no_votes.insert(17);
+        let r = run(&TxnConfig::default(), &faults);
+        assert_eq!(r.decision, Decision::Abort);
+    }
+
+    #[test]
+    fn dropped_vote_aborts_via_timeout() {
+        let mut faults = FaultPlan::default();
+        faults.drop_reader_votes.insert(0);
+        let cfg = TxnConfig::default();
+        let r = run(&cfg, &faults);
+        assert_eq!(r.decision, Decision::Abort);
+        // The abort could not be decided before the vote timeout fired.
+        assert!(r.duration >= cfg.vote_timeout);
+    }
+
+    #[test]
+    fn dropped_vote_deep_in_tree_also_aborts() {
+        let mut faults = FaultPlan::default();
+        faults.drop_writer_votes.insert(300); // interior/leaf of the tree
+        let r = run(&TxnConfig::default(), &faults);
+        assert_eq!(r.decision, Decision::Abort);
+    }
+
+    #[test]
+    fn duration_grows_slowly_with_writer_count() {
+        let small = run(&TxnConfig { writers: 64, ..TxnConfig::default() }, &FaultPlan::default());
+        let large =
+            run(&TxnConfig { writers: 2048, ..TxnConfig::default() }, &FaultPlan::default());
+        assert!(large.duration > small.duration);
+        // "Good scalability": 32x writers must cost much less than 32x time.
+        let ratio = large.duration / small.duration;
+        assert!(ratio < 8.0, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn tree_broadcast_beats_flat_at_scale() {
+        let base = TxnConfig { writers: 1024, ..TxnConfig::default() };
+        let tree = run(
+            &TxnConfig { broadcast: BroadcastShape::Tree { fanout: 8 }, ..base.clone() },
+            &FaultPlan::default(),
+        );
+        let flat =
+            run(&TxnConfig { broadcast: BroadcastShape::Flat, ..base }, &FaultPlan::default());
+        assert!(
+            tree.duration < flat.duration,
+            "tree {} should beat flat {}",
+            tree.duration,
+            flat.duration
+        );
+    }
+
+    #[test]
+    fn flat_and_tree_agree_on_outcome() {
+        for shape in [BroadcastShape::Flat, BroadcastShape::Tree { fanout: 4 }] {
+            let cfg = TxnConfig { writers: 32, readers: 2, broadcast: shape, ..TxnConfig::default() };
+            assert_eq!(run(&cfg, &FaultPlan::default()).decision, Decision::Commit);
+            let mut faults = FaultPlan::default();
+            faults.writer_no_votes.insert(5);
+            assert_eq!(run(&cfg, &faults).decision, Decision::Abort);
+        }
+    }
+
+    #[test]
+    fn dead_subcoordinator_aborts_at_root_timeout() {
+        let faults = FaultPlan { kill_writer_subcoord: true, ..FaultPlan::default() };
+        let cfg = TxnConfig::default();
+        let r = run(&cfg, &faults);
+        assert_eq!(r.decision, Decision::Abort);
+        assert!(r.timed_out, "abort must come from the root timeout path");
+        assert!(r.duration >= cfg.root_timeout);
+    }
+
+    #[test]
+    fn clean_runs_do_not_time_out() {
+        let r = run(&TxnConfig::default(), &FaultPlan::default());
+        assert!(!r.timed_out);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(&TxnConfig::default(), &FaultPlan::default());
+        let b = run(&TxnConfig::default(), &FaultPlan::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,405 @@
+//! The two-phase staged channel: metadata push, data pull.
+//!
+//! DataTap/DataStager's defining behaviour is that a writer never pushes
+//! bulk data at a receiver. It buffers the payload locally, pushes a small
+//! *metadata* record, and the receiver *pulls* the payload when it is ready
+//! (over RDMA on the real machine). This keeps slow receivers from being
+//! overwhelmed and lets the receiver schedule pulls to manage interconnect
+//! contention.
+//!
+//! [`Channel`] implements those semantics for the threaded runtime:
+//! bounded buffering with backpressure (a full buffer blocks the writer —
+//! the "application blocking" the paper's management exists to prevent),
+//! and a pause/resume protocol used by the container decrease operation:
+//! [`Writer::pause`] stops new announcements and blocks until every
+//! announced step has been pulled, so no time step can be lost while the
+//! downstream container is being resized.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adios::StepData;
+use parking_lot::{Condvar, Mutex};
+
+/// Metadata announcing one buffered output step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepMeta {
+    /// Output-step index.
+    pub step: u64,
+    /// Payload size in bytes (what the pull will move).
+    pub bytes: u64,
+    /// Identifier of the writer that buffered the payload.
+    pub writer: u32,
+}
+
+/// Why a write could not be accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// The channel buffer is full (receiver too slow).
+    QueueFull,
+    /// The channel was closed by the reader side.
+    Closed,
+    /// The writer is paused by a control action.
+    Paused,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::QueueFull => write!(f, "staging queue full"),
+            WriteError::Closed => write!(f, "channel closed"),
+            WriteError::Paused => write!(f, "writer paused"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+struct Envelope {
+    meta: StepMeta,
+    payload: StepData,
+}
+
+struct State {
+    queue: VecDeque<Envelope>,
+    capacity: usize,
+    paused: bool,
+    closed: bool,
+    announced: u64,
+    pulled: u64,
+    high_watermark: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    writer_cv: Condvar,
+    reader_cv: Condvar,
+}
+
+/// Counters exposed for monitoring.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Steps announced by writers.
+    pub announced: u64,
+    /// Steps pulled by the reader.
+    pub pulled: u64,
+    /// Steps currently buffered.
+    pub queued: usize,
+    /// Deepest the queue has ever been.
+    pub high_watermark: usize,
+}
+
+/// Creates a staged channel with a buffer of `capacity` steps.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn channel(capacity: usize) -> (Writer, Reader) {
+    assert!(capacity > 0, "channel capacity must be positive");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            paused: false,
+            closed: false,
+            announced: 0,
+            pulled: 0,
+            high_watermark: 0,
+        }),
+        writer_cv: Condvar::new(),
+        reader_cv: Condvar::new(),
+    });
+    (Writer { inner: inner.clone(), id: 0 }, Reader { inner })
+}
+
+/// The producing end. Cloneable: parallel writers (e.g. the ranks of an MPI
+/// component) share the buffer.
+#[derive(Clone)]
+pub struct Writer {
+    inner: Arc<Inner>,
+    id: u32,
+}
+
+impl Writer {
+    /// Returns a writer handle with a distinct writer id (for metadata
+    /// attribution).
+    pub fn with_id(&self, id: u32) -> Writer {
+        Writer { inner: self.inner.clone(), id }
+    }
+
+    /// Attempts to buffer a step without blocking.
+    pub fn try_write(&self, step: StepData) -> Result<StepMeta, WriteError> {
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return Err(WriteError::Closed);
+        }
+        if st.paused {
+            return Err(WriteError::Paused);
+        }
+        if st.queue.len() >= st.capacity {
+            return Err(WriteError::QueueFull);
+        }
+        Ok(self.push(&mut st, step))
+    }
+
+    /// Buffers a step, blocking while the buffer is full or the writer is
+    /// paused — this is the "application blocks on I/O" failure mode.
+    pub fn write(&self, step: StepData) -> Result<StepMeta, WriteError> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if st.closed {
+                return Err(WriteError::Closed);
+            }
+            if !st.paused && st.queue.len() < st.capacity {
+                let meta = self.push(&mut st, step);
+                return Ok(meta);
+            }
+            self.inner.writer_cv.wait(&mut st);
+        }
+    }
+
+    fn push(&self, st: &mut State, payload: StepData) -> StepMeta {
+        let meta = StepMeta { step: payload.step(), bytes: payload.payload_bytes(), writer: self.id };
+        st.queue.push_back(Envelope { meta: meta.clone(), payload });
+        st.high_watermark = st.high_watermark.max(st.queue.len());
+        st.announced += 1;
+        self.inner.reader_cv.notify_all();
+        meta
+    }
+
+    /// Pauses the channel and blocks until every announced step has been
+    /// pulled. Returns the number of steps that had to drain.
+    ///
+    /// This is the consistency action the decrease protocol waits on; its
+    /// cost is what dominates Fig. 5.
+    pub fn pause(&self) -> usize {
+        let mut st = self.inner.state.lock();
+        st.paused = true;
+        let draining = st.queue.len();
+        while !st.queue.is_empty() && !st.closed {
+            self.inner.writer_cv.wait(&mut st);
+        }
+        draining
+    }
+
+    /// Resumes a paused channel.
+    pub fn resume(&self) {
+        let mut st = self.inner.state.lock();
+        st.paused = false;
+        self.inner.writer_cv.notify_all();
+    }
+
+    /// True if the channel is currently paused.
+    pub fn is_paused(&self) -> bool {
+        self.inner.state.lock().paused
+    }
+
+    /// Monitoring counters.
+    pub fn stats(&self) -> ChannelStats {
+        stats(&self.inner)
+    }
+}
+
+/// The consuming end.
+pub struct Reader {
+    inner: Arc<Inner>,
+}
+
+impl Reader {
+    /// Peeks the metadata of the next buffered step without pulling it.
+    pub fn peek_meta(&self) -> Option<StepMeta> {
+        self.inner.state.lock().queue.front().map(|e| e.meta.clone())
+    }
+
+    /// Pulls the next step, blocking until one is available. Returns `None`
+    /// once the channel is closed and drained.
+    pub fn pull(&self) -> Option<(StepMeta, StepData)> {
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(env) = st.queue.pop_front() {
+                st.pulled += 1;
+                self.inner.writer_cv.notify_all();
+                return Some((env.meta, env.payload));
+            }
+            if st.closed {
+                return None;
+            }
+            self.inner.reader_cv.wait(&mut st);
+        }
+    }
+
+    /// Pulls with a timeout; `None` on timeout or closed-and-drained.
+    pub fn pull_timeout(&self, timeout: Duration) -> Option<(StepMeta, StepData)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(env) = st.queue.pop_front() {
+                st.pulled += 1;
+                self.inner.writer_cv.notify_all();
+                return Some((env.meta, env.payload));
+            }
+            if st.closed {
+                return None;
+            }
+            if self.inner.reader_cv.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Attempts a pull without blocking.
+    pub fn try_pull(&self) -> Option<(StepMeta, StepData)> {
+        let mut st = self.inner.state.lock();
+        let env = st.queue.pop_front()?;
+        st.pulled += 1;
+        self.inner.writer_cv.notify_all();
+        Some((env.meta, env.payload))
+    }
+
+    /// Closes the channel; blocked writers fail with
+    /// [`WriteError::Closed`], blocked pulls drain then end.
+    pub fn close(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        self.inner.writer_cv.notify_all();
+        self.inner.reader_cv.notify_all();
+    }
+
+    /// Monitoring counters.
+    pub fn stats(&self) -> ChannelStats {
+        stats(&self.inner)
+    }
+}
+
+impl Drop for Reader {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn stats(inner: &Inner) -> ChannelStats {
+    let st = inner.state.lock();
+    ChannelStats {
+        announced: st.announced,
+        pulled: st.pulled,
+        queued: st.queue.len(),
+        high_watermark: st.high_watermark,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn step(ix: u64) -> StepData {
+        StepData::new(ix)
+    }
+
+    #[test]
+    fn metadata_precedes_data() {
+        let (w, r) = channel(4);
+        w.try_write(step(0)).unwrap();
+        let meta = r.peek_meta().unwrap();
+        assert_eq!(meta.step, 0);
+        // Peeking does not consume.
+        let (meta2, _) = r.pull().unwrap();
+        assert_eq!(meta, meta2);
+    }
+
+    #[test]
+    fn try_write_reports_full() {
+        let (w, _r) = channel(2);
+        w.try_write(step(0)).unwrap();
+        w.try_write(step(1)).unwrap();
+        assert_eq!(w.try_write(step(2)).unwrap_err(), WriteError::QueueFull);
+    }
+
+    #[test]
+    fn blocking_write_resumes_after_pull() {
+        let (w, r) = channel(1);
+        w.write(step(0)).unwrap();
+        let writer = thread::spawn(move || w.write(step(1)).map(|m| m.step));
+        thread::sleep(Duration::from_millis(20));
+        let (m, _) = r.pull().unwrap();
+        assert_eq!(m.step, 0);
+        assert_eq!(writer.join().unwrap().unwrap(), 1);
+    }
+
+    #[test]
+    fn pause_drains_announced_steps() {
+        let (w, r) = channel(8);
+        for i in 0..3 {
+            w.try_write(step(i)).unwrap();
+        }
+        let w2 = w.clone();
+        let pauser = thread::spawn(move || w2.pause());
+        // Drain from the reader side; pause must complete exactly when the
+        // queue empties.
+        thread::sleep(Duration::from_millis(20));
+        for _ in 0..3 {
+            r.pull().unwrap();
+        }
+        assert_eq!(pauser.join().unwrap(), 3);
+        assert!(w.is_paused());
+        assert_eq!(w.try_write(step(9)).unwrap_err(), WriteError::Paused);
+        w.resume();
+        w.try_write(step(9)).unwrap();
+    }
+
+    #[test]
+    fn close_unblocks_everyone() {
+        let (w, r) = channel(1);
+        w.try_write(step(0)).unwrap();
+        let blocked = thread::spawn(move || w.write(step(1)));
+        thread::sleep(Duration::from_millis(20));
+        r.close();
+        assert_eq!(blocked.join().unwrap().unwrap_err(), WriteError::Closed);
+        // Buffered data is still drainable after close.
+        assert!(r.pull().is_some());
+        assert!(r.pull().is_none());
+    }
+
+    #[test]
+    fn stats_track_flow() {
+        let (w, r) = channel(4);
+        for i in 0..4 {
+            w.try_write(step(i)).unwrap();
+        }
+        r.pull().unwrap();
+        let s = r.stats();
+        assert_eq!(s.announced, 4);
+        assert_eq!(s.pulled, 1);
+        assert_eq!(s.queued, 3);
+        assert_eq!(s.high_watermark, 4);
+    }
+
+    #[test]
+    fn pull_timeout_times_out() {
+        let (_w, r) = channel(1);
+        assert!(r.pull_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn parallel_writers_share_buffer() {
+        let (w, r) = channel(64);
+        let mut handles = Vec::new();
+        for wid in 0..4u32 {
+            let w = w.with_id(wid);
+            handles.push(thread::spawn(move || {
+                for i in 0..16u64 {
+                    w.write(step(i)).unwrap();
+                }
+            }));
+        }
+        let mut pulled = 0;
+        while pulled < 64 {
+            r.pull().unwrap();
+            pulled += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.stats().announced, 64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Calibrated timing constants for the simulated transport.
+//!
+//! The DES experiments simulate every protocol message individually through
+//! `simnet`; what this module supplies is the *software* costs layered on
+//! top of wire time — endpoint handshakes during replica setup, queue-drain
+//! behaviour during writer pause — expressed as simple closed forms so unit
+//! tests and the microbenchmark harnesses can reason about expected totals.
+
+use sim_core::SimDuration;
+
+/// Software-side costs of transport operations.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportCosts {
+    /// Software time to set up one writer↔reader endpoint pair during a
+    /// container resize (metadata registration, buffer pinning). Charged per
+    /// (new replica × peer) pair on top of the control-message wire time.
+    pub endpoint_setup: SimDuration,
+    /// Fixed software cost for a writer to enter/leave the paused state.
+    pub pause_toggle: SimDuration,
+    /// Per-step bookkeeping cost at the reader when a pull completes.
+    pub pull_bookkeeping: SimDuration,
+}
+
+impl Default for TransportCosts {
+    fn default() -> Self {
+        TransportCosts {
+            endpoint_setup: SimDuration::from_micros(120),
+            pause_toggle: SimDuration::from_micros(15),
+            pull_bookkeeping: SimDuration::from_micros(8),
+        }
+    }
+}
+
+impl TransportCosts {
+    /// Total software cost of wiring `new_replicas` fresh replicas to
+    /// `peers` existing endpoints (the metadata exchange the paper found to
+    /// dominate the increase operation).
+    pub fn metadata_exchange(&self, new_replicas: u32, peers: u32) -> SimDuration {
+        self.endpoint_setup * (new_replicas as u64 * peers as u64)
+    }
+
+    /// Time for a paused writer's announced-but-unpulled backlog to drain at
+    /// the given pull bandwidth.
+    pub fn drain_time(&self, queued_bytes: u64, bandwidth_bps: u64) -> SimDuration {
+        assert!(bandwidth_bps > 0, "bandwidth must be positive");
+        self.pause_toggle
+            + SimDuration::from_nanos(queued_bytes.saturating_mul(1_000_000_000) / bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_exchange_scales_with_pairs() {
+        let c = TransportCosts::default();
+        let one = c.metadata_exchange(1, 4);
+        let four = c.metadata_exchange(4, 4);
+        assert_eq!(four, one * 4);
+        assert_eq!(c.metadata_exchange(0, 100), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn drain_time_proportional_to_backlog() {
+        let c = TransportCosts::default();
+        let empty = c.drain_time(0, 1_600_000_000);
+        assert_eq!(empty, c.pause_toggle);
+        let one_gb = c.drain_time(1_600_000_000, 1_600_000_000);
+        assert_eq!(one_gb, c.pause_toggle + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        TransportCosts::default().drain_time(1, 0);
+    }
+}

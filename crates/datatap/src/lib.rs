@@ -1,0 +1,45 @@
+//! # datatap — asynchronous staging transport
+//!
+//! A reimplementation of the DataTap/DataStager transport the paper moves
+//! all inter-container data through. Its defining semantics:
+//!
+//! * **metadata push, data pull** — writers buffer payloads locally and
+//!   announce small metadata records; receivers pull the bulk data when
+//!   ready ([`channel`]);
+//! * **bounded staging buffers** — a full buffer blocks the writer, which
+//!   is exactly the application-blocking failure container management
+//!   exists to prevent;
+//! * **writer pause/resume** — the consistency action the container
+//!   decrease protocol waits on ([`Writer::pause`] drains announced steps
+//!   so no time step is lost while a downstream container resizes);
+//! * **server-directed pull scheduling** — the receiver decides when pulls
+//!   happen ([`PullPolicy`]), DataStager's contention-avoidance mechanism.
+//!
+//! The threaded implementation here carries real [`adios::StepData`]
+//! payloads; [`TransportCosts`] supplies the calibrated software costs the
+//! discrete-event experiments charge for the same operations.
+//!
+//! ## Example
+//! ```
+//! use datatap::channel;
+//! use adios::StepData;
+//!
+//! let (writer, reader) = channel(4);
+//! writer.try_write(StepData::new(0)).unwrap();
+//! let meta = reader.peek_meta().unwrap();     // metadata arrives first
+//! assert_eq!(meta.step, 0);
+//! let (_, payload) = reader.pull().unwrap();  // then the data is pulled
+//! assert_eq!(payload.step(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod channel;
+mod cost;
+mod sched_reader;
+mod scheduler;
+
+pub use channel::{channel, ChannelStats, Reader, StepMeta, WriteError, Writer};
+pub use cost::TransportCosts;
+pub use sched_reader::{PullGuard, ScheduledReader};
+pub use scheduler::PullPolicy;

@@ -1,0 +1,116 @@
+//! Typed events.
+//!
+//! EVPath events carry dynamically-typed payloads between stones; receivers
+//! recover the concrete type with a checked downcast. Payloads are reference
+//! counted so a split stone can fan one event out to many targets without
+//! copying the (potentially multi-megabyte) data.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_EVENT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A unique identifier stamped on each event at creation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(pub u64);
+
+/// An event flowing through an overlay.
+///
+/// Cloning an event clones the `Arc`, not the payload.
+#[derive(Clone)]
+pub struct Event {
+    id: EventId,
+    type_name: &'static str,
+    payload: Arc<dyn Any + Send + Sync>,
+}
+
+impl Event {
+    /// Wraps a payload into an event.
+    pub fn new<T: Any + Send + Sync>(payload: T) -> Event {
+        Event {
+            id: EventId(NEXT_EVENT_ID.fetch_add(1, Ordering::Relaxed)),
+            type_name: std::any::type_name::<T>(),
+            payload: Arc::new(payload),
+        }
+    }
+
+    /// The event's unique id.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Human-readable payload type name (diagnostics only — use
+    /// [`Event::get`] for dispatch).
+    pub fn type_name(&self) -> &'static str {
+        self.type_name
+    }
+
+    /// Checked downcast of the payload.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+
+    /// True if the payload is of type `T`.
+    pub fn is<T: Any + Send + Sync>(&self) -> bool {
+        self.payload.is::<T>()
+    }
+
+    /// Downcasts or panics with a descriptive message. Use at stones whose
+    /// wiring guarantees the type (e.g. a pipeline stage fed by one writer).
+    pub fn expect<T: Any + Send + Sync>(&self) -> &T {
+        match self.get::<T>() {
+            Some(v) => v,
+            None => panic!(
+                "event {:?} holds {} but {} was expected",
+                self.id,
+                self.type_name,
+                std::any::type_name::<T>()
+            ),
+        }
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event").field("id", &self.id).field("type", &self.type_name).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downcast_recovers_payload() {
+        let ev = Event::new(vec![1u32, 2, 3]);
+        assert!(ev.is::<Vec<u32>>());
+        assert_eq!(ev.get::<Vec<u32>>().unwrap(), &vec![1, 2, 3]);
+        assert!(ev.get::<String>().is_none());
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let ev = Event::new("hello".to_string());
+        let ev2 = ev.clone();
+        assert_eq!(ev.id(), ev2.id());
+        let a: *const String = ev.expect::<String>();
+        let b: *const String = ev2.expect::<String>();
+        assert_eq!(a, b, "clone must not copy the payload");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let a = Event::new(1u8);
+        let b = Event::new(1u8);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    #[should_panic(expected = "was expected")]
+    fn expect_panics_on_wrong_type() {
+        let ev = Event::new(42u64);
+        let _ = ev.expect::<String>();
+    }
+}

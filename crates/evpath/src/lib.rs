@@ -1,0 +1,41 @@
+//! # evpath — event-overlay middleware
+//!
+//! A reimplementation of the EVPath event library's core model, which the
+//! paper uses for all monitoring and control messaging: processing vertices
+//! called *stones* are wired into overlays, events carry dynamically-typed
+//! payloads between them, and bridge stones connect overlays across process
+//! (here: thread) boundaries.
+//!
+//! Each [`Overlay`] runs a dedicated dispatch thread that owns the stone
+//! graph, so handlers need no synchronization and per-producer ordering is
+//! preserved — the property the container control protocols rely on.
+//!
+//! ## Example
+//! ```
+//! use evpath::{Action, Event, Overlay};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let ov = Overlay::new("pipeline");
+//! let seen = Arc::new(Mutex::new(Vec::new()));
+//! let s = seen.clone();
+//! let sink = ov.add_stone(Action::Terminal(Box::new(move |ev: Event| {
+//!     s.lock().unwrap().push(*ev.expect::<u32>());
+//! })));
+//! let double = ov.add_stone(Action::Transform {
+//!     func: Box::new(|ev| Some(Event::new(ev.expect::<u32>() * 2))),
+//!     target: sink,
+//! });
+//! ov.submit(double, Event::new(21u32));
+//! ov.flush();
+//! assert_eq!(*seen.lock().unwrap(), vec![42]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod overlay;
+mod stone;
+
+pub use event::{Event, EventId};
+pub use overlay::{Overlay, OverlayCounts, OverlaySender};
+pub use stone::{Action, FilterFn, RouterFn, StoneId, TerminalFn, TransformFn};

@@ -1,0 +1,410 @@
+//! The overlay runtime: a worker thread that owns the stone graph and
+//! dispatches events through it.
+//!
+//! All mutation (adding stones, delivering events) flows through one MPSC
+//! channel, so the worker needs no locks and events submitted from a single
+//! producer are processed in order — the delivery semantics the control
+//! protocols rely on. Multiple overlays (one per simulated process) connect
+//! via bridge stones, which enqueue into the remote overlay's channel.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::event::Event;
+use crate::stone::{Action, StoneId};
+
+enum Msg {
+    Deliver(StoneId, Event),
+    AddStone(StoneId, Action),
+    Retarget(StoneId, Vec<StoneId>),
+    Flush(Sender<()>),
+    Counts(Sender<OverlayCounts>),
+    Shutdown,
+}
+
+/// Per-overlay delivery statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OverlayCounts {
+    /// Events delivered to each stone.
+    pub per_stone: HashMap<StoneId, u64>,
+    /// Events dropped because their target stone did not exist.
+    pub dropped: u64,
+}
+
+/// A clonable handle for submitting events into an overlay (used by bridge
+/// stones and by producers on other threads).
+#[derive(Clone)]
+pub struct OverlaySender {
+    tx: Sender<Msg>,
+}
+
+impl OverlaySender {
+    /// Enqueues `event` for `stone`. Returns `false` if the overlay has shut
+    /// down.
+    pub fn submit(&self, stone: StoneId, event: Event) -> bool {
+        self.tx.send(Msg::Deliver(stone, event)).is_ok()
+    }
+}
+
+impl fmt::Debug for OverlaySender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OverlaySender")
+    }
+}
+
+/// An event overlay: a named stone graph with its own dispatch thread.
+pub struct Overlay {
+    name: String,
+    tx: Sender<Msg>,
+    next_stone: Arc<AtomicU32>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Overlay {
+    /// Spawns a new overlay with its dispatch thread.
+    pub fn new(name: impl Into<String>) -> Overlay {
+        let name = name.into();
+        let (tx, rx) = unbounded();
+        let thread_name = format!("evpath-{name}");
+        let worker = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || Worker::new(rx).run())
+            .expect("spawn overlay worker");
+        Overlay { name, tx, next_stone: Arc::new(AtomicU32::new(0)), worker: Some(worker) }
+    }
+
+    /// The overlay's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Installs a stone and returns its id.
+    pub fn add_stone(&self, action: Action) -> StoneId {
+        let id = StoneId(self.next_stone.fetch_add(1, Ordering::Relaxed));
+        self.tx.send(Msg::AddStone(id, action)).expect("overlay worker alive");
+        id
+    }
+
+    /// Reserves a stone id without installing an action yet. Lets callers
+    /// wire cycles or forward references, then install with
+    /// [`Overlay::install`].
+    pub fn reserve_stone(&self) -> StoneId {
+        StoneId(self.next_stone.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Installs (or replaces) the action of a reserved stone.
+    pub fn install(&self, id: StoneId, action: Action) {
+        self.tx.send(Msg::AddStone(id, action)).expect("overlay worker alive");
+    }
+
+    /// Replaces the target list of a split/router stone in place. Used by
+    /// container management to re-wire a pipeline (e.g. when the downstream
+    /// container is taken offline) without tearing the overlay down.
+    pub fn retarget(&self, id: StoneId, targets: Vec<StoneId>) {
+        self.tx.send(Msg::Retarget(id, targets)).expect("overlay worker alive");
+    }
+
+    /// Submits an event to a stone.
+    pub fn submit(&self, stone: StoneId, event: Event) {
+        let _ = self.tx.send(Msg::Deliver(stone, event));
+    }
+
+    /// A clonable submission handle (for bridges and producer threads).
+    pub fn sender(&self) -> OverlaySender {
+        OverlaySender { tx: self.tx.clone() }
+    }
+
+    /// Blocks until every message enqueued before this call has been
+    /// processed. Events that local stones generate while draining are also
+    /// processed before the flush returns (the worker handles them inline).
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        if self.tx.send(Msg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Snapshot of delivery counters.
+    pub fn counts(&self) -> OverlayCounts {
+        let (tx, rx) = unbounded();
+        if self.tx.send(Msg::Counts(tx)).is_ok() {
+            rx.recv().unwrap_or_default()
+        } else {
+            OverlayCounts::default()
+        }
+    }
+
+    /// Stops the dispatch thread after draining messages enqueued so far.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Overlay {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl fmt::Debug for Overlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Overlay").field("name", &self.name).finish()
+    }
+}
+
+struct Worker {
+    rx: Receiver<Msg>,
+    stones: HashMap<StoneId, Action>,
+    counts: OverlayCounts,
+}
+
+impl Worker {
+    fn new(rx: Receiver<Msg>) -> Worker {
+        Worker { rx, stones: HashMap::new(), counts: OverlayCounts::default() }
+    }
+
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                Msg::Deliver(stone, event) => self.dispatch(stone, event),
+                Msg::AddStone(id, action) => {
+                    self.stones.insert(id, action);
+                }
+                Msg::Retarget(id, new_targets) => match self.stones.get_mut(&id) {
+                    Some(Action::Split { targets }) => *targets = new_targets,
+                    Some(Action::Router { targets, .. }) => *targets = new_targets,
+                    _ => {}
+                },
+                Msg::Flush(ack) => {
+                    let _ = ack.send(());
+                }
+                Msg::Counts(reply) => {
+                    let _ = reply.send(self.counts.clone());
+                }
+                Msg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Dispatches an event through the local graph iteratively (a worklist
+    /// rather than recursion, so deep pipelines cannot overflow the stack).
+    fn dispatch(&mut self, stone: StoneId, event: Event) {
+        let mut work = vec![(stone, event)];
+        while let Some((id, ev)) = work.pop() {
+            let Some(action) = self.stones.get_mut(&id) else {
+                self.counts.dropped += 1;
+                continue;
+            };
+            *self.counts.per_stone.entry(id).or_insert(0) += 1;
+            match action {
+                Action::Terminal(f) => f(ev),
+                Action::Filter { predicate, target } => {
+                    if predicate(&ev) {
+                        work.push((*target, ev));
+                    }
+                }
+                Action::Transform { func, target } => {
+                    if let Some(out) = func(ev) {
+                        work.push((*target, out));
+                    }
+                }
+                Action::Split { targets } => {
+                    for &t in targets.iter() {
+                        work.push((t, ev.clone()));
+                    }
+                }
+                Action::Router { func, targets } => {
+                    if let Some(ix) = func(&ev) {
+                        if let Some(&t) = targets.get(ix) {
+                            work.push((t, ev));
+                        } else {
+                            self.counts.dropped += 1;
+                        }
+                    }
+                }
+                Action::Bridge { remote, target } => {
+                    if !remote.submit(*target, ev) {
+                        self.counts.dropped += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stone::Action;
+    use std::sync::Mutex;
+
+    fn collector() -> (Arc<Mutex<Vec<u64>>>, impl FnMut(Event) + Send) {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let s = sink.clone();
+        (sink, move |ev: Event| s.lock().unwrap().push(*ev.expect::<u64>()))
+    }
+
+    #[test]
+    fn terminal_receives_in_submission_order() {
+        let ov = Overlay::new("t");
+        let (sink, f) = collector();
+        let t = ov.add_stone(Action::Terminal(Box::new(f)));
+        for i in 0..100u64 {
+            ov.submit(t, Event::new(i));
+        }
+        ov.flush();
+        assert_eq!(*sink.lock().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_drops_non_matching() {
+        let ov = Overlay::new("t");
+        let (sink, f) = collector();
+        let t = ov.add_stone(Action::Terminal(Box::new(f)));
+        let filt = ov.add_stone(Action::Filter {
+            predicate: Box::new(|ev| *ev.expect::<u64>() % 2 == 0),
+            target: t,
+        });
+        for i in 0..10u64 {
+            ov.submit(filt, Event::new(i));
+        }
+        ov.flush();
+        assert_eq!(*sink.lock().unwrap(), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn transform_rewrites_payload() {
+        let ov = Overlay::new("t");
+        let (sink, f) = collector();
+        let t = ov.add_stone(Action::Terminal(Box::new(f)));
+        let tr = ov.add_stone(Action::Transform {
+            func: Box::new(|ev| Some(Event::new(ev.expect::<u64>() * 10))),
+            target: t,
+        });
+        ov.submit(tr, Event::new(7u64));
+        ov.flush();
+        assert_eq!(*sink.lock().unwrap(), vec![70]);
+    }
+
+    #[test]
+    fn split_fans_out_without_copying() {
+        let ov = Overlay::new("t");
+        let (a_sink, fa) = collector();
+        let (b_sink, fb) = collector();
+        let a = ov.add_stone(Action::Terminal(Box::new(fa)));
+        let b = ov.add_stone(Action::Terminal(Box::new(fb)));
+        let split = ov.add_stone(Action::Split { targets: vec![a, b] });
+        ov.submit(split, Event::new(5u64));
+        ov.flush();
+        assert_eq!(*a_sink.lock().unwrap(), vec![5]);
+        assert_eq!(*b_sink.lock().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn router_selects_target() {
+        let ov = Overlay::new("t");
+        let (even_sink, fe) = collector();
+        let (odd_sink, fo) = collector();
+        let even = ov.add_stone(Action::Terminal(Box::new(fe)));
+        let odd = ov.add_stone(Action::Terminal(Box::new(fo)));
+        let r = ov.add_stone(Action::Router {
+            func: Box::new(|ev| Some((*ev.expect::<u64>() % 2) as usize)),
+            targets: vec![even, odd],
+        });
+        for i in 0..6u64 {
+            ov.submit(r, Event::new(i));
+        }
+        ov.flush();
+        assert_eq!(*even_sink.lock().unwrap(), vec![0, 2, 4]);
+        assert_eq!(*odd_sink.lock().unwrap(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn bridge_crosses_overlays() {
+        let remote = Overlay::new("remote");
+        let (sink, f) = collector();
+        let t = remote.add_stone(Action::Terminal(Box::new(f)));
+        let local = Overlay::new("local");
+        let b = local.add_stone(Action::Bridge { remote: remote.sender(), target: t });
+        local.submit(b, Event::new(9u64));
+        local.flush();
+        remote.flush();
+        assert_eq!(*sink.lock().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn unknown_stone_counts_as_dropped() {
+        let ov = Overlay::new("t");
+        ov.submit(StoneId(42), Event::new(1u64));
+        ov.flush();
+        assert_eq!(ov.counts().dropped, 1);
+    }
+
+    #[test]
+    fn retarget_rewires_split() {
+        let ov = Overlay::new("t");
+        let (a_sink, fa) = collector();
+        let (b_sink, fb) = collector();
+        let a = ov.add_stone(Action::Terminal(Box::new(fa)));
+        let b = ov.add_stone(Action::Terminal(Box::new(fb)));
+        let split = ov.add_stone(Action::Split { targets: vec![a] });
+        ov.submit(split, Event::new(1u64));
+        ov.retarget(split, vec![b]);
+        ov.submit(split, Event::new(2u64));
+        ov.flush();
+        assert_eq!(*a_sink.lock().unwrap(), vec![1]);
+        assert_eq!(*b_sink.lock().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn counts_track_deliveries() {
+        let ov = Overlay::new("t");
+        let t = ov.add_stone(Action::Terminal(Box::new(|_| {})));
+        for _ in 0..5 {
+            ov.submit(t, Event::new(0u64));
+        }
+        ov.flush();
+        assert_eq!(ov.counts().per_stone.get(&t), Some(&5));
+    }
+
+    #[test]
+    fn reserved_stone_allows_forward_wiring() {
+        let ov = Overlay::new("t");
+        let (sink, f) = collector();
+        let fwd = ov.reserve_stone();
+        let tr =
+            ov.add_stone(Action::Transform { func: Box::new(Some), target: fwd });
+        ov.install(fwd, Action::Terminal(Box::new(f)));
+        ov.submit(tr, Event::new(3u64));
+        ov.flush();
+        assert_eq!(*sink.lock().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn pipeline_of_many_stages_does_not_overflow() {
+        let ov = Overlay::new("deep");
+        let (sink, f) = collector();
+        let mut next = ov.add_stone(Action::Terminal(Box::new(f)));
+        for _ in 0..10_000 {
+            next = ov.add_stone(Action::Transform {
+                func: Box::new(|ev| Some(Event::new(ev.expect::<u64>() + 1))),
+                target: next,
+            });
+        }
+        ov.submit(next, Event::new(0u64));
+        ov.flush();
+        assert_eq!(*sink.lock().unwrap(), vec![10_000]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Stones: the processing vertices of an overlay.
+//!
+//! A stone either consumes events (terminal), rewrites or drops them
+//! (filter/transform), fans them out (split), or picks one of several
+//! targets per event (router). Bridge stones hand events to another overlay,
+//! which is how cross-process monitoring/control topologies are assembled.
+
+use std::fmt;
+
+use crate::event::Event;
+use crate::overlay::OverlaySender;
+
+/// Identifier of a stone within one overlay.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StoneId(pub u32);
+
+impl fmt::Display for StoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stone{}", self.0)
+    }
+}
+
+/// Terminal handler: final consumer of events.
+pub type TerminalFn = Box<dyn FnMut(Event) + Send>;
+/// Filter predicate: `true` forwards the event, `false` drops it.
+pub type FilterFn = Box<dyn FnMut(&Event) -> bool + Send>;
+/// Transform: rewrite the event, or drop it by returning `None`.
+pub type TransformFn = Box<dyn FnMut(Event) -> Option<Event> + Send>;
+/// Router: choose the index of the target to forward to, or `None` to drop.
+pub type RouterFn = Box<dyn FnMut(&Event) -> Option<usize> + Send>;
+
+/// The action attached to a stone.
+pub enum Action {
+    /// Consume events.
+    Terminal(TerminalFn),
+    /// Forward to `target` when the predicate holds.
+    Filter {
+        /// The predicate.
+        predicate: FilterFn,
+        /// Downstream stone.
+        target: StoneId,
+    },
+    /// Rewrite events, forwarding the result to `target`.
+    Transform {
+        /// The rewriting function.
+        func: TransformFn,
+        /// Downstream stone.
+        target: StoneId,
+    },
+    /// Fan out each event to every target.
+    Split {
+        /// Downstream stones.
+        targets: Vec<StoneId>,
+    },
+    /// Forward each event to the target selected by the router function.
+    Router {
+        /// Selects among `targets`.
+        func: RouterFn,
+        /// Candidate downstream stones.
+        targets: Vec<StoneId>,
+    },
+    /// Hand events to a stone in another overlay.
+    Bridge {
+        /// The remote overlay's submission handle.
+        remote: OverlaySender,
+        /// Target stone in the remote overlay.
+        target: StoneId,
+    },
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Action::Terminal(_) => "Terminal",
+            Action::Filter { .. } => "Filter",
+            Action::Transform { .. } => "Transform",
+            Action::Split { .. } => "Split",
+            Action::Router { .. } => "Router",
+            Action::Bridge { .. } => "Bridge",
+        };
+        write!(f, "Action::{name}")
+    }
+}

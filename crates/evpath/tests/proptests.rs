@@ -1,0 +1,114 @@
+//! Property tests of overlay dispatch semantics.
+
+use std::sync::{Arc, Mutex};
+
+use evpath::{Action, Event, Overlay};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A filter → transform pipeline delivers exactly the matching
+    /// elements, transformed, in submission order.
+    #[test]
+    fn filter_transform_is_exact(
+        values in proptest::collection::vec(any::<u32>(), 0..200),
+        modulus in 1u32..10,
+        scale in 1u32..100
+    ) {
+        let ov = Overlay::new("prop");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s = seen.clone();
+        let sink = ov.add_stone(Action::Terminal(Box::new(move |ev: Event| {
+            s.lock().unwrap().push(*ev.expect::<u64>());
+        })));
+        let scale64 = scale as u64;
+        let tr = ov.add_stone(Action::Transform {
+            func: Box::new(move |ev| Some(Event::new(*ev.expect::<u32>() as u64 * scale64))),
+            target: sink,
+        });
+        let m = modulus;
+        let filt = ov.add_stone(Action::Filter {
+            predicate: Box::new(move |ev| ev.expect::<u32>() % m == 0),
+            target: tr,
+        });
+        for &v in &values {
+            ov.submit(filt, Event::new(v));
+        }
+        ov.flush();
+        let expected: Vec<u64> = values
+            .iter()
+            .filter(|&&v| v % modulus == 0)
+            .map(|&v| v as u64 * scale64)
+            .collect();
+        prop_assert_eq!(seen.lock().unwrap().clone(), expected);
+    }
+
+    /// A split to k terminals delivers every event to all k, exactly once.
+    #[test]
+    fn split_duplicates_to_every_target(
+        values in proptest::collection::vec(any::<u16>(), 0..100),
+        k in 1usize..6
+    ) {
+        let ov = Overlay::new("prop");
+        let sinks: Vec<Arc<Mutex<Vec<u16>>>> =
+            (0..k).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let targets: Vec<_> = sinks
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                ov.add_stone(Action::Terminal(Box::new(move |ev: Event| {
+                    s.lock().unwrap().push(*ev.expect::<u16>());
+                })))
+            })
+            .collect();
+        let split = ov.add_stone(Action::Split { targets });
+        for &v in &values {
+            ov.submit(split, Event::new(v));
+        }
+        ov.flush();
+        for sink in &sinks {
+            let mut got = sink.lock().unwrap().clone();
+            let mut want = values.clone();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A router partitions the stream: every event reaches exactly the
+    /// selected target, and the per-target counts add up.
+    #[test]
+    fn router_partitions_exactly(
+        values in proptest::collection::vec(any::<u32>(), 0..200),
+        k in 1usize..5
+    ) {
+        let ov = Overlay::new("prop");
+        let sinks: Vec<Arc<Mutex<usize>>> =
+            (0..k).map(|_| Arc::new(Mutex::new(0))).collect();
+        let targets: Vec<_> = sinks
+            .iter()
+            .map(|s| {
+                let s = s.clone();
+                ov.add_stone(Action::Terminal(Box::new(move |_| {
+                    *s.lock().unwrap() += 1;
+                })))
+            })
+            .collect();
+        let kk = k;
+        let router = ov.add_stone(Action::Router {
+            func: Box::new(move |ev| Some((*ev.expect::<u32>() as usize) % kk)),
+            targets,
+        });
+        for &v in &values {
+            ov.submit(router, Event::new(v));
+        }
+        ov.flush();
+        let total: usize = sinks.iter().map(|s| *s.lock().unwrap()).sum();
+        prop_assert_eq!(total, values.len());
+        for (ix, sink) in sinks.iter().enumerate() {
+            let expected = values.iter().filter(|&&v| (v as usize) % k == ix).count();
+            prop_assert_eq!(*sink.lock().unwrap(), expected);
+        }
+    }
+}

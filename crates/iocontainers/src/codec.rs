@@ -1,0 +1,177 @@
+//! Conversions between analysis data and ADIOS step records.
+//!
+//! The threaded pipeline moves real data between containers through the
+//! ADIOS write/read interfaces (as the paper's components do), so atom
+//! snapshots and analysis outputs must round-trip through [`StepData`].
+
+use std::sync::Arc;
+
+use adios::{AttrValue, DataType, Dims, Group, StepData, Value};
+use mdsim::Snapshot;
+use smartpointer::{Adjacency, BondsOutput, CSymOutput};
+
+/// The I/O group schema for atom snapshots.
+pub fn atoms_group() -> Group {
+    let mut g = Group::new("atoms");
+    g.define_var("id", DataType::I64)
+        .define_var("pos", DataType::F32)
+        .define_var("box", DataType::F64);
+    g
+}
+
+/// Encodes a snapshot as an ADIOS step.
+pub fn snapshot_to_step(snap: &Snapshot) -> StepData {
+    let g = atoms_group();
+    let n = snap.atom_count() as u64;
+    let mut step = StepData::new(snap.step);
+    let ids: Vec<i64> = snap.ids.iter().map(|&i| i as i64).collect();
+    step.write(&g, "id", Value::from_i64(&ids, Dims::local1d(n)).expect("length matches"))
+        .expect("schema matches");
+    let flat: Vec<f32> = snap.pos.iter().flat_map(|p| p.iter().copied()).collect();
+    step.write(&g, "pos", Value::from_f32(&flat, Dims::local1d(3 * n)).expect("length matches"))
+        .expect("schema matches");
+    step.write(
+        &g,
+        "box",
+        Value::from_f64(&snap.box_len, Dims::local1d(3)).expect("length matches"),
+    )
+    .expect("schema matches");
+    step.set_attr("md_step", AttrValue::Int(snap.md_step as i64));
+    step.set_attr("strain", AttrValue::Float(snap.strain));
+    step
+}
+
+/// Decodes a snapshot from an ADIOS step. Returns `None` if the step does
+/// not carry the atoms schema.
+pub fn step_to_snapshot(step: &StepData) -> Option<Snapshot> {
+    let ids: Vec<u64> =
+        step.value("id")?.as_i64().ok()?.iter().map(|&i| i as u64).collect();
+    let flat = step.value("pos")?.as_f32().ok()?;
+    if flat.len() != ids.len() * 3 {
+        return None;
+    }
+    let pos: Vec<[f32; 3]> = flat.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    let b = step.value("box")?.as_f64().ok()?;
+    let md_step = match step.attr("md_step") {
+        Some(AttrValue::Int(i)) => *i as u64,
+        _ => 0,
+    };
+    let strain = match step.attr("strain") {
+        Some(AttrValue::Float(x)) => *x,
+        _ => 0.0,
+    };
+    Some(Snapshot {
+        step: step.step(),
+        md_step,
+        box_len: [b[0], b[1], b[2]],
+        ids: Arc::new(ids),
+        pos: Arc::new(pos),
+        strain,
+    })
+}
+
+/// Encodes Bonds output (the ingested atoms plus the adjacency list) as an
+/// ADIOS step — the component's two declared outputs.
+pub fn bonds_to_step(out: &BondsOutput) -> StepData {
+    let mut step = snapshot_to_step(&out.snapshot);
+    let n = out.adjacency.len();
+    let mut offsets: Vec<i32> = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<i32> = Vec::new();
+    offsets.push(0);
+    for i in 0..n {
+        neighbors.extend(out.adjacency.neighbors(i).iter().map(|&j| j as i32));
+        offsets.push(neighbors.len() as i32);
+    }
+    step.write_unchecked(
+        "adj_offsets",
+        Value::from_i32(&offsets, Dims::local1d(offsets.len() as u64)).expect("length matches"),
+    );
+    step.write_unchecked(
+        "adj_neighbors",
+        Value::from_i32(&neighbors, Dims::local1d(neighbors.len() as u64))
+            .expect("length matches"),
+    );
+    step.set_attr("bond_cutoff", AttrValue::Float(out.cutoff));
+    step
+}
+
+/// Decodes Bonds output from an ADIOS step.
+pub fn step_to_bonds(step: &StepData) -> Option<BondsOutput> {
+    let snapshot = step_to_snapshot(step)?;
+    let offsets = step.value("adj_offsets")?.as_i32().ok()?;
+    let neighbors = step.value("adj_neighbors")?.as_i32().ok()?;
+    if offsets.len() != snapshot.atom_count() + 1 {
+        return None;
+    }
+    let lists: Vec<Vec<u32>> = offsets
+        .windows(2)
+        .map(|w| neighbors[w[0] as usize..w[1] as usize].iter().map(|&j| j as u32).collect())
+        .collect();
+    let cutoff = match step.attr("bond_cutoff") {
+        Some(AttrValue::Float(x)) => *x,
+        _ => 0.0,
+    };
+    Some(BondsOutput {
+        snapshot,
+        adjacency: Arc::new(Adjacency::from_lists(&lists)),
+        cutoff,
+    })
+}
+
+/// Encodes CSym output as an ADIOS step (per-atom CSP plus the verdict).
+pub fn csym_to_step(out: &CSymOutput) -> StepData {
+    let mut step = StepData::new(out.step);
+    step.write_unchecked(
+        "csp",
+        Value::from_f32(&out.csp, Dims::local1d(out.csp.len() as u64)).expect("length matches"),
+    );
+    step.set_attr("break_detected", AttrValue::Int(out.break_detected as i64));
+    step.set_attr("defective_fraction", AttrValue::Float(out.defective_fraction));
+    step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::{MdConfig, MdEngine};
+    use smartpointer::Bonds;
+
+    #[test]
+    fn snapshot_round_trips() {
+        let snap = MdEngine::new(MdConfig::default()).run_epoch(3);
+        let step = snapshot_to_step(&snap);
+        let back = step_to_snapshot(&step).expect("valid step");
+        assert_eq!(*back.ids, *snap.ids);
+        assert_eq!(*back.pos, *snap.pos);
+        assert_eq!(back.box_len, snap.box_len);
+        assert_eq!(back.step, snap.step);
+        assert_eq!(back.md_step, snap.md_step);
+    }
+
+    #[test]
+    fn bonds_round_trips() {
+        let snap = MdEngine::new(MdConfig::default()).run_epoch(1);
+        let out = Bonds::default().compute(&snap);
+        let step = bonds_to_step(&out);
+        let back = step_to_bonds(&step).expect("valid step");
+        assert_eq!(*back.adjacency, *out.adjacency);
+        assert_eq!(back.cutoff, out.cutoff);
+        assert_eq!(*back.snapshot.pos, *snap.pos);
+    }
+
+    #[test]
+    fn empty_step_is_rejected() {
+        assert!(step_to_snapshot(&StepData::new(0)).is_none());
+        assert!(step_to_bonds(&StepData::new(0)).is_none());
+    }
+
+    #[test]
+    fn csym_carries_verdict() {
+        let snap = MdEngine::new(MdConfig::default()).run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let csym = smartpointer::CSym::default().compute(&bonds);
+        let step = csym_to_step(&csym);
+        assert_eq!(step.attr("break_detected"), Some(&AttrValue::Int(0)));
+        assert_eq!(step.value("csp").unwrap().as_f32().unwrap().len(), snap.atom_count());
+    }
+}

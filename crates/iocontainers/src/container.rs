@@ -1,0 +1,243 @@
+//! Container specifications and runtime state.
+//!
+//! A container wraps one analytics component: it holds the staging nodes
+//! the component runs on, the component's compute model and cost model,
+//! its ingress queue, and the bookkeeping its local manager exposes to
+//! global management (latency window, queue depth, resize estimates).
+
+use std::collections::VecDeque;
+
+use sim_core::stats::SlidingWindow;
+use sim_core::{SimDuration, SimTime};
+use simnet::NodeId;
+use smartpointer::{ComputeModel, ServiceModel};
+
+/// Identifier of a container within one pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ContainerId(pub u32);
+
+/// Lifecycle status of a container.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Processing steps normally.
+    Online,
+    /// A resize protocol is in flight: intake is paused (upstream DataTap
+    /// writers are paused) until the given time.
+    Resizing {
+        /// When the resize completes and intake resumes.
+        until: SimTime,
+    },
+    /// Taken offline: the component no longer runs; upstream outputs
+    /// destined here are written to disk with provenance instead.
+    Offline,
+    /// Declared but not yet started (e.g. CNA before a crack is detected).
+    Inactive,
+}
+
+/// Static description of one container.
+#[derive(Clone, Debug)]
+pub struct ContainerSpec {
+    /// Component name (also the container's name).
+    pub name: &'static str,
+    /// Compute model the component uses (Table I).
+    pub model: ComputeModel,
+    /// Calibrated service-time model.
+    pub service: ServiceModel,
+    /// Nodes the container starts with.
+    pub initial_nodes: u32,
+    /// Ingress queue capacity in steps; overflow blocks the pipeline.
+    pub queue_capacity: usize,
+    /// Essential containers are never taken offline by policy.
+    pub essential: bool,
+    /// Containers that must be online for this one to be useful (their
+    /// removal cascades here).
+    pub depends_on: Vec<&'static str>,
+    /// Whether the container starts active (CNA starts inactive and is
+    /// activated by the dynamic branch).
+    pub starts_active: bool,
+    /// Ratio of output bytes to input bytes (Bonds forwards atoms plus an
+    /// adjacency list, CSym/CNA emit small annotations).
+    pub output_ratio: f64,
+}
+
+/// A step waiting in (or moving through) a container.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedStep {
+    /// Output-step index.
+    pub step: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// When the step entered this container (latency epoch).
+    pub entered: SimTime,
+    /// When the step was originally emitted by the application (for
+    /// end-to-end latency).
+    pub emitted: SimTime,
+}
+
+/// Runtime state of a container inside the discrete-event pipeline.
+#[derive(Debug)]
+pub struct ContainerState {
+    /// The static spec.
+    pub spec: ContainerSpec,
+    /// This container's id.
+    pub id: ContainerId,
+    /// Nodes currently held.
+    pub nodes: Vec<NodeId>,
+    /// Per-replica next-free time (one replica per node).
+    pub replica_free: Vec<SimTime>,
+    /// Ingress queue.
+    pub queue: VecDeque<QueuedStep>,
+    /// Lifecycle status.
+    pub status: Status,
+    /// Recent per-step latencies (entry → exit).
+    pub latency_window: SlidingWindow,
+    /// Steps fully processed.
+    pub completed: u64,
+    /// Steps dropped because the container was offline when they arrived.
+    pub bypassed: u64,
+    /// True once the queue has overflowed (pipeline blocked).
+    pub overflowed: bool,
+    /// True when the container was pruned by policy with work still owed
+    /// to the stored data (recorded in provenance as a pending op). Branch
+    /// retirement (CSym after detection) does not owe work.
+    pub owed: bool,
+}
+
+impl ContainerState {
+    /// Creates runtime state for a spec with its initially assigned nodes.
+    pub fn new(id: ContainerId, spec: ContainerSpec, nodes: Vec<NodeId>) -> ContainerState {
+        let status = if spec.starts_active { Status::Online } else { Status::Inactive };
+        let replica_free = vec![SimTime::ZERO; nodes.len()];
+        ContainerState {
+            spec,
+            id,
+            nodes,
+            replica_free,
+            queue: VecDeque::new(),
+            status,
+            latency_window: SlidingWindow::new(4),
+            completed: 0,
+            bypassed: 0,
+            overflowed: false,
+            owed: false,
+        }
+    }
+
+    /// Resource units (replicas/ranks) currently held.
+    pub fn units(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// True when the container accepts and processes steps.
+    pub fn is_online(&self) -> bool {
+        matches!(self.status, Status::Online | Status::Resizing { .. })
+    }
+
+    /// Service time for one step at the current size.
+    pub fn step_time(&self, atoms: u64) -> SimDuration {
+        self.spec.service.step_time_with(atoms, self.spec.model, self.units())
+    }
+
+    /// Sustained throughput (steps/s) at the current size.
+    pub fn throughput(&self, atoms: u64) -> f64 {
+        self.spec.service.throughput(atoms, self.spec.model, self.units())
+    }
+
+    /// Local-manager estimate: units needed to sustain the cadence. This is
+    /// the "ask the container-local authority what is needed to speed it
+    /// up" interface of the paper.
+    pub fn units_needed(&self, atoms: u64, cadence: SimDuration) -> u32 {
+        self.spec.service.units_to_sustain(atoms, self.spec.model, cadence)
+    }
+
+    /// Local-manager estimate: units this container could give away while
+    /// still sustaining the cadence (its over-provisioning margin).
+    pub fn units_spareable(&self, atoms: u64, cadence: SimDuration) -> u32 {
+        if !self.is_online() {
+            return 0;
+        }
+        let needed = self.units_needed(atoms, cadence).max(1);
+        self.units().saturating_sub(needed)
+    }
+
+    /// The earliest-free replica index, if any replica exists.
+    pub fn next_free_replica(&self) -> Option<usize> {
+        self.replica_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartpointer::default_models;
+
+    fn bonds_spec() -> ContainerSpec {
+        ContainerSpec {
+            name: "Bonds",
+            model: ComputeModel::RoundRobin,
+            service: default_models().bonds,
+            initial_nodes: 1,
+            queue_capacity: 8,
+            essential: false,
+            depends_on: vec!["Helper"],
+            starts_active: true,
+            output_ratio: 1.5,
+        }
+    }
+
+    fn state(nodes: u32) -> ContainerState {
+        let spec = bonds_spec();
+        ContainerState::new(ContainerId(1), spec, (0..nodes).map(NodeId).collect())
+    }
+
+    #[test]
+    fn units_track_nodes() {
+        let st = state(3);
+        assert_eq!(st.units(), 3);
+        assert!(st.is_online());
+    }
+
+    #[test]
+    fn round_robin_throughput_scales_with_units() {
+        let atoms = mdsim::atoms_for_nodes(256);
+        let one = state(1).throughput(atoms);
+        let three = state(3).throughput(atoms);
+        assert!((three / one - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_manager_estimates() {
+        let atoms = mdsim::atoms_for_nodes(256);
+        let cadence = SimDuration::from_secs(15);
+        let st = state(1);
+        // ~19.4 s service: needs 2 RR replicas, can spare none.
+        assert_eq!(st.units_needed(atoms, cadence), 2);
+        assert_eq!(st.units_spareable(atoms, cadence), 0);
+        let big = state(5);
+        assert_eq!(big.units_spareable(atoms, cadence), 3);
+    }
+
+    #[test]
+    fn inactive_spec_starts_inactive() {
+        let spec = ContainerSpec { starts_active: false, ..bonds_spec() };
+        let st = ContainerState::new(ContainerId(0), spec, vec![NodeId(9)]);
+        assert_eq!(st.status, Status::Inactive);
+        assert!(!st.is_online());
+        assert_eq!(st.units_spareable(1_000_000, SimDuration::from_secs(15)), 0);
+    }
+
+    #[test]
+    fn next_free_replica_picks_earliest() {
+        let mut st = state(3);
+        st.replica_free = vec![
+            SimTime::from_secs(10),
+            SimTime::from_secs(5),
+            SimTime::from_secs(7),
+        ];
+        assert_eq!(st.next_free_replica(), Some(1));
+    }
+}

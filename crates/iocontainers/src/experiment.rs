@@ -1,0 +1,265 @@
+//! Experiment configurations, including the paper's three weak-scaling
+//! setups (Figs. 7, 8, 9/10).
+
+use sim_core::SimDuration;
+use simnet::LaunchModel;
+use smartpointer::{default_models, ComputeModel, ServiceModel, Table1Names};
+
+use crate::container::ContainerSpec;
+use crate::monitor::MonitorConfig;
+use crate::policy::PolicyConfig;
+use crate::sla::Sla;
+
+/// Configuration of the optional visualization container (the paper's
+/// ParaView-in-a-container scenario: an online viz consumer of Helper's
+/// output that analytics may steal nodes from when it is over-provisioned).
+#[derive(Clone, Copy, Debug)]
+pub struct VizConfig {
+    /// Nodes the viz container holds (or requests at launch).
+    pub nodes: u32,
+    /// Whether it runs from the start or waits for a LaunchViz directive.
+    pub active_from_start: bool,
+}
+
+/// An online user direction delivered to the global manager mid-run — the
+/// paper's "add this filter now while I'm looking at the output".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// Launch the visualization container with its configured node count.
+    LaunchViz,
+    /// Activate an inactive analytics container by name (e.g. force the
+    /// CNA filter on without waiting for the data-driven branch).
+    Activate(&'static str),
+}
+
+/// Full configuration of a managed-pipeline run.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Simulation (compute) nodes — sets the atom count per Table II.
+    pub sim_nodes: u32,
+    /// Staging-area nodes available to containers.
+    pub staging_nodes: u32,
+    /// Output cadence (the paper stresses the system at 15 s).
+    pub cadence: SimDuration,
+    /// Output steps the application emits.
+    pub steps: u64,
+    /// Step at which the material cracks (activates the dynamic branch),
+    /// if any.
+    pub crack_at_step: Option<u64>,
+    /// Initial node allocation per container (CNA's allocation is taken at
+    /// activation time, not held in reserve).
+    pub initial: Table1Names<u32>,
+    /// Ingress queue capacity per container, in steps.
+    pub queue_capacity: usize,
+    /// Interconnect bandwidth for bulk transfers.
+    pub bandwidth_bps: u64,
+    /// Launch model for new replicas during an increase.
+    pub launch: LaunchModel,
+    /// Management policy.
+    pub policy: PolicyConfig,
+    /// The SLA management enforces.
+    pub sla: Sla,
+    /// Monitoring layer configuration.
+    pub monitoring: MonitorConfig,
+    /// Optional visualization container.
+    pub viz: Option<VizConfig>,
+    /// Online user directives, delivered at the given virtual times.
+    pub directives: Vec<(SimDuration, Directive)>,
+    /// Fault injection for transactional trades: the n-th trades (0-based)
+    /// listed here fail their control transaction and roll back.
+    pub trade_faults: Vec<u32>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Atom count for this configuration (Table II).
+    pub fn atoms(&self) -> u64 {
+        mdsim::atoms_for_nodes(self.sim_nodes)
+    }
+
+    /// Output bytes per step (Table II).
+    pub fn step_bytes(&self) -> u64 {
+        mdsim::output_bytes(self.atoms())
+    }
+
+    /// Builds the four container specs for this configuration, in
+    /// pipeline order: Helper → Bonds → CSym (→ CNA after the branch).
+    pub fn container_specs(&self) -> Vec<ContainerSpec> {
+        let models = default_models();
+        let mut specs = vec![
+            ContainerSpec {
+                name: "Helper",
+                model: ComputeModel::Tree,
+                service: models.helper,
+                initial_nodes: self.initial.helper,
+                queue_capacity: self.queue_capacity,
+                essential: true, // the aggregation tree is the pipeline's intake
+                depends_on: vec![],
+                starts_active: true,
+                output_ratio: 1.0,
+            },
+            ContainerSpec {
+                name: "Bonds",
+                model: ComputeModel::RoundRobin,
+                service: models.bonds,
+                initial_nodes: self.initial.bonds,
+                queue_capacity: self.queue_capacity,
+                essential: false,
+                depends_on: vec!["Helper"],
+                starts_active: true,
+                // Forwards the atom data it ingests plus the adjacency list.
+                output_ratio: 1.5,
+            },
+            ContainerSpec {
+                name: "CSym",
+                model: ComputeModel::RoundRobin,
+                service: models.csym,
+                initial_nodes: self.initial.csym,
+                queue_capacity: self.queue_capacity,
+                essential: false,
+                depends_on: vec!["Bonds"],
+                starts_active: true,
+                output_ratio: 0.2, // per-atom scalar annotations
+            },
+            ContainerSpec {
+                name: "CNA",
+                model: ComputeModel::RoundRobin,
+                service: models.cna,
+                initial_nodes: self.initial.cna,
+                queue_capacity: self.queue_capacity,
+                essential: false,
+                depends_on: vec!["Bonds"],
+                starts_active: false, // activated by the dynamic branch
+                output_ratio: 0.2,
+            },
+        ];
+        if let Some(viz) = self.viz {
+            specs.push(ContainerSpec {
+                name: "Viz",
+                model: ComputeModel::RoundRobin,
+                // Rendering is linear in the atom count and cheap relative
+                // to the analytics.
+                service: ServiceModel { coeff_s: 0.4, exponent: 1.0, parallel_efficiency: 0.9 },
+                initial_nodes: viz.nodes,
+                queue_capacity: self.queue_capacity,
+                essential: false,
+                depends_on: vec!["Helper"],
+                starts_active: viz.active_from_start,
+                output_ratio: 0.0, // frames leave the machine
+            });
+        }
+        specs
+    }
+
+    fn base(sim_nodes: u32, staging_nodes: u32, initial: Table1Names<u32>) -> ExperimentConfig {
+        ExperimentConfig {
+            sim_nodes,
+            staging_nodes,
+            cadence: SimDuration::from_secs(15),
+            steps: 40,
+            crack_at_step: None,
+            initial,
+            queue_capacity: 8,
+            bandwidth_bps: 1_600_000_000,
+            // Low end of the observed aprun range: resizes are visible but
+            // recovery happens within a few output steps, as in Fig. 7.
+            launch: LaunchModel::Fixed(SimDuration::from_secs(3)),
+            policy: PolicyConfig::default(),
+            sla: Sla::paper_default(),
+            monitoring: MonitorConfig::default(),
+            viz: None,
+            directives: Vec::new(),
+            trade_faults: Vec::new(),
+            seed: 2013,
+        }
+    }
+
+    /// Fig. 7: 256 simulation + 13 staging nodes, no spares. Bonds just
+    /// misses the cadence; the manager must steal a node from the
+    /// over-provisioned Helper.
+    pub fn fig7() -> ExperimentConfig {
+        ExperimentConfig::base(
+            256,
+            13,
+            // All 13 staging nodes are held (CNA's reserve comes from
+            // CSym's nodes at branch time): no spares, as in the paper.
+            Table1Names { helper: 8, bonds: 1, csym: 4, cna: 2 },
+        )
+    }
+
+    /// Fig. 8: 512 simulation + 24 staging nodes, 4 spares. Bonds converges
+    /// to the ideal rate after consuming the spares.
+    pub fn fig8() -> ExperimentConfig {
+        ExperimentConfig::base(
+            512,
+            24,
+            // 20 held + 4 spare staging nodes, as the paper states.
+            Table1Names { helper: 12, bonds: 2, csym: 6, cna: 4 },
+        )
+    }
+
+    /// Fig. 9: 1024 simulation + 24 staging nodes, 4 spares. Resources are
+    /// insufficient; the runtime takes Bonds (and its dependents) offline
+    /// before the queues overflow.
+    pub fn fig9() -> ExperimentConfig {
+        ExperimentConfig::base(
+            1024,
+            24,
+            Table1Names { helper: 12, bonds: 2, csym: 6, cna: 4 },
+        )
+    }
+
+    /// Fig. 10 uses the Fig. 9 configuration (end-to-end latency view).
+    pub fn fig10() -> ExperimentConfig {
+        ExperimentConfig::fig9()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_setups() {
+        let f7 = ExperimentConfig::fig7();
+        assert_eq!(f7.sim_nodes, 256);
+        assert_eq!(f7.staging_nodes, 13);
+        // No spares in the Fig. 7 setup (CNA's reserve is not held).
+        assert_eq!(f7.initial.helper + f7.initial.bonds + f7.initial.csym, 13);
+
+        let f8 = ExperimentConfig::fig8();
+        assert_eq!(f8.staging_nodes, 24);
+        // 4 spare staging nodes at the start, as the paper states.
+        let held = f8.initial.helper + f8.initial.bonds + f8.initial.csym;
+        assert_eq!(f8.staging_nodes - held, 4);
+        assert_eq!(f8.sim_nodes, 512);
+
+        assert_eq!(ExperimentConfig::fig9().sim_nodes, 1024);
+        assert_eq!(ExperimentConfig::fig10().sim_nodes, 1024);
+    }
+
+    #[test]
+    fn step_bytes_match_table2() {
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        assert!((mib(ExperimentConfig::fig7().step_bytes()) - 67.0).abs() < 0.5);
+        assert!((mib(ExperimentConfig::fig8().step_bytes()) - 134.6).abs() < 0.5);
+        assert!((mib(ExperimentConfig::fig9().step_bytes()) - 269.2).abs() < 0.5);
+    }
+
+    #[test]
+    fn specs_are_in_pipeline_order() {
+        let specs = ExperimentConfig::fig7().container_specs();
+        let names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["Helper", "Bonds", "CSym", "CNA"]);
+        assert!(specs[0].essential);
+        assert!(!specs[3].starts_active);
+
+        let mut with_viz = ExperimentConfig::fig7();
+        with_viz.viz = Some(VizConfig { nodes: 3, active_from_start: true });
+        let specs = with_viz.container_specs();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(specs[4].name, "Viz");
+        assert!(specs[4].starts_active);
+    }
+}

@@ -1,0 +1,64 @@
+//! # iocontainers — the paper's primary contribution
+//!
+//! *I/O containers* are run-time abstractions that embed the analytics
+//! components of an online I/O pipeline into actively managed execution
+//! environments. Each container has a **local manager** that understands
+//! its component (compute model, speedup behaviour, monitoring); a
+//! **global manager** enforces cross-container SLAs by rebalancing staging
+//! nodes between containers, and — when resources are simply insufficient
+//! — by taking non-essential containers offline before their queues
+//! overflow and block the application, labeling the stored data with its
+//! data-processing provenance.
+//!
+//! The crate provides:
+//! * [`ContainerSpec`]/[`ContainerState`] — containers and their
+//!   local-manager bookkeeping;
+//! * [`protocol`] — the increase/decrease control protocols (Fig. 3
+//!   rounds), runnable in isolation for the Figs. 4–5 microbenchmarks;
+//! * [`monitor`](MonitorLog) — the flexible monitoring layer (latency
+//!   samples, bottleneck detection, action log);
+//! * [`policy`](PolicyConfig) — the global manager's pure decision
+//!   function: spares first, steal only to complete a remedy, offline as
+//!   last resort;
+//! * [`pipeline`](run_pipeline) — the full managed-pipeline experiment
+//!   engine reproducing Figs. 7–10;
+//! * [`Provenance`] — the attribute-borne processing labels;
+//! * [`Sla`] — the metrics management is driven by.
+//!
+//! ## Example
+//! ```
+//! use iocontainers::{run_pipeline, ExperimentConfig};
+//!
+//! // The paper's Fig. 7 scenario: 256 simulation + 13 staging nodes.
+//! let mut cfg = ExperimentConfig::fig7();
+//! cfg.steps = 12; // keep the doctest fast
+//! let run = run_pipeline(cfg);
+//! // Management stole a node from Helper to grow Bonds.
+//! assert!(!run.log.actions().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod container;
+mod experiment;
+mod monitor;
+mod pipeline;
+pub mod policy;
+pub mod protocol;
+mod provenance;
+mod sla;
+pub mod threaded;
+
+pub use container::{ContainerId, ContainerSpec, ContainerState, QueuedStep, Status};
+pub use experiment::{Directive, ExperimentConfig, VizConfig};
+pub use monitor::{Action, LatencySample, MonitorConfig, MonitorLog, ResourceSource};
+pub use pipeline::{run_pipeline, PipelineRun};
+pub use policy::PolicyConfig;
+pub use protocol::{
+    run_decrease, run_increase, run_offline, DecreaseReport, IncreaseReport, OfflineReport,
+    ProtocolLayout,
+};
+pub use provenance::{Provenance, PENDING_OPS, PROCESSED_BY};
+pub use sla::Sla;
+pub use threaded::{run_threaded, ThreadedAction, ThreadedConfig, ThreadedReport};

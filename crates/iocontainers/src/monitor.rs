@@ -1,0 +1,317 @@
+//! Online monitoring: latency samples, bottleneck detection, action log.
+//!
+//! Containers report per-step latency (entry → exit, queue wait included)
+//! to the global manager over the control overlay; the global manager's
+//! aggregate view drives bottleneck analysis — "the pipeline's container
+//! with the longest average latency" — and records every management action
+//! for the figure harnesses.
+
+use std::collections::BTreeMap;
+
+use sim_core::stats::{DurationHistogram, Series};
+use sim_core::{SimDuration, SimTime};
+
+use crate::container::ContainerId;
+
+/// Configuration of the monitoring layer — the paper's "flexible
+/// monitoring": *which* metrics are captured, *how often*, and what the
+/// capture costs the monitored component. Tuning these is how perturbation
+/// to the application is minimized.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Report every k-th output step (1 = every step).
+    pub report_every: u64,
+    /// Software cost charged to the container for taking one sample
+    /// (serializing counters, building the event).
+    pub per_sample_cost: SimDuration,
+    /// Control-overlay delivery delay from a local manager to the global
+    /// manager.
+    pub delivery_delay: SimDuration,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            report_every: 1,
+            per_sample_cost: SimDuration::from_micros(50),
+            delivery_delay: SimDuration::from_micros(20),
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Whether an output step is sampled under this configuration.
+    pub fn samples_step(&self, step: u64) -> bool {
+        self.report_every <= 1 || step.is_multiple_of(self.report_every)
+    }
+}
+
+/// One latency sample reported by a container's local manager.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySample {
+    /// Reporting container.
+    pub container: ContainerId,
+    /// The step measured.
+    pub step: u64,
+    /// Entry→exit latency including queue wait.
+    pub latency: SimDuration,
+    /// Queue depth after the step left.
+    pub queue_len: usize,
+    /// When the sample was taken (at the container).
+    pub taken_at: SimTime,
+}
+
+/// A management action recorded in the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Container grew by `added` nodes.
+    Increase {
+        /// Target container.
+        container: ContainerId,
+        /// Nodes added.
+        added: u32,
+        /// Where the nodes came from.
+        source: ResourceSource,
+    },
+    /// Container shrank by `removed` nodes.
+    Decrease {
+        /// Target container.
+        container: ContainerId,
+        /// Nodes removed.
+        removed: u32,
+    },
+    /// Container (and its dependents) taken offline.
+    Offline {
+        /// Containers moved offline, in cascade order.
+        containers: Vec<ContainerId>,
+    },
+    /// A previously inactive container was activated (dynamic branch).
+    Activate {
+        /// The activated container.
+        container: ContainerId,
+    },
+    /// The pipeline blocked: a staging queue overflowed back to the app.
+    Blocked {
+        /// The overflowing container.
+        container: ContainerId,
+    },
+    /// A transactional resource trade aborted (injected or real failure):
+    /// nothing moved, the trade will be retried.
+    TradeAborted {
+        /// The donor whose decrease was rolled back.
+        donor: ContainerId,
+        /// The intended recipient.
+        recipient: ContainerId,
+    },
+}
+
+/// Where the nodes for an increase came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResourceSource {
+    /// Spare staging-area nodes.
+    Spare,
+    /// Stolen from another container.
+    StolenFrom(ContainerId),
+}
+
+/// The global manager's aggregate monitoring view.
+#[derive(Debug, Default)]
+pub struct MonitorLog {
+    latency: BTreeMap<ContainerId, Series>,
+    histograms: BTreeMap<ContainerId, DurationHistogram>,
+    queue: BTreeMap<ContainerId, Series>,
+    e2e: Series,
+    actions: Vec<(SimTime, Action)>,
+    names: BTreeMap<ContainerId, &'static str>,
+}
+
+impl MonitorLog {
+    /// Creates an empty log.
+    pub fn new() -> MonitorLog {
+        MonitorLog { e2e: Series::new("end_to_end_s"), ..MonitorLog::default() }
+    }
+
+    /// Registers a container's display name.
+    pub fn register(&mut self, id: ContainerId, name: &'static str) {
+        self.names.insert(id, name);
+        self.latency.entry(id).or_insert_with(|| Series::new(format!("{name}_latency_s")));
+        self.queue.entry(id).or_insert_with(|| Series::new(format!("{name}_queue")));
+    }
+
+    /// The registered name of a container.
+    pub fn name_of(&self, id: ContainerId) -> &'static str {
+        self.names.get(&id).copied().unwrap_or("?")
+    }
+
+    /// Records a latency sample arriving at the global manager.
+    pub fn record(&mut self, sample: &LatencySample) {
+        if let Some(s) = self.latency.get_mut(&sample.container) {
+            s.push(sample.taken_at, sample.latency.as_secs_f64());
+        }
+        self.histograms.entry(sample.container).or_default().add(sample.latency);
+        if let Some(s) = self.queue.get_mut(&sample.container) {
+            s.push(sample.taken_at, sample.queue_len as f64);
+        }
+    }
+
+    /// Upper bound on the q-quantile of a container's observed latency
+    /// (from a power-of-two histogram; zero when no samples arrived).
+    pub fn latency_quantile(&self, id: ContainerId, q: f64) -> SimDuration {
+        self.histograms.get(&id).map(|h| h.quantile(q)).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Records an end-to-end latency point (step emitted → pipeline exit).
+    pub fn record_e2e(&mut self, at: SimTime, e2e: SimDuration) {
+        self.e2e.push(at, e2e.as_secs_f64());
+    }
+
+    /// Records a management action.
+    pub fn record_action(&mut self, at: SimTime, action: Action) {
+        self.actions.push((at, action));
+    }
+
+    /// Latency series for a container.
+    pub fn latency_series(&self, id: ContainerId) -> Option<&Series> {
+        self.latency.get(&id)
+    }
+
+    /// Queue-depth series for a container.
+    pub fn queue_series(&self, id: ContainerId) -> Option<&Series> {
+        self.queue.get(&id)
+    }
+
+    /// The end-to-end latency series.
+    pub fn e2e_series(&self) -> &Series {
+        &self.e2e
+    }
+
+    /// The full action log.
+    pub fn actions(&self) -> &[(SimTime, Action)] {
+        &self.actions
+    }
+
+    /// All registered containers in id order.
+    pub fn containers(&self) -> impl Iterator<Item = ContainerId> + '_ {
+        self.names.keys().copied()
+    }
+
+    /// Bottleneck detection over recent samples: the container with the
+    /// longest average latency across its last `window` samples.
+    pub fn bottleneck(&self, window: usize) -> Option<(ContainerId, SimDuration)> {
+        let mut best: Option<(ContainerId, f64)> = None;
+        for (&id, series) in &self.latency {
+            let pts = series.points();
+            if pts.is_empty() {
+                continue;
+            }
+            let tail = &pts[pts.len().saturating_sub(window)..];
+            let avg = tail.iter().map(|&(_, v)| v).sum::<f64>() / tail.len() as f64;
+            if best.map(|(_, b)| avg > b).unwrap_or(true) {
+                best = Some((id, avg));
+            }
+        }
+        best.map(|(id, avg)| (id, SimDuration::from_secs_f64(avg.max(0.0))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(id: u32, latency_s: u64, at_s: u64) -> LatencySample {
+        LatencySample {
+            container: ContainerId(id),
+            step: 0,
+            latency: SimDuration::from_secs(latency_s),
+            queue_len: 1,
+            taken_at: SimTime::from_secs(at_s),
+        }
+    }
+
+    #[test]
+    fn bottleneck_is_longest_average_latency() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(0), "Helper");
+        log.register(ContainerId(1), "Bonds");
+        for t in 0..4 {
+            log.record(&sample(0, 2, t));
+            log.record(&sample(1, 20, t));
+        }
+        let (id, lat) = log.bottleneck(4).expect("samples exist");
+        assert_eq!(id, ContainerId(1));
+        assert_eq!(lat, SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn bottleneck_window_uses_recent_samples_only() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(0), "A");
+        log.register(ContainerId(1), "B");
+        // A was slow long ago, B is slow now.
+        log.record(&sample(0, 100, 0));
+        for t in 1..5 {
+            log.record(&sample(0, 1, t));
+            log.record(&sample(1, 10, t));
+        }
+        let (id, _) = log.bottleneck(3).expect("samples exist");
+        assert_eq!(id, ContainerId(1));
+    }
+
+    #[test]
+    fn empty_log_has_no_bottleneck() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(0), "A");
+        assert!(log.bottleneck(3).is_none());
+    }
+
+    #[test]
+    fn actions_are_logged_in_order() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(1), "Bonds");
+        log.record_action(
+            SimTime::from_secs(10),
+            Action::Increase {
+                container: ContainerId(1),
+                added: 2,
+                source: ResourceSource::Spare,
+            },
+        );
+        log.record_action(
+            SimTime::from_secs(20),
+            Action::Offline { containers: vec![ContainerId(1)] },
+        );
+        assert_eq!(log.actions().len(), 2);
+        assert!(matches!(log.actions()[0].1, Action::Increase { added: 2, .. }));
+    }
+
+    #[test]
+    fn e2e_series_accumulates() {
+        let mut log = MonitorLog::new();
+        log.record_e2e(SimTime::from_secs(1), SimDuration::from_secs(30));
+        log.record_e2e(SimTime::from_secs(2), SimDuration::from_secs(40));
+        assert_eq!(log.e2e_series().len(), 2);
+        assert_eq!(log.e2e_series().max_value(), Some(40.0));
+    }
+
+    #[test]
+    fn latency_quantiles_follow_samples() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(0), "Bonds");
+        for s in 1..=100u64 {
+            log.record(&sample(0, s, s));
+        }
+        let p50 = log.latency_quantile(ContainerId(0), 0.5);
+        let p99 = log.latency_quantile(ContainerId(0), 0.99);
+        assert!(p99 >= p50);
+        assert!(p99 >= SimDuration::from_secs(99));
+        assert_eq!(log.latency_quantile(ContainerId(9), 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn names_resolve() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(2), "CSym");
+        assert_eq!(log.name_of(ContainerId(2)), "CSym");
+        assert_eq!(log.name_of(ContainerId(9)), "?");
+    }
+}

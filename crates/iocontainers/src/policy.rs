@@ -1,0 +1,274 @@
+//! The global manager's management policy.
+//!
+//! The paper's "simple management policy": watch per-container latency;
+//! when a container violates the SLA, ask its local manager what it needs
+//! (resource units to sustain the cadence), satisfy the need from spare
+//! staging nodes first, then by stealing from an over-provisioned
+//! container *if that completes the remedy*, and as a last resort take the
+//! bottleneck (and everything depending on it) offline before its queue
+//! overflows and blocks the application.
+//!
+//! The decision function is pure — it maps a snapshot of container views
+//! to a [`Decision`] — so every branch is unit-testable without a
+//! simulation.
+
+use sim_core::SimDuration;
+
+use crate::container::ContainerId;
+use crate::sla::Sla;
+
+/// Tunables of the policy.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyConfig {
+    /// Master switch (off = unmanaged baseline).
+    pub enabled: bool,
+    /// Samples in the bottleneck-detection window.
+    pub window: usize,
+    /// Minimum virtual time between management actions.
+    pub cooldown: SimDuration,
+    /// Queue fill fraction beyond which an unfixable bottleneck is taken
+    /// offline (the "act before the pipeline blocks" trigger).
+    pub offline_queue_frac: f64,
+    /// Guard resource trades with a D2T control transaction: the trade
+    /// either fully commits (donor decreased *and* recipient increased) or
+    /// aborts with nothing moved — never the inconsistent in-between state
+    /// the paper's Section III-A(5) warns about.
+    pub transactional_trades: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            enabled: true,
+            window: 3,
+            cooldown: SimDuration::from_secs(15),
+            offline_queue_frac: 0.5,
+            transactional_trades: true,
+        }
+    }
+}
+
+/// A local manager's view of one container, as reported to the global
+/// manager.
+#[derive(Clone, Copy, Debug)]
+pub struct ContainerView {
+    /// The container.
+    pub id: ContainerId,
+    /// Accepting and processing steps.
+    pub online: bool,
+    /// Never taken offline by policy.
+    pub essential: bool,
+    /// Resource units currently held.
+    pub units: u32,
+    /// Local estimate: units needed to sustain the cadence.
+    pub needed: u32,
+    /// Local estimate: units it could give away and still sustain.
+    pub spareable: u32,
+    /// Current ingress queue depth.
+    pub queue_len: usize,
+    /// Ingress queue capacity.
+    pub queue_capacity: usize,
+    /// Average latency over the monitoring window.
+    pub avg_latency: SimDuration,
+    /// Samples available in the window.
+    pub samples: usize,
+}
+
+/// What the global manager decided to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Nothing to do.
+    None,
+    /// Grow `target` using spare nodes and/or nodes stolen from a donor.
+    Rebalance {
+        /// The bottleneck container.
+        target: ContainerId,
+        /// Spare staging nodes to lease.
+        lease_spare: u32,
+        /// Donor container and node count, when stealing completes the
+        /// remedy.
+        steal: Option<(ContainerId, u32)>,
+    },
+    /// Take `target` offline (dependents cascade at execution time).
+    Offline {
+        /// The hopeless bottleneck.
+        target: ContainerId,
+    },
+}
+
+/// Evaluates the policy against the current container views.
+pub fn decide(cfg: &PolicyConfig, sla: &Sla, views: &[ContainerView], spare: u32) -> Decision {
+    if !cfg.enabled {
+        return Decision::None;
+    }
+
+    // Bottleneck: the online container with the longest average latency,
+    // with enough samples to trust the estimate.
+    let Some(bottleneck) = views
+        .iter()
+        .filter(|v| v.online && v.samples >= cfg.window.min(2))
+        .max_by(|a, b| a.avg_latency.cmp(&b.avg_latency))
+    else {
+        return Decision::None;
+    };
+
+    if !sla.container_violated(bottleneck.avg_latency) {
+        return Decision::None;
+    }
+
+    let deficit = bottleneck.needed.saturating_sub(bottleneck.units);
+    if deficit == 0 {
+        // Correctly sized: the backlog is transient and will drain.
+        return Decision::None;
+    }
+
+    let lease_spare = deficit.min(spare);
+    let remaining = deficit - lease_spare;
+
+    if remaining == 0 {
+        return Decision::Rebalance { target: bottleneck.id, lease_spare, steal: None };
+    }
+
+    // Steal only when a single donor can complete the remedy — partially
+    // harming a donor without fixing the bottleneck helps no one.
+    let donor = views
+        .iter()
+        .filter(|v| v.online && v.id != bottleneck.id && v.spareable >= remaining)
+        .max_by_key(|v| v.spareable);
+    if let Some(donor) = donor {
+        return Decision::Rebalance {
+            target: bottleneck.id,
+            lease_spare,
+            steal: Some((donor.id, remaining)),
+        };
+    }
+
+    if lease_spare > 0 {
+        // Partial relief from spares while it lasts.
+        return Decision::Rebalance { target: bottleneck.id, lease_spare, steal: None };
+    }
+
+    // No resources anywhere. Prune the bottleneck before its queue
+    // overflows and blocks the application — unless it is essential.
+    let fill = bottleneck.queue_len as f64 / bottleneck.queue_capacity.max(1) as f64;
+    if !bottleneck.essential && fill >= cfg.offline_queue_frac {
+        return Decision::Offline { target: bottleneck.id };
+    }
+
+    Decision::None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u32, units: u32, needed: u32, spareable: u32, avg_s: u64) -> ContainerView {
+        ContainerView {
+            id: ContainerId(id),
+            online: true,
+            essential: false,
+            units,
+            needed,
+            spareable,
+            queue_len: 2,
+            queue_capacity: 8,
+            avg_latency: SimDuration::from_secs(avg_s),
+            samples: 3,
+        }
+    }
+
+    fn sla() -> Sla {
+        Sla::from_cadence(SimDuration::from_secs(15)) // violation above 30 s
+    }
+
+    #[test]
+    fn healthy_pipeline_needs_nothing() {
+        let views = [view(0, 8, 1, 7, 2), view(1, 2, 2, 0, 20)];
+        assert_eq!(decide(&PolicyConfig::default(), &sla(), &views, 4), Decision::None);
+    }
+
+    #[test]
+    fn spares_are_preferred() {
+        let views = [view(0, 8, 1, 7, 2), view(1, 2, 6, 0, 45)];
+        assert_eq!(
+            decide(&PolicyConfig::default(), &sla(), &views, 4),
+            Decision::Rebalance { target: ContainerId(1), lease_spare: 4, steal: None }
+        );
+    }
+
+    #[test]
+    fn steal_completes_the_remedy() {
+        // Fig. 7 shape: no spares, Bonds one short, Helper over-provisioned.
+        let views = [view(0, 8, 1, 7, 2), view(1, 1, 2, 0, 45)];
+        assert_eq!(
+            decide(&PolicyConfig::default(), &sla(), &views, 0),
+            Decision::Rebalance {
+                target: ContainerId(1),
+                lease_spare: 0,
+                steal: Some((ContainerId(0), 1)),
+            }
+        );
+    }
+
+    #[test]
+    fn no_partial_steal() {
+        // Donor can spare 3, bottleneck needs 10 more: stealing would not
+        // fix it, so with no spares the decision falls through to offline
+        // (queue at 50%).
+        let mut bott = view(1, 2, 12, 0, 60);
+        bott.queue_len = 4;
+        let views = [view(0, 4, 1, 3, 2), bott];
+        assert_eq!(
+            decide(&PolicyConfig::default(), &sla(), &views, 0),
+            Decision::Offline { target: ContainerId(1) }
+        );
+    }
+
+    #[test]
+    fn partial_spares_before_offline() {
+        let views = [view(0, 4, 1, 3, 2), view(1, 2, 12, 0, 60)];
+        assert_eq!(
+            decide(&PolicyConfig::default(), &sla(), &views, 4),
+            Decision::Rebalance { target: ContainerId(1), lease_spare: 4, steal: None }
+        );
+    }
+
+    #[test]
+    fn offline_waits_for_queue_pressure() {
+        let mut bott = view(1, 2, 12, 0, 60);
+        bott.queue_len = 1; // 12.5% < 50%
+        let views = [view(0, 2, 1, 1, 2), bott];
+        assert_eq!(decide(&PolicyConfig::default(), &sla(), &views, 0), Decision::None);
+    }
+
+    #[test]
+    fn essential_containers_never_go_offline() {
+        let mut bott = view(0, 1, 12, 0, 60);
+        bott.essential = true;
+        bott.queue_len = 8;
+        assert_eq!(decide(&PolicyConfig::default(), &sla(), &[bott], 0), Decision::None);
+    }
+
+    #[test]
+    fn correctly_sized_transient_is_left_alone() {
+        // Latency above SLA but units already match the need: backlog is
+        // draining (e.g. right after a resize).
+        let views = [view(1, 6, 6, 0, 45)];
+        assert_eq!(decide(&PolicyConfig::default(), &sla(), &views, 4), Decision::None);
+    }
+
+    #[test]
+    fn disabled_policy_does_nothing() {
+        let views = [view(1, 1, 6, 0, 100)];
+        let cfg = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+        assert_eq!(decide(&cfg, &sla(), &views, 8), Decision::None);
+    }
+
+    #[test]
+    fn offline_ignores_inactive_containers() {
+        let mut off = view(2, 0, 0, 0, 500);
+        off.online = false;
+        let views = [view(0, 8, 1, 7, 2), off];
+        assert_eq!(decide(&PolicyConfig::default(), &sla(), &views, 0), Decision::None);
+    }
+}

@@ -1,0 +1,526 @@
+//! The container resize and offline control protocols.
+//!
+//! Implements the message rounds of the paper's Fig. 3 over the simulated
+//! interconnect: the global manager asks a container manager to change
+//! size; rounds of control messages distribute endpoint contact
+//! information, pause/resume upstream DataTap writers, and signal
+//! completion. The harnesses for Figs. 4 and 5 run these protocols in
+//! isolation and report the same breakdown the paper plots — total time,
+//! the intra-container metadata exchange (dominant), and the nearly
+//! negligible manager↔manager point-to-point messages. The `aprun` launch
+//! cost is sampled separately so it can be factored out exactly as the
+//! paper does.
+
+use datatap::TransportCosts;
+use sim_core::{shared, Sim, SimDuration, SimTime};
+use simnet::{LaunchModel, Net, Network, NodeId};
+
+/// Node roles participating in a resize.
+#[derive(Clone, Debug)]
+pub struct ProtocolLayout {
+    /// The global manager's node.
+    pub global_mgr: NodeId,
+    /// The container manager's node.
+    pub container_mgr: NodeId,
+    /// Upstream DataTap writer endpoints feeding this container.
+    pub upstream_writers: Vec<NodeId>,
+    /// Existing replica nodes.
+    pub replicas: Vec<NodeId>,
+}
+
+impl ProtocolLayout {
+    /// A compact layout for microbenchmarks: manager nodes first, then
+    /// `writers` upstream endpoints, then `replicas` replica nodes.
+    pub fn microbench(writers: u32, replicas: u32) -> ProtocolLayout {
+        let mut next = 2u32;
+        let mut take = |n: u32| -> Vec<NodeId> {
+            let v = (next..next + n).map(NodeId).collect();
+            next += n;
+            v
+        };
+        ProtocolLayout {
+            global_mgr: NodeId(0),
+            container_mgr: NodeId(1),
+            upstream_writers: take(writers),
+            replicas: take(replicas),
+        }
+    }
+}
+
+/// Timing breakdown of an increase operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IncreaseReport {
+    /// Wall time of the whole protocol, excluding launch.
+    pub total: SimDuration,
+    /// Time spent in global-manager ↔ container-manager messages.
+    pub manager_msgs: SimDuration,
+    /// Time spent in intra-container registration and endpoint metadata
+    /// exchange with upstream writers (the dominant term).
+    pub intra_container: SimDuration,
+    /// Sampled launch (`aprun`) cost, reported separately.
+    pub launch: SimDuration,
+}
+
+/// Timing breakdown of a decrease operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecreaseReport {
+    /// Wall time of the whole protocol.
+    pub total: SimDuration,
+    /// Manager ↔ manager message time.
+    pub manager_msgs: SimDuration,
+    /// Time waiting for upstream writers to pause and drain (dominant).
+    pub pause_wait: SimDuration,
+    /// Replica teardown and resume messaging.
+    pub intra_container: SimDuration,
+}
+
+/// Sends a control message from `center` to every peer; each peer spends
+/// `per_peer_sw` of software time and replies; `on_done` fires when the
+/// last reply lands back at `center`.
+fn fan_out_in(
+    net: &Net,
+    sim: &mut Sim,
+    center: NodeId,
+    peers: &[NodeId],
+    per_peer_sw: SimDuration,
+    on_done: impl FnOnce(&mut Sim) + 'static,
+) {
+    if peers.is_empty() {
+        // Still costs one scheduling quantum of nothing: fire immediately.
+        sim.schedule_in(SimDuration::ZERO, on_done);
+        return;
+    }
+    let pending = shared((peers.len(), Some(Box::new(on_done) as Box<dyn FnOnce(&mut Sim)>)));
+    for &peer in peers {
+        let net2 = net.clone();
+        let pending = pending.clone();
+        Network::send_control(net, sim, center, peer, move |sim| {
+            let net3 = net2.clone();
+            let pending = pending.clone();
+            sim.schedule_in(per_peer_sw, move |sim| {
+                let pending = pending.clone();
+                Network::send_control(&net3, sim, peer, center, move |sim| {
+                    let mut p = pending.borrow_mut();
+                    p.0 -= 1;
+                    if p.0 == 0 {
+                        if let Some(done) = p.1.take() {
+                            done(sim);
+                        }
+                    }
+                });
+            });
+        });
+    }
+}
+
+struct Marks {
+    start: SimTime,
+    after_request: SimTime,
+    after_intra: SimTime,
+    done: SimTime,
+}
+
+/// Runs the increase protocol: the container grows by `new_nodes`.
+///
+/// Rounds (Fig. 3): GM→CM request; CM launches the new replicas (cost from
+/// `launch`, reported separately); new replicas register with the CM; the
+/// CM distributes the new endpoint information to every upstream writer,
+/// each of which performs per-pair endpoint setup and connects to each new
+/// replica; CM→GM completion.
+pub fn run_increase(
+    sim: &mut Sim,
+    net: &Net,
+    layout: &ProtocolLayout,
+    new_nodes: &[NodeId],
+    costs: &TransportCosts,
+    launch: LaunchModel,
+) -> IncreaseReport {
+    assert!(!new_nodes.is_empty(), "increase of zero replicas");
+    let marks = shared(Marks {
+        start: sim.now(),
+        after_request: sim.now(),
+        after_intra: sim.now(),
+        done: sim.now(),
+    });
+    let launch_cost = launch.sample(sim);
+
+    let cm = layout.container_mgr;
+    let gm = layout.global_mgr;
+    let writers = layout.upstream_writers.clone();
+    let added: Vec<NodeId> = new_nodes.to_vec();
+    let per_writer_sw = costs.metadata_exchange(added.len() as u32, 1);
+
+    let net0 = net.clone();
+    let marks0 = marks.clone();
+    // Round 1: GM -> CM.
+    Network::send_control(net, sim, gm, cm, move |sim| {
+        marks0.borrow_mut().after_request = sim.now();
+        let net1 = net0.clone();
+        let marks1 = marks0.clone();
+        let writers1 = writers.clone();
+        // Launch happens here; its cost is accounted separately, so the
+        // simulated protocol continues immediately.
+        // Round 2: new replicas register with the CM.
+        fan_out_in(&net0, sim, cm, &added, SimDuration::from_micros(20), move |sim| {
+            let net2 = net1.clone();
+            let marks2 = marks1.clone();
+            // Round 3: endpoint metadata exchange with all upstream
+            // writers. The writer↔replica probe traffic is folded into the
+            // per-pair software cost charged at each writer here.
+            fan_out_in(&net1, sim, cm, &writers1, per_writer_sw, move |sim| {
+                marks2.borrow_mut().after_intra = sim.now();
+                let marks5 = marks2.clone();
+                // Round 4: CM -> GM done.
+                Network::send_control(&net2, sim, cm, gm, move |sim| {
+                    marks5.borrow_mut().done = sim.now();
+                });
+            });
+        });
+    });
+
+    sim.run();
+    let m = marks.borrow();
+    let manager_msgs = (m.after_request - m.start) + (m.done - m.after_intra);
+    IncreaseReport {
+        total: m.done - m.start,
+        manager_msgs,
+        intra_container: m.after_intra - m.after_request,
+        launch: launch_cost,
+    }
+}
+
+/// Runs the decrease protocol: the container shrinks by `victims`.
+///
+/// Rounds: GM→CM request; CM pauses every upstream writer, which must
+/// drain `queued_bytes_per_writer` of announced-but-unpulled data before
+/// acking (the dominant cost); CM tears down the victim replicas; CM
+/// resumes the writers; CM→GM completion.
+pub fn run_decrease(
+    sim: &mut Sim,
+    net: &Net,
+    layout: &ProtocolLayout,
+    victims: &[NodeId],
+    costs: &TransportCosts,
+    queued_bytes_per_writer: u64,
+    bandwidth_bps: u64,
+) -> DecreaseReport {
+    assert!(!victims.is_empty(), "decrease of zero replicas");
+    let marks = shared(Marks {
+        start: sim.now(),
+        after_request: sim.now(),
+        after_intra: sim.now(),
+        done: sim.now(),
+    });
+    // Extra mark for the pause phase boundary.
+    let pause_done_at = shared(sim.now());
+
+    let cm = layout.container_mgr;
+    let gm = layout.global_mgr;
+    let writers = layout.upstream_writers.clone();
+    let victims: Vec<NodeId> = victims.to_vec();
+    let drain = costs.drain_time(queued_bytes_per_writer, bandwidth_bps);
+    let pause_toggle = costs.pause_toggle;
+
+    let net0 = net.clone();
+    let marks0 = marks.clone();
+    let pause0 = pause_done_at.clone();
+    Network::send_control(net, sim, gm, cm, move |sim| {
+        marks0.borrow_mut().after_request = sim.now();
+        let net1 = net0.clone();
+        let marks1 = marks0.clone();
+        let pause1 = pause0.clone();
+        let victims1 = victims.clone();
+        let writers_for_resume = writers.clone();
+        // Round 2: pause all upstream writers; each drains before acking.
+        fan_out_in(&net0, sim, cm, &writers, drain, move |sim| {
+            *pause1.borrow_mut() = sim.now();
+            let net2 = net1.clone();
+            let marks2 = marks1.clone();
+            let writers2 = writers_for_resume.clone();
+            // Round 3: tear down victim replicas.
+            fan_out_in(&net1, sim, cm, &victims1, SimDuration::from_micros(30), move |sim| {
+                let net3 = net2.clone();
+                let marks3 = marks2.clone();
+                // Round 4: resume writers.
+                fan_out_in(&net2, sim, cm, &writers2, pause_toggle, move |sim| {
+                    marks3.borrow_mut().after_intra = sim.now();
+                    let marks4 = marks3.clone();
+                    Network::send_control(&net3, sim, cm, gm, move |sim| {
+                        marks4.borrow_mut().done = sim.now();
+                    });
+                });
+            });
+        });
+    });
+
+    sim.run();
+    let m = marks.borrow();
+    let pause_done = *pause_done_at.borrow();
+    let manager_msgs = (m.after_request - m.start) + (m.done - m.after_intra);
+    DecreaseReport {
+        total: m.done - m.start,
+        manager_msgs,
+        pause_wait: pause_done - m.after_request,
+        intra_container: m.after_intra - pause_done,
+    }
+}
+
+/// Timing breakdown of a take-offline operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OfflineReport {
+    /// Wall time of the whole protocol.
+    pub total: SimDuration,
+    /// Manager ↔ manager message time.
+    pub manager_msgs: SimDuration,
+    /// Decrease-to-zero phase (writer pause + full teardown).
+    pub teardown: SimDuration,
+    /// Upstream output-method switch (each writer re-opens its ADIOS
+    /// output against the file method and stamps provenance).
+    pub method_switch: SimDuration,
+}
+
+/// Runs the offline protocol: the container's resources drop to zero and
+/// every upstream writer switches its ADIOS output method to disk,
+/// marking provenance — "the global manager decreasing each affected
+/// container's resources to 0 … switch its output method within ADIOS to
+/// write to disk using the attribute system".
+pub fn run_offline(
+    sim: &mut Sim,
+    net: &Net,
+    layout: &ProtocolLayout,
+    costs: &TransportCosts,
+    queued_bytes_per_writer: u64,
+    bandwidth_bps: u64,
+) -> OfflineReport {
+    // Phase 1 is a decrease of the full replica set.
+    let dec = run_decrease(
+        sim,
+        net,
+        layout,
+        &layout.replicas,
+        costs,
+        queued_bytes_per_writer,
+        bandwidth_bps,
+    );
+
+    // Phase 2: method switch at each upstream writer (software cost of
+    // closing the staging output and opening the file output), fanned out
+    // from the container manager, then completion to the GM.
+    let marks = shared(Marks {
+        start: sim.now(),
+        after_request: sim.now(),
+        after_intra: sim.now(),
+        done: sim.now(),
+    });
+    let cm = layout.container_mgr;
+    let gm = layout.global_mgr;
+    let writers = layout.upstream_writers.clone();
+    let switch_sw = SimDuration::from_micros(200);
+    let net0 = net.clone();
+    let marks0 = marks.clone();
+    fan_out_in(net, sim, cm, &writers, switch_sw, move |sim| {
+        marks0.borrow_mut().after_intra = sim.now();
+        let marks1 = marks0.clone();
+        Network::send_control(&net0, sim, cm, gm, move |sim| {
+            marks1.borrow_mut().done = sim.now();
+        });
+    });
+    sim.run();
+
+    let m = marks.borrow();
+    let method_switch = m.after_intra - m.start;
+    let final_msg = m.done - m.after_intra;
+    OfflineReport {
+        total: dec.total + method_switch + final_msg,
+        manager_msgs: dec.manager_msgs + final_msg,
+        teardown: dec.total - dec.manager_msgs,
+        method_switch,
+    }
+}
+
+/// Convenience: closed-form *estimates* of the protocol durations (without
+/// running a simulation). The pipeline uses these to charge resize costs;
+/// unit tests verify they track the simulated protocols.
+pub mod estimate {
+    use super::*;
+
+    /// Estimated increase-protocol duration (excluding launch).
+    pub fn increase(
+        writers: u32,
+        new_replicas: u32,
+        costs: &TransportCosts,
+        per_msg: SimDuration,
+    ) -> SimDuration {
+        // Request + done + registration round + writer round, serialized at
+        // the container manager's NIC; the per-writer endpoint setup runs
+        // concurrently across writers, so only one writer's share (setup
+        // for each new replica) adds to the critical path.
+        let msgs = 2 + 2 * new_replicas as u64 + 2 * writers as u64;
+        per_msg * msgs + costs.metadata_exchange(new_replicas, 1)
+    }
+
+    /// Estimated decrease-protocol duration.
+    pub fn decrease(
+        writers: u32,
+        victims: u32,
+        costs: &TransportCosts,
+        per_msg: SimDuration,
+        queued_bytes_per_writer: u64,
+        bandwidth_bps: u64,
+    ) -> SimDuration {
+        let msgs = 2 + 4 * writers as u64 + 2 * victims as u64;
+        per_msg * msgs
+            + costs.drain_time(queued_bytes_per_writer, bandwidth_bps)
+            + costs.pause_toggle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::NetworkConfig;
+
+    fn env() -> (Sim, Net) {
+        (Sim::new(3), Network::new(NetworkConfig::portals_xt4()))
+    }
+
+    #[test]
+    fn increase_intra_dominates_manager_msgs() {
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(8, 4);
+        let new: Vec<NodeId> = (100..116).map(NodeId).collect();
+        let r = run_increase(
+            &mut sim,
+            &net,
+            &layout,
+            &new,
+            &TransportCosts::default(),
+            LaunchModel::Instant,
+        );
+        assert!(
+            r.intra_container > r.manager_msgs * 10,
+            "intra {} vs manager {}",
+            r.intra_container,
+            r.manager_msgs
+        );
+        assert_eq!(r.total, r.manager_msgs + r.intra_container);
+        assert_eq!(r.launch, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn increase_cost_grows_with_replica_count() {
+        let costs = TransportCosts::default();
+        let mut prev = SimDuration::ZERO;
+        for k in [1u32, 4, 16, 32] {
+            let (mut sim, net) = env();
+            let layout = ProtocolLayout::microbench(8, 4);
+            let new: Vec<NodeId> = (100..100 + k).map(NodeId).collect();
+            let r = run_increase(&mut sim, &net, &layout, &new, &costs, LaunchModel::Instant);
+            assert!(r.total > prev, "k={k}: {} not > {prev}", r.total);
+            prev = r.total;
+        }
+    }
+
+    #[test]
+    fn aprun_launch_dwarfs_protocol() {
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(8, 4);
+        let new: Vec<NodeId> = (100..104).map(NodeId).collect();
+        let r = run_increase(
+            &mut sim,
+            &net,
+            &layout,
+            &new,
+            &TransportCosts::default(),
+            LaunchModel::Aprun,
+        );
+        assert!(r.launch >= LaunchModel::APRUN_MIN);
+        assert!(r.launch > r.total * 50, "launch {} vs protocol {}", r.launch, r.total);
+    }
+
+    #[test]
+    fn decrease_pause_dominates() {
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(8, 16);
+        let victims: Vec<NodeId> = layout.replicas[..4].to_vec();
+        // One 67 MB step buffered per writer.
+        let r = run_decrease(
+            &mut sim,
+            &net,
+            &layout,
+            &victims,
+            &TransportCosts::default(),
+            67_000_000,
+            1_600_000_000,
+        );
+        assert!(
+            r.pause_wait > r.intra_container,
+            "pause {} vs intra {}",
+            r.pause_wait,
+            r.intra_container
+        );
+        assert!(r.pause_wait > r.manager_msgs * 100);
+        assert_eq!(r.total, r.manager_msgs + r.pause_wait + r.intra_container);
+    }
+
+    #[test]
+    fn decrease_with_empty_queues_is_cheap() {
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(4, 8);
+        let victims: Vec<NodeId> = layout.replicas[..2].to_vec();
+        let r = run_decrease(
+            &mut sim,
+            &net,
+            &layout,
+            &victims,
+            &TransportCosts::default(),
+            0,
+            1_600_000_000,
+        );
+        assert!(r.total < SimDuration::from_millis(5), "cheap decrease: {}", r.total);
+    }
+
+    #[test]
+    fn offline_includes_teardown_and_method_switch() {
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(8, 8);
+        let r = run_offline(
+            &mut sim,
+            &net,
+            &layout,
+            &TransportCosts::default(),
+            8_000_000,
+            1_600_000_000,
+        );
+        assert!(r.teardown > SimDuration::ZERO);
+        assert!(r.method_switch > SimDuration::from_micros(200));
+        // The breakdown is exhaustive: teardown + switch + manager msgs.
+        assert_eq!(r.total, r.teardown + r.method_switch + r.manager_msgs);
+        // The offline operation costs more than a plain full decrease.
+        let (mut sim2, net2) = env();
+        let layout2 = ProtocolLayout::microbench(8, 8);
+        let plain = run_decrease(
+            &mut sim2,
+            &net2,
+            &layout2,
+            &layout2.replicas,
+            &TransportCosts::default(),
+            8_000_000,
+            1_600_000_000,
+        );
+        assert!(r.total > plain.total);
+    }
+
+    #[test]
+    fn estimates_track_simulation() {
+        let costs = TransportCosts::default();
+        let per_msg = SimDuration::from_micros(8);
+        let (mut sim, net) = env();
+        let layout = ProtocolLayout::microbench(8, 4);
+        let new: Vec<NodeId> = (100..108).map(NodeId).collect();
+        let r = run_increase(&mut sim, &net, &layout, &new, &costs, LaunchModel::Instant);
+        let est = estimate::increase(8, 8, &costs, per_msg);
+        let ratio = est.as_secs_f64() / r.total.as_secs_f64();
+        assert!((0.2..5.0).contains(&ratio), "estimate off by {ratio}x ({est} vs {})", r.total);
+    }
+}

@@ -1,0 +1,117 @@
+//! Data-processing provenance.
+//!
+//! When management takes a container offline, the data it would have
+//! processed is written to disk instead — *labeled with its data-processing
+//! provenance*, so it is always possible to tell which analytics already
+//! ran on a stored step and which must still be applied post-hoc. The
+//! labels ride on the ADIOS attribute system.
+
+use adios::{AttrValue, StepData};
+
+/// Attribute key listing analytics that already processed the step.
+pub const PROCESSED_BY: &str = "provenance.processed_by";
+/// Attribute key listing analytics still owed to the step.
+pub const PENDING_OPS: &str = "provenance.pending_ops";
+
+/// Provenance of one stored step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Analytics that ran, in order.
+    pub processed_by: Vec<String>,
+    /// Analytics that must still run offline, in order.
+    pub pending_ops: Vec<String>,
+}
+
+impl Provenance {
+    /// Builds provenance from the online/offline split of a pipeline: the
+    /// stages that ran before the cut, and the stages pruned after it.
+    pub fn from_split(ran: &[&str], pruned: &[&str]) -> Provenance {
+        Provenance {
+            processed_by: ran.iter().map(|s| s.to_string()).collect(),
+            pending_ops: pruned.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Stamps the provenance onto a step's attributes.
+    pub fn stamp(&self, step: &mut StepData) {
+        step.set_attr(PROCESSED_BY, AttrValue::Str(self.processed_by.join(",")));
+        step.set_attr(PENDING_OPS, AttrValue::Str(self.pending_ops.join(",")));
+    }
+
+    /// Reads provenance back from a step's attributes.
+    pub fn read(step: &StepData) -> Provenance {
+        let list = |key: &str| -> Vec<String> {
+            match step.attr(key) {
+                Some(AttrValue::Str(s)) if !s.is_empty() => {
+                    s.split(',').map(str::to_string).collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        Provenance { processed_by: list(PROCESSED_BY), pending_ops: list(PENDING_OPS) }
+    }
+
+    /// Marks one pending operation as now performed (post-processing
+    /// catch-up). Returns `false` if `op` was not the next pending op —
+    /// analytics must be applied in pipeline order.
+    pub fn complete(&mut self, op: &str) -> bool {
+        if self.pending_ops.first().map(String::as_str) == Some(op) {
+            self.pending_ops.remove(0);
+            self.processed_by.push(op.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when nothing is owed.
+    pub fn fully_processed(&self) -> bool {
+        self.pending_ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_read_round_trip() {
+        let p = Provenance::from_split(&["Helper", "Bonds"], &["CSym", "CNA"]);
+        let mut step = StepData::new(3);
+        p.stamp(&mut step);
+        let back = Provenance::read(&step);
+        assert_eq!(back, p);
+        assert!(!back.fully_processed());
+    }
+
+    #[test]
+    fn empty_provenance_reads_empty() {
+        let step = StepData::new(0);
+        let p = Provenance::read(&step);
+        assert!(p.processed_by.is_empty());
+        assert!(p.pending_ops.is_empty());
+        assert!(p.fully_processed());
+    }
+
+    #[test]
+    fn complete_enforces_pipeline_order() {
+        let mut p = Provenance::from_split(&["Helper"], &["Bonds", "CSym"]);
+        assert!(!p.complete("CSym"), "CSym before Bonds must fail");
+        assert!(p.complete("Bonds"));
+        assert!(p.complete("CSym"));
+        assert!(p.fully_processed());
+        assert_eq!(p.processed_by, vec!["Helper", "Bonds", "CSym"]);
+    }
+
+    #[test]
+    fn restamping_overwrites() {
+        let mut step = StepData::new(0);
+        Provenance::from_split(&["Helper"], &["Bonds"]).stamp(&mut step);
+        let mut p = Provenance::read(&step);
+        p.complete("Bonds");
+        p.stamp(&mut step);
+        let back = Provenance::read(&step);
+        assert!(back.fully_processed());
+        assert_eq!(back.processed_by, vec!["Helper", "Bonds"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Service-level agreements guiding container management.
+//!
+//! The paper's management actions are metric-driven: the simplest SLA is
+//! "analytics must complete before the application's next output step"
+//! (prevent blocking); others bound per-container latency or end-to-end
+//! pipeline latency. [`Sla`] captures those bounds; the policy layer
+//! evaluates them against monitoring data.
+
+use sim_core::SimDuration;
+
+/// The agreement a pipeline run is managed against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sla {
+    /// The application's output cadence — the interval at which new steps
+    /// arrive. A container sustaining less than one step per cadence is a
+    /// bottleneck.
+    pub output_cadence: SimDuration,
+    /// Maximum acceptable per-container latency (entry → exit, including
+    /// queue wait) before management intervenes.
+    pub max_container_latency: SimDuration,
+    /// Optional bound on end-to-end pipeline latency.
+    pub max_end_to_end: Option<SimDuration>,
+}
+
+impl Sla {
+    /// The paper's experimental setup: 15 s output cadence ("more
+    /// frequently than normal, to show capabilities under stress") and a
+    /// per-container bound of two cadences — enough queueing headroom that
+    /// transient spikes do not trigger management, but sustained backlog
+    /// does.
+    pub fn paper_default() -> Sla {
+        let cadence = SimDuration::from_secs(15);
+        Sla {
+            output_cadence: cadence,
+            max_container_latency: cadence * 2,
+            max_end_to_end: None,
+        }
+    }
+
+    /// A cadence-derived SLA with the same 2× latency headroom.
+    pub fn from_cadence(cadence: SimDuration) -> Sla {
+        Sla { output_cadence: cadence, max_container_latency: cadence * 2, max_end_to_end: None }
+    }
+
+    /// True if the observed average container latency violates the SLA.
+    pub fn container_violated(&self, avg_latency: SimDuration) -> bool {
+        avg_latency > self.max_container_latency
+    }
+
+    /// True if the observed end-to-end latency violates the SLA.
+    pub fn end_to_end_violated(&self, e2e: SimDuration) -> bool {
+        self.max_end_to_end.map(|m| e2e > m).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_fifteen_seconds() {
+        let sla = Sla::paper_default();
+        assert_eq!(sla.output_cadence, SimDuration::from_secs(15));
+        assert_eq!(sla.max_container_latency, SimDuration::from_secs(30));
+        assert_eq!(sla.max_end_to_end, None);
+    }
+
+    #[test]
+    fn violation_checks() {
+        let sla = Sla::from_cadence(SimDuration::from_secs(10));
+        assert!(!sla.container_violated(SimDuration::from_secs(20)));
+        assert!(sla.container_violated(SimDuration::from_secs(21)));
+        assert!(!sla.end_to_end_violated(SimDuration::from_secs(1_000)));
+        let strict = Sla { max_end_to_end: Some(SimDuration::from_secs(60)), ..sla };
+        assert!(strict.end_to_end_violated(SimDuration::from_secs(61)));
+    }
+}

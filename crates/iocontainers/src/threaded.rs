@@ -1,0 +1,686 @@
+//! The threaded container runtime: real kernels on real data.
+//!
+//! Where [`crate::run_pipeline`] reproduces the paper's cluster-scale
+//! figures on simulated time, this runtime executes the actual pipeline
+//! end to end on OS threads: a live [`mdsim::MdEngine`] produces atom
+//! snapshots; each container is a pool of worker threads fed through a
+//! DataTap staged channel; data moves as ADIOS step records (via
+//! [`crate::codec`]); per-stage latency flows to a global-manager EVPath
+//! overlay; and a manager thread implements the round-robin *increase*
+//! operation for Bonds when its staging queue backs up. The CSym → CNA
+//! dynamic branch fires from the data itself: CSym detecting the crack
+//! retires and the router redirects subsequent steps to CNA.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use datatap::channel;
+use evpath::{Action as EvAction, Event, Overlay};
+use mdsim::{MdConfig, MdEngine};
+use sim_core::stats::Welford;
+use smartpointer::{split_snapshot, AggregationTree, Bonds, CSym, Cna};
+
+use crate::codec;
+
+/// Configuration of a threaded pipeline run.
+#[derive(Clone, Debug)]
+pub struct ThreadedConfig {
+    /// The MD workload.
+    pub md: MdConfig,
+    /// Output steps to produce.
+    pub steps: u64,
+    /// MD steps between outputs.
+    pub md_steps_per_epoch: u64,
+    /// Simulated writer ranks (Helper aggregates this many chunks/step).
+    pub ranks: usize,
+    /// Aggregation-tree fan-in.
+    pub fan_in: usize,
+    /// The Bonds kernel.
+    pub bonds: Bonds,
+    /// The CSym kernel.
+    pub csym: CSym,
+    /// Staged-channel capacity in steps.
+    pub queue_capacity: usize,
+    /// Use the paper-faithful O(n²) Bonds kernel instead of the
+    /// cell-list fast path (useful to stress the manager).
+    pub bonds_use_n2: bool,
+    /// Bonds round-robin workers at start.
+    pub initial_bonds_workers: usize,
+    /// Upper bound the manager may grow Bonds to.
+    pub max_bonds_workers: usize,
+    /// Enable the managing thread (increase-on-backlog).
+    pub manage: bool,
+    /// When the manager cannot grow Bonds further and the backlog
+    /// persists, take Bonds offline and stage the remaining steps into a
+    /// provenance-labeled BP container file in this directory.
+    pub offline_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            md: MdConfig::default(),
+            steps: 8,
+            md_steps_per_epoch: 5,
+            ranks: 4,
+            fan_in: 2,
+            bonds: Bonds::default(),
+            csym: CSym::default(),
+            queue_capacity: 4,
+            bonds_use_n2: false,
+            initial_bonds_workers: 1,
+            max_bonds_workers: 4,
+            manage: true,
+            offline_dir: None,
+        }
+    }
+}
+
+/// A management action taken during a threaded run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadedAction {
+    /// The manager added a Bonds round-robin worker.
+    IncreaseBonds {
+        /// Worker count after the action.
+        workers: usize,
+    },
+    /// CSym detected the break; CNA took over.
+    Branch {
+        /// The step at which the break was detected.
+        at_step: u64,
+    },
+    /// The manager took Bonds offline; remaining steps go to disk with
+    /// provenance.
+    OfflineBonds {
+        /// Steps Bonds had completed when pruned.
+        completed: u64,
+    },
+}
+
+/// One monitoring record delivered to the global-manager overlay.
+#[derive(Clone, Copy, Debug)]
+pub struct StageSample {
+    /// Pipeline stage index (0 = Helper, 1 = Bonds, 2 = CSym, 3 = CNA).
+    pub stage: usize,
+    /// Step measured.
+    pub step: u64,
+    /// Real processing latency.
+    pub latency: Duration,
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedReport {
+    /// Steps the application emitted.
+    pub steps_emitted: u64,
+    /// Steps each stage completed: (Helper, Bonds, CSym, CNA).
+    pub stage_steps: [u64; 4],
+    /// Step at which the crack was detected, if it was.
+    pub crack_detected_at: Option<u64>,
+    /// Management actions, in order.
+    pub actions: Vec<ThreadedAction>,
+    /// Mean real latency per stage, seconds.
+    pub mean_latency_s: [f64; 4],
+    /// Monitoring events delivered to the global manager.
+    pub monitor_events: u64,
+    /// FCC fraction reported by CNA's last step, if CNA ran.
+    pub last_fcc_fraction: Option<f64>,
+    /// Steps written to disk with provenance after Bonds went offline.
+    pub offline_steps: u64,
+    /// The provenance-labeled container file, when the offline path fired.
+    pub offline_path: Option<std::path::PathBuf>,
+}
+
+struct Shared {
+    crack: AtomicBool,
+    crack_step: AtomicU64,
+    bonds_done: AtomicU64,
+    bonds_offline: AtomicBool,
+    offline_written: AtomicU64,
+    router_done: AtomicBool,
+    latency: [Mutex<Welford>; 4],
+    actions: Mutex<Vec<ThreadedAction>>,
+    last_fcc: Mutex<Option<f64>>,
+}
+
+const STAGE_NAMES: [&str; 4] = ["Helper", "Bonds", "CSym", "CNA"];
+
+fn observe(shared: &Shared, monitor: &evpath::OverlaySender, sink: evpath::StoneId, sample: StageSample) {
+    shared.latency[sample.stage].lock().unwrap().add(sample.latency.as_secs_f64());
+    monitor.submit(sink, Event::new(sample));
+}
+
+/// Runs the full pipeline on real threads. Blocks until every stage
+/// drains.
+pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
+    assert!(cfg.initial_bonds_workers >= 1 && cfg.ranks >= 1 && cfg.steps >= 1);
+    let shared = Arc::new(Shared {
+        crack: AtomicBool::new(false),
+        crack_step: AtomicU64::new(0),
+        bonds_done: AtomicU64::new(0),
+        bonds_offline: AtomicBool::new(false),
+        offline_written: AtomicU64::new(0),
+        router_done: AtomicBool::new(false),
+        latency: [
+            Mutex::new(Welford::new()),
+            Mutex::new(Welford::new()),
+            Mutex::new(Welford::new()),
+            Mutex::new(Welford::new()),
+        ],
+        actions: Mutex::new(Vec::new()),
+        last_fcc: Mutex::new(None),
+    });
+
+    // Global-manager monitoring overlay: every stage reports here.
+    let overlay = Overlay::new("global-manager");
+    let events = Arc::new(AtomicU64::new(0));
+    let ev2 = events.clone();
+    let sink = overlay.add_stone(EvAction::Terminal(Box::new(move |_ev| {
+        ev2.fetch_add(1, Ordering::Relaxed);
+    })));
+    let monitor = overlay.sender();
+
+    // Staged channels between containers.
+    let (w_chunks, r_chunks) = channel(cfg.queue_capacity * cfg.ranks.max(1));
+    let (w_bonds, r_bonds) = channel(cfg.queue_capacity);
+    let (w_routed, r_routed) = channel(cfg.queue_capacity);
+    let (w_csym, r_csym) = channel(cfg.queue_capacity);
+    let (w_cna, r_cna) = channel(cfg.queue_capacity);
+    let r_bonds = Arc::new(r_bonds);
+
+    let offline_path: Arc<Mutex<Option<std::path::PathBuf>>> = Arc::new(Mutex::new(None));
+    let steps = cfg.steps;
+    std::thread::scope(|scope| {
+        // --- Application (LAMMPS stand-in). -----------------------------
+        {
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut md = MdEngine::new(cfg.md.clone());
+                for _ in 0..cfg.steps {
+                    let snap = md.run_epoch(cfg.md_steps_per_epoch);
+                    for (rank, chunk) in
+                        split_snapshot(&snap, cfg.ranks).into_iter().enumerate()
+                    {
+                        let mut step = codec::snapshot_to_step(&chunk);
+                        step.set_attr("rank", adios::AttrValue::Int(rank as i64));
+                        // Blocking write: a full staging buffer blocks the
+                        // application, exactly as on the machine.
+                        if w_chunks.write(step).is_err() {
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+
+        // --- Helper: the aggregation tree. -------------------------------
+        {
+            let cfg = cfg.clone();
+            let shared = shared.clone();
+            let monitor = monitor.clone();
+            let w_bonds = w_bonds.clone();
+            scope.spawn(move || {
+                let tree = AggregationTree::new(cfg.fan_in.max(2));
+                let mut done = 0u64;
+                let mut pending: Vec<mdsim::Snapshot> = Vec::with_capacity(cfg.ranks);
+                while done < cfg.steps {
+                    let Some((_, step)) = r_chunks.pull() else { break };
+                    let t0 = Instant::now();
+                    if let Some(chunk) = codec::step_to_snapshot(&step) {
+                        pending.push(chunk);
+                    }
+                    if pending.len() == cfg.ranks {
+                        let merged = tree.aggregate(std::mem::take(&mut pending));
+                        let out = codec::snapshot_to_step(&merged);
+                        let step_ix = merged.step;
+                        if w_bonds.write(out).is_err() {
+                            break;
+                        }
+                        done += 1;
+                        observe(
+                            &shared,
+                            &monitor,
+                            sink,
+                            StageSample { stage: 0, step: step_ix, latency: t0.elapsed() },
+                        );
+                    }
+                }
+            });
+        }
+
+        // --- Bonds: a growable round-robin worker pool. -------------------
+        // `scope` can be captured by the manager thread so the increase
+        // operation spawns real replica threads at runtime.
+        let spawn_bonds_worker = {
+            let cfg = cfg.clone();
+            let shared = shared.clone();
+            let monitor = monitor.clone();
+            let r_bonds = r_bonds.clone();
+            let w_routed = w_routed.clone();
+            move || {
+                let cfg = cfg.clone();
+                let shared = shared.clone();
+                let monitor = monitor.clone();
+                let r_bonds = r_bonds.clone();
+                let w_routed = w_routed.clone();
+                scope.spawn(move || {
+                    loop {
+                        if shared.bonds_done.load(Ordering::Acquire)
+                            + shared.offline_written.load(Ordering::Acquire)
+                            >= cfg.steps
+                            || shared.bonds_offline.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        let Some((_, step)) =
+                            r_bonds.pull_timeout(Duration::from_millis(20))
+                        else {
+                            continue;
+                        };
+                        let t0 = Instant::now();
+                        let Some(snap) = codec::step_to_snapshot(&step) else { continue };
+                        let out = if cfg.bonds_use_n2 {
+                            cfg.bonds.compute_n2(&snap)
+                        } else {
+                            cfg.bonds.compute(&snap)
+                        };
+                        let encoded = codec::bonds_to_step(&out);
+                        if w_routed.write(encoded).is_err() {
+                            break;
+                        }
+                        shared.bonds_done.fetch_add(1, Ordering::AcqRel);
+                        observe(
+                            &shared,
+                            &monitor,
+                            sink,
+                            StageSample { stage: 1, step: snap.step, latency: t0.elapsed() },
+                        );
+                    }
+                });
+            }
+        };
+        let worker_count = Arc::new(AtomicU64::new(0));
+        for _ in 0..cfg.initial_bonds_workers {
+            spawn_bonds_worker();
+            worker_count.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // --- Router: implements the dynamic branch. ----------------------
+        {
+            let shared = shared.clone();
+            scope.spawn(move || {
+                let mut routed = 0u64;
+                while routed + shared.offline_written.load(Ordering::Acquire) < steps {
+                    let Some((_, step)) = r_routed.pull_timeout(Duration::from_millis(20))
+                    else {
+                        continue;
+                    };
+                    let target =
+                        if shared.crack.load(Ordering::Acquire) { &w_cna } else { &w_csym };
+                    if target.write(step).is_err() {
+                        break;
+                    }
+                    routed += 1;
+                }
+                shared.router_done.store(true, Ordering::Release);
+            });
+        }
+
+        // --- CSym: detector; retires on break. ---------------------------
+        {
+            let cfg = cfg.clone();
+            let shared = shared.clone();
+            let monitor = monitor.clone();
+            scope.spawn(move || {
+                loop {
+                    let Some((_, step)) = r_csym.pull_timeout(Duration::from_millis(20))
+                    else {
+                        if shared.router_done.load(Ordering::Acquire)
+                            || shared.crack.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let Some(bonds) = codec::step_to_bonds(&step) else { continue };
+                    let out = cfg.csym.compute(&bonds);
+                    observe(
+                        &shared,
+                        &monitor,
+                        sink,
+                        StageSample { stage: 2, step: out.step, latency: t0.elapsed() },
+                    );
+                    if out.break_detected {
+                        // Dynamic branch: record, notify, retire.
+                        shared.crack_step.store(out.step, Ordering::Release);
+                        shared.crack.store(true, Ordering::Release);
+                        shared
+                            .actions
+                            .lock()
+                            .unwrap()
+                            .push(ThreadedAction::Branch { at_step: out.step });
+                        break;
+                    }
+                }
+            });
+        }
+
+        // --- CNA: structural labeling after the branch. -------------------
+        {
+            let shared = shared.clone();
+            let monitor = monitor.clone();
+            scope.spawn(move || {
+                loop {
+                    let Some((_, step)) = r_cna.pull_timeout(Duration::from_millis(20))
+                    else {
+                        if shared.router_done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let Some(bonds) = codec::step_to_bonds(&step) else { continue };
+                    let out = Cna.compute(&bonds);
+                    *shared.last_fcc.lock().unwrap() = Some(out.fcc_fraction);
+                    observe(
+                        &shared,
+                        &monitor,
+                        sink,
+                        StageSample { stage: 3, step: out.step, latency: t0.elapsed() },
+                    );
+                }
+            });
+        }
+
+        // --- Offline drainer: stages leftover steps with provenance. ------
+        if let Some(dir) = cfg.offline_dir.clone() {
+            let cfg = cfg.clone();
+            let shared = shared.clone();
+            let r_drain = r_bonds.clone();
+            let path_slot = offline_path.clone();
+            scope.spawn(move || {
+                // Wait for the offline signal (or completion).
+                loop {
+                    if shared.bonds_offline.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if shared.bonds_done.load(Ordering::Acquire) >= cfg.steps {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                std::fs::create_dir_all(&dir).expect("offline dir");
+                let path = dir.join("offline-staged.bp");
+                let mut writer =
+                    adios::BpFileWriter::create(&path).expect("create offline container");
+                let prov = crate::provenance::Provenance::from_split(
+                    &["Helper"],
+                    &["Bonds", "CSym"],
+                );
+                while shared.bonds_done.load(Ordering::Acquire)
+                    + shared.offline_written.load(Ordering::Acquire)
+                    < cfg.steps
+                {
+                    let Some((_, mut step)) =
+                        r_drain.pull_timeout(Duration::from_millis(20))
+                    else {
+                        continue;
+                    };
+                    prov.stamp(&mut step);
+                    writer.append("atoms", &step).expect("append offline step");
+                    shared.offline_written.fetch_add(1, Ordering::AcqRel);
+                }
+                let final_path = writer.finalize().expect("finalize offline container");
+                *path_slot.lock().unwrap() = Some(final_path);
+            });
+        }
+
+        // --- Manager: the increase operation on backlog. ------------------
+        if cfg.manage {
+            let cfg = cfg.clone();
+            let shared = shared.clone();
+            let worker_count = worker_count.clone();
+            let r_stats = r_bonds.clone();
+            let spawn_bonds_worker = spawn_bonds_worker.clone();
+            scope.spawn(move || {
+                let mut saturated_checks = 0u32;
+                loop {
+                    if shared.bonds_done.load(Ordering::Acquire)
+                        + shared.offline_written.load(Ordering::Acquire)
+                        >= cfg.steps
+                        || shared.bonds_offline.load(Ordering::Acquire)
+                    {
+                        break;
+                    }
+                    let stats = r_stats.stats();
+                    let workers = worker_count.load(Ordering::Relaxed) as usize;
+                    if stats.queued > cfg.queue_capacity / 2 {
+                        if workers < cfg.max_bonds_workers {
+                            // The increase operation: spawn a round-robin
+                            // replica on the shared staged channel.
+                            spawn_bonds_worker();
+                            worker_count.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .actions
+                                .lock()
+                                .unwrap()
+                                .push(ThreadedAction::IncreaseBonds { workers: workers + 1 });
+                        } else if cfg.offline_dir.is_some() {
+                            saturated_checks += 1;
+                            if saturated_checks >= 5 {
+                                // No more resources: take Bonds offline and
+                                // stage the remaining steps to disk with
+                                // provenance, exactly as the 1024-node
+                                // scenario does.
+                                let done = shared.bonds_done.load(Ordering::Acquire);
+                                shared.bonds_offline.store(true, Ordering::Release);
+                                shared
+                                    .actions
+                                    .lock()
+                                    .unwrap()
+                                    .push(ThreadedAction::OfflineBonds { completed: done });
+                                break;
+                            }
+                        }
+                    } else {
+                        saturated_checks = 0;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+        }
+    });
+
+    overlay.flush();
+    let monitor_events = events.load(Ordering::Relaxed);
+    overlay.shutdown();
+
+    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("threads exited"));
+    let mean = |ix: usize| shared.latency[ix].lock().unwrap().mean();
+    let stage_steps = [
+        shared.latency[0].lock().unwrap().count(),
+        shared.latency[1].lock().unwrap().count(),
+        shared.latency[2].lock().unwrap().count(),
+        shared.latency[3].lock().unwrap().count(),
+    ];
+    let final_offline_path = offline_path.lock().unwrap().take();
+    let mean_latency_s = [mean(0), mean(1), mean(2), mean(3)];
+    let crack_detected_at = shared
+        .crack
+        .load(Ordering::Acquire)
+        .then(|| shared.crack_step.load(Ordering::Acquire));
+    let last_fcc_fraction = *shared.last_fcc.lock().unwrap();
+    let actions = shared.actions.into_inner().unwrap();
+    ThreadedReport {
+        steps_emitted: cfg.steps,
+        stage_steps,
+        crack_detected_at,
+        actions,
+        mean_latency_s,
+        monitor_events,
+        last_fcc_fraction,
+        offline_steps: shared.offline_written.load(Ordering::Acquire),
+        offline_path: final_offline_path,
+    }
+}
+
+/// Stage display names, aligned with [`StageSample::stage`].
+pub fn stage_names() -> [&'static str; 4] {
+    STAGE_NAMES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pristine_run_flows_through_csym() {
+        let cfg = ThreadedConfig { steps: 4, manage: false, ..ThreadedConfig::default() };
+        let report = run_threaded(cfg);
+        assert_eq!(report.stage_steps[0], 4, "helper steps");
+        assert_eq!(report.stage_steps[1], 4, "bonds steps");
+        assert_eq!(report.stage_steps[2], 4, "csym sees all steps, no crack");
+        assert_eq!(report.stage_steps[3], 0, "cna never activates");
+        assert!(report.crack_detected_at.is_none());
+        assert!(report.monitor_events >= 12);
+    }
+
+    #[test]
+    fn fracture_run_branches_to_cna() {
+        let md = MdConfig {
+            temperature: 0.02,
+            strain_per_step: 0.002,
+            yield_strain: 0.03,
+            ..MdConfig::default()
+        };
+        // Yield at 15 MD steps; 5 MD steps per output => crack around
+        // output step 3.
+        let cfg = ThreadedConfig { md, steps: 8, manage: false, ..ThreadedConfig::default() };
+        let report = run_threaded(cfg);
+        let crack = report.crack_detected_at.expect("crack must be detected");
+        assert!((2..=5).contains(&crack), "crack at step {crack}");
+        assert!(report.stage_steps[3] > 0, "cna must take over: {:?}", report.stage_steps);
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| matches!(a, ThreadedAction::Branch { .. })));
+        // CNA labels the cracked crystal: fcc fraction below 1.
+        let fcc = report.last_fcc_fraction.expect("cna ran");
+        assert!(fcc < 1.0 && fcc > 0.3, "fcc fraction {fcc}");
+    }
+
+    #[test]
+    fn manager_grows_bonds_under_backlog() {
+        // One slow bonds worker (n² kernel on a larger crystal) with a
+        // fast producer: the staging queue backs up and the manager adds
+        // replicas.
+        let cfg = ThreadedConfig {
+            md: MdConfig { cells: (8, 8, 8), ..MdConfig::default() },
+            steps: 10,
+            md_steps_per_epoch: 1,
+            bonds_use_n2: true,
+            initial_bonds_workers: 1,
+            max_bonds_workers: 4,
+            queue_capacity: 4,
+            manage: true,
+            ..ThreadedConfig::default()
+        };
+        let report = run_threaded(cfg);
+        assert_eq!(report.stage_steps[1], 10, "all steps processed");
+        assert!(
+            report.actions.iter().any(|a| matches!(a, ThreadedAction::IncreaseBonds { .. })),
+            "manager should have increased bonds: {:?}",
+            report.actions
+        );
+    }
+
+    #[test]
+    fn stage_names_align() {
+        assert_eq!(stage_names(), ["Helper", "Bonds", "CSym", "CNA"]);
+    }
+}
+
+#[cfg(test)]
+mod offline_tests {
+    use super::*;
+    use crate::provenance::Provenance;
+
+    /// The threaded counterpart of the 1024-node scenario: the manager
+    /// exhausts its replica budget, takes Bonds offline, and the leftover
+    /// steps land in a provenance-labeled BP container that post-hoc
+    /// analysis can replay.
+    #[test]
+    fn saturated_bonds_goes_offline_with_provenance() {
+        let dir = std::env::temp_dir()
+            .join(format!("ioc-threaded-offline-{}", std::process::id()));
+        let cfg = ThreadedConfig {
+            md: MdConfig { cells: (9, 9, 9), ..MdConfig::default() },
+            steps: 12,
+            md_steps_per_epoch: 1,
+            bonds_use_n2: true,   // slow kernel
+            initial_bonds_workers: 1,
+            max_bonds_workers: 1, // no growth possible
+            queue_capacity: 2,
+            manage: true,
+            offline_dir: Some(dir.clone()),
+            ..ThreadedConfig::default()
+        };
+        let report = run_threaded(cfg);
+
+        assert!(
+            report.actions.iter().any(|a| matches!(a, ThreadedAction::OfflineBonds { .. })),
+            "manager must prune bonds: {:?}",
+            report.actions
+        );
+        assert!(report.offline_steps > 0, "steps must be staged to disk");
+        assert_eq!(
+            report.stage_steps[1] + report.offline_steps,
+            12,
+            "every step is either processed or staged"
+        );
+
+        // The container file is readable and provenance-complete.
+        let path = report.offline_path.expect("offline container written");
+        let mut reader = adios::BpFileReader::open(&path).expect("valid container");
+        assert_eq!(reader.len() as u64, report.offline_steps);
+        let step = reader.read_at(0).expect("readable step");
+        let prov = Provenance::read(&step.data);
+        assert_eq!(prov.processed_by, vec!["Helper"]);
+        assert_eq!(prov.pending_ops, vec!["Bonds", "CSym"]);
+        // And the staged atoms decode.
+        assert!(crate::codec::step_to_snapshot(&step.data).is_some());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With growth available, the same load is absorbed and nothing goes
+    /// offline — management works before it prunes.
+    #[test]
+    fn growth_prevents_offline() {
+        let dir = std::env::temp_dir()
+            .join(format!("ioc-threaded-no-offline-{}", std::process::id()));
+        let cfg = ThreadedConfig {
+            md: MdConfig { cells: (8, 8, 8), ..MdConfig::default() },
+            steps: 10,
+            md_steps_per_epoch: 1,
+            bonds_use_n2: true,
+            initial_bonds_workers: 1,
+            max_bonds_workers: 6,
+            queue_capacity: 2,
+            manage: true,
+            offline_dir: Some(dir.clone()),
+            ..ThreadedConfig::default()
+        };
+        let report = run_threaded(cfg);
+        assert!(
+            !report.actions.iter().any(|a| matches!(a, ThreadedAction::OfflineBonds { .. })),
+            "growth should suffice: {:?}",
+            report.actions
+        );
+        assert_eq!(report.stage_steps[1], 10);
+        assert_eq!(report.offline_steps, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulation configuration and the paper's weak-scaling presets.
+
+use sim_core::SimDuration;
+
+/// Output accounting used by the paper's Table II: 8 bytes per atom per
+/// output step (the staged per-atom field). With this constant the table's
+/// node→size rows reproduce exactly (in MiB).
+pub const OUTPUT_BYTES_PER_ATOM: u64 = 8;
+
+/// The paper's Table II rows: (simulation nodes, atoms, output bytes/step).
+pub const TABLE2: [(u32, u64); 3] =
+    [(256, 8_819_989), (512, 17_639_979), (1024, 35_279_958)];
+
+/// Atoms simulated for a given simulation-node count, following the paper's
+/// weak-scaling setup (≈34,453 atoms per node). The three Table II
+/// configurations return the paper's exact atom counts.
+pub fn atoms_for_nodes(nodes: u32) -> u64 {
+    for &(n, atoms) in &TABLE2 {
+        if n == nodes {
+            return atoms;
+        }
+    }
+    nodes as u64 * 34_453
+}
+
+/// Output bytes per step for a given atom count (Table II accounting).
+pub fn output_bytes(atoms: u64) -> u64 {
+    atoms * OUTPUT_BYTES_PER_ATOM
+}
+
+/// Full configuration of a molecular-dynamics run.
+#[derive(Clone, Debug)]
+pub struct MdConfig {
+    /// FCC unit cells per dimension.
+    pub cells: (u32, u32, u32),
+    /// Lattice constant in reduced (LJ) units.
+    pub lattice_constant: f64,
+    /// Integration timestep in reduced units.
+    pub dt: f64,
+    /// Lennard-Jones interaction cutoff in reduced units.
+    pub cutoff: f64,
+    /// Initial temperature in reduced units.
+    pub temperature: f64,
+    /// RNG seed for velocity initialization.
+    pub seed: u64,
+    /// Uniaxial strain applied per MD step (pulls the box along x).
+    pub strain_per_step: f64,
+    /// Strain at which the notch fails and a crack opens.
+    pub yield_strain: f64,
+    /// Worker threads for force evaluation (1 = serial).
+    pub threads: usize,
+    /// Virtual wall-clock cost per MD step per atom, used when the run is
+    /// embedded in the discrete-event experiments.
+    pub sim_cost_per_atom_step: SimDuration,
+}
+
+impl Default for MdConfig {
+    fn default() -> Self {
+        MdConfig {
+            cells: (6, 6, 6),
+            lattice_constant: 1.5874, // FCC equilibrium spacing for LJ solids
+            dt: 0.002,
+            cutoff: 2.5,
+            temperature: 0.1,
+            seed: 20130520,
+            strain_per_step: 0.0,
+            yield_strain: 0.08,
+            threads: 1,
+            sim_cost_per_atom_step: SimDuration::from_nanos(150),
+        }
+    }
+}
+
+impl MdConfig {
+    /// A small, fast configuration for tests (≈864 atoms).
+    pub fn small() -> Self {
+        MdConfig::default()
+    }
+
+    /// A fracture scenario: strained crystal that cracks once the strain
+    /// passes the yield point.
+    pub fn fracture() -> Self {
+        MdConfig { strain_per_step: 0.002, ..MdConfig::default() }
+    }
+
+    /// Number of atoms this configuration produces (4 per FCC cell).
+    pub fn atom_count(&self) -> usize {
+        4 * (self.cells.0 as usize) * (self.cells.1 as usize) * (self.cells.2 as usize)
+    }
+
+    /// Box lengths before strain.
+    pub fn box_lengths(&self) -> [f64; 3] {
+        [
+            self.cells.0 as f64 * self.lattice_constant,
+            self.cells.1 as f64 * self.lattice_constant,
+            self.cells.2 as f64 * self.lattice_constant,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_reproduce_exactly() {
+        // 67 MiB, 134.6 MiB, 269.2 MiB within rounding.
+        let expect_mib = [67.0, 134.6, 269.2];
+        for (&(nodes, atoms), &mib) in TABLE2.iter().zip(&expect_mib) {
+            assert_eq!(atoms_for_nodes(nodes), atoms);
+            let size_mib = output_bytes(atoms) as f64 / (1024.0 * 1024.0);
+            assert!((size_mib - mib).abs() < 0.5, "{nodes} nodes: {size_mib} MiB vs {mib}");
+        }
+    }
+
+    #[test]
+    fn weak_scaling_interpolates() {
+        assert_eq!(atoms_for_nodes(100), 3_445_300);
+    }
+
+    #[test]
+    fn atom_count_is_four_per_cell() {
+        let cfg = MdConfig { cells: (2, 3, 4), ..MdConfig::default() };
+        assert_eq!(cfg.atom_count(), 4 * 24);
+    }
+
+    #[test]
+    fn box_scales_with_cells() {
+        let cfg = MdConfig { cells: (2, 2, 2), lattice_constant: 2.0, ..MdConfig::default() };
+        assert_eq!(cfg.box_lengths(), [4.0, 4.0, 4.0]);
+    }
+}

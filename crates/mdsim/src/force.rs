@@ -1,0 +1,267 @@
+//! Lennard-Jones forces via a cell list, with optional thread parallelism.
+//!
+//! The evaluation is written half-neighbor-free: every atom scans its own
+//! neighborhood and accumulates its own force. That doubles the pair math
+//! but makes the parallel version embarrassingly simple (threads own
+//! disjoint force slices, no reduction needed) and bit-deterministic
+//! regardless of thread count — each atom's accumulation order is fixed.
+
+use crate::system::System;
+
+/// A uniform-grid cell list over the periodic box.
+pub struct CellList {
+    dims: [usize; 3],
+    cells: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Builds a cell list with cells no smaller than `cutoff`.
+    pub fn build(sys: &System, cutoff: f64) -> CellList {
+        let mut dims = [1usize; 3];
+        for k in 0..3 {
+            dims[k] = ((sys.box_len[k] / cutoff).floor() as usize).max(1);
+        }
+        let n_cells = dims[0] * dims[1] * dims[2];
+        let mut cells: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+        for (i, p) in sys.pos.iter().enumerate() {
+            let c = Self::cell_of(p, sys.box_len, dims);
+            cells[c].push(i as u32);
+        }
+        CellList { dims, cells }
+    }
+
+    fn cell_of(p: &[f64; 3], box_len: [f64; 3], dims: [usize; 3]) -> usize {
+        let mut ix = [0usize; 3];
+        for k in 0..3 {
+            // Positions are wrapped, but guard the boundary case p == L.
+            let f = (p[k] / box_len[k]).clamp(0.0, 1.0 - 1e-12);
+            ix[k] = (f * dims[k] as f64) as usize;
+        }
+        (ix[2] * dims[1] + ix[1]) * dims[0] + ix[0]
+    }
+
+    /// Invokes `f` for every atom in the 27-cell neighborhood of the cell
+    /// containing `p` (including the atom itself; callers skip `i == j`).
+    pub fn for_neighbors(&self, p: &[f64; 3], box_len: [f64; 3], mut f: impl FnMut(u32)) {
+        let dims = self.dims;
+        let mut ix = [0usize; 3];
+        for k in 0..3 {
+            let fk = (p[k] / box_len[k]).clamp(0.0, 1.0 - 1e-12);
+            ix[k] = (fk * dims[k] as f64) as usize;
+        }
+        // When a dimension has <3 cells the 27-stencil would visit the same
+        // cell twice; dedupe by iterating unique wrapped indices.
+        let offsets = [-1isize, 0, 1];
+        let mut seen = [usize::MAX; 27];
+        let mut seen_n = 0;
+        for &dz in &offsets {
+            for &dy in &offsets {
+                for &dx in &offsets {
+                    let cx = (ix[0] as isize + dx).rem_euclid(dims[0] as isize) as usize;
+                    let cy = (ix[1] as isize + dy).rem_euclid(dims[1] as isize) as usize;
+                    let cz = (ix[2] as isize + dz).rem_euclid(dims[2] as isize) as usize;
+                    let c = (cz * dims[1] + cy) * dims[0] + cx;
+                    if seen[..seen_n].contains(&c) {
+                        continue;
+                    }
+                    seen[seen_n] = c;
+                    seen_n += 1;
+                    for &j in &self.cells[c] {
+                        f(j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of one force evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ForceStats {
+    /// Total potential energy.
+    pub potential: f64,
+    /// Number of interacting pairs found (i<j, within cutoff).
+    pub pairs: u64,
+}
+
+#[inline]
+fn lj_pair(r2: f64) -> (f64, f64) {
+    // V(r) = 4 (r^-12 - r^-6); returns (scalar force / r, unshifted energy).
+    let inv_r2 = 1.0 / r2;
+    let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    let inv_r12 = inv_r6 * inv_r6;
+    let f_over_r = 24.0 * (2.0 * inv_r12 - inv_r6) * inv_r2;
+    let e = 4.0 * (inv_r12 - inv_r6);
+    (f_over_r, e)
+}
+
+/// Energy shift making the truncated potential continuous at the cutoff
+/// (truncated-and-shifted LJ); without it, pairs crossing the cutoff inject
+/// energy and NVE conservation degrades.
+#[inline]
+fn lj_shift(cutoff2: f64) -> f64 {
+    let inv_r2 = 1.0 / cutoff2;
+    let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    4.0 * (inv_r6 * inv_r6 - inv_r6)
+}
+
+fn compute_range(
+    sys: &System,
+    cells: &CellList,
+    cutoff2: f64,
+    range: std::ops::Range<usize>,
+    forces: &mut [[f64; 3]],
+) -> ForceStats {
+    let mut stats = ForceStats::default();
+    let e_shift = lj_shift(cutoff2);
+    for i in range.clone() {
+        let pi = sys.pos[i];
+        let mut fi = [0.0f64; 3];
+        cells.for_neighbors(&pi, sys.box_len, |j| {
+            let j = j as usize;
+            if j == i {
+                return;
+            }
+            let d = sys.min_image(pi, sys.pos[j]);
+            let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            if r2 < cutoff2 && r2 > 1e-12 {
+                let (f_over_r, e) = lj_pair(r2);
+                for k in 0..3 {
+                    fi[k] += f_over_r * d[k];
+                }
+                // Each pair is visited from both sides; count energy halves.
+                stats.potential += 0.5 * (e - e_shift);
+                if j > i {
+                    stats.pairs += 1;
+                }
+            }
+        });
+        forces[i - range.start] = fi;
+    }
+    stats
+}
+
+/// Evaluates LJ forces for the whole system, writing into `sys.force` and
+/// returning aggregate statistics. `threads == 1` runs serially; larger
+/// values split atoms across scoped threads.
+pub fn compute_forces(sys: &mut System, cutoff: f64, threads: usize) -> ForceStats {
+    let n = sys.len();
+    if n == 0 {
+        return ForceStats::default();
+    }
+    let cells = CellList::build(sys, cutoff);
+    let cutoff2 = cutoff * cutoff;
+
+    if threads <= 1 {
+        let mut forces = std::mem::take(&mut sys.force);
+        let stats = compute_range(sys, &cells, cutoff2, 0..n, &mut forces);
+        sys.force = forces;
+        return stats;
+    }
+
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut forces = std::mem::take(&mut sys.force);
+    let sys_ref: &System = sys;
+    let cells_ref = &cells;
+    let mut partials: Vec<ForceStats> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (t, slice) in forces.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            let end = (start + slice.len()).min(n);
+            handles.push(scope.spawn(move || {
+                compute_range(sys_ref, cells_ref, cutoff2, start..end, slice)
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("force worker panicked"));
+        }
+    });
+    sys.force = forces;
+    let mut stats = ForceStats::default();
+    for p in partials {
+        stats.potential += p.potential;
+        stats.pairs += p.pairs;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MdConfig;
+
+    #[test]
+    fn two_atoms_at_minimum_feel_no_force() {
+        let cfg = MdConfig::default();
+        let mut sys = System::fcc(&cfg);
+        // Replace with exactly two atoms at the LJ minimum r = 2^(1/6).
+        let r0 = 2f64.powf(1.0 / 6.0);
+        sys.pos = vec![[5.0, 5.0, 5.0], [5.0 + r0, 5.0, 5.0]];
+        sys.vel = vec![[0.0; 3]; 2];
+        sys.force = vec![[0.0; 3]; 2];
+        sys.ids = vec![0, 1];
+        sys.box_len = [20.0, 20.0, 20.0];
+        let stats = compute_forces(&mut sys, 2.5, 1);
+        assert!(sys.force[0][0].abs() < 1e-9, "force at minimum: {}", sys.force[0][0]);
+        // Truncated-and-shifted well depth: -1 minus the shift at the cutoff.
+        let expected = -1.0 - lj_shift(2.5 * 2.5);
+        assert!((stats.potential - expected).abs() < 1e-9, "well depth: {}", stats.potential);
+        assert_eq!(stats.pairs, 1);
+    }
+
+    #[test]
+    fn forces_are_newton_symmetric() {
+        let cfg = MdConfig::default();
+        let mut sys = System::fcc(&cfg);
+        sys.pos = vec![[5.0, 5.0, 5.0], [6.0, 5.0, 5.0]];
+        sys.vel = vec![[0.0; 3]; 2];
+        sys.force = vec![[0.0; 3]; 2];
+        sys.ids = vec![0, 1];
+        sys.box_len = [20.0, 20.0, 20.0];
+        compute_forces(&mut sys, 2.5, 1);
+        for k in 0..3 {
+            assert!((sys.force[0][k] + sys.force[1][k]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let cfg = MdConfig { cells: (4, 4, 4), ..MdConfig::default() };
+        let mut serial = System::fcc(&cfg);
+        let mut parallel = serial.clone();
+        let s1 = compute_forces(&mut serial, cfg.cutoff, 1);
+        let s4 = compute_forces(&mut parallel, cfg.cutoff, 4);
+        assert_eq!(serial.force, parallel.force);
+        assert_eq!(s1.pairs, s4.pairs);
+        assert!((s1.potential - s4.potential).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_list_finds_all_pairs_of_brute_force() {
+        let cfg = MdConfig { cells: (3, 3, 3), ..MdConfig::default() };
+        let mut sys = System::fcc(&cfg);
+        let cutoff = cfg.cutoff;
+        let stats = compute_forces(&mut sys, cutoff, 1);
+        // Brute-force pair count.
+        let mut brute = 0u64;
+        for i in 0..sys.len() {
+            for j in (i + 1)..sys.len() {
+                let d = sys.min_image(sys.pos[i], sys.pos[j]);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 < cutoff * cutoff && r2 > 1e-12 {
+                    brute += 1;
+                }
+            }
+        }
+        assert_eq!(stats.pairs, brute);
+    }
+
+    #[test]
+    fn crystal_at_rest_has_negative_potential() {
+        let mut sys = System::fcc(&MdConfig::default());
+        let stats = compute_forces(&mut sys, 2.5, 1);
+        assert!(stats.potential < 0.0, "bound crystal should be below zero energy");
+    }
+}

@@ -1,0 +1,33 @@
+//! # mdsim — LAMMPS-class molecular-dynamics workload
+//!
+//! The paper drives its I/O pipeline with the LAMMPS molecular-dynamics
+//! code simulating a strained solid that develops a crack. This crate is
+//! the equivalent workload generator: a real Lennard-Jones FCC crystal
+//! integrated with velocity Verlet ([`MdEngine`]), cell-list forces with
+//! optional thread parallelism ([`force`]), applied uniaxial strain with
+//! crack nucleation at yield, periodic output snapshots ([`Snapshot`])
+//! sized per the paper's Table II accounting, and bit-exact checkpointing.
+//!
+//! ## Example
+//! ```
+//! use mdsim::{MdConfig, MdEngine};
+//!
+//! let mut md = MdEngine::new(MdConfig::fracture());
+//! let snap = md.run_epoch(10); // 10 MD steps, then an output snapshot
+//! assert_eq!(snap.atom_count(), md.config().atom_count());
+//! assert!(snap.staged_bytes() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+mod engine;
+pub mod force;
+mod snapshot;
+mod system;
+
+pub use config::{atoms_for_nodes, output_bytes, MdConfig, OUTPUT_BYTES_PER_ATOM, TABLE2};
+pub use engine::MdEngine;
+pub use force::{compute_forces, CellList, ForceStats};
+pub use snapshot::Snapshot;
+pub use system::System;

@@ -1,0 +1,108 @@
+//! Output snapshots: the per-step data handed to the analytics pipeline.
+
+use std::sync::Arc;
+
+use crate::config::OUTPUT_BYTES_PER_ATOM;
+use crate::system::System;
+
+/// An immutable snapshot of one output step. Payloads are `Arc`-shared so
+/// fan-out through the analytics pipeline never copies atom data.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Output-step index.
+    pub step: u64,
+    /// MD step at which the snapshot was taken.
+    pub md_step: u64,
+    /// Periodic box lengths at snapshot time.
+    pub box_len: [f64; 3],
+    /// Atom ids.
+    pub ids: Arc<Vec<u64>>,
+    /// Atom positions (f32 is what production dumps use).
+    pub pos: Arc<Vec<[f32; 3]>>,
+    /// Accumulated strain at snapshot time.
+    pub strain: f64,
+}
+
+impl Snapshot {
+    /// Captures the current state of `sys`.
+    pub fn capture(sys: &System, step: u64, md_step: u64, strain: f64) -> Snapshot {
+        Snapshot {
+            step,
+            md_step,
+            box_len: sys.box_len,
+            ids: Arc::new(sys.ids.clone()),
+            pos: Arc::new(
+                sys.pos.iter().map(|p| [p[0] as f32, p[1] as f32, p[2] as f32]).collect(),
+            ),
+            strain,
+        }
+    }
+
+    /// Number of atoms in the snapshot.
+    pub fn atom_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Staged output size under the paper's Table II accounting.
+    pub fn staged_bytes(&self) -> u64 {
+        self.atom_count() as u64 * OUTPUT_BYTES_PER_ATOM
+    }
+
+    /// Minimum-image displacement between two atoms of this snapshot.
+    #[inline]
+    pub fn min_image(&self, i: usize, j: usize) -> [f64; 3] {
+        let (a, b) = (self.pos[i], self.pos[j]);
+        let mut d =
+            [a[0] as f64 - b[0] as f64, a[1] as f64 - b[1] as f64, a[2] as f64 - b[2] as f64];
+        for k in 0..3 {
+            let l = self.box_len[k];
+            if d[k] > 0.5 * l {
+                d[k] -= l;
+            } else if d[k] < -0.5 * l {
+                d[k] += l;
+            }
+        }
+        d
+    }
+
+    /// Squared minimum-image distance between two atoms.
+    #[inline]
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        let d = self.min_image(i, j);
+        d[0] * d[0] + d[1] * d[1] + d[2] * d[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MdConfig;
+
+    #[test]
+    fn capture_preserves_counts_and_sizes() {
+        let cfg = MdConfig::default();
+        let sys = System::fcc(&cfg);
+        let snap = Snapshot::capture(&sys, 3, 4500, 0.01);
+        assert_eq!(snap.atom_count(), cfg.atom_count());
+        assert_eq!(snap.staged_bytes(), cfg.atom_count() as u64 * 8);
+        assert_eq!(snap.step, 3);
+        assert_eq!(snap.md_step, 4500);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let sys = System::fcc(&MdConfig::default());
+        let a = Snapshot::capture(&sys, 0, 0, 0.0);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.pos, &b.pos));
+    }
+
+    #[test]
+    fn dist2_matches_system_min_image() {
+        let sys = System::fcc(&MdConfig::default());
+        let snap = Snapshot::capture(&sys, 0, 0, 0.0);
+        let d_sys = sys.min_image(sys.pos[0], sys.pos[7]);
+        let want = d_sys[0] * d_sys[0] + d_sys[1] * d_sys[1] + d_sys[2] * d_sys[2];
+        assert!((snap.dist2(0, 7) - want).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,218 @@
+//! Particle state: positions, velocities, forces, and the periodic box.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::MdConfig;
+
+/// The full dynamic state of the particle system.
+#[derive(Clone, Debug)]
+pub struct System {
+    /// Atom identifiers (stable across the run).
+    pub ids: Vec<u64>,
+    /// Positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Forces from the last evaluation.
+    pub force: Vec<[f64; 3]>,
+    /// Periodic box lengths.
+    pub box_len: [f64; 3],
+}
+
+impl System {
+    /// Builds an FCC crystal filling the configured box, with
+    /// Maxwell-distributed velocities at the configured temperature and the
+    /// centre-of-mass drift removed.
+    pub fn fcc(cfg: &MdConfig) -> System {
+        let (nx, ny, nz) = cfg.cells;
+        let a = cfg.lattice_constant;
+        // The four basis sites of the conventional FCC cell.
+        const BASIS: [[f64; 3]; 4] =
+            [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]];
+        let n = cfg.atom_count();
+        let mut pos = Vec::with_capacity(n);
+        for ix in 0..nx {
+            for iy in 0..ny {
+                for iz in 0..nz {
+                    for b in BASIS {
+                        pos.push([
+                            (ix as f64 + b[0]) * a,
+                            (iy as f64 + b[1]) * a,
+                            (iz as f64 + b[2]) * a,
+                        ]);
+                    }
+                }
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut vel: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                // Sum of uniforms approximates a Gaussian well enough for
+                // thermalization; the thermostat rescales exactly below.
+                let mut comp = || -> f64 {
+                    (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+                };
+                [comp(), comp(), comp()]
+            })
+            .collect();
+
+        // Remove net momentum.
+        let mut com = [0.0; 3];
+        for v in &vel {
+            for d in 0..3 {
+                com[d] += v[d];
+            }
+        }
+        for v in &mut vel {
+            for d in 0..3 {
+                v[d] -= com[d] / n as f64;
+            }
+        }
+
+        let mut sys = System {
+            ids: (0..n as u64).collect(),
+            pos,
+            vel,
+            force: vec![[0.0; 3]; n],
+            box_len: cfg.box_lengths(),
+        };
+        sys.rescale_temperature(cfg.temperature);
+        sys
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True for an empty system.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Minimum-image displacement from atom `j` to atom `i`.
+    #[inline]
+    pub fn min_image(&self, i: [f64; 3], j: [f64; 3]) -> [f64; 3] {
+        let mut d = [i[0] - j[0], i[1] - j[1], i[2] - j[2]];
+        for k in 0..3 {
+            let l = self.box_len[k];
+            if d[k] > 0.5 * l {
+                d[k] -= l;
+            } else if d[k] < -0.5 * l {
+                d[k] += l;
+            }
+        }
+        d
+    }
+
+    /// Wraps all positions back into the primary box.
+    pub fn wrap(&mut self) {
+        for p in &mut self.pos {
+            for k in 0..3 {
+                let l = self.box_len[k];
+                p[k] -= l * (p[k] / l).floor();
+            }
+        }
+    }
+
+    /// Kinetic energy (unit masses).
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .vel
+            .iter()
+            .map(|v| v[0] * v[0] + v[1] * v[1] + v[2] * v[2])
+            .sum::<f64>()
+    }
+
+    /// Instantaneous temperature in reduced units (3N degrees of freedom).
+    pub fn temperature(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.kinetic_energy() / (3.0 * self.len() as f64)
+    }
+
+    /// Rescales velocities to the target temperature (simple thermostat).
+    pub fn rescale_temperature(&mut self, target: f64) {
+        let current = self.temperature();
+        if current <= 0.0 {
+            return;
+        }
+        let s = (target / current).sqrt();
+        for v in &mut self.vel {
+            for d in 0..3 {
+                v[d] *= s;
+            }
+        }
+    }
+
+    /// Net momentum (should stay ~0 under NVE dynamics).
+    pub fn momentum(&self) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for v in &self.vel {
+            for d in 0..3 {
+                p[d] += v[d];
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_produces_expected_count() {
+        let cfg = MdConfig { cells: (3, 3, 3), ..MdConfig::default() };
+        let sys = System::fcc(&cfg);
+        assert_eq!(sys.len(), 108);
+        assert_eq!(sys.ids.len(), 108);
+    }
+
+    #[test]
+    fn initial_temperature_matches_config() {
+        let cfg = MdConfig { temperature: 0.25, ..MdConfig::default() };
+        let sys = System::fcc(&cfg);
+        assert!((sys.temperature() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn momentum_is_zeroed() {
+        let sys = System::fcc(&MdConfig::default());
+        let p = sys.momentum();
+        for d in 0..3 {
+            assert!(p[d].abs() < 1e-9, "net momentum along {d}: {}", p[d]);
+        }
+    }
+
+    #[test]
+    fn min_image_respects_periodicity() {
+        let mut sys = System::fcc(&MdConfig::default());
+        sys.box_len = [10.0, 10.0, 10.0];
+        let d = sys.min_image([9.5, 0.0, 0.0], [0.5, 0.0, 0.0]);
+        assert!((d[0] - -1.0).abs() < 1e-12, "wrapped distance, got {}", d[0]);
+    }
+
+    #[test]
+    fn wrap_brings_positions_into_box() {
+        let mut sys = System::fcc(&MdConfig::default());
+        sys.box_len = [5.0, 5.0, 5.0];
+        sys.pos[0] = [-0.5, 5.5, 12.0];
+        sys.wrap();
+        let p = sys.pos[0];
+        for k in 0..3 {
+            assert!((0.0..5.0).contains(&p[k]), "coordinate {k} = {}", p[k]);
+        }
+        assert!((p[0] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_velocities() {
+        let a = System::fcc(&MdConfig::default());
+        let b = System::fcc(&MdConfig::default());
+        assert_eq!(a.vel, b.vel);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests of the MD engine's physical and numerical invariants.
+
+use mdsim::{compute_forces, MdConfig, MdEngine, System};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = MdConfig> {
+    (2u32..5, 0.01f64..0.3, any::<u64>()).prop_map(|(cells, temp, seed)| MdConfig {
+        cells: (cells, cells, cells),
+        temperature: temp,
+        seed,
+        ..MdConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Net momentum stays (numerically) zero under NVE dynamics from any
+    /// thermalized start.
+    #[test]
+    fn momentum_is_conserved(cfg in arb_config(), steps in 1u64..30) {
+        let mut md = MdEngine::new(cfg);
+        md.run(steps);
+        let p = md.system().momentum();
+        for d in 0..3 {
+            prop_assert!(p[d].abs() < 1e-6, "momentum[{d}] = {}", p[d]);
+        }
+    }
+
+    /// Newton's third law: forces sum to zero in any configuration the
+    /// dynamics can reach.
+    #[test]
+    fn forces_sum_to_zero(cfg in arb_config(), steps in 0u64..10) {
+        let mut md = MdEngine::new(cfg);
+        md.run(steps);
+        let mut total = [0.0f64; 3];
+        for f in &md.system().force {
+            for d in 0..3 {
+                total[d] += f[d];
+            }
+        }
+        for d in 0..3 {
+            prop_assert!(total[d].abs() < 1e-6, "sum force[{d}] = {}", total[d]);
+        }
+    }
+
+    /// Parallel force evaluation is bit-identical to serial for any state.
+    #[test]
+    fn parallel_forces_bitwise_match(cfg in arb_config(), threads in 2usize..6) {
+        let mut serial = System::fcc(&cfg);
+        let mut parallel = serial.clone();
+        compute_forces(&mut serial, cfg.cutoff, 1);
+        compute_forces(&mut parallel, cfg.cutoff, threads);
+        prop_assert_eq!(serial.force, parallel.force);
+    }
+
+    /// Checkpoint/restore continues the exact trajectory from any point.
+    #[test]
+    fn checkpoint_is_transparent(cfg in arb_config(), before in 1u64..15, after in 1u64..15) {
+        let mut a = MdEngine::new(cfg.clone());
+        a.run(before);
+        let ck = a.checkpoint();
+        let mut b = MdEngine::restore(cfg, &ck).expect("restore");
+        a.run(after);
+        b.run(after);
+        prop_assert_eq!(&a.system().pos, &b.system().pos);
+        prop_assert_eq!(&a.system().vel, &b.system().vel);
+    }
+
+    /// Positions stay inside the periodic box after any number of steps.
+    #[test]
+    fn positions_stay_wrapped(cfg in arb_config(), steps in 1u64..25) {
+        let mut md = MdEngine::new(cfg);
+        md.run(steps);
+        let sys = md.system();
+        for p in &sys.pos {
+            for d in 0..3 {
+                prop_assert!(
+                    p[d] >= 0.0 && p[d] < sys.box_len[d],
+                    "coordinate {d} out of box: {} not in [0, {})",
+                    p[d],
+                    sys.box_len[d]
+                );
+            }
+        }
+    }
+
+    /// The Table II weak-scaling accounting is linear and exact at the
+    /// published points.
+    #[test]
+    fn output_accounting_is_linear(nodes in 1u32..5000) {
+        let atoms = mdsim::atoms_for_nodes(nodes);
+        prop_assert_eq!(mdsim::output_bytes(atoms), atoms * mdsim::OUTPUT_BYTES_PER_ATOM);
+        if let Some(&(_, exact)) = mdsim::TABLE2.iter().find(|&&(n, _)| n == nodes) {
+            prop_assert_eq!(atoms, exact);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The discrete-event kernel.
+//!
+//! A [`Sim`] owns a priority queue of scheduled actions, a virtual clock, and
+//! a seeded random-number generator. Execution is strictly deterministic:
+//! events at equal timestamps fire in the order they were scheduled, and all
+//! randomness flows through the kernel's single seeded RNG.
+//!
+//! Model state lives in [`Shared`] cells (`Rc<RefCell<_>>`); scheduled
+//! closures capture clones of those cells and receive `&mut Sim` so they can
+//! read the clock, draw randomness, and schedule follow-up events.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Shared, interiorly-mutable model state for single-threaded simulation.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Wraps a value in a [`Shared`] cell.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}
+
+/// Handle for a scheduled event, usable to cancel it before it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type Action = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    cancelled: HashSet<EventId>,
+    rng: StdRng,
+    executed: u64,
+}
+
+impl Sim {
+    /// Creates a simulator whose RNG is seeded with `seed`.
+    ///
+    /// Two simulators created with the same seed and fed the same schedule of
+    /// events produce bit-identical results.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+            executed: 0,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The kernel's deterministic random-number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Schedules `action` to run at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let id = EventId(self.seq);
+        self.queue.push(Entry { at, seq: self.seq, id, action: Box::new(action) });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules `action` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, action)
+    }
+
+    /// Cancels a pending event. Has no effect if the event already fired.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Executes the next pending event, advancing the clock to its timestamp.
+    ///
+    /// Returns the time of the executed event, or `None` if the queue was
+    /// empty (cancelled events are skipped silently).
+    pub fn step(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.action)(self);
+            return Some(entry.at);
+        }
+        None
+    }
+
+    /// Runs until the event queue drains. Returns the final time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step().is_some() {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Events at exactly `horizon` are executed. The clock is left
+    /// at the later of its current value and `horizon` only if an event
+    /// actually advanced it; otherwise it stays at the last executed event.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        while let Some(entry) = self.queue.peek() {
+            if entry.at > horizon {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Runs for at most `budget` more virtual time.
+    pub fn run_for(&mut self, budget: SimDuration) -> SimTime {
+        let horizon = self.now + budget;
+        self.run_until(horizon)
+    }
+
+    /// The timestamp of the next pending (non-cancelled) event, if any.
+    pub fn peek_next(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.queue.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.queue.pop().expect("peeked entry vanished");
+                self.cancelled.remove(&entry.id);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(0);
+        let log = shared(Vec::new());
+        for &t in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_nanos() / 1_000_000_000);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn equal_timestamps_fire_fifo() {
+        let mut sim = Sim::new(0);
+        let log = shared(Vec::new());
+        for i in 0..100 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut sim = Sim::new(0);
+        let fired = shared(false);
+        let f = fired.clone();
+        let id = sim.schedule_in(SimDuration::from_secs(1), move |_| *f.borrow_mut() = true);
+        sim.cancel(id);
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn nested_scheduling_chains() {
+        let mut sim = Sim::new(0);
+        let count = shared(0u32);
+        fn tick(sim: &mut Sim, count: Shared<u32>) {
+            *count.borrow_mut() += 1;
+            if *count.borrow() < 5 {
+                sim.schedule_in(SimDuration::from_secs(1), move |sim| tick(sim, count));
+            }
+        }
+        let c = count.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| tick(sim, c));
+        sim.run();
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Sim::new(0);
+        let log = shared(Vec::new());
+        for t in 1..=10u64 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(t));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*log.borrow(), vec![1, 2, 3, 4, 5]);
+        sim.run();
+        assert_eq!(log.borrow().len(), 10);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> Vec<u64> {
+            use rand::Rng;
+            let mut sim = Sim::new(42);
+            let out = shared(Vec::new());
+            for _ in 0..50 {
+                let out = out.clone();
+                sim.schedule_in(SimDuration::from_millis(1), move |sim| {
+                    let v: u64 = sim.rng().gen();
+                    out.borrow_mut().push(v);
+                });
+            }
+            sim.run();
+            let v = out.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut sim = Sim::new(0);
+        sim.schedule_at(SimTime::from_secs(10), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_secs(5), |_| {});
+    }
+
+    #[test]
+    fn peek_next_skips_cancelled() {
+        let mut sim = Sim::new(0);
+        let id = sim.schedule_at(SimTime::from_secs(1), |_| {});
+        sim.schedule_at(SimTime::from_secs(2), |_| {});
+        sim.cancel(id);
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # sim-core — deterministic discrete-event simulation kernel
+//!
+//! The I/O-containers reproduction runs its cluster-scale experiments on a
+//! deterministic discrete-event simulator instead of a Cray XT4. This crate
+//! is that simulator's kernel: a virtual clock ([`SimTime`]/[`SimDuration`]),
+//! an event queue with FIFO tie-breaking ([`Sim`]), cancellable events, a
+//! seeded RNG, and the online statistics ([`stats`]) the monitoring layer and
+//! figure harnesses use.
+//!
+//! ## Example
+//! ```
+//! use sim_core::{Sim, SimDuration, shared};
+//!
+//! let mut sim = Sim::new(7);
+//! let hits = shared(0u32);
+//! let h = hits.clone();
+//! sim.schedule_in(SimDuration::from_millis(5), move |sim| {
+//!     *h.borrow_mut() += 1;
+//!     let h2 = h.clone();
+//!     sim.schedule_in(SimDuration::from_millis(5), move |_| *h2.borrow_mut() += 1);
+//! });
+//! sim.run();
+//! assert_eq!(*hits.borrow(), 2);
+//! assert_eq!(sim.now(), sim_core::SimTime::from_millis(10));
+//! ```
+
+#![warn(missing_docs)]
+
+mod kernel;
+pub mod stats;
+mod time;
+
+pub use kernel::{shared, EventId, Shared, Sim};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,393 @@
+//! Online statistics used by monitoring and the benchmark harnesses.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford online mean/variance accumulator.
+///
+/// Numerically stable single-pass algorithm; suitable for long-running
+/// monitors that cannot buffer every sample.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Folds one sample in.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n-1 denominator), or 0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or +inf when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample, or -inf when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A bounded sliding window over the most recent duration samples.
+///
+/// Used by container monitors to compute "average latency over the last k
+/// timesteps" without unbounded memory.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    capacity: usize,
+    samples: std::collections::VecDeque<SimDuration>,
+}
+
+impl SlidingWindow {
+    /// Creates a window retaining at most `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow { capacity, samples: std::collections::VecDeque::with_capacity(capacity) }
+    }
+
+    /// Pushes a sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, d: SimDuration) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(d);
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the retained samples, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    /// Largest retained sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<SimDuration> {
+        self.samples.back().copied()
+    }
+
+    /// Drops all samples (used when a container is resized so stale latencies
+    /// do not pollute post-action statistics).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// A power-of-two-bucketed histogram over durations, supporting cheap
+/// quantile estimates for latency reporting (e.g. p99 per container).
+#[derive(Clone, Debug)]
+pub struct DurationHistogram {
+    /// counts[k] covers durations in [2^k, 2^{k+1}) nanoseconds; bucket 0
+    /// also absorbs 0.
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram { counts: [0; 64], total: 0 }
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DurationHistogram::default()
+    }
+
+    fn bucket(d: SimDuration) -> usize {
+        let ns = d.as_nanos();
+        if ns == 0 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Records one duration.
+    pub fn add(&mut self, d: SimDuration) {
+        self.counts[Self::bucket(d)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// An upper bound for the q-quantile (0 < q <= 1): the top of the
+    /// bucket containing the q-th sample. Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let top = if k >= 63 { u64::MAX } else { (1u64 << (k + 1)) - 1 };
+                return SimDuration::from_nanos(top);
+            }
+        }
+        SimDuration::MAX
+    }
+
+    /// Merges another histogram in.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// A `(time, value)` series recorded during a run, for figure output.
+#[derive(Clone, Debug, Default)]
+pub struct Series {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// Creates an empty named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name (used as a column/legend label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// The recorded points, in insertion order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(match acc {
+                Some(a) if a >= v => a,
+                _ => v,
+            })
+        })
+    }
+
+    /// Value of the final point, or `None` when empty.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.add(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.add(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..37] {
+            a.add(x);
+        }
+        for &x in &data[37..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut w = SlidingWindow::new(3);
+        for s in 1..=5u64 {
+            w.push(SimDuration::from_secs(s));
+        }
+        assert_eq!(w.len(), 3);
+        // Retains 3,4,5 => mean 4s.
+        assert_eq!(w.mean(), SimDuration::from_secs(4));
+        assert_eq!(w.max(), SimDuration::from_secs(5));
+        assert_eq!(w.last(), Some(SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let w = SlidingWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), SimDuration::ZERO);
+        assert_eq!(w.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let mut h = DurationHistogram::new();
+        for us in 1..=1000u64 {
+            h.add(SimDuration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        // p50 upper bound must be >= the true median and within 2x.
+        let p50 = h.quantile(0.5).as_nanos();
+        assert!((500_000..=1_048_575).contains(&p50), "p50 bound {p50}");
+        let p99 = h.quantile(0.99).as_nanos();
+        assert!(p99 >= 990_000, "p99 bound {p99}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        a.add(SimDuration::from_micros(1));
+        b.add(SimDuration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.quantile(0.99), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let mut h = DurationHistogram::new();
+        h.add(SimDuration::ZERO);
+        assert_eq!(h.quantile(1.0), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn series_records_in_order() {
+        let mut s = Series::new("latency");
+        s.push(SimTime::from_secs(1), 1.5);
+        s.push(SimTime::from_secs(2), 0.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_value(), Some(1.5));
+        assert_eq!(s.last_value(), Some(0.5));
+        assert_eq!(s.name(), "latency");
+    }
+}

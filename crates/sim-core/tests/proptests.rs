@@ -1,0 +1,114 @@
+//! Property tests of the discrete-event kernel's core guarantees.
+
+use proptest::prelude::*;
+use sim_core::{shared, Sim, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Events always fire in (time, insertion) order regardless of the
+    /// order they were scheduled in.
+    #[test]
+    fn events_fire_in_nondecreasing_time(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Sim::new(0);
+        let fired = shared(Vec::new());
+        for &t in &times {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |sim| {
+                fired.borrow_mut().push(sim.now());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards");
+        }
+        let mut expected: Vec<SimTime> = times.iter().map(|&t| SimTime::from_micros(t)).collect();
+        expected.sort();
+        prop_assert_eq!(fired.clone(), expected);
+    }
+
+    /// The clock never runs backwards across nested re-scheduling.
+    #[test]
+    fn nested_scheduling_preserves_monotonic_clock(
+        delays in proptest::collection::vec(0u64..1_000, 1..50)
+    ) {
+        let mut sim = Sim::new(1);
+        let trace = shared(Vec::new());
+        fn chain(sim: &mut Sim, mut delays: Vec<u64>, trace: sim_core::Shared<Vec<SimTime>>) {
+            trace.borrow_mut().push(sim.now());
+            if let Some(d) = delays.pop() {
+                sim.schedule_in(SimDuration::from_micros(d), move |sim| chain(sim, delays, trace));
+            }
+        }
+        let t = trace.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| chain(sim, delays, t));
+        sim.run();
+        let trace = trace.borrow();
+        for w in trace.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// run_until never executes past the horizon, and resuming executes
+    /// exactly the remainder.
+    #[test]
+    fn run_until_splits_execution_exactly(
+        times in proptest::collection::vec(1u64..1_000, 1..60),
+        horizon in 1u64..1_000
+    ) {
+        let mut sim = Sim::new(2);
+        let count = shared(0usize);
+        for &t in &times {
+            let count = count.clone();
+            sim.schedule_at(SimTime::from_micros(t), move |_| *count.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_micros(horizon));
+        let before = *count.borrow();
+        let expected_before = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(before, expected_before);
+        sim.run();
+        prop_assert_eq!(*count.borrow(), times.len());
+    }
+
+    /// Duration arithmetic round-trips through instants.
+    #[test]
+    fn time_arithmetic_round_trips(base in 0u64..1 << 40, delta in 0u64..1 << 40) {
+        let t0 = SimTime::from_nanos(base);
+        let d = SimDuration::from_nanos(delta);
+        let t1 = t0 + d;
+        prop_assert_eq!(t1.since(t0), d);
+        prop_assert_eq!(t1 - d, t0);
+    }
+
+    /// Cancelled events never fire, and cancellation is stable under any
+    /// subset of cancellations.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..1_000, 1..50),
+        mask in proptest::collection::vec(any::<bool>(), 1..50)
+    ) {
+        let mut sim = Sim::new(3);
+        let fired = shared(Vec::new());
+        let mut ids = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let fired = fired.clone();
+            ids.push(sim.schedule_at(SimTime::from_micros(t), move |_| {
+                fired.borrow_mut().push(i);
+            }));
+        }
+        let mut kept = Vec::new();
+        for (i, id) in ids.into_iter().enumerate() {
+            if mask.get(i).copied().unwrap_or(false) {
+                sim.cancel(id);
+            } else {
+                kept.push(i);
+            }
+        }
+        sim.run();
+        let mut fired = fired.borrow().clone();
+        fired.sort_unstable();
+        prop_assert_eq!(fired, kept);
+    }
+}

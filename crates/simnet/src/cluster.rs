@@ -1,0 +1,299 @@
+//! Cluster model: nodes, batch allocations, and the staging-area partition.
+//!
+//! On the machines the paper targets, a batch scheduler grants the user a
+//! fixed set of nodes for the whole job; the user splits them between the
+//! simulation and a much smaller staging area (ratios of 1:512 to 1:2048 are
+//! cited). [`Cluster`] models the machine inventory, [`Allocation`] a batch
+//! grant, and [`StagingArea`] the node pool that container management carves
+//! up at runtime.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a physical node in the machine.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Static description of one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Cores per node.
+    pub cores: u32,
+    /// Memory per node, in bytes.
+    pub mem_bytes: u64,
+}
+
+/// Static description of the machine.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    name: String,
+    node_count: u32,
+    spec: NodeSpec,
+}
+
+impl Cluster {
+    /// Builds a machine with `node_count` identical nodes.
+    pub fn new(name: impl Into<String>, node_count: u32, spec: NodeSpec) -> Self {
+        Cluster { name: name.into(), node_count, spec }
+    }
+
+    /// NERSC Franklin, the paper's container testbed: 9,572-node Cray XT4,
+    /// quad-core 2.3 GHz AMD Budapest, ~8 GB/node, Portals network.
+    pub fn franklin() -> Self {
+        Cluster::new(
+            "franklin",
+            9_572,
+            NodeSpec { cores: 4, mem_bytes: 8 * 1024 * 1024 * 1024 },
+        )
+    }
+
+    /// Sandia RedSky, the paper's transaction testbed: 2,823 nodes, 8-core
+    /// Xeon 5570, 12 GB/node, QDR InfiniBand 3-D torus.
+    pub fn redsky() -> Self {
+        Cluster::new(
+            "redsky",
+            2_823,
+            NodeSpec { cores: 8, mem_bytes: 12 * 1024 * 1024 * 1024 },
+        )
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.node_count
+    }
+
+    /// Per-node hardware description.
+    pub fn spec(&self) -> NodeSpec {
+        self.spec
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u64 {
+        self.node_count as u64 * self.spec.cores as u64
+    }
+
+    /// Simulates a batch-scheduler grant of `nodes` nodes.
+    ///
+    /// Returns `None` if the request exceeds the machine size. Node ids are
+    /// assigned contiguously from zero, mirroring the packed placement batch
+    /// schedulers prefer.
+    pub fn allocate(&self, nodes: u32) -> Option<Allocation> {
+        if nodes > self.node_count {
+            return None;
+        }
+        Some(Allocation { nodes: (0..nodes).map(NodeId).collect() })
+    }
+}
+
+/// A batch-scheduler grant: the fixed node set available for the whole run.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    nodes: BTreeSet<NodeId>,
+}
+
+impl Allocation {
+    /// Number of nodes in the grant.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the grant is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates the granted nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Splits the grant into a simulation partition of `sim_nodes` nodes and
+    /// a staging area holding the remainder.
+    ///
+    /// # Panics
+    /// Panics if `sim_nodes` exceeds the grant size.
+    pub fn split(self, sim_nodes: u32) -> (Vec<NodeId>, StagingArea) {
+        assert!(
+            (sim_nodes as usize) <= self.nodes.len(),
+            "cannot split {} nodes off a {}-node allocation",
+            sim_nodes,
+            self.nodes.len()
+        );
+        let mut iter = self.nodes.into_iter();
+        let sim: Vec<NodeId> = iter.by_ref().take(sim_nodes as usize).collect();
+        let staging = StagingArea::new(iter.collect());
+        (sim, staging)
+    }
+}
+
+/// Errors from staging-area node requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StagingError {
+    /// The free pool holds fewer nodes than requested.
+    Insufficient {
+        /// Nodes requested.
+        requested: u32,
+        /// Nodes actually free.
+        available: u32,
+    },
+    /// A node being returned was not part of the staging area, or was
+    /// already free.
+    ForeignNode(NodeId),
+}
+
+impl fmt::Display for StagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StagingError::Insufficient { requested, available } => {
+                write!(f, "requested {requested} staging nodes but only {available} free")
+            }
+            StagingError::ForeignNode(n) => write!(f, "node {n} does not belong to this staging area"),
+        }
+    }
+}
+
+impl std::error::Error for StagingError {}
+
+/// The staging-area node pool that container management draws from.
+///
+/// Tracks which nodes are free ("spare") and which are leased to containers.
+/// All mutation is checked: a node can only be leased once, and only nodes
+/// belonging to the area can be returned.
+#[derive(Clone, Debug)]
+pub struct StagingArea {
+    all: BTreeSet<NodeId>,
+    free: BTreeSet<NodeId>,
+}
+
+impl StagingArea {
+    /// Builds a staging area over an explicit node set, all initially free.
+    pub fn new(nodes: BTreeSet<NodeId>) -> Self {
+        StagingArea { free: nodes.clone(), all: nodes }
+    }
+
+    /// Builds a staging area of `count` fresh nodes with ids starting at
+    /// `first_id` (convenience for tests and microbenchmarks).
+    pub fn with_nodes(first_id: u32, count: u32) -> Self {
+        StagingArea::new((first_id..first_id + count).map(NodeId).collect())
+    }
+
+    /// Total nodes in the area (leased + free).
+    pub fn total(&self) -> u32 {
+        self.all.len() as u32
+    }
+
+    /// Nodes currently unleased.
+    pub fn spare(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Leases `count` nodes, removing them from the free pool.
+    pub fn lease(&mut self, count: u32) -> Result<Vec<NodeId>, StagingError> {
+        if (count as usize) > self.free.len() {
+            return Err(StagingError::Insufficient {
+                requested: count,
+                available: self.free.len() as u32,
+            });
+        }
+        let picked: Vec<NodeId> = self.free.iter().copied().take(count as usize).collect();
+        for n in &picked {
+            self.free.remove(n);
+        }
+        Ok(picked)
+    }
+
+    /// Returns leased nodes to the free pool.
+    pub fn release(&mut self, nodes: &[NodeId]) -> Result<(), StagingError> {
+        for &n in nodes {
+            if !self.all.contains(&n) || self.free.contains(&n) {
+                return Err(StagingError::ForeignNode(n));
+            }
+        }
+        self.free.extend(nodes.iter().copied());
+        Ok(())
+    }
+
+    /// True if `node` belongs to this staging area.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.all.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn franklin_matches_paper_numbers() {
+        let c = Cluster::franklin();
+        assert_eq!(c.node_count(), 9_572);
+        assert_eq!(c.total_cores(), 38_288);
+        assert_eq!(c.spec().cores, 4);
+    }
+
+    #[test]
+    fn allocation_split_partitions_exactly() {
+        let c = Cluster::franklin();
+        let alloc = c.allocate(269).expect("franklin has enough nodes");
+        let (sim, staging) = alloc.split(256);
+        assert_eq!(sim.len(), 256);
+        assert_eq!(staging.total(), 13);
+        assert_eq!(staging.spare(), 13);
+        // Partitions are disjoint.
+        for n in sim {
+            assert!(!staging.contains(n));
+        }
+    }
+
+    #[test]
+    fn oversized_allocation_rejected() {
+        let c = Cluster::new("tiny", 4, NodeSpec { cores: 1, mem_bytes: 1 << 30 });
+        assert!(c.allocate(5).is_none());
+        assert!(c.allocate(4).is_some());
+    }
+
+    #[test]
+    fn lease_release_round_trip() {
+        let mut s = StagingArea::with_nodes(100, 8);
+        let leased = s.lease(5).unwrap();
+        assert_eq!(leased.len(), 5);
+        assert_eq!(s.spare(), 3);
+        s.release(&leased).unwrap();
+        assert_eq!(s.spare(), 8);
+    }
+
+    #[test]
+    fn lease_beyond_pool_fails_without_mutation() {
+        let mut s = StagingArea::with_nodes(0, 4);
+        let err = s.lease(5).unwrap_err();
+        assert_eq!(err, StagingError::Insufficient { requested: 5, available: 4 });
+        assert_eq!(s.spare(), 4);
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut s = StagingArea::with_nodes(0, 4);
+        let leased = s.lease(2).unwrap();
+        s.release(&leased).unwrap();
+        let err = s.release(&leased).unwrap_err();
+        assert!(matches!(err, StagingError::ForeignNode(_)));
+    }
+
+    #[test]
+    fn foreign_release_rejected() {
+        let mut s = StagingArea::with_nodes(0, 4);
+        let err = s.release(&[NodeId(99)]).unwrap_err();
+        assert_eq!(err, StagingError::ForeignNode(NodeId(99)));
+    }
+}

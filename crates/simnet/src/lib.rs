@@ -1,0 +1,41 @@
+//! # simnet — simulated HPC cluster and interconnect
+//!
+//! The paper's testbeds (NERSC Franklin, a Cray XT4 with a Portals network,
+//! and Sandia RedSky, a QDR InfiniBand torus) are modeled here as
+//! deterministic substrates on the [`sim_core`] kernel:
+//!
+//! * [`cluster`] — machine inventory, batch allocations, and the
+//!   staging-area node pool that container management leases from;
+//! * [`net`] — the interconnect: per-message latency (flat or 3-D torus
+//!   hops), per-NIC serialization, bandwidth-limited bulk transfers, and
+//!   RDMA-get pull semantics;
+//! * [`launch`] — the `aprun` batch-launch cost model (3–27 s, factored out
+//!   of the protocol microbenchmarks exactly as the paper does).
+//!
+//! ## Example
+//! ```
+//! use sim_core::Sim;
+//! use simnet::{Cluster, Network, NetworkConfig, NodeId};
+//!
+//! let mut sim = Sim::new(1);
+//! let net = Network::new(NetworkConfig::portals_xt4());
+//! let alloc = Cluster::franklin().allocate(269).unwrap();
+//! let (sim_nodes, staging) = alloc.split(256);
+//! assert_eq!(staging.spare(), 13);
+//!
+//! // Pull 67 MB (the paper's 256-node output step) from a compute node
+//! // into a staging node.
+//! Network::rdma_get(&net, &mut sim, NodeId(260), sim_nodes[0], 67_000_000, |_| {});
+//! sim.run();
+//! assert!(sim.now().as_secs_f64() > 0.03); // ~42 ms at 1.6 GB/s
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod launch;
+pub mod net;
+
+pub use cluster::{Allocation, Cluster, NodeId, NodeSpec, StagingArea, StagingError};
+pub use launch::LaunchModel;
+pub use net::{Net, NetStats, Network, NetworkConfig, Topology};

@@ -1,0 +1,393 @@
+//! Portals-class interconnect model.
+//!
+//! The management protocols measured in the paper are dominated by message
+//! rounds and bulk-transfer times, so the model captures exactly those
+//! quantities: per-message wire latency (optionally topology-dependent),
+//! per-NIC serialization (a NIC moves one transfer at a time, so concurrent
+//! transfers through the same endpoint queue), and bandwidth-limited bulk
+//! payload time. The model is deterministic and runs on the [`sim_core`]
+//! kernel.
+
+use std::collections::HashMap;
+
+use sim_core::{Shared, Sim, SimDuration, SimTime};
+
+use crate::cluster::NodeId;
+
+/// Interconnect topology, used to derive per-message hop counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Uniform latency between any pair of distinct nodes.
+    Flat,
+    /// 3-D torus with the given dimensions (RedSky-style). Nodes are mapped
+    /// to coordinates in row-major order; hop count is the Manhattan
+    /// distance with wraparound.
+    Torus3D {
+        /// Torus dimensions (x, y, z); node ids map row-major.
+        dims: (u32, u32, u32),
+    },
+}
+
+impl Topology {
+    /// Network hops between two nodes under this topology.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Flat => 1,
+            Topology::Torus3D { dims } => {
+                let ca = Self::coords(a, dims);
+                let cb = Self::coords(b, dims);
+                Self::axis_dist(ca.0, cb.0, dims.0)
+                    + Self::axis_dist(ca.1, cb.1, dims.1)
+                    + Self::axis_dist(ca.2, cb.2, dims.2)
+            }
+        }
+    }
+
+    fn coords(n: NodeId, dims: (u32, u32, u32)) -> (u32, u32, u32) {
+        let id = n.0;
+        let x = id % dims.0;
+        let y = (id / dims.0) % dims.1;
+        let z = (id / (dims.0 * dims.1)) % dims.2;
+        (x, y, z)
+    }
+
+    fn axis_dist(a: u32, b: u32, dim: u32) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(dim - d)
+    }
+}
+
+/// Tunable constants of the interconnect model.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// Base one-way wire latency for the first hop.
+    pub base_latency: SimDuration,
+    /// Additional latency per extra hop.
+    pub per_hop_latency: SimDuration,
+    /// Sustained point-to-point bandwidth per NIC, bytes/second.
+    pub bandwidth_bps: u64,
+    /// Fixed software overhead charged to both endpoints per message
+    /// (matching/event handling in the Portals stack).
+    pub sw_overhead: SimDuration,
+    /// Topology used for hop counts.
+    pub topology: Topology,
+}
+
+impl NetworkConfig {
+    /// Constants calibrated to the Cray XT4 SeaStar/Portals generation:
+    /// ~6 µs small-message latency, ~1.6 GB/s sustained point-to-point.
+    pub fn portals_xt4() -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_micros(6),
+            per_hop_latency: SimDuration::from_nanos(50),
+            bandwidth_bps: 1_600_000_000,
+            sw_overhead: SimDuration::from_micros(1),
+            topology: Topology::Flat,
+        }
+    }
+
+    /// Constants for RedSky's QDR InfiniBand 3-D torus: ~1.3 µs latency,
+    /// ~3.2 GB/s.
+    pub fn qdr_torus(dims: (u32, u32, u32)) -> Self {
+        NetworkConfig {
+            base_latency: SimDuration::from_micros(1),
+            per_hop_latency: SimDuration::from_nanos(100),
+            bandwidth_bps: 3_200_000_000,
+            sw_overhead: SimDuration::from_nanos(500),
+            topology: Topology::Torus3D { dims },
+        }
+    }
+
+    /// Pure wire time for `bytes` between `src` and `dst` with no queueing.
+    pub fn wire_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> SimDuration {
+        let hops = self.topology.hops(src, dst) as u64;
+        let lat = self.base_latency + self.per_hop_latency * hops.saturating_sub(1);
+        let payload =
+            SimDuration::from_nanos((bytes.saturating_mul(1_000_000_000)) / self.bandwidth_bps);
+        lat + payload + self.sw_overhead
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct NicState {
+    tx_free: SimTime,
+    rx_free: SimTime,
+    tx_busy: SimDuration,
+    rx_busy: SimDuration,
+}
+
+/// Aggregate traffic counters, for reporting and contention analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Total messages delivered (control + bulk).
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+}
+
+/// The interconnect. Lives in a [`Shared`] cell so completion callbacks can
+/// reach it from inside kernel events.
+pub struct Network {
+    cfg: NetworkConfig,
+    nics: HashMap<NodeId, NicState>,
+    stats: NetStats,
+}
+
+/// Shared handle to a [`Network`].
+pub type Net = Shared<Network>;
+
+impl Network {
+    /// Creates a network with the given constants.
+    pub fn new(cfg: NetworkConfig) -> Net {
+        sim_core::shared(Network { cfg, nics: HashMap::new(), stats: NetStats::default() })
+    }
+
+    /// The configured constants.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn nic(&mut self, n: NodeId) -> &mut NicState {
+        self.nics.entry(n).or_default()
+    }
+
+    /// Cumulative (transmit, receive) busy time of a node's NIC — the raw
+    /// input to link-utilization monitoring and contention analysis.
+    pub fn busy_time(&self, n: NodeId) -> (SimDuration, SimDuration) {
+        self.nics
+            .get(&n)
+            .map(|nic| (nic.tx_busy, nic.rx_busy))
+            .unwrap_or((SimDuration::ZERO, SimDuration::ZERO))
+    }
+
+    /// NIC utilization of a node over the first `elapsed` of the run,
+    /// as (tx, rx) fractions in [0, 1].
+    pub fn utilization(&self, n: NodeId, elapsed: SimDuration) -> (f64, f64) {
+        let (tx, rx) = self.busy_time(n);
+        if elapsed.is_zero() {
+            return (0.0, 0.0);
+        }
+        ((tx / elapsed).min(1.0), (rx / elapsed).min(1.0))
+    }
+
+    /// Schedules delivery of `bytes` from `src` to `dst`, invoking
+    /// `on_delivered` at the (virtual) completion time.
+    ///
+    /// The transfer starts when both the sender's TX path and the receiver's
+    /// RX path are idle — this is what makes concurrent transfers through a
+    /// shared endpoint queue, the contention effect DataStager's scheduled
+    /// pulls exist to mitigate.
+    ///
+    /// Returns the delivery time.
+    pub fn transfer(
+        net: &Net,
+        sim: &mut Sim,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_delivered: impl FnOnce(&mut Sim) + 'static,
+    ) -> SimTime {
+        let now = sim.now();
+        let finish = {
+            let mut n = net.borrow_mut();
+            let start = now.max(n.nic(src).tx_free).max(n.nic(dst).rx_free);
+            let wire = n.cfg.wire_time(src, dst, bytes);
+            let finish = start + wire;
+            {
+                let nic = n.nic(src);
+                nic.tx_free = finish;
+                nic.tx_busy += wire;
+            }
+            {
+                let nic = n.nic(dst);
+                nic.rx_free = finish;
+                nic.rx_busy += wire;
+            }
+            n.stats.messages += 1;
+            n.stats.bytes += bytes;
+            finish
+        };
+        sim.schedule_at(finish, on_delivered);
+        finish
+    }
+
+    /// Sends a small control message (64 bytes of header/payload).
+    pub fn send_control(
+        net: &Net,
+        sim: &mut Sim,
+        src: NodeId,
+        dst: NodeId,
+        on_delivered: impl FnOnce(&mut Sim) + 'static,
+    ) -> SimTime {
+        Self::transfer(net, sim, src, dst, 64, on_delivered)
+    }
+
+    /// Models an RDMA get: `reader` pulls `bytes` that reside on `holder`.
+    /// One control message travels to the holder, then the payload flows
+    /// back. `on_complete` fires at the reader once the payload lands.
+    pub fn rdma_get(
+        net: &Net,
+        sim: &mut Sim,
+        reader: NodeId,
+        holder: NodeId,
+        bytes: u64,
+        on_complete: impl FnOnce(&mut Sim) + 'static,
+    ) {
+        let net2 = net.clone();
+        Self::send_control(net, sim, reader, holder, move |sim| {
+            Network::transfer(&net2, sim, holder, reader, bytes, on_complete);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::shared;
+
+    fn fast_cfg() -> NetworkConfig {
+        NetworkConfig {
+            base_latency: SimDuration::from_micros(1),
+            per_hop_latency: SimDuration::ZERO,
+            bandwidth_bps: 1_000_000_000, // 1 GB/s => 1 byte/ns
+            sw_overhead: SimDuration::ZERO,
+            topology: Topology::Flat,
+        }
+    }
+
+    #[test]
+    fn wire_time_is_latency_plus_payload() {
+        let cfg = fast_cfg();
+        let t = cfg.wire_time(NodeId(0), NodeId(1), 1_000_000);
+        // 1 us latency + 1 ms payload at 1 byte/ns.
+        assert_eq!(t, SimDuration::from_micros(1) + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn transfer_delivers_at_wire_time() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        let done = shared(None);
+        let d = done.clone();
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 1_000, move |sim| {
+            *d.borrow_mut() = Some(sim.now());
+        });
+        sim.run();
+        assert_eq!(
+            *done.borrow(),
+            Some(SimTime::ZERO + SimDuration::from_micros(1) + SimDuration::from_micros(1))
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_to_one_receiver_serialize() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        let times = shared(Vec::new());
+        for src in 1..=3u32 {
+            let times = times.clone();
+            Network::transfer(&net, &mut sim, NodeId(src), NodeId(0), 1_000_000, move |sim| {
+                times.borrow_mut().push(sim.now());
+            });
+        }
+        sim.run();
+        let times = times.borrow();
+        assert_eq!(times.len(), 3);
+        // Each ~1ms payload serializes through node 0's RX path.
+        let spacing = times[1] - times[0];
+        assert!(spacing >= SimDuration::from_millis(1), "no serialization: {spacing}");
+        assert_eq!(net.borrow().stats().messages, 3);
+        assert_eq!(net.borrow().stats().bytes, 3_000_000);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_contend() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        let times = shared(Vec::new());
+        for pair in 0..3u32 {
+            let times = times.clone();
+            Network::transfer(
+                &net,
+                &mut sim,
+                NodeId(pair * 2),
+                NodeId(pair * 2 + 1),
+                1_000_000,
+                move |sim| times.borrow_mut().push(sim.now()),
+            );
+        }
+        sim.run();
+        let times = times.borrow();
+        assert!(times.iter().all(|&t| t == times[0]), "disjoint pairs should finish together");
+    }
+
+    #[test]
+    fn rdma_get_round_trips() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        let done = shared(None);
+        let d = done.clone();
+        Network::rdma_get(&net, &mut sim, NodeId(0), NodeId(1), 1_000_000, move |sim| {
+            *d.borrow_mut() = Some(sim.now());
+        });
+        sim.run();
+        let t = done.borrow().expect("get completed");
+        // Control (1us lat + 64ns) + payload leg (1us + 1ms).
+        let expected = SimTime::ZERO
+            + SimDuration::from_micros(1)
+            + SimDuration::from_nanos(64)
+            + SimDuration::from_micros(1)
+            + SimDuration::from_millis(1);
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn busy_time_accumulates_wire_time() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        for _ in 0..3 {
+            Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 1_000_000, |_| {});
+        }
+        sim.run();
+        let n = net.borrow();
+        let per = SimDuration::from_micros(1) + SimDuration::from_millis(1);
+        assert_eq!(n.busy_time(NodeId(0)), (per * 3, SimDuration::ZERO));
+        assert_eq!(n.busy_time(NodeId(1)), (SimDuration::ZERO, per * 3));
+        // Utilization over the elapsed run is 100% (back-to-back).
+        let (tx, _) = n.utilization(NodeId(0), sim.now().since(sim_core::SimTime::ZERO));
+        assert!(tx > 0.99, "tx utilization {tx}");
+        assert_eq!(n.busy_time(NodeId(99)), (SimDuration::ZERO, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn torus_hops_wrap_around() {
+        let topo = Topology::Torus3D { dims: (4, 4, 4) };
+        // Node 0 = (0,0,0); node 3 = (3,0,0): wraparound distance 1.
+        assert_eq!(topo.hops(NodeId(0), NodeId(3)), 1);
+        // Node 0 -> node 2 = (2,0,0): distance 2 either way.
+        assert_eq!(topo.hops(NodeId(0), NodeId(2)), 2);
+        // Same node.
+        assert_eq!(topo.hops(NodeId(5), NodeId(5)), 0);
+        // Diagonal: (1,1,1) = id 1 + 4 + 16 = 21.
+        assert_eq!(topo.hops(NodeId(0), NodeId(21)), 3);
+    }
+
+    #[test]
+    fn torus_latency_exceeds_flat_for_distant_nodes() {
+        let mut torus = fast_cfg();
+        torus.topology = Topology::Torus3D { dims: (8, 8, 8) };
+        torus.per_hop_latency = SimDuration::from_nanos(100);
+        let near = torus.wire_time(NodeId(0), NodeId(1), 64);
+        // (4,4,4) => id 4 + 4*8 + 4*64 = 292 — maximal distance corner.
+        let far = torus.wire_time(NodeId(0), NodeId(292), 64);
+        assert!(far > near);
+    }
+}

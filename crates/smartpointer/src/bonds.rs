@@ -1,0 +1,265 @@
+//! Bonds: neighbor detection producing the atomic adjacency list.
+//!
+//! Determines which atom pairs are currently bonded (within the bonding
+//! cutoff) and emits both the ingested atom data and an adjacency list —
+//! the two outputs the paper describes. The reference kernel is the
+//! paper's O(n²) all-pairs scan; a cell-list kernel provides the fast path
+//! for the `Parallel` compute model, and both produce identical adjacency.
+
+use std::sync::Arc;
+
+use mdsim::{CellList, Snapshot, System};
+
+/// Compressed sparse-row adjacency over atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Adjacency {
+    offsets: Vec<u32>,
+    neighbors: Vec<u32>,
+}
+
+impl Adjacency {
+    /// Builds from per-atom neighbor lists.
+    pub fn from_lists(lists: &[Vec<u32>]) -> Adjacency {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for l in lists {
+            neighbors.extend_from_slice(l);
+            offsets.push(neighbors.len() as u32);
+        }
+        Adjacency { offsets, neighbors }
+    }
+
+    /// Number of atoms covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True for an empty adjacency.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The neighbors of atom `i`.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Total number of directed edges (2× bond count).
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True if atoms `i` and `j` are bonded.
+    pub fn bonded(&self, i: usize, j: u32) -> bool {
+        self.neighbors(i).contains(&j)
+    }
+
+    /// Mean neighbors per atom.
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.len() as f64
+        }
+    }
+}
+
+/// Output of the Bonds component: the ingested atoms plus their adjacency.
+#[derive(Clone, Debug)]
+pub struct BondsOutput {
+    /// The atom data passed through.
+    pub snapshot: Snapshot,
+    /// The bonded-pair adjacency.
+    pub adjacency: Arc<Adjacency>,
+    /// Bonding cutoff used.
+    pub cutoff: f64,
+}
+
+/// The Bonds analysis kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Bonds {
+    /// Bonding cutoff distance.
+    pub cutoff: f64,
+    /// Worker threads for the cell-list kernel (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for Bonds {
+    fn default() -> Self {
+        // First-neighbor distance in the FCC LJ crystal is a/√2 ≈ 1.12; a
+        // cutoff of 1.4 captures first neighbors only.
+        Bonds { cutoff: 1.4, threads: 1 }
+    }
+}
+
+impl Bonds {
+    /// The paper-faithful O(n²) all-pairs kernel.
+    pub fn compute_n2(&self, snap: &Snapshot) -> BondsOutput {
+        let n = snap.atom_count();
+        let c2 = self.cutoff * self.cutoff;
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if snap.dist2(i, j) < c2 {
+                    lists[i].push(j as u32);
+                    lists[j].push(i as u32);
+                }
+            }
+        }
+        BondsOutput {
+            snapshot: snap.clone(),
+            adjacency: Arc::new(Adjacency::from_lists(&lists)),
+            cutoff: self.cutoff,
+        }
+    }
+
+    /// Cell-list kernel (same result, near-linear time), optionally
+    /// thread-parallel over atoms.
+    pub fn compute(&self, snap: &Snapshot) -> BondsOutput {
+        let n = snap.atom_count();
+        // Reuse mdsim's cell list by viewing the snapshot as a System.
+        let sys = System {
+            ids: Vec::new(),
+            pos: snap.pos.iter().map(|p| [p[0] as f64, p[1] as f64, p[2] as f64]).collect(),
+            vel: Vec::new(),
+            force: Vec::new(),
+            box_len: snap.box_len,
+        };
+        let cells = CellList::build(&sys, self.cutoff.max(1e-6));
+        let c2 = self.cutoff * self.cutoff;
+
+        let compute_range = |range: std::ops::Range<usize>| -> Vec<Vec<u32>> {
+            let mut lists = Vec::with_capacity(range.len());
+            for i in range {
+                let mut l = Vec::new();
+                cells.for_neighbors(&sys.pos[i], sys.box_len, |j| {
+                    if j as usize != i && snap.dist2(i, j as usize) < c2 {
+                        l.push(j);
+                    }
+                });
+                l.sort_unstable();
+                lists.push(l);
+            }
+            lists
+        };
+
+        let lists: Vec<Vec<u32>> = if self.threads <= 1 || n < 2 {
+            compute_range(0..n)
+        } else {
+            let threads = self.threads.min(n);
+            let chunk = n.div_ceil(threads);
+            let mut parts: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    if lo >= hi {
+                        break;
+                    }
+                    let compute_range = &compute_range;
+                    handles.push(scope.spawn(move || compute_range(lo..hi)));
+                }
+                for h in handles {
+                    parts.push(h.join().expect("bonds worker panicked"));
+                }
+            });
+            parts.into_iter().flatten().collect()
+        };
+
+        BondsOutput {
+            snapshot: snap.clone(),
+            adjacency: Arc::new(Adjacency::from_lists(&lists)),
+            cutoff: self.cutoff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::{MdConfig, MdEngine};
+
+    fn snapshot() -> Snapshot {
+        MdEngine::new(MdConfig::default()).run_epoch(1)
+    }
+
+    fn sorted(adj: &Adjacency) -> Vec<Vec<u32>> {
+        (0..adj.len())
+            .map(|i| {
+                let mut v = adj.neighbors(i).to_vec();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn n2_and_cell_list_agree() {
+        let snap = snapshot();
+        let b = Bonds::default();
+        let a = b.compute_n2(&snap);
+        let c = b.compute(&snap);
+        assert_eq!(sorted(&a.adjacency), sorted(&c.adjacency));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let snap = snapshot();
+        let serial = Bonds { threads: 1, ..Bonds::default() }.compute(&snap);
+        let parallel = Bonds { threads: 4, ..Bonds::default() }.compute(&snap);
+        assert_eq!(*serial.adjacency, *parallel.adjacency);
+    }
+
+    #[test]
+    fn fcc_crystal_has_twelve_neighbors() {
+        let snap = snapshot();
+        let out = Bonds::default().compute(&snap);
+        // Thermal noise can perturb a few atoms; the mean must be ~12.
+        let mean = out.adjacency.mean_degree();
+        assert!((mean - 12.0).abs() < 0.5, "FCC mean degree {mean}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let snap = snapshot();
+        let out = Bonds::default().compute(&snap);
+        let adj = &out.adjacency;
+        for i in 0..adj.len() {
+            for &j in adj.neighbors(i) {
+                assert!(adj.bonded(j as usize, i as u32), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn crack_removes_bonds() {
+        let cfg = MdConfig { strain_per_step: 0.005, yield_strain: 0.02, ..MdConfig::default() };
+        let mut md = MdEngine::new(cfg);
+        let before = Bonds::default().compute(&md.run_epoch(1));
+        md.run(10); // crosses the yield strain
+        assert!(md.cracked());
+        let after = Bonds::default().compute(&md.run_epoch(1));
+        assert!(
+            after.adjacency.edge_count() < before.adjacency.edge_count(),
+            "crack must break bonds: {} -> {}",
+            before.adjacency.edge_count(),
+            after.adjacency.edge_count()
+        );
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let lists = vec![vec![1, 2], vec![0], vec![0], vec![]];
+        let adj = Adjacency::from_lists(&lists);
+        assert_eq!(adj.len(), 4);
+        assert_eq!(adj.neighbors(0), &[1, 2]);
+        assert_eq!(adj.neighbors(3), &[] as &[u32]);
+        assert_eq!(adj.edge_count(), 4);
+        assert!(adj.bonded(1, 0));
+        assert!(!adj.bonded(3, 0));
+    }
+}

@@ -1,0 +1,228 @@
+//! CNA: common neighbor analysis.
+//!
+//! Performs the "extensive structural labeling of the atomic environment"
+//! the paper describes: every bonded pair is classified by the (ncn, nb,
+//! lcb) signature — number of common neighbors, bonds among them, and the
+//! longest bond chain — and atoms are labeled FCC / HCP / other from their
+//! pair signatures. This is the pipeline's most expensive stage (the
+//! paper's O(n³) row in Table I): the chain search over each pair's common
+//! neighborhood dominates.
+
+use std::collections::HashMap;
+
+use crate::bonds::{Adjacency, BondsOutput};
+
+/// CNA pair signature.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Signature {
+    /// Number of common neighbors of the pair.
+    pub ncn: u8,
+    /// Number of bonds among those common neighbors.
+    pub nb: u8,
+    /// Length of the longest bond chain among them.
+    pub lcb: u8,
+}
+
+/// Structural label assigned to an atom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Structure {
+    /// Face-centred cubic environment (12 × (4,2,1) pairs).
+    Fcc,
+    /// Hexagonal close-packed environment (6 × (4,2,1) + 6 × (4,2,2)).
+    Hcp,
+    /// Anything else: surfaces, crack faces, defects.
+    Other,
+}
+
+/// Output of the CNA component.
+#[derive(Clone, Debug)]
+pub struct CnaOutput {
+    /// Step analyzed.
+    pub step: u64,
+    /// Per-atom structural label.
+    pub labels: Vec<Structure>,
+    /// Histogram of pair signatures.
+    pub signature_counts: HashMap<Signature, u64>,
+    /// Fraction of atoms labeled FCC.
+    pub fcc_fraction: f64,
+}
+
+/// The CNA analysis kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cna;
+
+impl Cna {
+    /// Runs CNA over the Bonds output.
+    pub fn compute(&self, input: &BondsOutput) -> CnaOutput {
+        let adj = &input.adjacency;
+        let n = adj.len();
+        let mut labels = Vec::with_capacity(n);
+        let mut signature_counts: HashMap<Signature, u64> = HashMap::new();
+
+        for i in 0..n {
+            let mut sigs: Vec<Signature> = Vec::with_capacity(adj.neighbors(i).len());
+            for &j in adj.neighbors(i) {
+                let sig = Self::pair_signature(adj, i, j as usize);
+                *signature_counts.entry(sig).or_insert(0) += 1;
+                sigs.push(sig);
+            }
+            labels.push(Self::classify(&sigs));
+        }
+
+        let fcc = labels.iter().filter(|&&l| l == Structure::Fcc).count();
+        let fcc_fraction = if n == 0 { 0.0 } else { fcc as f64 / n as f64 };
+        CnaOutput { step: input.snapshot.step, labels, signature_counts, fcc_fraction }
+    }
+
+    /// Computes the (ncn, nb, lcb) signature of the bonded pair (i, j).
+    fn pair_signature(adj: &Adjacency, i: usize, j: usize) -> Signature {
+        // Common neighbors of i and j (both lists are sorted).
+        let (a, b) = (adj.neighbors(i), adj.neighbors(j));
+        let mut common: Vec<u32> = Vec::with_capacity(8);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a.len() && y < b.len() {
+            match a[x].cmp(&b[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    common.push(a[x]);
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+
+        // Bonds among the common neighbors.
+        let m = common.len();
+        let mut edges: Vec<(u8, u8)> = Vec::new();
+        for p in 0..m {
+            for q in (p + 1)..m {
+                if adj.bonded(common[p] as usize, common[q]) {
+                    edges.push((p as u8, q as u8));
+                }
+            }
+        }
+
+        let lcb = Self::longest_chain(m, &edges);
+        Signature { ncn: m as u8, nb: edges.len() as u8, lcb }
+    }
+
+    /// Longest simple path (in edges) in the small common-neighbor graph,
+    /// found by DFS — the graphs have at most a handful of vertices.
+    fn longest_chain(m: usize, edges: &[(u8, u8)]) -> u8 {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut adj: Vec<Vec<u8>> = vec![Vec::new(); m];
+        for &(a, b) in edges {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        fn dfs(adj: &[Vec<u8>], v: u8, visited: &mut u32) -> u8 {
+            let mut best = 0;
+            *visited |= 1 << v;
+            for &w in &adj[v as usize] {
+                if *visited & (1 << w) == 0 {
+                    best = best.max(1 + dfs(adj, w, visited));
+                }
+            }
+            *visited &= !(1 << v);
+            best
+        }
+        let mut best = 0;
+        let mut visited = 0u32;
+        for v in 0..m as u8 {
+            best = best.max(dfs(&adj, v, &mut visited));
+        }
+        best
+    }
+
+    /// Classifies an atom from its pair signatures.
+    fn classify(sigs: &[Signature]) -> Structure {
+        if sigs.len() != 12 {
+            return Structure::Other;
+        }
+        let s421 = Signature { ncn: 4, nb: 2, lcb: 1 };
+        let s422 = Signature { ncn: 4, nb: 2, lcb: 2 };
+        let n421 = sigs.iter().filter(|&&s| s == s421).count();
+        let n422 = sigs.iter().filter(|&&s| s == s422).count();
+        if n421 == 12 {
+            Structure::Fcc
+        } else if n421 == 6 && n422 == 6 {
+            Structure::Hcp
+        } else {
+            Structure::Other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bonds::Bonds;
+    use mdsim::{MdConfig, MdEngine};
+
+    #[test]
+    fn cold_crystal_is_mostly_fcc() {
+        let cfg = MdConfig { temperature: 0.01, ..MdConfig::default() };
+        let snap = MdEngine::new(cfg).run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let out = Cna.compute(&bonds);
+        assert!(out.fcc_fraction > 0.9, "fcc fraction {}", out.fcc_fraction);
+        // The dominant signature must be (4,2,1).
+        let (&top, _) =
+            out.signature_counts.iter().max_by_key(|&(_, &c)| c).expect("nonempty");
+        assert_eq!(top, Signature { ncn: 4, nb: 2, lcb: 1 });
+    }
+
+    #[test]
+    fn cracked_crystal_gains_other_labels() {
+        let cfg = MdConfig {
+            temperature: 0.01,
+            strain_per_step: 0.005,
+            yield_strain: 0.02,
+            ..MdConfig::default()
+        };
+        let mut md = MdEngine::new(cfg);
+        md.run(10);
+        assert!(md.cracked());
+        let snap = md.run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let out = Cna.compute(&bonds);
+        let other = out.labels.iter().filter(|&&l| l == Structure::Other).count();
+        assert!(other > 0, "crack faces must be labeled Other");
+        assert!(out.fcc_fraction < 1.0);
+    }
+
+    #[test]
+    fn longest_chain_on_known_graphs() {
+        // Path 0-1-2: longest chain 2 edges.
+        assert_eq!(Cna::longest_chain(3, &[(0, 1), (1, 2)]), 2);
+        // Triangle: longest simple path 2 edges.
+        assert_eq!(Cna::longest_chain(3, &[(0, 1), (1, 2), (0, 2)]), 2);
+        // Two disjoint edges: 1.
+        assert_eq!(Cna::longest_chain(4, &[(0, 1), (2, 3)]), 1);
+        // Empty: 0.
+        assert_eq!(Cna::longest_chain(2, &[]), 0);
+    }
+
+    #[test]
+    fn classify_requires_full_shell() {
+        let s421 = Signature { ncn: 4, nb: 2, lcb: 1 };
+        assert_eq!(Cna::classify(&vec![s421; 12]), Structure::Fcc);
+        assert_eq!(Cna::classify(&vec![s421; 11]), Structure::Other);
+        let s422 = Signature { ncn: 4, nb: 2, lcb: 2 };
+        let mut hcp = vec![s421; 6];
+        hcp.extend(vec![s422; 6]);
+        assert_eq!(Cna::classify(&hcp), Structure::Hcp);
+    }
+
+    #[test]
+    fn labels_cover_every_atom() {
+        let snap = MdEngine::new(MdConfig::default()).run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let out = Cna.compute(&bonds);
+        assert_eq!(out.labels.len(), snap.atom_count());
+        assert_eq!(out.step, snap.step);
+    }
+}

@@ -1,0 +1,180 @@
+//! Component metadata and the paper's Table I.
+
+use std::fmt;
+
+/// Asymptotic complexity class of an analysis action (Table I, col. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Complexity {
+    /// O(n).
+    Linear,
+    /// O(n²).
+    Quadratic,
+    /// O(n³).
+    Cubic,
+}
+
+impl Complexity {
+    /// The exponent of the dominant term.
+    pub fn exponent(self) -> u32 {
+        match self {
+            Complexity::Linear => 1,
+            Complexity::Quadratic => 2,
+            Complexity::Cubic => 3,
+        }
+    }
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Linear => write!(f, "O(n)"),
+            Complexity::Quadratic => write!(f, "O(n^2)"),
+            Complexity::Cubic => write!(f, "O(n^3)"),
+        }
+    }
+}
+
+/// How a component uses the cores/nodes its container provides (Table I,
+/// col. 2). The model determines how a container resize is realized:
+/// round-robin components gain replicas cheaply, parallel (MPI-style)
+/// components require teardown and relaunch, trees re-balance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ComputeModel {
+    /// Single instance, one step at a time.
+    Serial,
+    /// Replicas fed alternating time steps — adds throughput, not per-step
+    /// speed.
+    RoundRobin,
+    /// Data-parallel ranks cooperating on one step — adds per-step speed,
+    /// but resizing requires relaunch (MPI semantics).
+    Parallel,
+    /// Fan-in aggregation tree (the LAMMPS Helper).
+    Tree,
+}
+
+impl fmt::Display for ComputeModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComputeModel::Serial => "Serial",
+            ComputeModel::RoundRobin => "RR",
+            ComputeModel::Parallel => "Parallel",
+            ComputeModel::Tree => "Tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Characteristics {
+    /// Component name.
+    pub name: &'static str,
+    /// Runtime complexity in the atom count.
+    pub complexity: Complexity,
+    /// Compute models the component supports.
+    pub models: &'static [ComputeModel],
+    /// Whether the component participates in dynamic pipeline branching.
+    pub dynamic_branching: bool,
+}
+
+/// A record with one field per SmartPointer component, used to attach
+/// per-component data (cost models, allocations, results) by name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Table1Names<T> {
+    /// The LAMMPS Helper aggregation tree.
+    pub helper: T,
+    /// The Bonds neighbor detector.
+    pub bonds: T,
+    /// The CSym central-symmetry detector.
+    pub csym: T,
+    /// The CNA structural labeler.
+    pub cna: T,
+}
+
+impl<T> Table1Names<T> {
+    /// Looks a field up by component name (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<&T> {
+        match name.to_ascii_lowercase().as_str() {
+            "helper" => Some(&self.helper),
+            "bonds" => Some(&self.bonds),
+            "csym" => Some(&self.csym),
+            "cna" => Some(&self.cna),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &T)> {
+        [
+            ("Helper", &self.helper),
+            ("Bonds", &self.bonds),
+            ("CSym", &self.csym),
+            ("CNA", &self.cna),
+        ]
+        .into_iter()
+    }
+}
+
+/// The four SmartPointer actions exactly as Table I characterizes them.
+pub fn table1() -> [Characteristics; 4] {
+    use ComputeModel::*;
+    [
+        Characteristics {
+            name: "Helper",
+            complexity: Complexity::Linear,
+            models: &[Tree],
+            dynamic_branching: false,
+        },
+        Characteristics {
+            name: "Bonds",
+            complexity: Complexity::Quadratic,
+            models: &[Serial, RoundRobin, Parallel],
+            dynamic_branching: true,
+        },
+        Characteristics {
+            name: "CSym",
+            complexity: Complexity::Linear,
+            models: &[Serial, RoundRobin],
+            dynamic_branching: false,
+        },
+        Characteristics {
+            name: "CNA",
+            complexity: Complexity::Cubic,
+            models: &[Serial, RoundRobin],
+            dynamic_branching: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert_eq!(t[0].name, "Helper");
+        assert_eq!(t[0].complexity, Complexity::Linear);
+        assert_eq!(t[0].models, &[ComputeModel::Tree]);
+        assert!(!t[0].dynamic_branching);
+
+        assert_eq!(t[1].name, "Bonds");
+        assert_eq!(t[1].complexity, Complexity::Quadratic);
+        assert!(t[1].dynamic_branching);
+        assert_eq!(t[1].models.len(), 3);
+
+        assert_eq!(t[2].name, "CSym");
+        assert_eq!(t[2].complexity, Complexity::Linear);
+
+        assert_eq!(t[3].name, "CNA");
+        assert_eq!(t[3].complexity, Complexity::Cubic);
+        assert_eq!(t[3].models, &[ComputeModel::Serial, ComputeModel::RoundRobin]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Complexity::Quadratic.to_string(), "O(n^2)");
+        assert_eq!(ComputeModel::RoundRobin.to_string(), "RR");
+        assert_eq!(Complexity::Cubic.exponent(), 3);
+    }
+}

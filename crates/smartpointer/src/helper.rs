@@ -1,0 +1,163 @@
+//! LAMMPS Helper: the fan-in aggregation tree.
+//!
+//! The parallel simulation's ranks each output a chunk of the atom data;
+//! Helper merges them back into one coherent snapshot through a tree whose
+//! fan-in is bounded by how much data a node can buffer. O(n) work.
+
+use std::sync::Arc;
+
+use mdsim::Snapshot;
+
+/// Splits a snapshot into `parts` contiguous chunks, emulating the
+/// per-rank outputs of the domain-decomposed simulation.
+pub fn split_snapshot(snap: &Snapshot, parts: usize) -> Vec<Snapshot> {
+    assert!(parts > 0, "need at least one part");
+    let n = snap.atom_count();
+    let chunk = n.div_ceil(parts);
+    let mut out = Vec::with_capacity(parts);
+    for p in 0..parts {
+        let lo = (p * chunk).min(n);
+        let hi = ((p + 1) * chunk).min(n);
+        out.push(Snapshot {
+            step: snap.step,
+            md_step: snap.md_step,
+            box_len: snap.box_len,
+            ids: Arc::new(snap.ids[lo..hi].to_vec()),
+            pos: Arc::new(snap.pos[lo..hi].to_vec()),
+            strain: snap.strain,
+        });
+    }
+    out
+}
+
+/// The aggregation tree. `fan_in` bounds how many inputs one tree node
+/// merges at a time; the tree depth follows from chunk count and fan-in.
+#[derive(Clone, Debug)]
+pub struct AggregationTree {
+    fan_in: usize,
+}
+
+impl AggregationTree {
+    /// Creates a tree with the given fan-in.
+    ///
+    /// # Panics
+    /// Panics if `fan_in < 2`.
+    pub fn new(fan_in: usize) -> AggregationTree {
+        assert!(fan_in >= 2, "fan-in must be at least 2");
+        AggregationTree { fan_in }
+    }
+
+    /// Tree depth needed to merge `leaves` inputs.
+    pub fn depth(&self, leaves: usize) -> u32 {
+        if leaves <= 1 {
+            return 0;
+        }
+        let mut depth = 0;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(self.fan_in);
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Number of internal merge nodes used for `leaves` inputs.
+    pub fn internal_nodes(&self, leaves: usize) -> usize {
+        let mut total = 0;
+        let mut width = leaves;
+        while width > 1 {
+            width = width.div_ceil(self.fan_in);
+            total += width;
+        }
+        total
+    }
+
+    fn merge(&self, chunks: &[Snapshot]) -> Snapshot {
+        let first = &chunks[0];
+        let total: usize = chunks.iter().map(|c| c.atom_count()).sum();
+        let mut ids = Vec::with_capacity(total);
+        let mut pos = Vec::with_capacity(total);
+        for c in chunks {
+            debug_assert_eq!(c.step, first.step, "cannot merge chunks of different steps");
+            ids.extend_from_slice(&c.ids);
+            pos.extend_from_slice(&c.pos);
+        }
+        Snapshot {
+            step: first.step,
+            md_step: first.md_step,
+            box_len: first.box_len,
+            ids: Arc::new(ids),
+            pos: Arc::new(pos),
+            strain: first.strain,
+        }
+    }
+
+    /// Aggregates rank chunks into one snapshot, merging level by level
+    /// exactly as the tree topology would.
+    ///
+    /// # Panics
+    /// Panics on an empty input.
+    pub fn aggregate(&self, mut chunks: Vec<Snapshot>) -> Snapshot {
+        assert!(!chunks.is_empty(), "nothing to aggregate");
+        while chunks.len() > 1 {
+            chunks = chunks.chunks(self.fan_in).map(|group| self.merge(group)).collect();
+        }
+        chunks.pop().expect("loop leaves exactly one")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::{MdConfig, MdEngine};
+
+    fn snapshot() -> Snapshot {
+        MdEngine::new(MdConfig::default()).run_epoch(1)
+    }
+
+    #[test]
+    fn split_then_aggregate_is_identity() {
+        let snap = snapshot();
+        let chunks = split_snapshot(&snap, 7);
+        assert_eq!(chunks.len(), 7);
+        let merged = AggregationTree::new(2).aggregate(chunks);
+        assert_eq!(*merged.ids, *snap.ids);
+        assert_eq!(*merged.pos, *snap.pos);
+        assert_eq!(merged.step, snap.step);
+    }
+
+    #[test]
+    fn split_preserves_total_atoms() {
+        let snap = snapshot();
+        let chunks = split_snapshot(&snap, 5);
+        let total: usize = chunks.iter().map(|c| c.atom_count()).sum();
+        assert_eq!(total, snap.atom_count());
+    }
+
+    #[test]
+    fn depth_follows_fan_in() {
+        let t2 = AggregationTree::new(2);
+        assert_eq!(t2.depth(1), 0);
+        assert_eq!(t2.depth(2), 1);
+        assert_eq!(t2.depth(8), 3);
+        assert_eq!(t2.depth(9), 4);
+        let t4 = AggregationTree::new(4);
+        assert_eq!(t4.depth(16), 2);
+        assert_eq!(t4.depth(17), 3);
+    }
+
+    #[test]
+    fn internal_nodes_counted() {
+        let t2 = AggregationTree::new(2);
+        // 4 leaves -> 2 + 1 merges.
+        assert_eq!(t2.internal_nodes(4), 3);
+        assert_eq!(t2.internal_nodes(1), 0);
+    }
+
+    #[test]
+    fn aggregate_single_chunk_passthrough() {
+        let snap = snapshot();
+        let merged = AggregationTree::new(2).aggregate(vec![snap.clone()]);
+        assert_eq!(*merged.ids, *snap.ids);
+    }
+}

@@ -1,0 +1,57 @@
+//! # smartpointer — the analytics toolkit
+//!
+//! A reimplementation of the SmartPointer analysis actions the paper runs
+//! inside I/O containers, with the exact characteristics of its Table I:
+//!
+//! | Component | Complexity | Compute model        | Dynamic branching |
+//! |-----------|-----------|----------------------|-------------------|
+//! | Helper    | O(n)      | Tree                 | no                |
+//! | Bonds     | O(n²)     | Serial, RR, Parallel | yes               |
+//! | CSym      | O(n)      | Serial, RR           | no                |
+//! | CNA       | O(n³)     | Serial, RR           | no                |
+//!
+//! All four are *real* kernels operating on [`mdsim::Snapshot`] atom data:
+//! the aggregation tree merges rank chunks, Bonds builds the bonded-pair
+//! adjacency, CSym computes centro-symmetry and detects crack formation
+//! (the event that triggers the pipeline's dynamic branch), and CNA labels
+//! atomic environments FCC/HCP/other. [`cost`] supplies the calibrated
+//! service-time models the discrete-event experiments charge at paper
+//! scale.
+//!
+//! ## Example
+//! ```
+//! use mdsim::{MdConfig, MdEngine};
+//! use smartpointer::{AggregationTree, Bonds, CSym, Cna, split_snapshot};
+//!
+//! let mut md = MdEngine::new(MdConfig::default());
+//! let snap = md.run_epoch(2);
+//!
+//! // Helper: aggregate the per-rank chunks.
+//! let merged = AggregationTree::new(4).aggregate(split_snapshot(&snap, 8));
+//! // Bonds -> CSym -> CNA.
+//! let bonds = Bonds::default().compute(&merged);
+//! let csym = CSym::default().compute(&bonds);
+//! assert!(!csym.break_detected); // pristine crystal
+//! let cna = Cna.compute(&bonds);
+//! assert!(cna.fcc_fraction > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bonds;
+mod cna;
+mod component;
+pub mod cost;
+mod csym;
+pub mod fragments;
+mod helper;
+pub mod rdf;
+
+pub use bonds::{Adjacency, Bonds, BondsOutput};
+pub use cna::{Cna, CnaOutput, Signature, Structure};
+pub use component::{table1, Characteristics, Complexity, ComputeModel, Table1Names};
+pub use cost::{default_models, ServiceModel};
+pub use csym::{CSym, CSymOutput};
+pub use fragments::{FragmentFinder, FragmentTracker, Fragments, TrackEvent};
+pub use helper::{split_snapshot, AggregationTree};
+pub use rdf::{Rdf, RdfOutput};

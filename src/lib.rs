@@ -1,0 +1,2 @@
+//! Reproduction suite umbrella crate (integration tests + examples live here).
+pub use iocontainers;

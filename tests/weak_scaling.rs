@@ -1,0 +1,128 @@
+//! Scenario-level integration tests of the managed pipeline beyond the
+//! paper's three stock configurations: sensitivity to cadence, queue
+//! capacity, and mid-run cracks under resource pressure.
+
+use iocontainers::{run_pipeline, Action, ExperimentConfig, PolicyConfig, ResourceSource};
+use sim_core::SimDuration;
+
+#[test]
+fn relaxed_cadence_needs_no_management_at_256() {
+    // At a 30 s cadence even one Bonds replica (≈19.4 s/step) keeps up.
+    let mut cfg = ExperimentConfig::fig7();
+    cfg.cadence = SimDuration::from_secs(30);
+    cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
+    cfg.steps = 20;
+    let run = run_pipeline(cfg);
+    assert!(
+        run.log.actions().iter().all(|(_, a)| matches!(a, Action::Activate { .. })),
+        "no management should be needed: {:?}",
+        run.log.actions()
+    );
+    assert!(run.blocked_at.is_none());
+}
+
+#[test]
+fn tighter_cadence_forces_more_replicas_at_512() {
+    // At a 10 s cadence Bonds needs ceil(77.5/10) = 8 replicas instead
+    // of 6: the manager must find 6 more than its initial 2.
+    let mut cfg = ExperimentConfig::fig8();
+    cfg.cadence = SimDuration::from_secs(10);
+    cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
+    let run = run_pipeline(cfg);
+    let added: u32 = run
+        .log
+        .actions()
+        .iter()
+        .filter_map(|(_, a)| match a {
+            Action::Increase { added, .. } => Some(*added),
+            _ => None,
+        })
+        .sum();
+    assert!(added >= 6, "needs at least 6 more replicas, got {added}");
+    let bonds_units =
+        run.final_units.iter().find(|(n, _)| *n == "Bonds").expect("bonds exists").1;
+    assert_eq!(bonds_units, 8);
+}
+
+#[test]
+fn tiny_queues_trigger_offline_sooner() {
+    let base = ExperimentConfig::fig9();
+    let offline_time = |cap: usize| {
+        let mut cfg = base.clone();
+        cfg.queue_capacity = cap;
+        let run = run_pipeline(cfg);
+        run.log
+            .actions()
+            .iter()
+            .find_map(|(t, a)| matches!(a, Action::Offline { .. }).then_some(*t))
+            .expect("offline must happen at 1024 nodes")
+    };
+    let small = offline_time(4);
+    let large = offline_time(16);
+    assert!(small <= large, "smaller queues must prune earlier: {small} vs {large}");
+}
+
+#[test]
+fn crack_under_pressure_still_branches() {
+    // Fig. 8 resources plus a mid-run crack: management and the dynamic
+    // branch must compose.
+    let mut cfg = ExperimentConfig::fig8();
+    cfg.crack_at_step = Some(10);
+    let run = run_pipeline(cfg);
+    assert!(run.crack_detected);
+    assert!(run.offline.contains(&"CSym"), "CSym retires after the branch");
+    assert!(run
+        .log
+        .actions()
+        .iter()
+        .any(|(_, a)| matches!(a, Action::Activate { .. })));
+    // The spare-consuming increase still happened.
+    assert!(run.log.actions().iter().any(|(_, a)| matches!(
+        a,
+        Action::Increase { source: ResourceSource::Spare, .. }
+    )));
+    assert!(run.blocked_at.is_none());
+}
+
+#[test]
+fn disabled_policy_at_512_eventually_blocks() {
+    let mut cfg = ExperimentConfig::fig8();
+    cfg.policy = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+    cfg.steps = 60;
+    let run = run_pipeline(cfg);
+    assert!(
+        run.blocked_at.is_some(),
+        "2 replicas cannot sustain the 512-node rate over 60 steps"
+    );
+}
+
+#[test]
+fn weak_scaling_data_sizes_feed_the_pipeline() {
+    for (cfg, mib) in [
+        (ExperimentConfig::fig7(), 67.0),
+        (ExperimentConfig::fig8(), 134.6),
+        (ExperimentConfig::fig9(), 269.2),
+    ] {
+        let actual = cfg.step_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((actual - mib).abs() < 0.5, "Table II row mismatch: {actual} vs {mib}");
+    }
+}
+
+#[test]
+fn management_improves_end_to_end_latency_at_512() {
+    // The headline claim: the same scenario with and without management.
+    let managed = run_pipeline(ExperimentConfig::fig8());
+    let mut cfg = ExperimentConfig::fig8();
+    cfg.policy = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+    let unmanaged = run_pipeline(cfg);
+
+    let peak = |r: &iocontainers::PipelineRun| {
+        r.log.e2e_series().max_value().expect("e2e points recorded")
+    };
+    assert!(
+        peak(&managed) < peak(&unmanaged) / 2.0,
+        "management must at least halve the e2e peak: {} vs {}",
+        peak(&managed),
+        peak(&unmanaged)
+    );
+}
