@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: build, tests, clippy, and the simlint determinism pass.
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== clippy (workspace, all targets, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== simlint determinism pass =="
+cargo xtask lint
+
+echo "ci: all gates passed"

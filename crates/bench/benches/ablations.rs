@@ -32,6 +32,7 @@ fn app_run(sync: bool, steps: u32, compute: SimDuration) -> SimDuration {
     let stage = NodeId(1);
     let finished = shared(SimTime::ZERO);
 
+    #[allow(clippy::too_many_arguments)] // recursive event closure: the args are the loop state
     fn do_step(
         sim: &mut Sim,
         net: &simnet::Net,

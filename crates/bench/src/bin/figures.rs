@@ -10,11 +10,13 @@ use bench::{
     Table,
 };
 
+type Job = (&'static str, fn() -> Table);
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let what = args.first().map(String::as_str).unwrap_or("all");
 
-    let jobs: Vec<(&str, fn() -> Table)> = vec![
+    let jobs: Vec<Job> = vec![
         ("table1", table1 as fn() -> Table),
         ("table2", table2),
         ("fig4", fig4),
@@ -28,7 +30,7 @@ fn main() {
         ("sweep_cadence", sweep_cadence),
     ];
 
-    let selected: Vec<&(&str, fn() -> Table)> = if what == "all" {
+    let selected: Vec<&Job> = if what == "all" {
         jobs.iter().collect()
     } else {
         jobs.iter().filter(|(name, _)| *name == what).collect()

@@ -8,7 +8,8 @@
 //! message per participant through its NIC). The transaction-completion
 //! time this produces is the quantity of the paper's Fig. 6.
 
-use std::collections::{BTreeSet, HashMap};
+// BTreeMap (not HashMap) so tree iteration order is deterministic.
+use std::collections::{BTreeMap, BTreeSet};
 use sim_core::{shared, Shared, Sim, SimDuration, SimTime};
 use simnet::{Net, Network, NodeId};
 
@@ -103,14 +104,14 @@ pub struct TxnReport {
 #[derive(Clone, Debug)]
 struct TreeTopo {
     root: NodeId,
-    children: HashMap<NodeId, Vec<NodeId>>,
+    children: BTreeMap<NodeId, Vec<NodeId>>,
     size: u32,
 }
 
 impl TreeTopo {
     fn build(members: &[NodeId], shape: BroadcastShape) -> TreeTopo {
         let root = members[0];
-        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         match shape {
             BroadcastShape::Flat => {
                 children.insert(root, members[1..].to_vec());
@@ -120,7 +121,7 @@ impl TreeTopo {
                     parent: NodeId,
                     rest: &[NodeId],
                     fanout: usize,
-                    children: &mut HashMap<NodeId, Vec<NodeId>>,
+                    children: &mut BTreeMap<NodeId, Vec<NodeId>>,
                 ) {
                     if rest.is_empty() {
                         return;
@@ -148,7 +149,7 @@ impl TreeTopo {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 enum Phase {
     Prepare,
     Ack,
@@ -163,7 +164,7 @@ struct NodeAgg {
 
 struct GroupRt {
     topo: TreeTopo,
-    agg: HashMap<(Phase, NodeId), NodeAgg>,
+    agg: BTreeMap<(Phase, NodeId), NodeAgg>,
     verdict_sent: bool,
     acked: bool,
 }
@@ -201,7 +202,7 @@ pub fn run_transaction(
 
     let mk_group = |members: &[NodeId]| GroupRt {
         topo: TreeTopo::build(members, cfg.broadcast),
-        agg: HashMap::new(),
+        agg: BTreeMap::new(),
         verdict_sent: false,
         acked: false,
     };
@@ -220,7 +221,7 @@ pub fn run_transaction(
     {
         let rt2 = rt.clone();
         let net2 = net.clone();
-        sim.schedule_in(cfg.root_timeout, move |sim| {
+        sim.schedule_in_named("d2t.root_timeout", cfg.root_timeout, move |sim| {
             let mut r = rt2.borrow_mut();
             if r.report.is_none() && r.decision.is_none() {
                 r.decision = Some(Decision::Abort);
@@ -250,7 +251,7 @@ pub fn run_transaction(
             {
                 let net3 = net2.clone();
                 let rt3 = rt2.clone();
-                sim.schedule_in(cfg2.vote_timeout, move |sim| {
+                sim.schedule_in_named("d2t.vote_timeout", cfg2.vote_timeout, move |sim| {
                     send_verdict_if_needed(sim, &net3, &rt3, gix, true);
                 });
             }
@@ -312,7 +313,7 @@ fn prepare_at(
     let vote = if votes_no { Vote::No } else { Vote::Yes };
     let net2 = net.clone();
     let rt2 = rt.clone();
-    sim.schedule_in(cfg.work_time, move |sim| {
+    sim.schedule_in_named("d2t.work_done", cfg.work_time, move |sim| {
         contribute(sim, &net2, &rt2, gix, Phase::Prepare, node, Aggregate::from_vote(vote));
     });
 }

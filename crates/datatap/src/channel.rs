@@ -22,6 +22,8 @@ use std::time::Duration;
 use adios::StepData;
 use parking_lot::{Condvar, Mutex};
 
+use crate::clock::{to_sim, Clock, WallClock};
+
 /// Metadata announcing one buffered output step.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StepMeta {
@@ -75,6 +77,7 @@ struct Inner {
     state: Mutex<State>,
     writer_cv: Condvar,
     reader_cv: Condvar,
+    clock: Arc<dyn Clock>,
 }
 
 /// Counters exposed for monitoring.
@@ -90,11 +93,23 @@ pub struct ChannelStats {
     pub high_watermark: usize,
 }
 
-/// Creates a staged channel with a buffer of `capacity` steps.
+/// Creates a staged channel with a buffer of `capacity` steps, timing its
+/// timeout paths against the process wall clock.
 ///
 /// # Panics
 /// Panics if `capacity` is zero.
 pub fn channel(capacity: usize) -> (Writer, Reader) {
+    channel_with_clock(capacity, Arc::new(WallClock::new()))
+}
+
+/// As [`channel`], but with an injected [`Clock`] — a [`ManualClock`]
+/// makes timeout behaviour fully deterministic in tests.
+///
+/// [`ManualClock`]: crate::clock::ManualClock
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn channel_with_clock(capacity: usize, clock: Arc<dyn Clock>) -> (Writer, Reader) {
     assert!(capacity > 0, "channel capacity must be positive");
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
@@ -108,6 +123,7 @@ pub fn channel(capacity: usize) -> (Writer, Reader) {
         }),
         writer_cv: Condvar::new(),
         reader_cv: Condvar::new(),
+        clock,
     });
     (Writer { inner: inner.clone(), id: 0 }, Reader { inner })
 }
@@ -229,8 +245,12 @@ impl Reader {
     }
 
     /// Pulls with a timeout; `None` on timeout or closed-and-drained.
+    ///
+    /// The deadline is computed on the channel's [`Clock`], so under a
+    /// manual clock the timeout only expires when virtual time is advanced
+    /// past it.
     pub fn pull_timeout(&self, timeout: Duration) -> Option<(StepMeta, StepData)> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = self.inner.clock.now() + to_sim(timeout);
         let mut st = self.inner.state.lock();
         loop {
             if let Some(env) = st.queue.pop_front() {
@@ -241,9 +261,12 @@ impl Reader {
             if st.closed {
                 return None;
             }
-            if self.inner.reader_cv.wait_until(&mut st, deadline).timed_out() {
+            let now = self.inner.clock.now();
+            if now >= deadline {
                 return None;
             }
+            let slice = self.inner.clock.block_slice(deadline.since(now));
+            self.inner.reader_cv.wait_for(&mut st, slice);
         }
     }
 
@@ -254,6 +277,12 @@ impl Reader {
         st.pulled += 1;
         self.inner.writer_cv.notify_all();
         Some((env.meta, env.payload))
+    }
+
+    /// The channel's time source (shared with wrappers like the
+    /// scheduled reader, so all deadlines live on one axis).
+    pub(crate) fn clock(&self) -> Arc<dyn Clock> {
+        self.inner.clock.clone()
     }
 
     /// Closes the channel; blocked writers fail with
@@ -378,6 +407,30 @@ mod tests {
     fn pull_timeout_times_out() {
         let (_w, r) = channel(1);
         assert!(r.pull_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn pull_timeout_under_manual_clock_is_virtual() {
+        use crate::clock::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let (_w, r) = channel_with_clock(1, clock.clone());
+        // The wait passes by advancing virtual time, not by sleeping: an
+        // hour-long timeout returns immediately, and the clock lands
+        // exactly on the deadline.
+        assert!(r.pull_timeout(Duration::from_secs(3600)).is_none());
+        assert_eq!(clock.now(), sim_core::SimTime::from_secs(3600));
+    }
+
+    #[test]
+    fn manual_clock_already_past_deadline_never_blocks() {
+        use crate::clock::ManualClock;
+        use sim_core::SimTime;
+        let clock = Arc::new(ManualClock::at(SimTime::from_secs(5)));
+        let (w, r) = channel_with_clock(2, clock.clone());
+        assert!(r.pull_timeout(Duration::from_millis(10)).is_none());
+        // Data present still wins regardless of the clock.
+        w.try_write(step(3)).unwrap();
+        assert_eq!(r.pull_timeout(Duration::from_millis(10)).unwrap().0.step, 3);
     }
 
     #[test]

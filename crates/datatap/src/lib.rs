@@ -35,11 +35,13 @@
 #![warn(missing_docs)]
 
 mod channel;
+pub mod clock;
 mod cost;
 mod sched_reader;
 mod scheduler;
 
-pub use channel::{channel, ChannelStats, Reader, StepMeta, WriteError, Writer};
+pub use channel::{channel, channel_with_clock, ChannelStats, Reader, StepMeta, WriteError, Writer};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use cost::TransportCosts;
 pub use sched_reader::{PullGuard, ScheduledReader};
 pub use scheduler::PullPolicy;

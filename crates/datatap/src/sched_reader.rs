@@ -14,6 +14,7 @@ use adios::StepData;
 use parking_lot::{Condvar, Mutex};
 
 use crate::channel::{Reader, StepMeta};
+use crate::clock::{to_sim, Clock};
 use crate::scheduler::PullPolicy;
 
 struct SchedState {
@@ -25,6 +26,7 @@ struct Inner {
     policy: PullPolicy,
     state: Mutex<SchedState>,
     slot_free: Condvar,
+    clock: Arc<dyn Clock>,
 }
 
 /// A policy-enforcing, clonable reader handle.
@@ -50,12 +52,14 @@ impl Drop for PullGuard {
 impl ScheduledReader {
     /// Wraps a reader with a pull policy.
     pub fn new(reader: Reader, policy: PullPolicy) -> ScheduledReader {
+        let clock = reader.clock();
         ScheduledReader {
             inner: Arc::new(Inner {
                 reader,
                 policy,
                 state: Mutex::new(SchedState { in_flight: 0 }),
                 slot_free: Condvar::new(),
+                clock,
             }),
         }
     }
@@ -91,12 +95,17 @@ impl ScheduledReader {
     /// for data (a held slot is released on timeout).
     pub fn pull_timeout(&self, timeout: Duration) -> Option<(PullGuard, StepMeta, StepData)> {
         {
+            // Deadline arithmetic on the channel's clock, not Instant math:
+            // under a manual clock the slot wait passes virtually.
+            let deadline = self.inner.clock.now() + to_sim(timeout);
             let mut st = self.inner.state.lock();
-            let deadline = std::time::Instant::now() + timeout;
             while !self.inner.policy.may_start(st.in_flight) {
-                if self.inner.slot_free.wait_until(&mut st, deadline).timed_out() {
+                let now = self.inner.clock.now();
+                if now >= deadline {
                     return None;
                 }
+                let slice = self.inner.clock.block_slice(deadline.since(now));
+                self.inner.slot_free.wait_for(&mut st, slice);
             }
             st.in_flight += 1;
         }

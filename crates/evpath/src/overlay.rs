@@ -7,7 +7,10 @@
 //! protocols rely on. Multiple overlays (one per simulated process) connect
 //! via bridge stones, which enqueue into the remote overlay's channel.
 
-use std::collections::HashMap;
+// BTreeMap (not HashMap) for stone tables and per-stone counts: overlays are
+// queried from simulation code, so every container here must have a
+// deterministic order.
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -31,7 +34,7 @@ enum Msg {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct OverlayCounts {
     /// Events delivered to each stone.
-    pub per_stone: HashMap<StoneId, u64>,
+    pub per_stone: BTreeMap<StoneId, u64>,
     /// Events dropped because their target stone did not exist.
     pub dropped: u64,
 }
@@ -166,13 +169,13 @@ impl fmt::Debug for Overlay {
 
 struct Worker {
     rx: Receiver<Msg>,
-    stones: HashMap<StoneId, Action>,
+    stones: BTreeMap<StoneId, Action>,
     counts: OverlayCounts,
 }
 
 impl Worker {
     fn new(rx: Receiver<Msg>) -> Worker {
-        Worker { rx, stones: HashMap::new(), counts: OverlayCounts::default() }
+        Worker { rx, stones: BTreeMap::new(), counts: OverlayCounts::default() }
     }
 
     fn run(mut self) {

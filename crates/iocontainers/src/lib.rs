@@ -42,6 +42,7 @@
 pub mod codec;
 mod container;
 mod experiment;
+pub mod invariance;
 mod monitor;
 mod pipeline;
 pub mod policy;
@@ -53,7 +54,8 @@ pub mod threaded;
 pub use container::{ContainerId, ContainerSpec, ContainerState, QueuedStep, Status};
 pub use experiment::{Directive, ExperimentConfig, VizConfig};
 pub use monitor::{Action, LatencySample, MonitorConfig, MonitorLog, ResourceSource};
-pub use pipeline::{run_pipeline, PipelineRun};
+pub use invariance::{check_config_invariance, check_schedule_invariance, InvarianceReport};
+pub use pipeline::{run_pipeline, run_pipeline_in, PipelineRun};
 pub use policy::PolicyConfig;
 pub use protocol::{
     run_decrease, run_increase, run_offline, DecreaseReport, IncreaseReport, OfflineReport,

@@ -200,27 +200,33 @@ impl World {
 
 /// Runs one configured experiment to completion.
 pub fn run_pipeline(cfg: ExperimentConfig) -> PipelineRun {
-    let seed = cfg.seed;
+    let mut sim = Sim::new(cfg.seed);
+    run_pipeline_in(&mut sim, cfg)
+}
+
+/// Runs the experiment inside a caller-built kernel — e.g. one with a
+/// perturbed tie-break and tracing enabled, as the schedule-invariance
+/// checker does. The kernel's RNG seed should normally match `cfg.seed`.
+pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
     let steps = cfg.steps;
     let cadence = cfg.cadence;
-    let mut sim = Sim::new(seed);
     let world: W = shared(World::new(cfg));
 
     // Application output steps.
     for step in 0..steps {
         let w = world.clone();
-        sim.schedule_at(SimTime::ZERO + cadence * step, move |sim| emit(sim, &w, step));
+        sim.schedule_at_named("ioc.emit", SimTime::ZERO + cadence * step, move |sim| emit(sim, &w, step));
     }
     // Global-manager policy ticks (bounded, so the run always drains).
     for tick in 1..(steps + 30) {
         let w = world.clone();
-        sim.schedule_at(SimTime::ZERO + cadence * tick, move |sim| policy_tick(sim, &w));
+        sim.schedule_at_named("ioc.policy_tick", SimTime::ZERO + cadence * tick, move |sim| policy_tick(sim, &w));
     }
     // Online user directives.
     let directives = world.borrow().cfg.directives.clone();
     for (at, directive) in directives {
         let w = world.clone();
-        sim.schedule_at(SimTime::ZERO + at, move |sim| perform_directive(sim, &w, directive));
+        sim.schedule_at_named("ioc.directive", SimTime::ZERO + at, move |sim| perform_directive(sim, &w, directive));
     }
 
     // Generous horizon: hopeless-bottleneck drains are bounded by the
@@ -262,7 +268,7 @@ fn emit(sim: &mut Sim, world: &W, step: u64) {
         )
     };
     let w = world.clone();
-    sim.schedule_at(arrival, move |sim| arrive(sim, &w, HELPER, qstep));
+    sim.schedule_at_named("ioc.arrive", arrival, move |sim| arrive(sim, &w, HELPER, qstep));
 }
 
 fn arrive(sim: &mut Sim, world: &W, cid: usize, mut qstep: QueuedStep) {
@@ -339,7 +345,7 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
         match dispatched {
             Some((qstep, done)) => {
                 let w = world.clone();
-                sim.schedule_at(done, move |sim| complete(sim, &w, cid, qstep));
+                sim.schedule_at_named("ioc.complete", done, move |sim| complete(sim, &w, cid, qstep));
             }
             None => break,
         }
@@ -417,7 +423,7 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep) {
 
     for (dst, arrival, fwd) in forward {
         let w = world.clone();
-        sim.schedule_at(arrival, move |sim| arrive(sim, &w, dst, fwd));
+        sim.schedule_at_named("ioc.arrive", arrival, move |sim| arrive(sim, &w, dst, fwd));
     }
 
     // Local manager reports to the global manager over the control
@@ -425,7 +431,7 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep) {
     let monitoring = world.borrow().cfg.monitoring;
     if monitoring.samples_step(sample.step) {
         let w = world.clone();
-        sim.schedule_in(monitoring.delivery_delay, move |_sim| {
+        sim.schedule_in_named("ioc.monitor", monitoring.delivery_delay, move |_sim| {
             w.borrow_mut().log.record(&sample);
         });
     }
@@ -603,7 +609,7 @@ fn perform_rebalance(
                 if aborted {
                     // Roll back: nothing moved; retry after the cooldown.
                     let w2 = world.clone();
-                    sim.schedule_in(txn_duration, move |sim| {
+                    sim.schedule_in_named("ioc.trade_txn", txn_duration, move |sim| {
                         let mut w = w2.borrow_mut();
                         let at = sim.now();
                         w.log.record_action(
@@ -618,7 +624,7 @@ fn perform_rebalance(
                 // Committed: proceed with the physical trade after the
                 // transaction completes.
                 let w2 = world.clone();
-                sim.schedule_in(txn_duration, move |sim| {
+                sim.schedule_in_named("ioc.trade_txn", txn_duration, move |sim| {
                     start_steal(sim, &w2, target, donor, k, lease_spare);
                 });
                 return;
@@ -664,7 +670,7 @@ fn start_steal(
                 d
             };
             let w2 = world.clone();
-            sim.schedule_in(dec_duration, move |sim| {
+            sim.schedule_in_named("ioc.trade_dec", dec_duration, move |sim| {
                 {
                     let mut w = w2.borrow_mut();
                     let donor_ix = donor.0 as usize;
@@ -703,7 +709,7 @@ fn start_increase(sim: &mut Sim, world: &W, target: ContainerId, add: u32, sourc
         total
     };
     let w2 = world.clone();
-    sim.schedule_in(inc_duration, move |sim| {
+    sim.schedule_in_named("ioc.trade_inc", inc_duration, move |sim| {
         {
             let mut w = w2.borrow_mut();
             let tix = target.0 as usize;

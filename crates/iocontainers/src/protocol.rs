@@ -87,7 +87,7 @@ fn fan_out_in(
 ) {
     if peers.is_empty() {
         // Still costs one scheduling quantum of nothing: fire immediately.
-        sim.schedule_in(SimDuration::ZERO, on_done);
+        sim.schedule_in_named("proto.done", SimDuration::ZERO, on_done);
         return;
     }
     let pending = shared((peers.len(), Some(Box::new(on_done) as Box<dyn FnOnce(&mut Sim)>)));
@@ -97,7 +97,7 @@ fn fan_out_in(
         Network::send_control(net, sim, center, peer, move |sim| {
             let net3 = net2.clone();
             let pending = pending.clone();
-            sim.schedule_in(per_peer_sw, move |sim| {
+            sim.schedule_in_named("proto.peer_sw", per_peer_sw, move |sim| {
                 let pending = pending.clone();
                 Network::send_control(&net3, sim, peer, center, move |sim| {
                     let mut p = pending.borrow_mut();

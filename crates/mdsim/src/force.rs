@@ -18,8 +18,8 @@ impl CellList {
     /// Builds a cell list with cells no smaller than `cutoff`.
     pub fn build(sys: &System, cutoff: f64) -> CellList {
         let mut dims = [1usize; 3];
-        for k in 0..3 {
-            dims[k] = ((sys.box_len[k] / cutoff).floor() as usize).max(1);
+        for (k, dim) in dims.iter_mut().enumerate() {
+            *dim = ((sys.box_len[k] / cutoff).floor() as usize).max(1);
         }
         let n_cells = dims[0] * dims[1] * dims[2];
         let mut cells: Vec<Vec<u32>> = vec![Vec::new(); n_cells];

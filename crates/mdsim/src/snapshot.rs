@@ -54,12 +54,12 @@ impl Snapshot {
         let (a, b) = (self.pos[i], self.pos[j]);
         let mut d =
             [a[0] as f64 - b[0] as f64, a[1] as f64 - b[1] as f64, a[2] as f64 - b[2] as f64];
-        for k in 0..3 {
+        for (k, dk) in d.iter_mut().enumerate() {
             let l = self.box_len[k];
-            if d[k] > 0.5 * l {
-                d[k] -= l;
-            } else if d[k] < -0.5 * l {
-                d[k] += l;
+            if *dk > 0.5 * l {
+                *dk -= l;
+            } else if *dk < -0.5 * l {
+                *dk += l;
             }
         }
         d

@@ -96,12 +96,12 @@ impl System {
     #[inline]
     pub fn min_image(&self, i: [f64; 3], j: [f64; 3]) -> [f64; 3] {
         let mut d = [i[0] - j[0], i[1] - j[1], i[2] - j[2]];
-        for k in 0..3 {
+        for (k, dk) in d.iter_mut().enumerate() {
             let l = self.box_len[k];
-            if d[k] > 0.5 * l {
-                d[k] -= l;
-            } else if d[k] < -0.5 * l {
-                d[k] += l;
+            if *dk > 0.5 * l {
+                *dk -= l;
+            } else if *dk < -0.5 * l {
+                *dk += l;
             }
         }
         d
@@ -110,9 +110,9 @@ impl System {
     /// Wraps all positions back into the primary box.
     pub fn wrap(&mut self) {
         for p in &mut self.pos {
-            for k in 0..3 {
+            for (k, pk) in p.iter_mut().enumerate() {
                 let l = self.box_len[k];
-                p[k] -= l * (p[k] / l).floor();
+                *pk -= l * (*pk / l).floor();
             }
         }
     }
@@ -142,8 +142,8 @@ impl System {
         }
         let s = (target / current).sqrt();
         for v in &mut self.vel {
-            for d in 0..3 {
-                v[d] *= s;
+            for vd in v.iter_mut() {
+                *vd *= s;
             }
         }
     }
@@ -183,8 +183,8 @@ mod tests {
     fn momentum_is_zeroed() {
         let sys = System::fcc(&MdConfig::default());
         let p = sys.momentum();
-        for d in 0..3 {
-            assert!(p[d].abs() < 1e-9, "net momentum along {d}: {}", p[d]);
+        for (d, pd) in p.iter().enumerate() {
+            assert!(pd.abs() < 1e-9, "net momentum along {d}: {pd}");
         }
     }
 
@@ -203,8 +203,8 @@ mod tests {
         sys.pos[0] = [-0.5, 5.5, 12.0];
         sys.wrap();
         let p = sys.pos[0];
-        for k in 0..3 {
-            assert!((0.0..5.0).contains(&p[k]), "coordinate {k} = {}", p[k]);
+        for (k, pk) in p.iter().enumerate() {
+            assert!((0.0..5.0).contains(pk), "coordinate {k} = {pk}");
         }
         assert!((p[0] - 4.5).abs() < 1e-12);
     }

@@ -22,8 +22,8 @@ proptest! {
         let mut md = MdEngine::new(cfg);
         md.run(steps);
         let p = md.system().momentum();
-        for d in 0..3 {
-            prop_assert!(p[d].abs() < 1e-6, "momentum[{d}] = {}", p[d]);
+        for (d, pd) in p.iter().enumerate() {
+            prop_assert!(pd.abs() < 1e-6, "momentum[{d}] = {pd}");
         }
     }
 
@@ -35,12 +35,12 @@ proptest! {
         md.run(steps);
         let mut total = [0.0f64; 3];
         for f in &md.system().force {
-            for d in 0..3 {
-                total[d] += f[d];
+            for (d, fd) in f.iter().enumerate() {
+                total[d] += fd;
             }
         }
-        for d in 0..3 {
-            prop_assert!(total[d].abs() < 1e-6, "sum force[{d}] = {}", total[d]);
+        for (d, t) in total.iter().enumerate() {
+            prop_assert!(t.abs() < 1e-6, "sum force[{d}] = {t}");
         }
     }
 
@@ -74,11 +74,10 @@ proptest! {
         md.run(steps);
         let sys = md.system();
         for p in &sys.pos {
-            for d in 0..3 {
+            for (d, pd) in p.iter().enumerate() {
                 prop_assert!(
-                    p[d] >= 0.0 && p[d] < sys.box_len[d],
-                    "coordinate {d} out of box: {} not in [0, {})",
-                    p[d],
+                    *pd >= 0.0 && *pd < sys.box_len[d],
+                    "coordinate {d} out of box: {pd} not in [0, {})",
                     sys.box_len[d]
                 );
             }

@@ -11,13 +11,17 @@
 
 use std::cell::RefCell;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+// BTreeSet (not HashSet) for the cancellation set: the kernel itself must be
+// free of unordered collections so no future change can leak iteration order
+// into scheduling.
+use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{mix64, Trace};
 
 /// Shared, interiorly-mutable model state for single-threaded simulation.
 pub type Shared<T> = Rc<RefCell<T>>;
@@ -28,21 +32,57 @@ pub fn shared<T>(value: T) -> Shared<T> {
 }
 
 /// Handle for a scheduled event, usable to cancel it before it fires.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(u64);
+
+/// How the kernel orders events that share a timestamp.
+///
+/// FIFO is the documented contract. The other modes exist for the
+/// schedule-invariance checker: a model whose observable behaviour is
+/// independent of same-timestamp ordering produces the same
+/// [`Trace::schedule_hash`] under every mode; a model that secretly relies
+/// on tie-break order (a "simulation race") diverges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Same-timestamp events fire in scheduling order (the default).
+    #[default]
+    Fifo,
+    /// Same-timestamp events fire in reverse scheduling order.
+    Lifo,
+    /// Same-timestamp events fire in a pseudo-random order derived from the
+    /// salt (deterministic for a fixed salt).
+    Salted(u64),
+}
+
+impl TieBreak {
+    /// The intra-timestamp ordering key for insertion number `seq`.
+    fn ord_key(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => !seq,
+            // mix64 is bijective, so distinct seqs keep distinct keys and
+            // the order stays total and deterministic.
+            TieBreak::Salted(salt) => mix64(seq ^ salt),
+        }
+    }
+}
 
 type Action = Box<dyn FnOnce(&mut Sim)>;
 
 struct Entry {
     at: SimTime,
+    /// Intra-timestamp ordering key, computed from the insertion number by
+    /// the active [`TieBreak`] at push time.
+    ord_key: u64,
     seq: u64,
     id: EventId,
+    label: &'static str,
     action: Action,
 }
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.ord_key == other.ord_key
     }
 }
 impl Eq for Entry {}
@@ -52,20 +92,25 @@ impl PartialOrd for Entry {
     }
 }
 impl Ord for Entry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    // BinaryHeap is a max-heap; invert so the earliest (time, key) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.ord_key).cmp(&(self.at, self.ord_key))
     }
 }
+
+/// Label attached to events scheduled through the unlabeled API.
+pub const DEFAULT_EVENT_LABEL: &str = "event";
 
 /// A deterministic discrete-event simulator.
 pub struct Sim {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Entry>,
-    cancelled: HashSet<EventId>,
+    cancelled: BTreeSet<EventId>,
     rng: StdRng,
     executed: u64,
+    tie_break: TieBreak,
+    trace: Option<Trace>,
 }
 
 impl Sim {
@@ -74,14 +119,45 @@ impl Sim {
     /// Two simulators created with the same seed and fed the same schedule of
     /// events produce bit-identical results.
     pub fn new(seed: u64) -> Self {
+        Sim::with_tie_break(seed, TieBreak::Fifo)
+    }
+
+    /// Creates a simulator with an explicit same-timestamp tie-break mode.
+    pub fn with_tie_break(seed: u64, tie_break: TieBreak) -> Self {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             rng: StdRng::seed_from_u64(seed),
             executed: 0,
+            tie_break,
+            trace: None,
         }
+    }
+
+    /// Starts recording the execution schedule (see [`Trace`]). Call before
+    /// running; events executed earlier are not retroactively recorded.
+    pub fn record_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::default());
+        }
+    }
+
+    /// The schedule recorded so far, if [`record_trace`](Sim::record_trace)
+    /// was called.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes ownership of the recorded schedule, stopping recording.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// The active same-timestamp tie-break mode.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
     }
 
     /// The current virtual time.
@@ -109,11 +185,7 @@ impl Sim {
     /// # Panics
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut Sim) + 'static) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        let id = EventId(self.seq);
-        self.queue.push(Entry { at, seq: self.seq, id, action: Box::new(action) });
-        self.seq += 1;
-        id
+        self.schedule_at_named(DEFAULT_EVENT_LABEL, at, action)
     }
 
     /// Schedules `action` to run `delay` after the current time.
@@ -123,6 +195,42 @@ impl Sim {
         action: impl FnOnce(&mut Sim) + 'static,
     ) -> EventId {
         self.schedule_at(self.now + delay, action)
+    }
+
+    /// Schedules a labeled event at absolute time `at`. The label names the
+    /// event in recorded traces and invariance diagnostics; use stable,
+    /// coarse labels (one per event kind, not per instance).
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_at_named(
+        &mut self,
+        label: &'static str,
+        at: SimTime,
+        action: impl FnOnce(&mut Sim) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let id = EventId(self.seq);
+        self.queue.push(Entry {
+            at,
+            ord_key: self.tie_break.ord_key(self.seq),
+            seq: self.seq,
+            id,
+            label,
+            action: Box::new(action),
+        });
+        self.seq += 1;
+        id
+    }
+
+    /// Schedules a labeled event `delay` after the current time.
+    pub fn schedule_in_named(
+        &mut self,
+        label: &'static str,
+        delay: SimDuration,
+        action: impl FnOnce(&mut Sim) + 'static,
+    ) -> EventId {
+        self.schedule_at_named(label, self.now + delay, action)
     }
 
     /// Cancels a pending event. Has no effect if the event already fired.
@@ -142,6 +250,9 @@ impl Sim {
             debug_assert!(entry.at >= self.now);
             self.now = entry.at;
             self.executed += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(entry.at, entry.label, entry.seq);
+            }
             (entry.action)(self);
             return Some(entry.at);
         }
@@ -299,6 +410,102 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(10), |_| {});
         sim.run();
         sim.schedule_at(SimTime::from_secs(5), |_| {});
+    }
+
+    #[test]
+    fn lifo_tie_break_reverses_equal_timestamps() {
+        let mut sim = Sim::with_tie_break(0, TieBreak::Lifo);
+        let log = shared(Vec::new());
+        for i in 0..10 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..10).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn salted_tie_break_is_deterministic_and_permutes() {
+        fn order(salt: u64) -> Vec<u32> {
+            let mut sim = Sim::with_tie_break(0, TieBreak::Salted(salt));
+            let log = shared(Vec::new());
+            for i in 0..32u32 {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(i));
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(order(7), order(7));
+        assert_ne!(order(7), (0..32).collect::<Vec<_>>());
+        assert_ne!(order(7), order(8));
+    }
+
+    #[test]
+    fn tie_break_never_violates_time_order() {
+        for tb in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Salted(99)] {
+            let mut sim = Sim::with_tie_break(0, tb);
+            let log = shared(Vec::new());
+            for &t in &[5u64, 1, 3, 3, 1, 5, 2] {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(t));
+            }
+            sim.run();
+            let log = log.borrow();
+            for w in log.windows(2) {
+                assert!(w[0] <= w[1], "time order violated under {tb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_hash_is_invariant_for_commutative_events() {
+        fn hash(tb: TieBreak) -> u64 {
+            let mut sim = Sim::with_tie_break(0, tb);
+            sim.record_trace();
+            for i in 0..20u64 {
+                // Same-timestamp events that do not interact: reordering
+                // them must not change the schedule hash.
+                sim.schedule_at_named("tick", SimTime::from_secs(i / 4), move |sim| {
+                    sim.schedule_in_named("follow", SimDuration::from_millis(10), |_| {});
+                });
+            }
+            sim.run();
+            sim.take_trace().expect("trace recorded").schedule_hash()
+        }
+        let fifo = hash(TieBreak::Fifo);
+        assert_eq!(fifo, hash(TieBreak::Lifo));
+        assert_eq!(fifo, hash(TieBreak::Salted(1)));
+        assert_eq!(fifo, hash(TieBreak::Salted(2)));
+    }
+
+    #[test]
+    fn trace_hash_catches_order_dependent_events() {
+        // A deliberate simulation race: same-timestamp events racing on a
+        // shared flag, with the loser scheduling an extra event.
+        fn hash(tb: TieBreak) -> u64 {
+            let mut sim = Sim::with_tie_break(0, tb);
+            sim.record_trace();
+            let winner_decided = shared(false);
+            for label in ["a", "b"] {
+                let w = winner_decided.clone();
+                sim.schedule_at_named(label, SimTime::from_secs(1), move |sim| {
+                    if !*w.borrow() {
+                        *w.borrow_mut() = true;
+                    } else {
+                        sim.schedule_in_named(
+                            if label == "a" { "a.retry" } else { "b.retry" },
+                            SimDuration::from_secs(1),
+                            |_| {},
+                        );
+                    }
+                });
+            }
+            sim.run();
+            sim.take_trace().expect("trace recorded").schedule_hash()
+        }
+        assert_ne!(hash(TieBreak::Fifo), hash(TieBreak::Lifo));
     }
 
     #[test]

@@ -29,6 +29,8 @@
 mod kernel;
 pub mod stats;
 mod time;
+mod trace;
 
-pub use kernel::{shared, EventId, Shared, Sim};
+pub use kernel::{shared, EventId, Shared, Sim, TieBreak, DEFAULT_EVENT_LABEL};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Divergence, Trace, TraceBucket};

@@ -1,0 +1,247 @@
+//! Schedule tracing for the invariance checker ("simulation race detector").
+//!
+//! When tracing is enabled, the kernel records every executed event's
+//! `(timestamp, label)` into per-timestamp buckets. Within a bucket the
+//! event hashes combine **commutatively** (wrapping addition), because a
+//! perturbed same-timestamp tie-break is allowed to permute execution order
+//! inside one timestamp without that counting as divergence; across buckets
+//! the hashes chain in time order, so any shift of an event to a different
+//! timestamp, a missing or extra event, or a changed label changes the
+//! final hash. Sequence numbers are recorded for diagnostics but excluded
+//! from the hash: a perturbed tie-break legitimately reassigns the seq
+//! numbers of follow-up events.
+
+use crate::time::SimTime;
+
+/// FNV-1a hash of a label.
+pub(crate) fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: a bijective bit mixer.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// All events that executed at one timestamp.
+#[derive(Clone, Debug)]
+pub struct TraceBucket {
+    /// The shared timestamp.
+    pub at: SimTime,
+    /// Commutative combination of the bucket's event hashes.
+    pub hash: u64,
+    /// Labels of the events, in execution order (diagnostics only; the
+    /// hash is order-independent).
+    pub labels: Vec<&'static str>,
+    /// Kernel sequence numbers, parallel to `labels` (diagnostics only).
+    pub seqs: Vec<u64>,
+}
+
+impl TraceBucket {
+    fn new(at: SimTime) -> TraceBucket {
+        TraceBucket { at, hash: 0, labels: Vec::new(), seqs: Vec::new() }
+    }
+
+    fn record(&mut self, label: &'static str, seq: u64) {
+        // Wrapping addition keeps the bucket hash invariant under
+        // permutation while still counting duplicate labels (XOR would
+        // cancel a label appearing twice).
+        self.hash = self.hash.wrapping_add(mix64(fnv1a(label)));
+        self.labels.push(label);
+        self.seqs.push(seq);
+    }
+
+    /// The bucket's labels as a sorted multiset, for readable diffs.
+    pub fn sorted_labels(&self) -> Vec<&'static str> {
+        let mut v = self.labels.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A recorded execution schedule: one bucket per distinct timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    buckets: Vec<TraceBucket>,
+    events: u64,
+}
+
+impl Trace {
+    pub(crate) fn record(&mut self, at: SimTime, label: &'static str, seq: u64) {
+        self.events += 1;
+        match self.buckets.last_mut() {
+            Some(last) if last.at == at => last.record(label, seq),
+            _ => {
+                debug_assert!(
+                    self.buckets.last().is_none_or(|b| b.at < at),
+                    "trace timestamps must be nondecreasing"
+                );
+                let mut b = TraceBucket::new(at);
+                b.record(label, seq);
+                self.buckets.push(b);
+            }
+        }
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The per-timestamp buckets, in time order.
+    pub fn buckets(&self) -> &[TraceBucket] {
+        &self.buckets
+    }
+
+    /// Hash of the whole schedule: bucket hashes chained in time order,
+    /// each mixed with its timestamp. Identical iff the two runs executed
+    /// the same multiset of labels at every timestamp.
+    pub fn schedule_hash(&self) -> u64 {
+        let mut h: u64 = 0xA076_1D64_78BD_642F;
+        for b in &self.buckets {
+            h = mix64(h ^ b.at.as_nanos() ^ b.hash);
+        }
+        h ^ self.events
+    }
+
+    /// Finds the first timestamp where two traces disagree, if any.
+    pub fn first_divergence(&self, other: &Trace) -> Option<Divergence> {
+        let n = self.buckets.len().min(other.buckets.len());
+        for i in 0..n {
+            let (a, b) = (&self.buckets[i], &other.buckets[i]);
+            if a.at != b.at || a.hash != b.hash {
+                return Some(Divergence {
+                    bucket_index: i,
+                    left_at: Some(a.at),
+                    right_at: Some(b.at),
+                    left_labels: a.sorted_labels(),
+                    right_labels: b.sorted_labels(),
+                });
+            }
+        }
+        match self.buckets.len().cmp(&other.buckets.len()) {
+            std::cmp::Ordering::Equal => None,
+            _ => {
+                let (a, b) = (self.buckets.get(n), other.buckets.get(n));
+                Some(Divergence {
+                    bucket_index: n,
+                    left_at: a.map(|x| x.at),
+                    right_at: b.map(|x| x.at),
+                    left_labels: a.map(|x| x.sorted_labels()).unwrap_or_default(),
+                    right_labels: b.map(|x| x.sorted_labels()).unwrap_or_default(),
+                })
+            }
+        }
+    }
+}
+
+/// A pinpointed schedule divergence between two traces.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Index of the first differing bucket.
+    pub bucket_index: usize,
+    /// Timestamp of that bucket in the left trace (`None` = trace ended).
+    pub left_at: Option<SimTime>,
+    /// Timestamp of that bucket in the right trace (`None` = trace ended).
+    pub right_at: Option<SimTime>,
+    /// Sorted label multiset of the left bucket.
+    pub left_labels: Vec<&'static str>,
+    /// Sorted label multiset of the right bucket.
+    pub right_labels: Vec<&'static str>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "first divergent timestamp (bucket #{}):", self.bucket_index)?;
+        match (self.left_at, self.right_at) {
+            (Some(l), Some(r)) if l == r => writeln!(f, "  at {l}: same time, different events")?,
+            (l, r) => writeln!(f, "  left at {l:?}, right at {r:?}")?,
+        }
+        writeln!(f, "  left  events: {:?}", self.left_labels)?;
+        write!(f, "  right events: {:?}", self.right_labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_within_timestamp_is_invariant() {
+        let t = SimTime::from_secs(1);
+        let mut a = Trace::default();
+        a.record(t, "x", 0);
+        a.record(t, "y", 1);
+        a.record(t, "x", 2);
+        let mut b = Trace::default();
+        b.record(t, "y", 5);
+        b.record(t, "x", 6);
+        b.record(t, "x", 7);
+        assert_eq!(a.schedule_hash(), b.schedule_hash());
+        assert!(a.first_divergence(&b).is_none());
+    }
+
+    #[test]
+    fn duplicate_labels_do_not_cancel() {
+        let t = SimTime::from_secs(1);
+        let mut a = Trace::default();
+        a.record(t, "x", 0);
+        a.record(t, "x", 1);
+        let mut b = Trace::default();
+        b.record(t, "y", 0);
+        b.record(t, "y", 1);
+        assert_ne!(a.schedule_hash(), b.schedule_hash());
+    }
+
+    #[test]
+    fn shifted_timestamp_diverges() {
+        let mut a = Trace::default();
+        a.record(SimTime::from_secs(1), "x", 0);
+        let mut b = Trace::default();
+        b.record(SimTime::from_secs(2), "x", 0);
+        assert_ne!(a.schedule_hash(), b.schedule_hash());
+        let d = a.first_divergence(&b).expect("divergence");
+        assert_eq!(d.bucket_index, 0);
+        assert_eq!(d.left_at, Some(SimTime::from_secs(1)));
+        assert_eq!(d.right_at, Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn missing_tail_diverges() {
+        let mut a = Trace::default();
+        a.record(SimTime::from_secs(1), "x", 0);
+        a.record(SimTime::from_secs(2), "y", 1);
+        let mut b = Trace::default();
+        b.record(SimTime::from_secs(1), "x", 0);
+        assert_ne!(a.schedule_hash(), b.schedule_hash());
+        let d = a.first_divergence(&b).expect("divergence");
+        assert_eq!(d.bucket_index, 1);
+        assert_eq!(d.right_at, None);
+        assert_eq!(d.left_labels, vec!["y"]);
+    }
+
+    #[test]
+    fn different_label_pinpointed_with_multisets() {
+        let t = SimTime::from_millis(5);
+        let mut a = Trace::default();
+        a.record(SimTime::ZERO, "boot", 0);
+        a.record(t, "emit", 1);
+        a.record(t, "policy", 2);
+        let mut b = Trace::default();
+        b.record(SimTime::ZERO, "boot", 0);
+        b.record(t, "emit", 1);
+        b.record(t, "emit", 2);
+        let d = a.first_divergence(&b).expect("divergence");
+        assert_eq!(d.bucket_index, 1);
+        assert_eq!(d.left_labels, vec!["emit", "policy"]);
+        assert_eq!(d.right_labels, vec!["emit", "emit"]);
+        assert!(d.to_string().contains("same time, different events"));
+    }
+}

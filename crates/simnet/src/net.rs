@@ -8,7 +8,9 @@
 //! payload time. The model is deterministic and runs on the [`sim_core`]
 //! kernel.
 
-use std::collections::HashMap;
+// BTreeMap keeps per-NIC state in a deterministically ordered container so
+// no future iteration over it can leak hash order into event scheduling.
+use std::collections::BTreeMap;
 
 use sim_core::{Shared, Sim, SimDuration, SimTime};
 
@@ -132,7 +134,7 @@ pub struct NetStats {
 /// reach it from inside kernel events.
 pub struct Network {
     cfg: NetworkConfig,
-    nics: HashMap<NodeId, NicState>,
+    nics: BTreeMap<NodeId, NicState>,
     stats: NetStats,
 }
 
@@ -142,7 +144,7 @@ pub type Net = Shared<Network>;
 impl Network {
     /// Creates a network with the given constants.
     pub fn new(cfg: NetworkConfig) -> Net {
-        sim_core::shared(Network { cfg, nics: HashMap::new(), stats: NetStats::default() })
+        sim_core::shared(Network { cfg, nics: BTreeMap::new(), stats: NetStats::default() })
     }
 
     /// The configured constants.
@@ -215,7 +217,7 @@ impl Network {
             n.stats.bytes += bytes;
             finish
         };
-        sim.schedule_at(finish, on_delivered);
+        sim.schedule_at_named("net.deliver", finish, on_delivered);
         finish
     }
 

@@ -8,7 +8,8 @@
 //! paper's O(n³) row in Table I): the chain search over each pair's common
 //! neighborhood dominates.
 
-use std::collections::HashMap;
+// BTreeMap so the public histogram iterates in a stable order.
+use std::collections::BTreeMap;
 
 use crate::bonds::{Adjacency, BondsOutput};
 
@@ -42,7 +43,7 @@ pub struct CnaOutput {
     /// Per-atom structural label.
     pub labels: Vec<Structure>,
     /// Histogram of pair signatures.
-    pub signature_counts: HashMap<Signature, u64>,
+    pub signature_counts: BTreeMap<Signature, u64>,
     /// Fraction of atoms labeled FCC.
     pub fcc_fraction: f64,
 }
@@ -57,7 +58,7 @@ impl Cna {
         let adj = &input.adjacency;
         let n = adj.len();
         let mut labels = Vec::with_capacity(n);
-        let mut signature_counts: HashMap<Signature, u64> = HashMap::new();
+        let mut signature_counts: BTreeMap<Signature, u64> = BTreeMap::new();
 
         for i in 0..n {
             let mut sigs: Vec<Signature> = Vec::with_capacity(adj.neighbors(i).len());
@@ -209,8 +210,8 @@ mod tests {
     #[test]
     fn classify_requires_full_shell() {
         let s421 = Signature { ncn: 4, nb: 2, lcb: 1 };
-        assert_eq!(Cna::classify(&vec![s421; 12]), Structure::Fcc);
-        assert_eq!(Cna::classify(&vec![s421; 11]), Structure::Other);
+        assert_eq!(Cna::classify(&[s421; 12]), Structure::Fcc);
+        assert_eq!(Cna::classify(&[s421; 11]), Structure::Other);
         let s422 = Signature { ncn: 4, nb: 2, lcb: 2 };
         let mut hcp = vec![s421; 6];
         hcp.extend(vec![s422; 6]);

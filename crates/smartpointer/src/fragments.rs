@@ -7,7 +7,9 @@
 //! adjacency: each component is a fragment; tracking matches fragments
 //! across steps by shared atom ids.
 
-use std::collections::HashMap;
+// Maps whose iteration order reaches results (majority votes, split
+// events) are BTreeMaps; lookup-only maps stay hashed.
+use std::collections::{BTreeMap, HashMap};
 
 use crate::bonds::BondsOutput;
 
@@ -136,7 +138,7 @@ impl FragmentTracker {
         assert_eq!(snap_ids.len(), frags.labels.len(), "one label per atom");
 
         // Count, per fragment label, how many atoms came from each prior id.
-        let mut votes: Vec<HashMap<u64, u32>> = vec![HashMap::new(); frags.count()];
+        let mut votes: Vec<BTreeMap<u64, u32>> = vec![BTreeMap::new(); frags.count()];
         for (atom, &label) in snap_ids.iter().zip(&frags.labels) {
             if let Some(&prev) = self.by_atom.get(atom) {
                 *votes[label as usize].entry(prev).or_insert(0) += 1;
@@ -145,9 +147,9 @@ impl FragmentTracker {
 
         // Majority vote; fragments with no inherited atoms are born fresh.
         let mut assigned: Vec<u64> = Vec::with_capacity(frags.count());
-        let mut children_of: HashMap<u64, Vec<u64>> = HashMap::new();
-        for label in 0..frags.count() {
-            let winner = votes[label].iter().max_by_key(|&(_, &c)| c).map(|(&id, _)| id);
+        let mut children_of: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (label, vote) in votes.iter().enumerate() {
+            let winner = vote.iter().max_by_key(|&(_, &c)| c).map(|(&id, _)| id);
             let id = match winner {
                 Some(parent) => {
                     let id = if children_of.contains_key(&parent) {

@@ -1,0 +1,655 @@
+//! # simlint — determinism static analysis for the simulation substrate
+//!
+//! The experiment harness's credibility rests on bit-identical replays:
+//! the same seed must produce the same schedule, the same figures, the
+//! same report. This linter scans the sim-path crates for the constructs
+//! that historically break that promise:
+//!
+//! * **wall-clock** — `Instant::now()` / `SystemTime` in simulation code.
+//!   Virtual time must come from the kernel clock (`SimTime`); wall-clock
+//!   reads make results depend on host load.
+//! * **unordered-iter** — iterating a `HashMap`/`HashSet` (`iter`, `keys`,
+//!   `values`, `into_iter`, `drain`, `for _ in map`). Hash iteration order
+//!   is unspecified and (with a randomized hasher) differs between
+//!   processes; if it reaches scheduling or output, replays diverge.
+//! * **adhoc-rng** — RNG construction outside the kernel's seeded
+//!   `StdRng` (`thread_rng`, `from_entropy`, `rand::random`). Every
+//!   random draw must descend from the experiment seed.
+//! * **thread-spawn** — `std::thread::spawn` in single-threaded sim
+//!   crates. The DES kernel is the only scheduler; free-running threads
+//!   reintroduce host-dependent interleavings. (Scoped fork/join
+//!   parallelism in compute kernels is fine and not matched.)
+//!
+//! Findings carry `file:line` so they paste into an editor. A finding is
+//! suppressed by a `// simlint: allow(<rule>)` comment on the same line
+//! or the line directly above. Per-path rule configuration lives in
+//! [`ruleset_for`]: genuinely threaded crates (the datatap transport, the
+//! EVPath overlay, the threaded pipeline bridge) are exempt from the
+//! threading/wall-clock rules — but **never** from the RNG rules.
+//!
+//! The scanner is a hand-rolled token scanner rather than a full parser:
+//! the container image has no network access to fetch `syn`, and the four
+//! rules only need comment/string-aware token windows, not a syntax tree.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The determinism rules simlint enforces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now`, `SystemTime`) in sim code.
+    WallClock,
+    /// `HashMap`/`HashSet` iteration whose order can leak into behaviour.
+    UnorderedIter,
+    /// RNG construction not derived from the experiment seed.
+    AdhocRng,
+    /// Free-running `std::thread::spawn` in single-threaded sim crates.
+    ThreadSpawn,
+}
+
+impl Rule {
+    /// The rule's name as used in diagnostics and `allow(...)` escapes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::AdhocRng => "adhoc-rng",
+            Rule::ThreadSpawn => "thread-spawn",
+        }
+    }
+}
+
+/// Which rules apply to a given file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Enforce [`Rule::WallClock`].
+    pub wall_clock: bool,
+    /// Enforce [`Rule::UnorderedIter`].
+    pub unordered_iter: bool,
+    /// Enforce [`Rule::AdhocRng`].
+    pub adhoc_rng: bool,
+    /// Enforce [`Rule::ThreadSpawn`].
+    pub thread_spawn: bool,
+}
+
+impl RuleSet {
+    /// All rules on — the default for sim-path crates.
+    pub fn all() -> RuleSet {
+        RuleSet { wall_clock: true, unordered_iter: true, adhoc_rng: true, thread_spawn: true }
+    }
+
+    fn enabled(&self, rule: Rule) -> bool {
+        match rule {
+            Rule::WallClock => self.wall_clock,
+            Rule::UnorderedIter => self.unordered_iter,
+            Rule::AdhocRng => self.adhoc_rng,
+            Rule::ThreadSpawn => self.thread_spawn,
+        }
+    }
+}
+
+/// One diagnostic: a determinism hazard at a specific line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the hazard is in (as passed to the linter).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// A source token: an identifier or a single punctuation char.
+#[derive(Clone, Debug)]
+struct Tok {
+    text: String,
+    line: usize,
+}
+
+/// Lexer output: the token stream plus the `allow(...)` escapes found in
+/// line comments, keyed by the comment's line number.
+struct Lexed {
+    toks: Vec<Tok>,
+    allows: BTreeMap<usize, BTreeSet<String>>,
+}
+
+/// Strips comments, strings and char literals; splits the rest into
+/// identifier tokens and single-char punctuation, all tagged with their
+/// line number.
+fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                parse_allow(&src[start..i], line, &mut allows);
+            }
+            '/' if b.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Lifetime or char literal. A char literal closes with a
+                // quote within a few bytes; a lifetime never does.
+                if b.get(i + 1) == Some(&b'\\')
+                    || (b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\''))
+                {
+                    // Char literal: skip to the closing quote.
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    // Lifetime: skip the quote; the label lexes as an ident.
+                    i += 1;
+                }
+            }
+            _ if c == '_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // Raw/byte string prefix? (r"...", r#"..."#, b"...", br#"..."#)
+                if matches!(text, "r" | "b" | "br") && raw_string_ahead(b, i) {
+                    i = skip_raw_string(b, i, &mut line);
+                } else {
+                    toks.push(Tok { text: text.to_string(), line });
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                while i < b.len()
+                    && (b[i] == b'_' || b[i] == b'.' || (b[i] as char).is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+            }
+            _ if c.is_whitespace() => i += 1,
+            _ => {
+                toks.push(Tok { text: c.to_string(), line });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, allows }
+}
+
+/// True if position `i` starts the `#*"` tail of a raw string literal.
+fn raw_string_ahead(b: &[u8], mut i: usize) -> bool {
+    while b.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    b.get(i) == Some(&b'"')
+}
+
+/// Skips a raw string starting at the `#*"` tail, returning the index
+/// just past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses `simlint: allow(rule, rule)` out of one line comment's body.
+fn parse_allow(comment: &str, line: usize, allows: &mut BTreeMap<usize, BTreeSet<String>>) {
+    let t = comment.trim();
+    let Some(rest) = t.strip_prefix("simlint:") else { return };
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) else {
+        return;
+    };
+    let set = allows.entry(line).or_default();
+    for rule in inner.split(',') {
+        set.insert(rule.trim().to_string());
+    }
+}
+
+const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
+
+/// Lints one file's source under `rules`, honouring `allow(...)` escapes.
+pub fn lint_source(path: &Path, src: &str, rules: &RuleSet) -> Vec<Finding> {
+    let Lexed { toks, allows } = lex(src);
+    let mut findings: Vec<Finding> = Vec::new();
+    let push = |findings: &mut Vec<Finding>, line: usize, rule: Rule, message: String| {
+        if !rules.enabled(rule) || findings.iter().any(|f| f.line == line && f.rule == rule) {
+            return; // one diagnostic per (line, rule)
+        }
+        findings.push(Finding { file: path.to_path_buf(), line, rule, message });
+    };
+
+    let is = |i: usize, s: &str| toks.get(i).is_some_and(|t| t.text == s);
+    let path_sep = |i: usize| is(i, ":") && is(i + 1, ":");
+
+    // ---- token-window rules -------------------------------------------
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.text == "Instant" && path_sep(i + 1) && is(i + 3, "now") {
+            push(
+                &mut findings,
+                t.line,
+                Rule::WallClock,
+                "Instant::now() reads the wall clock; use the kernel's SimTime (or an \
+                 injected Clock) so replays are host-independent"
+                    .into(),
+            );
+        }
+        if t.text == "SystemTime" {
+            push(
+                &mut findings,
+                t.line,
+                Rule::WallClock,
+                "SystemTime is wall-clock time; sim code must derive time from SimTime".into(),
+            );
+        }
+        if t.text == "thread_rng" {
+            push(
+                &mut findings,
+                t.line,
+                Rule::AdhocRng,
+                "thread_rng() is OS-seeded; draw from the kernel's seeded StdRng instead".into(),
+            );
+        }
+        if t.text == "from_entropy" {
+            push(
+                &mut findings,
+                t.line,
+                Rule::AdhocRng,
+                "from_entropy() bypasses the experiment seed; use seed_from_u64 from the \
+                 kernel seed"
+                    .into(),
+            );
+        }
+        if t.text == "random" && i >= 3 && toks[i - 3].text == "rand" && path_sep(i - 2) {
+            push(
+                &mut findings,
+                t.line,
+                Rule::AdhocRng,
+                "rand::random() is OS-seeded; draw from the kernel's seeded StdRng instead".into(),
+            );
+        }
+        if t.text == "thread" && path_sep(i + 1) && is(i + 3, "spawn") {
+            push(
+                &mut findings,
+                t.line,
+                Rule::ThreadSpawn,
+                "thread::spawn in a sim crate adds host-scheduled concurrency; the DES kernel \
+                 must be the only scheduler"
+                    .into(),
+            );
+        }
+    }
+
+    // ---- unordered-iter: declaration pass, then iteration pass --------
+    if rules.unordered_iter {
+        let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+        for i in 0..toks.len() {
+            if toks[i].text != "HashMap" && toks[i].text != "HashSet" {
+                continue;
+            }
+            // Unwind a leading path (`std :: collections :: HashMap`).
+            let mut j = i;
+            while j >= 3
+                && toks[j - 1].text == ":"
+                && toks[j - 2].text == ":"
+                && toks[j - 3].text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                j -= 3;
+            }
+            // `name : HashMap<...>` — a binding or struct-field annotation.
+            if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text != ":" {
+                let name = &toks[j - 2].text;
+                if name.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
+                    hash_idents.insert(name.clone());
+                }
+            }
+            // `let [mut] name = ... HashMap::new()` (untyped binding):
+            // walk back to the nearest `let` within the statement.
+            let mut k = i;
+            while k > 0 && toks[k].text != ";" && toks[k].text != "let" && i - k < 24 {
+                k -= 1;
+            }
+            if toks.get(k).is_some_and(|t| t.text == "let") {
+                let mut n = k + 1;
+                if toks.get(n).is_some_and(|t| t.text == "mut") {
+                    n += 1;
+                }
+                if let Some(t) = toks.get(n) {
+                    if t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
+                        hash_idents.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            // `name.iter()` / `self.name.drain(..)` …
+            if hash_idents.contains(&t.text)
+                && is(i + 1, ".")
+                && toks.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+            {
+                let method = toks[i + 2].text.clone();
+                push(
+                    &mut findings,
+                    t.line,
+                    Rule::UnorderedIter,
+                    format!(
+                        "`{}` is a hash collection; `.{}()` iterates in unspecified order — \
+                         use a BTreeMap/BTreeSet or sort before use",
+                        t.text, method
+                    ),
+                );
+            }
+            // `for x in &name {` / `for (k, v) in name {`
+            if t.text == "in" {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|t| t.text == "&" || t.text == "mut") {
+                    j += 1;
+                }
+                if let Some(nm) = toks.get(j) {
+                    if hash_idents.contains(&nm.text) && is(j + 1, "{") {
+                        let (line, name) = (nm.line, nm.text.clone());
+                        push(
+                            &mut findings,
+                            line,
+                            Rule::UnorderedIter,
+                            format!(
+                                "`for … in {name}` iterates a hash collection in unspecified \
+                                 order — use a BTreeMap/BTreeSet or sort before use"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- apply allow(...) escapes -------------------------------------
+    findings.retain(|f| {
+        let allowed = |line: usize| {
+            allows
+                .get(&line)
+                .is_some_and(|set| set.contains(f.rule.name()) || set.contains("all"))
+        };
+        !(allowed(f.line) || (f.line > 1 && allowed(f.line - 1)))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// The rule configuration for a workspace-relative path, or `None` if the
+/// file is out of scope.
+///
+/// This table is the single source of truth for which crates are "sim
+/// path" (everything on by default) versus genuinely threaded transports
+/// (threading rules off, **RNG rules always on**).
+pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    if !p.ends_with(".rs") {
+        return None;
+    }
+    let in_scope = p.starts_with("src/") || p.starts_with("crates/");
+    if !in_scope {
+        return None; // vendor stubs, tools, benches, integration tests
+    }
+    // The bench crate measures wall-clock by design.
+    if p.starts_with("crates/bench/") {
+        return None;
+    }
+    let mut rs = RuleSet::all();
+    // datatap is the threaded two-phase transport: its tests exercise real
+    // writer/reader threads, and its timeout path owns an injected clock.
+    if p.starts_with("crates/datatap/") {
+        rs.thread_spawn = false;
+    }
+    // The EVPath overlay runs stones on real worker threads.
+    if p.starts_with("crates/evpath/") {
+        rs.thread_spawn = false;
+    }
+    // The threaded pipeline bridge is honest wall-clock/threads territory —
+    // but still must not construct OS-seeded RNGs.
+    if p == "crates/iocontainers/src/threaded.rs" {
+        rs.wall_clock = false;
+        rs.thread_spawn = false;
+    }
+    Some(rs)
+}
+
+/// Recursively collects the `.rs` files under `root` that are in scope,
+/// in sorted (deterministic) order.
+fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for e in entries {
+            let path = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                walk(&path, out)?;
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    for top in ["src", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Lints every in-scope file under the workspace `root`. Paths in the
+/// returned findings are workspace-relative.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for abs in collect_files(root)? {
+        let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
+        let Some(rules) = ruleset_for(&rel) else { continue };
+        let src = std::fs::read_to_string(&abs)?;
+        findings.extend(lint_source(&rel, &src, &rules));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src, &RuleSet::all())
+    }
+
+    #[test]
+    fn instant_now_is_flagged_with_line() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].to_string().starts_with("test.rs:2: [wall-clock]"));
+    }
+
+    #[test]
+    fn launch_model_instant_variant_is_not_wall_clock() {
+        let src = "fn f() { let m = LaunchModel::Instant; g(Instant); }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = "// Instant::now() in a comment\nfn f() { let s = \"thread_rng()\"; }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_escape_suppresses_same_and_next_line() {
+        let src = "// simlint: allow(adhoc-rng)\nlet r = thread_rng();\n\
+                   let q = thread_rng(); // simlint: allow(adhoc-rng)\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn allow_of_other_rule_does_not_suppress() {
+        let src = "// simlint: allow(wall-clock)\nlet r = thread_rng();\n";
+        assert_eq!(lint(src).len(), 1);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_lookup_is_not() {
+        let src = "fn f(m: HashMap<u32, u32>) {\n    let _ = m.get(&1);\n    \
+                   for (k, v) in &m {\n        use_it(k, v);\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn let_bound_hashset_drain_is_flagged() {
+        let src = "fn f() {\n    let mut s = HashSet::new();\n    s.insert(1);\n    \
+                   for x in s.drain() { g(x); }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn struct_field_hash_iteration_is_flagged() {
+        let src = "struct S { per_stone: HashMap<u64, u64> }\nimpl S {\n    fn g(&self) { \
+                   for k in self.per_stone.keys() { h(k); } }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UnorderedIter);
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let src = "fn f(m: BTreeMap<u32, u32>) { for (k, v) in &m { g(k, v); } }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_respects_ruleset() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert_eq!(lint(src).len(), 1);
+        let mut rs = RuleSet::all();
+        rs.thread_spawn = false;
+        assert!(lint_source(Path::new("t.rs"), src, &rs).is_empty());
+    }
+
+    #[test]
+    fn threaded_bridge_keeps_rng_rules() {
+        let rs = ruleset_for(Path::new("crates/iocontainers/src/threaded.rs")).unwrap();
+        assert!(!rs.wall_clock && !rs.thread_spawn);
+        assert!(rs.adhoc_rng && rs.unordered_iter);
+    }
+
+    #[test]
+    fn vendor_and_tools_are_out_of_scope() {
+        assert!(ruleset_for(Path::new("vendor/rand/src/lib.rs")).is_none());
+        assert!(ruleset_for(Path::new("tools/simlint/src/lib.rs")).is_none());
+        assert!(ruleset_for(Path::new("crates/bench/benches/transport.rs")).is_none());
+        assert!(ruleset_for(Path::new("crates/sim-core/src/kernel.rs")).is_some());
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_lex_cleanly() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let _ = r#\"thread_rng()\"#; x }";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! Fixture-file tests: each rule fires on its fixture, the clean fixture
+//! reports nothing, and `allow(...)` escapes suppress everything.
+//!
+//! The fixtures under `tests/fixtures/` are scanned as text, never
+//! compiled — they deliberately contain the hazards the lint exists for.
+
+use std::path::Path;
+
+use simlint::{lint_source, Rule, RuleSet};
+
+fn lint_fixture(name: &str) -> Vec<simlint::Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    lint_source(Path::new(name), &src, &RuleSet::all())
+}
+
+#[test]
+fn wall_clock_fixture_triggers() {
+    let f = lint_fixture("wall_clock.rs");
+    assert!(f.iter().any(|f| f.rule == Rule::WallClock && f.line == 5), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == Rule::WallClock && f.line == 10), "{f:?}");
+    assert!(f.iter().all(|f| f.rule == Rule::WallClock));
+}
+
+#[test]
+fn unordered_iter_fixture_triggers() {
+    let f = lint_fixture("unordered_iter.rs");
+    // The struct-field drain and the `for … in &live` loop.
+    assert!(f.iter().any(|f| f.rule == Rule::UnorderedIter && f.line == 10), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == Rule::UnorderedIter && f.line == 15), "{f:?}");
+}
+
+#[test]
+fn adhoc_rng_fixture_triggers() {
+    let f = lint_fixture("adhoc_rng.rs");
+    assert!(f.iter().any(|f| f.rule == Rule::AdhocRng && f.line == 5), "{f:?}");
+    assert!(f.iter().any(|f| f.rule == Rule::AdhocRng && f.line == 10), "{f:?}");
+}
+
+#[test]
+fn thread_spawn_fixture_triggers() {
+    let f = lint_fixture("thread_spawn.rs");
+    assert!(f.iter().any(|f| f.rule == Rule::ThreadSpawn && f.line == 3), "{f:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(lint_fixture("clean.rs"), vec![]);
+}
+
+#[test]
+fn allow_escapes_suppress_every_finding() {
+    assert_eq!(lint_fixture("allowed.rs"), vec![]);
+}
+
+#[test]
+fn diagnostics_carry_file_and_line() {
+    let f = lint_fixture("thread_spawn.rs");
+    let rendered = f[0].to_string();
+    assert!(rendered.starts_with("thread_spawn.rs:3:"), "{rendered}");
+    assert!(rendered.contains("[thread-spawn]"), "{rendered}");
+}

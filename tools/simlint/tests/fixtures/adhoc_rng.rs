@@ -1,0 +1,11 @@
+// Fixture: OS-seeded RNG construction outside the kernel seed.
+use rand::{thread_rng, Rng, SeedableRng};
+
+fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}
+
+fn fresh() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}

@@ -1,0 +1,13 @@
+// Fixture: the same hazards as elsewhere, every one explicitly allowed.
+use std::time::Instant;
+
+fn wall_clock_bridge() -> Instant {
+    // This is the one sanctioned wall-clock read: the process-epoch base.
+    // simlint: allow(wall-clock)
+    Instant::now()
+}
+
+fn seeded_escape() -> u64 {
+    let mut rng = rand::thread_rng(); // simlint: allow(adhoc-rng)
+    rng.gen()
+}

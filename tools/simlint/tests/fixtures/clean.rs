@@ -1,0 +1,18 @@
+// Fixture: deterministic sim code — nothing to report.
+use std::collections::BTreeMap;
+
+struct World {
+    queues: BTreeMap<u32, Vec<u64>>,
+}
+
+impl World {
+    fn drain_in_order(&mut self) -> Vec<(u32, Vec<u64>)> {
+        // BTreeMap iteration order is the key order: deterministic.
+        std::mem::take(&mut self.queues).into_iter().collect()
+    }
+}
+
+fn draw(rng: &mut impl rand::Rng) -> u64 {
+    // Drawing from the kernel's seeded RNG is the sanctioned path.
+    rng.gen()
+}

@@ -1,0 +1,8 @@
+// Fixture: free-running thread in a single-threaded sim crate.
+fn run_background() {
+    std::thread::spawn(|| loop {
+        poll();
+    });
+}
+
+fn poll() {}

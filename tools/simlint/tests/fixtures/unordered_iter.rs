@@ -1,0 +1,20 @@
+// Fixture: hash-collection iteration reaching behaviour.
+use std::collections::{HashMap, HashSet};
+
+struct Overlay {
+    per_stone: HashMap<u64, u64>,
+}
+
+impl Overlay {
+    fn drain_counts(&mut self) -> Vec<(u64, u64)> {
+        self.per_stone.drain().collect()
+    }
+}
+
+fn visit(live: HashSet<u32>) {
+    for id in &live {
+        schedule(*id);
+    }
+}
+
+fn schedule(_id: u32) {}

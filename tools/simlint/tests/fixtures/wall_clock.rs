@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads in sim code (never compiled; scanned as text).
+use std::time::{Instant, SystemTime};
+
+fn elapsed_ms(start: Instant) -> u128 {
+    let now = Instant::now();
+    now.duration_since(start).as_millis()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

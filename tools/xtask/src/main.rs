@@ -1,0 +1,79 @@
+//! Workspace task runner, invoked as `cargo xtask <task>` (the alias lives
+//! in `.cargo/config.toml`).
+//!
+//! Tasks:
+//! * `lint` — run the simlint determinism pass over the sim-path crates;
+//!   exits nonzero if any hazard is found.
+//! * `invariance` — run the schedule-invariance checker (the runtime race
+//!   detector) on the managed-pipeline experiment, via its in-crate tests.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // tools/xtask/ → workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let findings = match simlint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("simlint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("simlint: clean (no determinism hazards in sim-path crates)");
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!(
+        "simlint: {} determinism hazard{} found",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" }
+    );
+    ExitCode::FAILURE
+}
+
+fn invariance() -> ExitCode {
+    // Delegate to the in-crate checker tests: xtask deliberately does NOT
+    // link the sim stack, so `cargo xtask lint` still works when the code
+    // under lint doesn't compile.
+    let status = std::process::Command::new(env!("CARGO"))
+        .args(["test", "-q", "--package", "iocontainers", "--lib", "invariance"])
+        .current_dir(workspace_root())
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!(
+                "invariance: schedule divergence detected — the model has a simulation race"
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask invariance: cannot run cargo test: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some("invariance") => invariance(),
+        _ => {
+            eprintln!("usage: cargo xtask <lint | invariance>");
+            ExitCode::from(2)
+        }
+    }
+}

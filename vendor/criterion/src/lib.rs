@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset of the criterion 0.5 API the bench targets use:
+//! `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros. Each benchmark closure
+//! runs a small fixed number of timed iterations and prints the mean —
+//! enough to exercise the code paths and give a rough number, with none of
+//! upstream's statistics, warm-up, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.sample_size, f);
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Declares what one iteration processes, for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, _throughput: Throughput) {}
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name.into()), self.sample_size, f);
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: sample_size as u64 };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!("bench {label}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touches_everything(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = touches_everything
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

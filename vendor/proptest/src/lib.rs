@@ -1,0 +1,679 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators, collection/string generators, and
+//! the `proptest!` macro surface this workspace uses, on top of a
+//! deterministic SplitMix64 stream seeded from the test's module path and
+//! case index. Differences from upstream, deliberately accepted for an
+//! offline build: no shrinking (a failing case panics with its case index,
+//! which is reproducible because seeding is deterministic), and string
+//! "regex" strategies support exactly the `[class]{m,n}` shape the tests
+//! use rather than full regex syntax.
+
+#![forbid(unsafe_code)]
+
+pub use crate::strategy::{BoxedStrategy, Strategy};
+pub use crate::test_runner::{fnv1a, ProptestConfig, TestRng};
+
+/// Deterministic RNG and per-test configuration.
+pub mod test_runner {
+    /// FNV-1a hash of a string, used to derive a per-test seed from its
+    /// module path and name.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test identity and case index.
+        pub fn deterministic(fn_seed: u64, case: u64) -> TestRng {
+            TestRng { state: fn_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            if bound.is_power_of_two() {
+                return self.next_u64() & (bound - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % bound) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values passing `pred`, retrying up to a bounded
+        /// number of times (`whence` names the predicate in the panic).
+        fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, whence, pred }
+        }
+
+        /// Builds a second strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe projection of [`Strategy`] so heterogeneous strategies
+    /// with one value type can live in a `Vec`.
+    pub trait DynStrategy<V> {
+        /// Draws one value.
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.as_ref().generate_dyn(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 10000 consecutive values", self.whence);
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over `options`; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let ix = rng.below(self.options.len() as u64) as usize;
+            self.options[ix].generate(rng)
+        }
+    }
+
+    // ----- primitive strategies: ranges ---------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    // ----- tuples of strategies -----------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    // ----- string pattern strategies ------------------------------------
+
+    /// `&str` strategies interpret the literal as `[class]{m,n}`: a single
+    /// character class (ranges like `a-z` plus literal characters) repeated
+    /// a uniform number of times in `[m, n]`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_pattern(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]).collect()
+        }
+    }
+
+    fn parse_class_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let inner = pat
+            .strip_prefix('[')
+            .and_then(|rest| rest.split_once(']'))
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {pat:?}"));
+        let (class, rep) = inner;
+        let mut alphabet = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                assert!(a <= b, "bad char range in {pat:?}");
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!alphabet.is_empty(), "empty character class in {pat:?}");
+        let rep = rep
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("missing {{m,n}} repetition in {pat:?}"));
+        let (lo, hi) = rep.split_once(',').unwrap_or((rep, rep));
+        let lo: usize = lo.trim().parse().expect("bad repetition lower bound");
+        let hi: usize = hi.trim().parse().expect("bad repetition upper bound");
+        assert!(lo <= hi, "bad repetition bounds in {pat:?}");
+        (alphabet, lo, hi)
+    }
+}
+
+/// The [`Arbitrary`] trait and [`any`] entry point.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        // Full-bit-pattern doubles (NaNs and infinities included), matching
+        // upstream's any::<f64>() spirit; tests filter for finiteness where
+        // they need it.
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        };
+    }
+    arb_tuple!(A);
+    arb_tuple!(A, B);
+    arb_tuple!(A, B, C);
+    arb_tuple!(A, B, C, D);
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+/// Collection strategies (`vec`, `btree_map`).
+pub mod collection {
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by collection strategies: a fixed count or a range.
+    pub trait SizeRange {
+        /// Draws a concrete size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`; duplicate keys collapse, so the map
+    /// may be smaller than the drawn size (matching upstream semantics
+    /// loosely — the tests only rely on the size upper bound).
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    /// Generates maps with keys from `key` and values from `value`.
+    pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index {
+        raw: u64,
+    }
+
+    impl Index {
+        /// Projects the index into `[0, size)`; `size` must be nonzero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.raw % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index { raw: rng.next_u64() }
+        }
+    }
+}
+
+/// Everything a proptest-based test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the upstream shape used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions whose
+/// arguments are drawn from strategies with `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(<$crate::test_runner::ProptestConfig as ::core::default::Default>::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__seed, __case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a name test bodies expect; panics abort the whole test
+/// (no shrinking), and the deterministic seeding makes reruns exact.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// `assert_ne!` under the proptest name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = crate::test_runner::TestRng::deterministic(1, 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let s = Strategy::generate(&"[a-z_.]{1,16}", &mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_' || c == '.'));
+            let s = Strategy::generate(&"[ -~]{0,32}", &mut rng);
+            assert!(s.len() <= 32);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, y in 10usize..=20, z in -1.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((10..=20).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(any::<u8>(), 0..10),
+            pick in any::<prop::sample::Index>(),
+            tag in prop_oneof![(0u32..5).prop_map(|x| x * 2), (10u32..15).prop_map(|x| x + 1)]
+        ) {
+            prop_assert!(v.len() < 10);
+            if !v.is_empty() {
+                let _ = v[pick.index(v.len())];
+            }
+            prop_assert!(tag < 16);
+        }
+
+        #[test]
+        fn filter_and_flat_map(
+            x in any::<f64>().prop_filter("finite", |x| x.is_finite()),
+            v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u32..100, n))
+        ) {
+            prop_assert!(x.is_finite());
+            prop_assert!(!v.is_empty() && v.len() < 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic(42, 7);
+        let mut b = crate::test_runner::TestRng::deterministic(42, 7);
+        let s = prop::collection::vec(0u64..1000, 3..20);
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+}
