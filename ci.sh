@@ -16,4 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== simlint determinism pass =="
 cargo xtask lint
 
+echo "== benches compile =="
+cargo bench --no-run
+
+echo "== quickstart example (headless) =="
+cargo run --release --example quickstart
+
 echo "ci: all gates passed"

@@ -7,8 +7,50 @@
 //! Works on both single-step `.bp` blobs (written by `FileMethod`) and
 //! multi-step container files (written by `BpFileMethod`).
 
+use std::collections::BTreeMap;
+
 use adios::bpfile::BpFileReader;
 use adios::{AttrValue, StepData};
+
+fn render_attr(attr: &AttrValue) -> String {
+    match attr {
+        AttrValue::Str(s) => format!("\"{s}\""),
+        other => other.to_string(),
+    }
+}
+
+/// Distinct values seen for each attribute key, with the steps carrying
+/// them. Surfaces the provenance labels of a multi-step container without
+/// reading every step entry.
+type AttrTable = BTreeMap<String, BTreeMap<String, Vec<u64>>>;
+
+fn collect_attrs(table: &mut AttrTable, data: &StepData) {
+    for (key, attr) in data.attrs() {
+        table
+            .entry(key.to_string())
+            .or_default()
+            .entry(render_attr(attr))
+            .or_default()
+            .push(data.step());
+    }
+}
+
+fn print_attr_table(table: &AttrTable) {
+    if table.is_empty() {
+        return;
+    }
+    println!("  attribute table:");
+    let width = table.keys().map(String::len).max().unwrap_or(0);
+    for (key, values) in table {
+        if values.len() == 1 {
+            let (value, steps) = values.iter().next().expect("non-empty by construction");
+            println!("    {key:<width$}  = {value}  ({} step(s))", steps.len());
+        } else {
+            let total: usize = values.values().map(Vec::len).sum();
+            println!("    {key:<width$}  : {} distinct values over {total} step(s)", values.len());
+        }
+    }
+}
 
 fn describe_step(indent: &str, group: &str, data: &StepData) {
     println!("{indent}step {:>6}  group '{group}'", data.step());
@@ -48,10 +90,13 @@ fn list_file(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     match BpFileReader::open(path) {
         Ok(mut reader) => {
             println!("  BP container, {} step(s)", reader.len());
+            let mut table = AttrTable::new();
             for ix in 0..reader.len() {
                 let step = reader.read_at(ix)?;
                 describe_step("  ", &step.group, &step.data);
+                collect_attrs(&mut table, &step.data);
             }
+            print_attr_table(&table);
             Ok(())
         }
         Err(_) => {
@@ -59,6 +104,9 @@ fn list_file(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             let step = adios::bp::decode(bytes::Bytes::from(raw))?;
             println!("  single-step BP blob");
             describe_step("  ", &step.group, &step.data);
+            let mut table = AttrTable::new();
+            collect_attrs(&mut table, &step.data);
+            print_attr_table(&table);
             Ok(())
         }
     }

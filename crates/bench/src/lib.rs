@@ -341,10 +341,14 @@ pub fn sweep_staging() -> Table {
         (32, (12, 2, 6)),
     ];
     for (staging, (helper, bonds, csym)) in points {
-        let mut cfg = ExperimentConfig::fig8();
-        cfg.staging_nodes = staging;
-        cfg.initial =
-            smartpointer::Table1Names { helper, bonds, csym, cna: cfg.initial.cna };
+        let base = ExperimentConfig::fig8();
+        let cna = base.initial.cna;
+        let cfg = base
+            .to_builder()
+            .staging_nodes(staging)
+            .initial(smartpointer::Table1Names { helper, bonds, csym, cna })
+            .build()
+            .expect("sweep allocations fit their staging area");
         let run = run_pipeline(cfg);
         let increases: u32 = run
             .log
@@ -382,9 +386,13 @@ pub fn sweep_staging() -> Table {
 pub fn sweep_cadence() -> Table {
     let mut rows = Vec::new();
     for cadence_s in [8u64, 10, 15, 20, 30, 45] {
-        let mut cfg = ExperimentConfig::fig8();
-        cfg.cadence = SimDuration::from_secs(cadence_s);
-        cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
+        let cadence = SimDuration::from_secs(cadence_s);
+        let cfg = ExperimentConfig::fig8()
+            .to_builder()
+            .cadence(cadence)
+            .sla(iocontainers::Sla::from_cadence(cadence))
+            .build()
+            .expect("cadence sweep configs are valid");
         let run = run_pipeline(cfg);
         let increases: u32 = run
             .log
@@ -413,6 +421,19 @@ pub fn sweep_cadence() -> Table {
         ],
         rows,
     }
+}
+
+/// Runs the Fig. 7 scenario with telemetry fully on and renders the trace
+/// artifacts: a Perfetto/Chrome-trace JSON and the gauge time series as
+/// CSV. The `figures trace` job writes these to `target/traces/`.
+pub fn trace_artifacts() -> (String, String) {
+    let cfg = ExperimentConfig::builder()
+        .telemetry(simtel::TelemetryConfig::all())
+        .build()
+        .expect("the Fig. 7 preset is valid");
+    let run = run_pipeline(cfg);
+    let snap = run.telemetry.snapshot();
+    (simtel::export::chrome_trace_json(&snap), simtel::export::series_csv(&snap))
 }
 
 #[cfg(test)]
@@ -478,5 +499,13 @@ mod tests {
     fn fig10_contains_offline_action() {
         let t = fig10();
         assert!(t.rows.iter().any(|r| r[1].contains("offline")), "no offline action in fig10");
+    }
+
+    #[test]
+    fn trace_artifacts_are_nonempty() {
+        let (json, csv) = trace_artifacts();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("Bonds"), "container track missing from trace");
+        assert!(csv.lines().count() > 1, "series CSV must have data rows");
     }
 }

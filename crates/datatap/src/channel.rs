@@ -21,6 +21,7 @@ use std::time::Duration;
 
 use adios::StepData;
 use parking_lot::{Condvar, Mutex};
+use simtel::{Category, Telemetry};
 
 use crate::clock::{to_sim, Clock, WallClock};
 
@@ -68,8 +69,6 @@ struct State {
     capacity: usize,
     paused: bool,
     closed: bool,
-    announced: u64,
-    pulled: u64,
     high_watermark: usize,
 }
 
@@ -78,19 +77,21 @@ struct Inner {
     writer_cv: Condvar,
     reader_cv: Condvar,
     clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
 }
 
-/// Counters exposed for monitoring.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ChannelStats {
-    /// Steps announced by writers.
-    pub announced: u64,
-    /// Steps pulled by the reader.
-    pub pulled: u64,
-    /// Steps currently buffered.
-    pub queued: usize,
-    /// Deepest the queue has ever been.
-    pub high_watermark: usize,
+impl Inner {
+    /// Records a queue-depth sample under [`Category::Transport`].
+    fn gauge_queued(&self, queued: usize) {
+        if self.telemetry.enabled(Category::Transport) {
+            self.telemetry.gauge(
+                Category::Transport,
+                "datatap.queued",
+                self.clock.now(),
+                queued as f64,
+            );
+        }
+    }
 }
 
 /// Creates a staged channel with a buffer of `capacity` steps, timing its
@@ -110,6 +111,20 @@ pub fn channel(capacity: usize) -> (Writer, Reader) {
 /// # Panics
 /// Panics if `capacity` is zero.
 pub fn channel_with_clock(capacity: usize, clock: Arc<dyn Clock>) -> (Writer, Reader) {
+    channel_with_telemetry(capacity, clock, Telemetry::disabled())
+}
+
+/// As [`channel_with_clock`], but recording flow through `telemetry`
+/// (announce/pull totals, queue-depth gauge, pause/resume markers — all
+/// under [`Category::Transport`]).
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn channel_with_telemetry(
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+) -> (Writer, Reader) {
     assert!(capacity > 0, "channel capacity must be positive");
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
@@ -117,13 +132,12 @@ pub fn channel_with_clock(capacity: usize, clock: Arc<dyn Clock>) -> (Writer, Re
             capacity,
             paused: false,
             closed: false,
-            announced: 0,
-            pulled: 0,
             high_watermark: 0,
         }),
         writer_cv: Condvar::new(),
         reader_cv: Condvar::new(),
         clock,
+        telemetry,
     });
     (Writer { inner: inner.clone(), id: 0 }, Reader { inner })
 }
@@ -178,7 +192,8 @@ impl Writer {
         let meta = StepMeta { step: payload.step(), bytes: payload.payload_bytes(), writer: self.id };
         st.queue.push_back(Envelope { meta: meta.clone(), payload });
         st.high_watermark = st.high_watermark.max(st.queue.len());
-        st.announced += 1;
+        self.inner.telemetry.count(Category::Transport, "datatap.announced", 1);
+        self.inner.gauge_queued(st.queue.len());
         self.inner.reader_cv.notify_all();
         meta
     }
@@ -192,6 +207,15 @@ impl Writer {
         let mut st = self.inner.state.lock();
         st.paused = true;
         let draining = st.queue.len();
+        self.inner.telemetry.count(Category::Transport, "datatap.pauses", 1);
+        if self.inner.telemetry.enabled(Category::Transport) {
+            self.inner.telemetry.mark(
+                Category::Transport,
+                "datatap",
+                "pause",
+                self.inner.clock.now(),
+            );
+        }
         while !st.queue.is_empty() && !st.closed {
             self.inner.writer_cv.wait(&mut st);
         }
@@ -202,17 +226,20 @@ impl Writer {
     pub fn resume(&self) {
         let mut st = self.inner.state.lock();
         st.paused = false;
+        if self.inner.telemetry.enabled(Category::Transport) {
+            self.inner.telemetry.mark(
+                Category::Transport,
+                "datatap",
+                "resume",
+                self.inner.clock.now(),
+            );
+        }
         self.inner.writer_cv.notify_all();
     }
 
     /// True if the channel is currently paused.
     pub fn is_paused(&self) -> bool {
         self.inner.state.lock().paused
-    }
-
-    /// Monitoring counters.
-    pub fn stats(&self) -> ChannelStats {
-        stats(&self.inner)
     }
 }
 
@@ -233,7 +260,8 @@ impl Reader {
         let mut st = self.inner.state.lock();
         loop {
             if let Some(env) = st.queue.pop_front() {
-                st.pulled += 1;
+                self.inner.telemetry.count(Category::Transport, "datatap.pulled", 1);
+                self.inner.gauge_queued(st.queue.len());
                 self.inner.writer_cv.notify_all();
                 return Some((env.meta, env.payload));
             }
@@ -254,7 +282,8 @@ impl Reader {
         let mut st = self.inner.state.lock();
         loop {
             if let Some(env) = st.queue.pop_front() {
-                st.pulled += 1;
+                self.inner.telemetry.count(Category::Transport, "datatap.pulled", 1);
+                self.inner.gauge_queued(st.queue.len());
                 self.inner.writer_cv.notify_all();
                 return Some((env.meta, env.payload));
             }
@@ -274,9 +303,20 @@ impl Reader {
     pub fn try_pull(&self) -> Option<(StepMeta, StepData)> {
         let mut st = self.inner.state.lock();
         let env = st.queue.pop_front()?;
-        st.pulled += 1;
+        self.inner.telemetry.count(Category::Transport, "datatap.pulled", 1);
+        self.inner.gauge_queued(st.queue.len());
         self.inner.writer_cv.notify_all();
         Some((env.meta, env.payload))
+    }
+
+    /// Steps currently buffered (announced but not yet pulled).
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// The deepest the buffer has ever been.
+    pub fn high_watermark(&self) -> usize {
+        self.inner.state.lock().high_watermark
     }
 
     /// The channel's time source (shared with wrappers like the
@@ -293,26 +333,11 @@ impl Reader {
         self.inner.writer_cv.notify_all();
         self.inner.reader_cv.notify_all();
     }
-
-    /// Monitoring counters.
-    pub fn stats(&self) -> ChannelStats {
-        stats(&self.inner)
-    }
 }
 
 impl Drop for Reader {
     fn drop(&mut self) {
         self.close();
-    }
-}
-
-fn stats(inner: &Inner) -> ChannelStats {
-    let st = inner.state.lock();
-    ChannelStats {
-        announced: st.announced,
-        pulled: st.pulled,
-        queued: st.queue.len(),
-        high_watermark: st.high_watermark,
     }
 }
 
@@ -390,17 +415,38 @@ mod tests {
     }
 
     #[test]
-    fn stats_track_flow() {
-        let (w, r) = channel(4);
+    fn telemetry_tracks_flow() {
+        use crate::clock::ManualClock;
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let clock = Arc::new(ManualClock::new());
+        let (w, r) = channel_with_telemetry(4, clock, tel.clone());
         for i in 0..4 {
             w.try_write(step(i)).unwrap();
         }
         r.pull().unwrap();
-        let s = r.stats();
-        assert_eq!(s.announced, 4);
-        assert_eq!(s.pulled, 1);
-        assert_eq!(s.queued, 3);
-        assert_eq!(s.high_watermark, 4);
+        assert_eq!(tel.counter("datatap.announced"), 4);
+        assert_eq!(tel.counter("datatap.pulled"), 1);
+        assert_eq!(r.queued(), 3);
+        assert_eq!(r.high_watermark(), 4);
+        // The queue-depth gauge saw every transition: 1, 2, 3, 4, then 3.
+        let depths: Vec<f64> = tel.series("datatap.queued").iter().map(|(_, v)| *v).collect();
+        assert_eq!(depths, vec![1.0, 2.0, 3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn telemetry_marks_pause_and_resume() {
+        use crate::clock::ManualClock;
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let clock = Arc::new(ManualClock::new());
+        let (w, _r) = channel_with_telemetry(2, clock, tel.clone());
+        w.pause(); // empty queue: returns immediately
+        w.resume();
+        assert_eq!(tel.counter("datatap.pauses"), 1);
+        let snap = tel.snapshot();
+        let marks: Vec<&str> = snap.markers.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(marks, vec!["pause", "resume"]);
     }
 
     #[test]
@@ -435,7 +481,10 @@ mod tests {
 
     #[test]
     fn parallel_writers_share_buffer() {
-        let (w, r) = channel(64);
+        use crate::clock::ManualClock;
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let (w, r) = channel_with_telemetry(64, Arc::new(ManualClock::new()), tel.clone());
         let mut handles = Vec::new();
         for wid in 0..4u32 {
             let w = w.with_id(wid);
@@ -453,6 +502,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(r.stats().announced, 64);
+        assert_eq!(tel.counter("datatap.announced"), 64);
+        assert_eq!(tel.counter("datatap.pulled"), 64);
     }
 }

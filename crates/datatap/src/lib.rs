@@ -40,7 +40,9 @@ mod cost;
 mod sched_reader;
 mod scheduler;
 
-pub use channel::{channel, channel_with_clock, ChannelStats, Reader, StepMeta, WriteError, Writer};
+pub use channel::{
+    channel, channel_with_clock, channel_with_telemetry, Reader, StepMeta, WriteError, Writer,
+};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use cost::TransportCosts;
 pub use sched_reader::{PullGuard, ScheduledReader};

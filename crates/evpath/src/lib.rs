@@ -37,5 +37,5 @@ mod overlay;
 mod stone;
 
 pub use event::{Event, EventId};
-pub use overlay::{Overlay, OverlayCounts, OverlaySender};
+pub use overlay::{Overlay, OverlaySender};
 pub use stone::{Action, FilterFn, RouterFn, StoneId, TerminalFn, TransformFn};

@@ -7,9 +7,8 @@
 //! protocols rely on. Multiple overlays (one per simulated process) connect
 //! via bridge stones, which enqueue into the remote overlay's channel.
 
-// BTreeMap (not HashMap) for stone tables and per-stone counts: overlays are
-// queried from simulation code, so every container here must have a
-// deterministic order.
+// BTreeMap (not HashMap) for the stone table: overlays are queried from
+// simulation code, so every container here must have a deterministic order.
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -17,6 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use simtel::{Category, Telemetry};
 
 use crate::event::Event;
 use crate::stone::{Action, StoneId};
@@ -26,17 +26,7 @@ enum Msg {
     AddStone(StoneId, Action),
     Retarget(StoneId, Vec<StoneId>),
     Flush(Sender<()>),
-    Counts(Sender<OverlayCounts>),
     Shutdown,
-}
-
-/// Per-overlay delivery statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct OverlayCounts {
-    /// Events delivered to each stone.
-    pub per_stone: BTreeMap<StoneId, u64>,
-    /// Events dropped because their target stone did not exist.
-    pub dropped: u64,
 }
 
 /// A clonable handle for submitting events into an overlay (used by bridge
@@ -71,12 +61,21 @@ pub struct Overlay {
 impl Overlay {
     /// Spawns a new overlay with its dispatch thread.
     pub fn new(name: impl Into<String>) -> Overlay {
+        Overlay::with_telemetry(name, Telemetry::disabled())
+    }
+
+    /// As [`Overlay::new`], but the dispatch thread records delivery and
+    /// drop totals through `telemetry` under [`Category::Overlay`]:
+    /// `evpath.<name>.delivered`, `evpath.<name>.dropped`, and a
+    /// per-stone `evpath.<name>.stone.<id>` counter.
+    pub fn with_telemetry(name: impl Into<String>, telemetry: Telemetry) -> Overlay {
         let name = name.into();
         let (tx, rx) = unbounded();
         let thread_name = format!("evpath-{name}");
+        let worker_name = name.clone();
         let worker = std::thread::Builder::new()
             .name(thread_name)
-            .spawn(move || Worker::new(rx).run())
+            .spawn(move || Worker::new(rx, worker_name, telemetry).run())
             .expect("spawn overlay worker");
         Overlay { name, tx, next_stone: Arc::new(AtomicU32::new(0)), worker: Some(worker) }
     }
@@ -132,16 +131,6 @@ impl Overlay {
         }
     }
 
-    /// Snapshot of delivery counters.
-    pub fn counts(&self) -> OverlayCounts {
-        let (tx, rx) = unbounded();
-        if self.tx.send(Msg::Counts(tx)).is_ok() {
-            rx.recv().unwrap_or_default()
-        } else {
-            OverlayCounts::default()
-        }
-    }
-
     /// Stops the dispatch thread after draining messages enqueued so far.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -170,12 +159,32 @@ impl fmt::Debug for Overlay {
 struct Worker {
     rx: Receiver<Msg>,
     stones: BTreeMap<StoneId, Action>,
-    counts: OverlayCounts,
+    telemetry: Telemetry,
+    /// Counter-name prefix (`evpath.<name>`), cached so the hot dispatch
+    /// loop formats at most one stone suffix per visit.
+    prefix: String,
 }
 
 impl Worker {
-    fn new(rx: Receiver<Msg>) -> Worker {
-        Worker { rx, stones: BTreeMap::new(), counts: OverlayCounts::default() }
+    fn new(rx: Receiver<Msg>, name: String, telemetry: Telemetry) -> Worker {
+        Worker { rx, stones: BTreeMap::new(), telemetry, prefix: format!("evpath.{name}") }
+    }
+
+    fn note_delivered(&self, id: StoneId) {
+        if self.telemetry.enabled(Category::Overlay) {
+            self.telemetry.count(Category::Overlay, &format!("{}.delivered", self.prefix), 1);
+            self.telemetry.count(
+                Category::Overlay,
+                &format!("{}.stone.{}", self.prefix, id.0),
+                1,
+            );
+        }
+    }
+
+    fn note_dropped(&self) {
+        if self.telemetry.enabled(Category::Overlay) {
+            self.telemetry.count(Category::Overlay, &format!("{}.dropped", self.prefix), 1);
+        }
     }
 
     fn run(mut self) {
@@ -193,9 +202,6 @@ impl Worker {
                 Msg::Flush(ack) => {
                     let _ = ack.send(());
                 }
-                Msg::Counts(reply) => {
-                    let _ = reply.send(self.counts.clone());
-                }
                 Msg::Shutdown => break,
             }
         }
@@ -206,11 +212,12 @@ impl Worker {
     fn dispatch(&mut self, stone: StoneId, event: Event) {
         let mut work = vec![(stone, event)];
         while let Some((id, ev)) = work.pop() {
-            let Some(action) = self.stones.get_mut(&id) else {
-                self.counts.dropped += 1;
+            if !self.stones.contains_key(&id) {
+                self.note_dropped();
                 continue;
-            };
-            *self.counts.per_stone.entry(id).or_insert(0) += 1;
+            }
+            self.note_delivered(id);
+            let action = self.stones.get_mut(&id).expect("stone present");
             match action {
                 Action::Terminal(f) => f(ev),
                 Action::Filter { predicate, target } => {
@@ -233,13 +240,13 @@ impl Worker {
                         if let Some(&t) = targets.get(ix) {
                             work.push((t, ev));
                         } else {
-                            self.counts.dropped += 1;
+                            self.note_dropped();
                         }
                     }
                 }
                 Action::Bridge { remote, target } => {
                     if !remote.submit(*target, ev) {
-                        self.counts.dropped += 1;
+                        self.note_dropped();
                     }
                 }
             }
@@ -349,10 +356,12 @@ mod tests {
 
     #[test]
     fn unknown_stone_counts_as_dropped() {
-        let ov = Overlay::new("t");
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let ov = Overlay::with_telemetry("t", tel.clone());
         ov.submit(StoneId(42), Event::new(1u64));
         ov.flush();
-        assert_eq!(ov.counts().dropped, 1);
+        assert_eq!(tel.counter("evpath.t.dropped"), 1);
     }
 
     #[test]
@@ -372,14 +381,17 @@ mod tests {
     }
 
     #[test]
-    fn counts_track_deliveries() {
-        let ov = Overlay::new("t");
+    fn telemetry_tracks_deliveries_per_stone() {
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let ov = Overlay::with_telemetry("t", tel.clone());
         let t = ov.add_stone(Action::Terminal(Box::new(|_| {})));
         for _ in 0..5 {
             ov.submit(t, Event::new(0u64));
         }
         ov.flush();
-        assert_eq!(ov.counts().per_stone.get(&t), Some(&5));
+        assert_eq!(tel.counter("evpath.t.delivered"), 5);
+        assert_eq!(tel.counter(&format!("evpath.t.stone.{}", t.0)), 5);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use sim_core::SimDuration;
 use simnet::LaunchModel;
+use simtel::TelemetryConfig;
 use smartpointer::{default_models, ComputeModel, ServiceModel, Table1Names};
 
 use crate::container::ContainerSpec;
@@ -70,6 +71,9 @@ pub struct ExperimentConfig {
     pub trade_faults: Vec<u32>,
     /// RNG seed.
     pub seed: u64,
+    /// Which telemetry categories the run records (off by default;
+    /// recording is schedule-neutral either way).
+    pub telemetry: TelemetryConfig,
 }
 
 impl ExperimentConfig {
@@ -172,7 +176,32 @@ impl ExperimentConfig {
             directives: Vec::new(),
             trade_faults: Vec::new(),
             seed: 2013,
+            telemetry: TelemetryConfig::off(),
         }
+    }
+
+    /// Starts a validating builder from the Fig. 7 preset (the smallest
+    /// paper setup); override whatever the experiment needs and finish
+    /// with [`ExperimentConfigBuilder::build`].
+    pub fn builder() -> ExperimentConfigBuilder {
+        ExperimentConfig::fig7().to_builder()
+    }
+
+    /// Re-opens this configuration as a builder, so presets can be
+    /// adjusted fluently and re-validated.
+    pub fn to_builder(self) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder { cfg: self }
+    }
+
+    /// Staging nodes held by containers that are active from the start
+    /// (CNA's allocation is taken at activation time and is *not* held;
+    /// an inactive Viz likewise waits for its directive).
+    pub fn held_nodes(&self) -> u32 {
+        self.container_specs()
+            .iter()
+            .filter(|s| s.starts_active)
+            .map(|s| s.initial_nodes)
+            .sum()
     }
 
     /// Fig. 7: 256 simulation + 13 staging nodes, no spares. Bonds just
@@ -213,6 +242,196 @@ impl ExperimentConfig {
     /// Fig. 10 uses the Fig. 9 configuration (end-to-end latency view).
     pub fn fig10() -> ExperimentConfig {
         ExperimentConfig::fig9()
+    }
+}
+
+/// Why a built configuration was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The initially-held allocations do not fit in the staging area.
+    Overcommitted {
+        /// Staging nodes available.
+        staging_nodes: u32,
+        /// Nodes held by containers active from the start.
+        held: u32,
+    },
+    /// `queue_capacity` was zero (a container could never buffer a step).
+    ZeroQueueCapacity,
+    /// `cadence` was zero (the application would emit infinitely fast).
+    ZeroCadence,
+    /// `steps` was zero (the run would do nothing).
+    ZeroSteps,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Overcommitted { staging_nodes, held } => write!(
+                f,
+                "initial allocations hold {held} nodes but the staging area has only \
+                 {staging_nodes}"
+            ),
+            ConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be positive"),
+            ConfigError::ZeroCadence => write!(f, "output cadence must be nonzero"),
+            ConfigError::ZeroSteps => write!(f, "steps must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validating constructor for [`ExperimentConfig`] — the one way
+/// to assemble a run without spelling out every field positionally.
+///
+/// ```
+/// use iocontainers::ExperimentConfig;
+/// use simtel::TelemetryConfig;
+///
+/// let cfg = ExperimentConfig::fig8()
+///     .to_builder()
+///     .steps(12)
+///     .telemetry(TelemetryConfig::all())
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.steps, 12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the simulation (compute) node count.
+    pub fn sim_nodes(mut self, n: u32) -> Self {
+        self.cfg.sim_nodes = n;
+        self
+    }
+
+    /// Sets the staging-area node count.
+    pub fn staging_nodes(mut self, n: u32) -> Self {
+        self.cfg.staging_nodes = n;
+        self
+    }
+
+    /// Sets the output cadence.
+    pub fn cadence(mut self, cadence: SimDuration) -> Self {
+        self.cfg.cadence = cadence;
+        self
+    }
+
+    /// Sets the number of output steps.
+    pub fn steps(mut self, steps: u64) -> Self {
+        self.cfg.steps = steps;
+        self
+    }
+
+    /// Makes the material crack (activating the dynamic branch) at `step`.
+    pub fn crack_at_step(mut self, step: u64) -> Self {
+        self.cfg.crack_at_step = Some(step);
+        self
+    }
+
+    /// Sets the initial per-container node allocation.
+    pub fn initial(mut self, initial: Table1Names<u32>) -> Self {
+        self.cfg.initial = initial;
+        self
+    }
+
+    /// Sets the per-container ingress queue capacity, in steps.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the interconnect bandwidth for bulk transfers.
+    pub fn bandwidth_bps(mut self, bps: u64) -> Self {
+        self.cfg.bandwidth_bps = bps;
+        self
+    }
+
+    /// Sets the launch model for new replicas.
+    pub fn launch(mut self, launch: LaunchModel) -> Self {
+        self.cfg.launch = launch;
+        self
+    }
+
+    /// Sets the management policy.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// Sets the SLA management enforces.
+    pub fn sla(mut self, sla: Sla) -> Self {
+        self.cfg.sla = sla;
+        self
+    }
+
+    /// Sets the monitoring-layer configuration.
+    pub fn monitoring(mut self, monitoring: MonitorConfig) -> Self {
+        self.cfg.monitoring = monitoring;
+        self
+    }
+
+    /// Adds the optional visualization container.
+    pub fn viz(mut self, viz: VizConfig) -> Self {
+        self.cfg.viz = Some(viz);
+        self
+    }
+
+    /// Appends one online user directive at virtual time `at`.
+    pub fn directive(mut self, at: SimDuration, directive: Directive) -> Self {
+        self.cfg.directives.push((at, directive));
+        self
+    }
+
+    /// Replaces the directive schedule wholesale.
+    pub fn directives(mut self, directives: Vec<(SimDuration, Directive)>) -> Self {
+        self.cfg.directives = directives;
+        self
+    }
+
+    /// Sets which trades (0-based) fail their control transaction.
+    pub fn trade_faults(mut self, faults: Vec<u32>) -> Self {
+        self.cfg.trade_faults = faults;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets which telemetry categories the run records.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// Rejects a staging area too small for the initially-*held*
+    /// allocations (a container that starts inactive — CNA, or a Viz
+    /// waiting on its directive — draws nodes at activation time, so its
+    /// allocation is not counted), a zero queue capacity, a zero cadence,
+    /// and a zero step count.
+    pub fn build(self) -> Result<ExperimentConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if cfg.cadence.is_zero() {
+            return Err(ConfigError::ZeroCadence);
+        }
+        if cfg.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        let held = cfg.held_nodes();
+        if held > cfg.staging_nodes {
+            return Err(ConfigError::Overcommitted { staging_nodes: cfg.staging_nodes, held });
+        }
+        Ok(cfg)
     }
 }
 
@@ -261,5 +480,83 @@ mod tests {
         assert_eq!(specs.len(), 5);
         assert_eq!(specs[4].name, "Viz");
         assert!(specs[4].starts_active);
+    }
+
+    #[test]
+    fn all_presets_pass_builder_validation() {
+        for preset in [
+            ExperimentConfig::fig7(),
+            ExperimentConfig::fig8(),
+            ExperimentConfig::fig9(),
+            ExperimentConfig::fig10(),
+        ] {
+            let staging = preset.staging_nodes;
+            let cfg = preset.to_builder().build().expect("preset is valid");
+            assert_eq!(cfg.staging_nodes, staging);
+        }
+    }
+
+    #[test]
+    fn builder_rejects_overcommitted_staging_area() {
+        // Fig. 7 holds exactly 13 nodes; 12 staging nodes cannot fit them.
+        let err = ExperimentConfig::builder().staging_nodes(12).build().unwrap_err();
+        assert_eq!(err, ConfigError::Overcommitted { staging_nodes: 12, held: 13 });
+    }
+
+    #[test]
+    fn inactive_containers_do_not_count_as_held() {
+        // CNA (2 nodes, starts inactive) and an inactive Viz are not held;
+        // an active Viz is.
+        let base = ExperimentConfig::fig7();
+        assert_eq!(base.held_nodes(), 13);
+        let lazy_viz = base
+            .clone()
+            .to_builder()
+            .viz(VizConfig { nodes: 5, active_from_start: false })
+            .build()
+            .expect("inactive viz holds nothing");
+        assert_eq!(lazy_viz.held_nodes(), 13);
+        let err = base
+            .to_builder()
+            .viz(VizConfig { nodes: 5, active_from_start: true })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Overcommitted { staging_nodes: 13, held: 18 });
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_parameters() {
+        assert_eq!(
+            ExperimentConfig::builder().queue_capacity(0).build().unwrap_err(),
+            ConfigError::ZeroQueueCapacity
+        );
+        assert_eq!(
+            ExperimentConfig::builder().cadence(SimDuration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroCadence
+        );
+        assert_eq!(
+            ExperimentConfig::builder().steps(0).build().unwrap_err(),
+            ConfigError::ZeroSteps
+        );
+        assert!(ConfigError::ZeroCadence.to_string().contains("cadence"));
+    }
+
+    #[test]
+    fn builder_round_trips_and_overrides() {
+        let cfg = ExperimentConfig::fig8()
+            .to_builder()
+            .steps(12)
+            .seed(7)
+            .crack_at_step(5)
+            .directive(SimDuration::from_secs(30), Directive::LaunchViz)
+            .telemetry(TelemetryConfig::all())
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.sim_nodes, 512);
+        assert_eq!(cfg.steps, 12);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.crack_at_step, Some(5));
+        assert_eq!(cfg.directives, vec![(SimDuration::from_secs(30), Directive::LaunchViz)]);
+        assert!(cfg.telemetry.container);
     }
 }

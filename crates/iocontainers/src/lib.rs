@@ -52,7 +52,9 @@ mod sla;
 pub mod threaded;
 
 pub use container::{ContainerId, ContainerSpec, ContainerState, QueuedStep, Status};
-pub use experiment::{Directive, ExperimentConfig, VizConfig};
+pub use experiment::{
+    ConfigError, Directive, ExperimentConfig, ExperimentConfigBuilder, VizConfig,
+};
 pub use monitor::{Action, LatencySample, MonitorConfig, MonitorLog, ResourceSource};
 pub use invariance::{check_config_invariance, check_schedule_invariance, InvarianceReport};
 pub use pipeline::{run_pipeline, run_pipeline_in, PipelineRun};

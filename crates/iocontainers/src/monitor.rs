@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use sim_core::stats::{DurationHistogram, Series};
 use sim_core::{SimDuration, SimTime};
+use simtel::{Category, Telemetry};
 
 use crate::container::ContainerId;
 
@@ -115,6 +116,13 @@ pub enum ResourceSource {
 }
 
 /// The global manager's aggregate monitoring view.
+///
+/// Every signal the log stores is mirrored into its [`Telemetry`] handle
+/// (disabled by default): latency and queue-depth samples become
+/// [`Category::Container`] gauges under the figure-harness series names,
+/// end-to-end latency becomes the `end_to_end_s` gauge, and management
+/// actions become [`Category::Management`] markers on the `manager`
+/// track — so one exported trace carries the whole management story.
 #[derive(Debug, Default)]
 pub struct MonitorLog {
     latency: BTreeMap<ContainerId, Series>,
@@ -123,12 +131,44 @@ pub struct MonitorLog {
     e2e: Series,
     actions: Vec<(SimTime, Action)>,
     names: BTreeMap<ContainerId, &'static str>,
+    telemetry: Telemetry,
 }
 
 impl MonitorLog {
-    /// Creates an empty log.
+    /// Creates an empty log with telemetry disabled.
     pub fn new() -> MonitorLog {
-        MonitorLog { e2e: Series::new("end_to_end_s"), ..MonitorLog::default() }
+        MonitorLog::with_telemetry(Telemetry::disabled())
+    }
+
+    /// Creates an empty log mirroring its signals into `telemetry`.
+    pub fn with_telemetry(telemetry: Telemetry) -> MonitorLog {
+        MonitorLog { e2e: Series::new("end_to_end_s"), telemetry, ..MonitorLog::default() }
+    }
+
+    /// A one-line label for an action, using registered container names
+    /// (shared by trace markers and the narration in examples).
+    pub fn action_label(&self, action: &Action) -> String {
+        match action {
+            Action::Increase { container, added, source } => {
+                let src = match source {
+                    ResourceSource::Spare => "spare pool".to_string(),
+                    ResourceSource::StolenFrom(d) => self.name_of(*d).to_string(),
+                };
+                format!("increase {} +{added} (from {src})", self.name_of(*container))
+            }
+            Action::Decrease { container, removed } => {
+                format!("decrease {} -{removed}", self.name_of(*container))
+            }
+            Action::Offline { containers } => {
+                let names: Vec<&str> = containers.iter().map(|c| self.name_of(*c)).collect();
+                format!("offline {}", names.join("+"))
+            }
+            Action::Activate { container } => format!("activate {}", self.name_of(*container)),
+            Action::Blocked { container } => format!("blocked at {}", self.name_of(*container)),
+            Action::TradeAborted { donor, recipient } => {
+                format!("trade aborted {}→{}", self.name_of(*donor), self.name_of(*recipient))
+            }
+        }
     }
 
     /// Registers a container's display name.
@@ -152,6 +192,21 @@ impl MonitorLog {
         if let Some(s) = self.queue.get_mut(&sample.container) {
             s.push(sample.taken_at, sample.queue_len as f64);
         }
+        if self.telemetry.enabled(Category::Container) {
+            let name = self.name_of(sample.container);
+            self.telemetry.gauge(
+                Category::Container,
+                &format!("{name}_latency_s"),
+                sample.taken_at,
+                sample.latency.as_secs_f64(),
+            );
+            self.telemetry.gauge(
+                Category::Container,
+                &format!("{name}_queue"),
+                sample.taken_at,
+                sample.queue_len as f64,
+            );
+        }
     }
 
     /// Upper bound on the q-quantile of a container's observed latency
@@ -163,10 +218,15 @@ impl MonitorLog {
     /// Records an end-to-end latency point (step emitted → pipeline exit).
     pub fn record_e2e(&mut self, at: SimTime, e2e: SimDuration) {
         self.e2e.push(at, e2e.as_secs_f64());
+        self.telemetry.gauge(Category::Container, "end_to_end_s", at, e2e.as_secs_f64());
     }
 
     /// Records a management action.
     pub fn record_action(&mut self, at: SimTime, action: Action) {
+        if self.telemetry.enabled(Category::Management) {
+            self.telemetry.mark(Category::Management, "manager", &self.action_label(&action), at);
+            self.telemetry.count(Category::Management, "manager.actions", 1);
+        }
         self.actions.push((at, action));
     }
 

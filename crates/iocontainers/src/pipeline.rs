@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 
 use sim_core::{shared, Shared, Sim, SimDuration, SimTime};
 use simnet::StagingArea;
+use simtel::{Category, Telemetry};
 
 use datatap::TransportCosts;
 use smartpointer::ComputeModel;
@@ -72,6 +73,10 @@ pub struct PipelineRun {
     pub finished_at: SimTime,
     /// Steps fully processed per container (by name).
     pub completed: Vec<(&'static str, u64)>,
+    /// The run's telemetry handle (disabled unless the configuration's
+    /// [`simtel::TelemetryConfig`] enabled categories). Snapshot it and
+    /// feed [`simtel::export`] to produce Perfetto or CSV traces.
+    pub telemetry: Telemetry,
 }
 
 struct World {
@@ -79,6 +84,7 @@ struct World {
     containers: Vec<ContainerState>,
     staging: StagingArea,
     log: MonitorLog,
+    telemetry: Telemetry,
     costs: TransportCosts,
     ingress_free: Vec<SimTime>,
     stalled: Vec<VecDeque<QueuedStep>>,
@@ -107,7 +113,8 @@ impl World {
         let mut staging = StagingArea::with_nodes(cfg.sim_nodes, cfg.staging_nodes);
         let specs = cfg.container_specs();
         let mut containers = Vec::with_capacity(specs.len());
-        let mut log = MonitorLog::new();
+        let telemetry = Telemetry::new(cfg.telemetry);
+        let mut log = MonitorLog::with_telemetry(telemetry.clone());
         for (i, spec) in specs.into_iter().enumerate() {
             let id = ContainerId(i as u32);
             log.register(id, spec.name);
@@ -128,6 +135,7 @@ impl World {
             containers,
             staging,
             log,
+            telemetry,
             costs: TransportCosts::default(),
             ingress_free: vec![SimTime::ZERO; n],
             stalled: vec![VecDeque::new(); n],
@@ -211,6 +219,17 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
     let steps = cfg.steps;
     let cadence = cfg.cadence;
     let world: W = shared(World::new(cfg));
+    let telemetry = world.borrow().telemetry.clone();
+
+    // Kernel-category telemetry observes every executed event by label via
+    // the kernel's event hook. The hook cannot touch the schedule, so this
+    // is schedule-neutral by construction.
+    if telemetry.enabled(Category::Kernel) {
+        let tel = telemetry.clone();
+        sim.set_event_hook(Box::new(move |_at, label| {
+            tel.count(Category::Kernel, &format!("kernel.{label}"), 1);
+        }));
+    }
 
     // Application output steps.
     for step in 0..steps {
@@ -234,6 +253,9 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
     let horizon = SimTime::ZERO + cadence * (steps + 2) + SimDuration::from_secs(3600 * 4);
     sim.run_until(horizon);
     let finished_at = sim.now();
+    if telemetry.enabled(Category::Kernel) {
+        sim.clear_event_hook();
+    }
 
     let log = std::mem::replace(&mut world.borrow_mut().log, MonitorLog::new());
     let w = world.borrow();
@@ -251,6 +273,7 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
         final_units: w.containers.iter().map(|c| (c.spec.name, c.units())).collect(),
         completed: w.containers.iter().map(|c| (c.spec.name, c.completed)).collect(),
         finished_at,
+        telemetry,
     }
 }
 
@@ -331,6 +354,10 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                         let done = now + service;
                         c.replica_free[idx] = done;
                         w.in_flight[cid].push(qstep);
+                        if w.telemetry.enabled(Category::Container) {
+                            let name = w.containers[cid].spec.name;
+                            w.telemetry.span(Category::Container, name, "step", now, done);
+                        }
                         // Accept a stalled step into the freed queue slot.
                         if let Some(mut s) = w.stalled[cid].pop_front() {
                             s.entered = now;
@@ -380,6 +407,11 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep) {
             queue_len: c.queue.len(),
             taken_at: now,
         };
+        if w.telemetry.enabled(Category::Sla) && w.cfg.sla.container_violated(latency) {
+            let name = w.containers[cid].spec.name;
+            w.telemetry.mark(Category::Sla, name, "sla.violation", now);
+            w.telemetry.count(Category::Sla, "sla.violations", 1);
+        }
 
         // Dynamic branch: CSym detecting the break retires itself and
         // activates CNA (which then reads from Bonds).
@@ -527,6 +559,7 @@ fn policy_tick(sim: &mut Sim, world: &W) {
         {
             return;
         }
+        w.telemetry.count(Category::Management, "policy.rounds", 1);
         let atoms = w.cfg.atoms();
         let cadence = w.cfg.sla.output_cadence;
         let views: Vec<ContainerView> = w
@@ -952,6 +985,32 @@ mod tests {
         assert!(run.blocked_at.is_none());
         // Everything flowed through to the pipeline end.
         assert_eq!(run.log.e2e_series().len(), 10);
+    }
+
+    #[test]
+    fn telemetry_captures_the_managed_run() {
+        let mut cfg = ExperimentConfig::fig7();
+        cfg.telemetry = simtel::TelemetryConfig::all();
+        let run = run_pipeline(cfg);
+        let snap = run.telemetry.snapshot();
+        // Container service spans on per-container tracks.
+        assert!(snap.spans.iter().any(|s| s.track == "Bonds" && s.name == "step"));
+        assert!(snap.spans.iter().any(|s| s.track == "Helper"));
+        // The Fig. 7 backlog violates the SLA before the manager acts.
+        assert!(run.telemetry.counter("sla.violations") > 0);
+        assert!(snap.markers.iter().any(|m| m.name == "sla.violation"));
+        // Management rounds ran and actions were marked on the manager track.
+        assert!(run.telemetry.counter("policy.rounds") > 0);
+        assert!(run.telemetry.counter("manager.actions") > 0);
+        assert!(snap.markers.iter().any(|m| m.track == "manager"));
+        // Kernel-category event counts follow the schedule's labels.
+        assert_eq!(
+            run.telemetry.counter("kernel.ioc.emit"),
+            ExperimentConfig::fig7().steps
+        );
+        // Monitoring gauges mirror the figure-harness series.
+        assert!(!run.telemetry.series("end_to_end_s").is_empty());
+        assert!(!run.telemetry.series("Bonds_latency_s").is_empty());
     }
 
     #[test]

@@ -454,9 +454,9 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
                     {
                         break;
                     }
-                    let stats = r_stats.stats();
+                    let queued = r_stats.queued();
                     let workers = worker_count.load(Ordering::Relaxed) as usize;
-                    if stats.queued > cfg.queue_capacity / 2 {
+                    if queued > cfg.queue_capacity / 2 {
                         if workers < cfg.max_bonds_workers {
                             // The increase operation: spawn a round-robin
                             // replica on the shared staged channel.

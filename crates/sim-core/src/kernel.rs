@@ -69,6 +69,10 @@ impl TieBreak {
 
 type Action = Box<dyn FnOnce(&mut Sim)>;
 
+/// Passive observer invoked for every executed event (see
+/// [`Sim::set_event_hook`]).
+pub type EventHook = Box<dyn FnMut(SimTime, &'static str)>;
+
 struct Entry {
     at: SimTime,
     /// Intra-timestamp ordering key, computed from the insertion number by
@@ -111,6 +115,7 @@ pub struct Sim {
     executed: u64,
     tie_break: TieBreak,
     trace: Option<Trace>,
+    event_hook: Option<EventHook>,
 }
 
 impl Sim {
@@ -133,6 +138,7 @@ impl Sim {
             executed: 0,
             tie_break,
             trace: None,
+            event_hook: None,
         }
     }
 
@@ -158,6 +164,22 @@ impl Sim {
     /// The active same-timestamp tie-break mode.
     pub fn tie_break(&self) -> TieBreak {
         self.tie_break
+    }
+
+    /// Installs a passive observer called once per executed event with the
+    /// event's timestamp and label, after the clock has advanced and before
+    /// the event's action runs.
+    ///
+    /// The hook has no access to the kernel, so it cannot schedule, cancel,
+    /// or re-time events — observation is schedule-neutral by construction.
+    /// Telemetry layers use this to count events per label.
+    pub fn set_event_hook(&mut self, hook: EventHook) {
+        self.event_hook = Some(hook);
+    }
+
+    /// Removes the observer installed by [`set_event_hook`](Sim::set_event_hook).
+    pub fn clear_event_hook(&mut self) {
+        self.event_hook = None;
     }
 
     /// The current virtual time.
@@ -252,6 +274,9 @@ impl Sim {
             self.executed += 1;
             if let Some(trace) = &mut self.trace {
                 trace.record(entry.at, entry.label, entry.seq);
+            }
+            if let Some(hook) = &mut self.event_hook {
+                hook(entry.at, entry.label);
             }
             (entry.action)(self);
             return Some(entry.at);
@@ -515,5 +540,43 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(2), |_| {});
         sim.cancel(id);
         assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn event_hook_observes_labels_without_changing_the_schedule() {
+        fn run(hooked: bool) -> (u64, Vec<(SimTime, &'static str)>) {
+            let mut sim = Sim::new(7);
+            sim.record_trace();
+            let seen = shared(Vec::new());
+            if hooked {
+                let seen = seen.clone();
+                sim.set_event_hook(Box::new(move |at, label| {
+                    seen.borrow_mut().push((at, label));
+                }));
+            }
+            let cancelled = sim.schedule_at_named("never", SimTime::from_secs(3), |_| {});
+            sim.cancel(cancelled);
+            sim.schedule_at_named("b", SimTime::from_secs(2), |_| {});
+            sim.schedule_at_named("a", SimTime::from_secs(1), |sim| {
+                sim.schedule_in_named("a2", SimDuration::from_secs(5), |_| {});
+            });
+            sim.run();
+            let hash = sim.take_trace().expect("trace recorded").schedule_hash();
+            let seen = seen.borrow().clone();
+            (hash, seen)
+        }
+        let (hash_on, seen) = run(true);
+        let (hash_off, unobserved) = run(false);
+        assert_eq!(hash_on, hash_off, "observation must be schedule-neutral");
+        assert!(unobserved.is_empty());
+        assert_eq!(
+            seen,
+            vec![
+                (SimTime::from_secs(1), "a"),
+                (SimTime::from_secs(2), "b"),
+                (SimTime::from_secs(6), "a2"),
+            ],
+            "hook sees executed events only, cancelled ones never fire"
+        );
     }
 }

@@ -31,6 +31,6 @@ pub mod stats;
 mod time;
 mod trace;
 
-pub use kernel::{shared, EventId, Shared, Sim, TieBreak, DEFAULT_EVENT_LABEL};
+pub use kernel::{shared, EventHook, EventId, Shared, Sim, TieBreak, DEFAULT_EVENT_LABEL};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Divergence, Trace, TraceBucket};

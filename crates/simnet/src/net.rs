@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 
 use sim_core::{Shared, Sim, SimDuration, SimTime};
+use simtel::{Category, Telemetry};
 
 use crate::cluster::NodeId;
 
@@ -136,6 +137,7 @@ pub struct Network {
     cfg: NetworkConfig,
     nics: BTreeMap<NodeId, NicState>,
     stats: NetStats,
+    telemetry: Telemetry,
 }
 
 /// Shared handle to a [`Network`].
@@ -144,7 +146,19 @@ pub type Net = Shared<Network>;
 impl Network {
     /// Creates a network with the given constants.
     pub fn new(cfg: NetworkConfig) -> Net {
-        sim_core::shared(Network { cfg, nics: BTreeMap::new(), stats: NetStats::default() })
+        Network::with_telemetry(cfg, Telemetry::disabled())
+    }
+
+    /// Creates a network that records link activity through `telemetry`
+    /// (per-NIC transfer spans plus `net.messages` / `net.bytes` totals,
+    /// all under [`Category::Net`]).
+    pub fn with_telemetry(cfg: NetworkConfig, telemetry: Telemetry) -> Net {
+        sim_core::shared(Network {
+            cfg,
+            nics: BTreeMap::new(),
+            stats: NetStats::default(),
+            telemetry,
+        })
     }
 
     /// The configured constants.
@@ -215,6 +229,14 @@ impl Network {
             }
             n.stats.messages += 1;
             n.stats.bytes += bytes;
+            if n.telemetry.enabled(Category::Net) {
+                let track = format!("nic{}.tx", src.0);
+                n.telemetry.span(Category::Net, &track, "xfer", start, finish);
+                let track = format!("nic{}.rx", dst.0);
+                n.telemetry.span(Category::Net, &track, "xfer", start, finish);
+                n.telemetry.count(Category::Net, "net.messages", 1);
+                n.telemetry.count(Category::Net, "net.bytes", bytes);
+            }
             finish
         };
         sim.schedule_at_named("net.deliver", finish, on_delivered);
@@ -367,6 +389,32 @@ mod tests {
         let (tx, _) = n.utilization(NodeId(0), sim.now().since(sim_core::SimTime::ZERO));
         assert!(tx > 0.99, "tx utilization {tx}");
         assert_eq!(n.busy_time(NodeId(99)), (SimDuration::ZERO, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn telemetry_records_nic_spans_and_totals() {
+        use simtel::TelemetryConfig;
+        let tel = Telemetry::new(TelemetryConfig::all());
+        let mut sim = Sim::new(0);
+        let net = Network::with_telemetry(fast_cfg(), tel.clone());
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 1_000, |_| {});
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(2), 1_000, |_| {});
+        sim.run();
+        assert_eq!(tel.counter("net.messages"), 2);
+        assert_eq!(tel.counter("net.bytes"), 2_000);
+        let snap = tel.snapshot();
+        // Two transfers, each drawn on a tx and an rx track.
+        assert_eq!(snap.spans.len(), 4);
+        assert!(snap.spans.iter().any(|s| s.track == "nic0.tx"));
+        assert!(snap.spans.iter().any(|s| s.track == "nic2.rx"));
+        // Spans mirror the NIC busy bookkeeping.
+        let tx: SimDuration = snap
+            .spans
+            .iter()
+            .filter(|s| s.track == "nic0.tx")
+            .map(|s| s.end.since(s.start))
+            .sum();
+        assert_eq!(tx, net.borrow().busy_time(NodeId(0)).0);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Per-category enable flags for the telemetry subsystem.
+
+/// The instrumentation categories a [`TelemetryConfig`] can gate.
+///
+/// Categories follow the layers of the stack rather than signal kinds:
+/// disabling `Net` silences the NIC spans *and* the byte counters, not
+/// "all spans".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Kernel-level event accounting (per-label event counts).
+    Kernel,
+    /// simnet link/NIC activity: transfer spans, message/byte totals.
+    Net,
+    /// datatap transport: announce/pull totals, queue depth, pause/resume.
+    Transport,
+    /// EVPath overlay: stone dispatch and drop totals.
+    Overlay,
+    /// Container service: per-step spans, latency and queue-depth gauges.
+    Container,
+    /// Management protocol: policy rounds and resize/offline/trade actions.
+    Management,
+    /// SLA violations observed by the monitor.
+    Sla,
+}
+
+/// Which [`Category`]s a [`Telemetry`](crate::Telemetry) handle records.
+///
+/// The default is everything off — construction sites that do not opt in
+/// get the no-op path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record [`Category::Kernel`] signals.
+    pub kernel: bool,
+    /// Record [`Category::Net`] signals.
+    pub net: bool,
+    /// Record [`Category::Transport`] signals.
+    pub transport: bool,
+    /// Record [`Category::Overlay`] signals.
+    pub overlay: bool,
+    /// Record [`Category::Container`] signals.
+    pub container: bool,
+    /// Record [`Category::Management`] signals.
+    pub management: bool,
+    /// Record [`Category::Sla`] signals.
+    pub sla: bool,
+}
+
+impl TelemetryConfig {
+    /// Every category enabled.
+    pub const fn all() -> TelemetryConfig {
+        TelemetryConfig {
+            kernel: true,
+            net: true,
+            transport: true,
+            overlay: true,
+            container: true,
+            management: true,
+            sla: true,
+        }
+    }
+
+    /// Every category disabled (the default; yields the no-op path).
+    pub const fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            kernel: false,
+            net: false,
+            transport: false,
+            overlay: false,
+            container: false,
+            management: false,
+            sla: false,
+        }
+    }
+
+    /// True if at least one category is enabled.
+    pub const fn any(&self) -> bool {
+        self.kernel
+            || self.net
+            || self.transport
+            || self.overlay
+            || self.container
+            || self.management
+            || self.sla
+    }
+
+    /// Whether `category` is enabled.
+    pub const fn enabled(&self, category: Category) -> bool {
+        match category {
+            Category::Kernel => self.kernel,
+            Category::Net => self.net,
+            Category::Transport => self.transport,
+            Category::Overlay => self.overlay,
+            Category::Container => self.container,
+            Category::Management => self.management,
+            Category::Sla => self.sla,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg, TelemetryConfig::off());
+        assert!(!cfg.any());
+    }
+
+    #[test]
+    fn all_enables_every_category() {
+        let cfg = TelemetryConfig::all();
+        for cat in [
+            Category::Kernel,
+            Category::Net,
+            Category::Transport,
+            Category::Overlay,
+            Category::Container,
+            Category::Management,
+            Category::Sla,
+        ] {
+            assert!(cfg.enabled(cat), "{cat:?} should be on");
+        }
+        assert!(cfg.any());
+    }
+
+    #[test]
+    fn single_flag_gates_only_its_category() {
+        let cfg = TelemetryConfig { sla: true, ..TelemetryConfig::off() };
+        assert!(cfg.any());
+        assert!(cfg.enabled(Category::Sla));
+        assert!(!cfg.enabled(Category::Container));
+    }
+}

@@ -1,0 +1,96 @@
+//! CSV export: time series for the figure harness, plus counter and
+//! span tables for cross-checking.
+//!
+//! Fields never need quoting in practice (names are identifiers), but
+//! any comma or quote in a name is escaped RFC-4180 style to keep the
+//! output parseable.
+
+use crate::telemetry::Snapshot;
+
+use super::fmt_f64;
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Gauge series as `series,t_s,value` rows (sorted by series then time).
+pub fn series_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("series,t_s,value\n");
+    for (name, points) in &snapshot.series {
+        for (at, value) in points {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                csv_field(name),
+                fmt_f64(at.as_secs_f64()),
+                fmt_f64(*value)
+            ));
+        }
+    }
+    out
+}
+
+/// Counter totals as `counter,total` rows (sorted by name).
+pub fn counters_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("counter,total\n");
+    for (name, total) in &snapshot.counters {
+        out.push_str(&format!("{},{total}\n", csv_field(name)));
+    }
+    out
+}
+
+/// Spans as `track,name,start_s,end_s,duration_s` rows (snapshot order).
+pub fn spans_csv(snapshot: &Snapshot) -> String {
+    let mut out = String::from("track,name,start_s,end_s,duration_s\n");
+    for span in &snapshot.spans {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            csv_field(&span.track),
+            csv_field(&span.name),
+            fmt_f64(span.start.as_secs_f64()),
+            fmt_f64(span.end.as_secs_f64()),
+            fmt_f64(span.end.since(span.start).as_secs_f64())
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use sim_core::SimTime;
+
+    use crate::{Category, Telemetry, TelemetryConfig};
+
+    use super::*;
+
+    #[test]
+    fn series_rows_are_sorted_and_parseable() {
+        let tel = Telemetry::new(TelemetryConfig::all());
+        tel.gauge(Category::Container, "b.queue", SimTime::from_secs(2), 3.0);
+        tel.gauge(Category::Container, "a.latency", SimTime::from_millis(500), 0.25);
+        let csv = series_csv(&tel.snapshot());
+        assert_eq!(csv, "series,t_s,value\na.latency,0.5,0.25\nb.queue,2,3\n");
+    }
+
+    #[test]
+    fn counters_and_spans_render() {
+        let tel = Telemetry::new(TelemetryConfig::all());
+        tel.count(Category::Net, "net.bytes", 4096);
+        tel.span(Category::Container, "Helper", "step", SimTime::ZERO, SimTime::from_secs(1));
+        let snap = tel.snapshot();
+        assert_eq!(counters_csv(&snap), "counter,total\nnet.bytes,4096\n");
+        assert_eq!(
+            spans_csv(&snap),
+            "track,name,start_s,end_s,duration_s\nHelper,step,0,1,1\n"
+        );
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("plain"), "plain");
+    }
+}

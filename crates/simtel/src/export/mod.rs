@@ -1,0 +1,86 @@
+//! Exporters over a [`Snapshot`](crate::Snapshot).
+//!
+//! Both exporters are fully deterministic — stable track numbering,
+//! ordered iteration, and fixed number formatting — so a trace exported
+//! from the same snapshot is byte-identical across runs and platforms
+//! (the Perfetto golden test relies on this).
+
+mod csv;
+mod perfetto;
+
+pub use csv::{counters_csv, series_csv, spans_csv};
+pub use perfetto::chrome_trace_json;
+
+/// Formats `ns` nanoseconds as Chrome-trace microseconds, trimming
+/// trailing zeros from the fractional part (`1500ns` → `"1.5"`).
+pub(crate) fn fmt_us(ns: u64) -> String {
+    let us = ns / 1_000;
+    let frac = ns % 1_000;
+    if frac == 0 {
+        return us.to_string();
+    }
+    let mut s = format!("{us}.{frac:03}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+/// Formats an `f64` for JSON/CSV output. Integral values print without a
+/// fractional part; everything else uses Rust's shortest round-trip
+/// representation (deterministic across platforms).
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microsecond_formatting_trims_zeros() {
+        assert_eq!(fmt_us(0), "0");
+        assert_eq!(fmt_us(1_000), "1");
+        assert_eq!(fmt_us(1_500), "1.5");
+        assert_eq!(fmt_us(1_001), "1.001");
+        assert_eq!(fmt_us(999), "0.999");
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(-2.0), "-2");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,52 @@
+//! # simtel — deterministic telemetry for the staging pipeline
+//!
+//! The paper's §III-E argument ("flexible monitoring") is that a staging
+//! pipeline is only manageable if you can *see inside it*: per-container
+//! latency, queue depth, link utilization, and the management actions the
+//! control plane took. This crate is the one instrumentation surface the
+//! whole workspace reports through:
+//!
+//! * [`Telemetry`] — a cheap-to-clone handle that records **spans** (a
+//!   named interval on a track), **markers** (instant events, e.g. a
+//!   management action), **counters** (monotonic totals) and **gauges**
+//!   (time series). All timestamps are [`SimTime`](sim_core::SimTime) —
+//!   never wall clock — so traces are bit-reproducible.
+//! * [`TelemetryConfig`] — per-[`Category`] enable flags. A disabled
+//!   handle (the default) is a no-op: every record call returns before
+//!   touching any state, so instrumented code pays nothing when tracing
+//!   is off.
+//! * [`export`] — two exporters over an immutable [`Snapshot`]:
+//!   Perfetto/Chrome-trace JSON (one track per container/NIC, instant
+//!   events for management actions) and CSV time series for the figure
+//!   harness.
+//!
+//! ## Schedule neutrality
+//!
+//! Recording **never** schedules, cancels, or re-times a DES event;
+//! a `Telemetry` handle has no access to the kernel at all. Enabling
+//! telemetry therefore cannot change the event order — the schedule-
+//! invariance hash of a run is bitwise identical with telemetry fully on
+//! or fully off (asserted by the workspace determinism tests).
+//!
+//! ```
+//! use sim_core::SimTime;
+//! use simtel::{Category, Telemetry, TelemetryConfig};
+//!
+//! let tel = Telemetry::new(TelemetryConfig::all());
+//! let (t0, t1) = (SimTime::from_micros(5), SimTime::from_micros(9));
+//! tel.span(Category::Container, "Helper", "step", t0, t1);
+//! tel.count(Category::Net, "net.messages", 1);
+//! let snap = tel.snapshot();
+//! assert_eq!(snap.spans.len(), 1);
+//! let json = simtel::export::chrome_trace_json(&snap);
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod export;
+mod telemetry;
+
+pub use config::{Category, TelemetryConfig};
+pub use telemetry::{Marker, Snapshot, Span, Telemetry};

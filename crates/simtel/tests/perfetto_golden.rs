@@ -1,0 +1,46 @@
+//! Golden-file test for the Perfetto/Chrome-trace exporter.
+//!
+//! Builds the trace of a tiny two-container pipeline by hand — Helper
+//! handing two steps to a slower Bonds, one SLA violation, one management
+//! action, a queue-depth gauge — and byte-compares the exported JSON
+//! against the checked-in golden file. Any change to the export format
+//! shows up as a readable diff of that file.
+
+use sim_core::SimTime;
+use simtel::export::chrome_trace_json;
+use simtel::{Category, Telemetry, TelemetryConfig};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+fn two_container_trace() -> String {
+    let tel = Telemetry::new(TelemetryConfig::all());
+    // Helper is fast; Bonds falls behind and trips the SLA.
+    tel.span(Category::Container, "Helper", "step", t(0), t(2));
+    tel.span(Category::Container, "Helper", "step", t(15), t(17));
+    tel.span(Category::Container, "Bonds", "step", t(2), t(21));
+    tel.span(Category::Container, "Bonds", "step", t(21), t(52));
+    tel.mark(Category::Sla, "Bonds", "sla.violation", t(52));
+    tel.mark(Category::Management, "manager", "increase Bonds +1 (from spare pool)", t(60));
+    tel.count(Category::Management, "manager.actions", 1);
+    tel.gauge(Category::Container, "Bonds_queue", t(15), 1.0);
+    tel.gauge(Category::Container, "Bonds_queue", t(21), 0.0);
+    chrome_trace_json(&tel.snapshot())
+}
+
+const GOLDEN: &str = include_str!("golden/two_container.trace.json");
+
+#[test]
+fn two_container_trace_matches_golden() {
+    assert_eq!(two_container_trace(), GOLDEN, "Perfetto export drifted from the golden file");
+}
+
+/// Regenerates the golden file after an intentional format change:
+/// `cargo test -p simtel --test perfetto_golden -- --ignored`
+#[test]
+#[ignore = "writes tests/golden/two_container.trace.json"]
+fn regenerate_golden() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/two_container.trace.json");
+    std::fs::write(path, two_container_trace()).expect("write golden file");
+}

@@ -10,41 +10,14 @@
 //! cargo run --release --example managed_staging
 //! ```
 
-use iocontainers::{run_pipeline, Action, ExperimentConfig, PipelineRun, ResourceSource};
+use iocontainers::{run_pipeline, ExperimentConfig, PipelineRun};
+use simtel::export::{chrome_trace_json, series_csv};
+use simtel::TelemetryConfig;
 
 fn narrate(name: &str, run: &PipelineRun) {
     println!("== {name} ==");
     for (t, action) in run.log.actions() {
-        let what = match action {
-            Action::Increase { container, added, source } => {
-                let src = match source {
-                    ResourceSource::Spare => "spare staging nodes".to_string(),
-                    ResourceSource::StolenFrom(d) => {
-                        format!("nodes stolen from {}", run.log.name_of(*d))
-                    }
-                };
-                format!("increase {} by {added} ({src})", run.log.name_of(*container))
-            }
-            Action::Decrease { container, removed } => {
-                format!("decrease {} by {removed}", run.log.name_of(*container))
-            }
-            Action::Offline { containers } => format!(
-                "take offline: {}",
-                containers.iter().map(|c| run.log.name_of(*c)).collect::<Vec<_>>().join(", ")
-            ),
-            Action::Activate { container } => {
-                format!("activate {}", run.log.name_of(*container))
-            }
-            Action::Blocked { container } => {
-                format!("PIPELINE BLOCKED at {}", run.log.name_of(*container))
-            }
-            Action::TradeAborted { donor, recipient } => format!(
-                "trade aborted: {} -> {} (rolled back, will retry)",
-                run.log.name_of(*donor),
-                run.log.name_of(*recipient)
-            ),
-        };
-        println!("  t={:>7.1}s  {what}", t.as_secs_f64());
+        println!("  t={:>7.1}s  {}", t.as_secs_f64(), run.log.action_label(action));
     }
     if run.log.actions().is_empty() {
         println!("  (no management action was needed)");
@@ -71,10 +44,28 @@ fn narrate(name: &str, run: &PipelineRun) {
 
 fn main() {
     println!("I/O container management across the paper's weak-scaling setups\n");
-    narrate("Fig. 7 — 256 simulation / 13 staging nodes (no spares)",
-        &run_pipeline(ExperimentConfig::fig7()));
+    // The Fig. 7 run records full telemetry; its trace is exported below.
+    let fig7 = run_pipeline(
+        ExperimentConfig::builder()
+            .telemetry(TelemetryConfig::all())
+            .build()
+            .expect("the Fig. 7 preset is valid"),
+    );
+    narrate("Fig. 7 — 256 simulation / 13 staging nodes (no spares)", &fig7);
     narrate("Fig. 8 — 512 simulation / 24 staging nodes (4 spares)",
         &run_pipeline(ExperimentConfig::fig8()));
     narrate("Fig. 9/10 — 1024 simulation / 24 staging nodes (insufficient)",
         &run_pipeline(ExperimentConfig::fig9()));
+
+    // Export the Fig. 7 trace: per-container service spans, management
+    // markers, SLA violations, and the monitoring gauges.
+    let snap = fig7.telemetry.snapshot();
+    let dir = std::path::Path::new("target/traces");
+    std::fs::create_dir_all(dir).expect("create target/traces");
+    let json_path = dir.join("managed_staging.trace.json");
+    let csv_path = dir.join("managed_staging.series.csv");
+    std::fs::write(&json_path, chrome_trace_json(&snap)).expect("write Perfetto trace");
+    std::fs::write(&csv_path, series_csv(&snap)).expect("write series CSV");
+    println!("Fig. 7 trace: {} (open at https://ui.perfetto.dev)", json_path.display());
+    println!("Fig. 7 series: {}", csv_path.display());
 }

@@ -1,0 +1,44 @@
+//! Telemetry must be schedule-neutral: recording spans, counters, and
+//! gauges may observe the simulation but may never change what it does.
+//! These tests run the full Fig. 7 managed pipeline with telemetry fully
+//! on and fully off and require the kernel's schedule hash — the ordered
+//! digest of every executed (time, label, seq) — to be bitwise identical.
+
+use iocontainers::{run_pipeline, run_pipeline_in, ExperimentConfig};
+use sim_core::Sim;
+use simtel::TelemetryConfig;
+
+fn schedule_hash_with(telemetry: TelemetryConfig) -> u64 {
+    let cfg = ExperimentConfig::builder()
+        .telemetry(telemetry)
+        .build()
+        .expect("the Fig. 7 preset is valid");
+    let mut sim = Sim::new(cfg.seed);
+    sim.record_trace();
+    run_pipeline_in(&mut sim, cfg);
+    sim.take_trace().expect("tracing was enabled").schedule_hash()
+}
+
+#[test]
+fn telemetry_on_and_off_produce_identical_schedules() {
+    let off = schedule_hash_with(TelemetryConfig::off());
+    let on = schedule_hash_with(TelemetryConfig::all());
+    assert_eq!(on, off, "enabling telemetry must not change DES event order");
+}
+
+#[test]
+fn telemetry_does_not_change_run_outcomes() {
+    let run_off = run_pipeline(ExperimentConfig::fig7());
+    let run_on = run_pipeline(
+        ExperimentConfig::builder()
+            .telemetry(TelemetryConfig::all())
+            .build()
+            .expect("the Fig. 7 preset is valid"),
+    );
+    assert_eq!(run_on.finished_at, run_off.finished_at);
+    assert_eq!(run_on.final_units, run_off.final_units);
+    assert_eq!(run_on.log.e2e_series().points(), run_off.log.e2e_series().points());
+    // And the instrumented run actually recorded something.
+    assert!(!run_on.telemetry.snapshot().is_empty());
+    assert!(run_off.telemetry.snapshot().is_empty());
+}

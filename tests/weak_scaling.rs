@@ -2,16 +2,20 @@
 //! paper's three stock configurations: sensitivity to cadence, queue
 //! capacity, and mid-run cracks under resource pressure.
 
-use iocontainers::{run_pipeline, Action, ExperimentConfig, PolicyConfig, ResourceSource};
+use iocontainers::{run_pipeline, Action, ExperimentConfig, PolicyConfig, ResourceSource, Sla};
 use sim_core::SimDuration;
 
 #[test]
 fn relaxed_cadence_needs_no_management_at_256() {
     // At a 30 s cadence even one Bonds replica (≈19.4 s/step) keeps up.
-    let mut cfg = ExperimentConfig::fig7();
-    cfg.cadence = SimDuration::from_secs(30);
-    cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
-    cfg.steps = 20;
+    let cadence = SimDuration::from_secs(30);
+    let cfg = ExperimentConfig::fig7()
+        .to_builder()
+        .cadence(cadence)
+        .sla(Sla::from_cadence(cadence))
+        .steps(20)
+        .build()
+        .expect("relaxed fig7 variant is valid");
     let run = run_pipeline(cfg);
     assert!(
         run.log.actions().iter().all(|(_, a)| matches!(a, Action::Activate { .. })),
@@ -25,9 +29,13 @@ fn relaxed_cadence_needs_no_management_at_256() {
 fn tighter_cadence_forces_more_replicas_at_512() {
     // At a 10 s cadence Bonds needs ceil(77.5/10) = 8 replicas instead
     // of 6: the manager must find 6 more than its initial 2.
-    let mut cfg = ExperimentConfig::fig8();
-    cfg.cadence = SimDuration::from_secs(10);
-    cfg.sla = iocontainers::Sla::from_cadence(cfg.cadence);
+    let cadence = SimDuration::from_secs(10);
+    let cfg = ExperimentConfig::fig8()
+        .to_builder()
+        .cadence(cadence)
+        .sla(Sla::from_cadence(cadence))
+        .build()
+        .expect("tight fig8 variant is valid");
     let run = run_pipeline(cfg);
     let added: u32 = run
         .log
@@ -48,8 +56,12 @@ fn tighter_cadence_forces_more_replicas_at_512() {
 fn tiny_queues_trigger_offline_sooner() {
     let base = ExperimentConfig::fig9();
     let offline_time = |cap: usize| {
-        let mut cfg = base.clone();
-        cfg.queue_capacity = cap;
+        let cfg = base
+            .clone()
+            .to_builder()
+            .queue_capacity(cap)
+            .build()
+            .expect("fig9 queue variant is valid");
         let run = run_pipeline(cfg);
         run.log
             .actions()
@@ -66,8 +78,11 @@ fn tiny_queues_trigger_offline_sooner() {
 fn crack_under_pressure_still_branches() {
     // Fig. 8 resources plus a mid-run crack: management and the dynamic
     // branch must compose.
-    let mut cfg = ExperimentConfig::fig8();
-    cfg.crack_at_step = Some(10);
+    let cfg = ExperimentConfig::fig8()
+        .to_builder()
+        .crack_at_step(10)
+        .build()
+        .expect("cracked fig8 variant is valid");
     let run = run_pipeline(cfg);
     assert!(run.crack_detected);
     assert!(run.offline.contains(&"CSym"), "CSym retires after the branch");
@@ -86,9 +101,12 @@ fn crack_under_pressure_still_branches() {
 
 #[test]
 fn disabled_policy_at_512_eventually_blocks() {
-    let mut cfg = ExperimentConfig::fig8();
-    cfg.policy = PolicyConfig { enabled: false, ..PolicyConfig::default() };
-    cfg.steps = 60;
+    let cfg = ExperimentConfig::fig8()
+        .to_builder()
+        .policy(PolicyConfig { enabled: false, ..PolicyConfig::default() })
+        .steps(60)
+        .build()
+        .expect("unmanaged fig8 variant is valid");
     let run = run_pipeline(cfg);
     assert!(
         run.blocked_at.is_some(),
@@ -112,8 +130,11 @@ fn weak_scaling_data_sizes_feed_the_pipeline() {
 fn management_improves_end_to_end_latency_at_512() {
     // The headline claim: the same scenario with and without management.
     let managed = run_pipeline(ExperimentConfig::fig8());
-    let mut cfg = ExperimentConfig::fig8();
-    cfg.policy = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+    let cfg = ExperimentConfig::fig8()
+        .to_builder()
+        .policy(PolicyConfig { enabled: false, ..PolicyConfig::default() })
+        .build()
+        .expect("unmanaged fig8 variant is valid");
     let unmanaged = run_pipeline(cfg);
 
     let peak = |r: &iocontainers::PipelineRun| {
