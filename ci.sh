@@ -19,6 +19,14 @@ cargo xtask lint
 echo "== benches compile =="
 cargo bench --no-run
 
+echo "== bench-baseline: kernel perf artifact emits and validates =="
+# A tiny snapshot keeps this gate fast; the schema check (non-empty rows,
+# serial speedup ~1 vs itself) is hardware-independent by design.
+cargo run --release -p bench --bin baseline -- \
+    --out target/BENCH_kernels.json --cells 3 --threads 1,2 --reps 2
+cargo run --release -p bench --bin baseline -- --check target/BENCH_kernels.json
+cargo run --release -p bench --bin baseline -- --check BENCH_kernels.json
+
 echo "== quickstart example (headless) =="
 cargo run --release --example quickstart
 

@@ -60,8 +60,32 @@ fn analytics(c: &mut Criterion) {
         b.iter(|| black_box(k.compute(&bonds_out)));
     });
     group.bench_function("cna", |b| {
-        b.iter(|| black_box(Cna.compute(&bonds_out)));
+        b.iter(|| black_box(Cna::default().compute(&bonds_out)));
     });
+    group.finish();
+}
+
+/// The simpar thread sweep over the three parallel kernels, on the
+/// crack-detection snapshot (defect-heavy, like the branch scenario).
+fn analytics_threads(c: &mut Criterion) {
+    let snap = bench::baseline::crack_snapshot(6);
+    let bonds_out = Bonds::default().compute(&snap);
+
+    let mut group = c.benchmark_group("smartpointer_threads");
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("bonds", threads), &threads, |b, &threads| {
+            let k = Bonds { threads, ..Bonds::default() };
+            b.iter(|| black_box(k.compute(&snap)));
+        });
+        group.bench_with_input(BenchmarkId::new("csym", threads), &threads, |b, &threads| {
+            let k = CSym { threads, ..CSym::default() };
+            b.iter(|| black_box(k.compute(&bonds_out)));
+        });
+        group.bench_with_input(BenchmarkId::new("cna", threads), &threads, |b, &threads| {
+            let k = Cna { threads };
+            b.iter(|| black_box(k.compute(&bonds_out)));
+        });
+    }
     group.finish();
 }
 
@@ -87,6 +111,6 @@ fn table2_datasizes(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = md_step, md_step_parallel, analytics, table2_datasizes
+    targets = md_step, md_step_parallel, analytics, analytics_threads, table2_datasizes
 }
 criterion_main!(benches);

@@ -1,0 +1,307 @@
+//! The kernel perf-baseline emitter behind `BENCH_kernels.json`.
+//!
+//! Criterion benches are great interactively but their output is neither
+//! stable nor diffable, so the repo's perf trajectory is tracked by a
+//! small committed artifact instead: one JSON file of
+//! `(kernel, atoms, threads, ns_per_atom, speedup_vs_serial)` rows,
+//! measured on the crack-detection snapshot (the workload of the paper's
+//! Figs. 7–10 narrative). `cargo run -p bench --release --bin baseline`
+//! regenerates it; `baseline --check` validates the schema in CI.
+//!
+//! Measurement is deliberately simple: best-of-N wall-clock per kernel
+//! (min discards scheduler noise), normalized per atom. The emitter is
+//! measurement code — it reads real clocks and lives outside simlint
+//! scope like the rest of this crate.
+
+use std::time::Instant;
+
+use mdsim::{MdConfig, MdEngine, Snapshot};
+use smartpointer::{Bonds, CSym, Cna};
+
+use crate::Table;
+
+/// Identifier baked into the artifact so `--check` can reject files
+/// produced by an incompatible emitter.
+pub const BASELINE_SCHEMA: &str = "bench-kernels/v1";
+
+/// One measured point of the kernel baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    /// Kernel name (`bonds`, `csym`, `cna`).
+    pub kernel: String,
+    /// Atoms in the measured snapshot.
+    pub atoms: usize,
+    /// simpar worker threads the kernel ran with.
+    pub threads: usize,
+    /// Best-of-N wall time divided by the atom count, in nanoseconds.
+    pub ns_per_atom: f64,
+    /// This kernel's serial (threads = 1) time over this row's time.
+    pub speedup_vs_serial: f64,
+}
+
+/// The crack-detection snapshot all baseline rows are measured on: a
+/// strained crystal run just past its yield strain, so crack faces are
+/// present and CNA/CSym see the defect-heavy workload of the paper's
+/// branch scenario.
+pub fn crack_snapshot(cells: u32) -> Snapshot {
+    let cfg = MdConfig {
+        cells: (cells, cells, cells),
+        temperature: 0.02,
+        strain_per_step: 0.005,
+        yield_strain: 0.02,
+        ..MdConfig::default()
+    };
+    let mut md = MdEngine::new(cfg);
+    md.run(10); // crosses the yield strain
+    md.run_epoch(1)
+}
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures the three simpar-parallel kernels on the crack snapshot at
+/// each requested thread count and returns rows in deterministic order
+/// (kernel, then thread count as given). `reps` is best-of-N per cell.
+pub fn kernel_baseline(cells: u32, thread_counts: &[usize], reps: usize) -> Vec<BaselineRow> {
+    let snap = crack_snapshot(cells);
+    let atoms = snap.atom_count();
+    let bonds_out = Bonds::default().compute(&snap);
+
+    let mut rows = Vec::new();
+    let mut push_sweep = |kernel: &str, mut run: Box<dyn FnMut(usize) -> f64>| {
+        let mut serial_ns = None;
+        for &threads in thread_counts {
+            let secs = run(threads);
+            let ns_per_atom = secs * 1e9 / atoms as f64;
+            let base = *serial_ns.get_or_insert(if threads == 1 { ns_per_atom } else { run(1) * 1e9 / atoms as f64 });
+            rows.push(BaselineRow {
+                kernel: kernel.to_string(),
+                atoms,
+                threads,
+                ns_per_atom,
+                speedup_vs_serial: base / ns_per_atom,
+            });
+        }
+    };
+
+    {
+        let snap = &snap;
+        push_sweep(
+            "bonds",
+            Box::new(move |threads| {
+                let k = Bonds { threads, ..Bonds::default() };
+                best_of(reps, || {
+                    std::hint::black_box(k.compute(snap));
+                })
+            }),
+        );
+    }
+    {
+        let bonds_out = &bonds_out;
+        push_sweep(
+            "csym",
+            Box::new(move |threads| {
+                let k = CSym { threads, ..CSym::default() };
+                best_of(reps, || {
+                    std::hint::black_box(k.compute(bonds_out));
+                })
+            }),
+        );
+        push_sweep(
+            "cna",
+            Box::new(move |threads| {
+                let k = Cna { threads };
+                best_of(reps, || {
+                    std::hint::black_box(k.compute(bonds_out));
+                })
+            }),
+        );
+    }
+    rows
+}
+
+/// Renders rows as the committed `BENCH_kernels.json` artifact.
+pub fn baseline_json(rows: &[BaselineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"atoms\": {}, \"threads\": {}, \
+             \"ns_per_atom\": {:.2}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.kernel,
+            r.atoms,
+            r.threads,
+            r.ns_per_atom,
+            r.speedup_vs_serial,
+            if ix + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat).ok_or_else(|| format!("missing field {key:?} in {obj:?}"))? + pat.len();
+    let rest = obj[start..].trim_start();
+    // The last field of a row has no trailing delimiter (rows are split
+    // on '}'), so fall back to the end of the fragment.
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses an artifact produced by [`baseline_json`]. Not a general JSON
+/// parser — exactly the flat schema this module emits, which is all the
+/// CI gate needs (and keeps the workspace free of a serde dependency).
+pub fn parse_baseline_json(s: &str) -> Result<Vec<BaselineRow>, String> {
+    let schema = field(s, "schema")?;
+    if schema != BASELINE_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {BASELINE_SCHEMA:?}"));
+    }
+    let rows_start = s.find("\"rows\"").ok_or("missing rows array")?;
+    let body = &s[rows_start..];
+    let open = body.find('[').ok_or("missing rows [")?;
+    let close = body.rfind(']').ok_or("missing rows ]")?;
+    let mut rows = Vec::new();
+    for obj in body[open + 1..close].split('}') {
+        let obj = obj.trim().trim_start_matches(',').trim();
+        if obj.is_empty() {
+            continue;
+        }
+        let obj = obj.trim_start_matches('{');
+        let num = |key: &str| -> Result<f64, String> {
+            field(obj, key)?.parse::<f64>().map_err(|e| format!("bad {key}: {e}"))
+        };
+        rows.push(BaselineRow {
+            kernel: field(obj, "kernel")?.to_string(),
+            atoms: num("atoms")? as usize,
+            threads: num("threads")? as usize,
+            ns_per_atom: num("ns_per_atom")?,
+            speedup_vs_serial: num("speedup_vs_serial")?,
+        });
+    }
+    Ok(rows)
+}
+
+/// The CI schema gate: rows must be non-empty, cover the three kernels,
+/// carry positive finite timings, and each kernel's `threads = 1` row must
+/// report a speedup of ~1 against itself (≥ 0.9 catches an emitter whose
+/// serial baseline and serial measurement drifted apart).
+pub fn validate_baseline(rows: &[BaselineRow]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("baseline has no rows".into());
+    }
+    for kernel in ["bonds", "csym", "cna"] {
+        let serial = rows
+            .iter()
+            .find(|r| r.kernel == kernel && r.threads == 1)
+            .ok_or_else(|| format!("kernel {kernel:?} has no threads=1 row"))?;
+        if !(serial.speedup_vs_serial >= 0.9 && serial.speedup_vs_serial <= 1.1) {
+            return Err(format!(
+                "kernel {kernel:?}: serial speedup vs itself is {} (expected ~1.0)",
+                serial.speedup_vs_serial
+            ));
+        }
+    }
+    for r in rows {
+        if !(r.ns_per_atom.is_finite() && r.ns_per_atom > 0.0) {
+            return Err(format!("row {r:?}: non-positive ns_per_atom"));
+        }
+        if !(r.speedup_vs_serial.is_finite() && r.speedup_vs_serial > 0.0) {
+            return Err(format!("row {r:?}: non-positive speedup"));
+        }
+        if r.atoms == 0 || r.threads == 0 {
+            return Err(format!("row {r:?}: zero atoms or threads"));
+        }
+    }
+    Ok(())
+}
+
+/// The serial-vs-parallel kernel table the `figures kernels` job prints
+/// (and EXPERIMENTS.md quotes).
+pub fn kernel_table(rows: &[BaselineRow]) -> Table {
+    let atoms = rows.first().map(|r| r.atoms).unwrap_or(0);
+    Table {
+        title: format!("Kernel baseline on the crack-detection snapshot ({atoms} atoms)"),
+        header: vec![
+            "kernel".into(),
+            "threads".into(),
+            "ns/atom".into(),
+            "speedup_vs_serial".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.clone(),
+                    r.threads.to_string(),
+                    format!("{:.1}", r.ns_per_atom),
+                    format!("{:.2}x", r.speedup_vs_serial),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<BaselineRow> {
+        ["bonds", "csym", "cna"]
+            .iter()
+            .flat_map(|k| {
+                [1usize, 2].into_iter().map(|t| BaselineRow {
+                    kernel: k.to_string(),
+                    atoms: 500,
+                    threads: t,
+                    ns_per_atom: 100.0 / t as f64,
+                    speedup_vs_serial: t as f64,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let rows = sample_rows();
+        let json = baseline_json(&rows);
+        let back = parse_baseline_json(&json).expect("parses");
+        assert_eq!(back.len(), rows.len());
+        assert_eq!(back[0].kernel, "bonds");
+        assert_eq!(back[0].threads, 1);
+        assert!((back[0].ns_per_atom - 100.0).abs() < 1e-9);
+        validate_baseline(&back).expect("valid");
+    }
+
+    #[test]
+    fn validation_rejects_bad_artifacts() {
+        assert!(validate_baseline(&[]).is_err());
+        let mut rows = sample_rows();
+        rows.retain(|r| r.kernel != "cna");
+        assert!(validate_baseline(&rows).unwrap_err().contains("cna"));
+        let mut rows = sample_rows();
+        rows[0].speedup_vs_serial = 0.5; // serial row drifted from itself
+        assert!(validate_baseline(&rows).is_err());
+        assert!(parse_baseline_json("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+    }
+
+    #[test]
+    fn measured_baseline_on_tiny_snapshot_is_valid() {
+        let rows = kernel_baseline(3, &[1, 2], 1);
+        validate_baseline(&rows).expect("measured rows validate");
+        assert_eq!(rows.len(), 6);
+        let table = kernel_table(&rows);
+        assert_eq!(table.rows.len(), 6);
+        assert!(table.title.contains("108 atoms"), "{}", table.title);
+    }
+}

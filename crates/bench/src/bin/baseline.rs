@@ -1,0 +1,81 @@
+//! Emits (or validates) the committed kernel perf baseline.
+//!
+//! ```text
+//! cargo run -p bench --release --bin baseline                  # BENCH_kernels.json
+//! cargo run -p bench --release --bin baseline -- --threads 1,2,4 --cells 8
+//! cargo run -p bench --bin baseline -- --check BENCH_kernels.json
+//! ```
+//!
+//! The thread sweep defaults to `1,2,4` and can also come from the
+//! `SIMPAR_THREADS` environment variable (the flag wins).
+
+use bench::baseline::{
+    baseline_json, kernel_baseline, kernel_table, parse_baseline_json, validate_baseline,
+};
+
+fn parse_threads(spec: &str) -> Result<Vec<usize>, String> {
+    let counts: Result<Vec<usize>, _> =
+        spec.split(',').map(|t| t.trim().parse::<usize>()).collect();
+    match counts {
+        Ok(c) if !c.is_empty() && c.iter().all(|&t| t > 0) => Ok(c),
+        _ => Err(format!("bad thread list {spec:?}; expected e.g. 1,2,4")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("baseline: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_kernels.json".to_string();
+    let mut cells = 6u32;
+    let mut reps = 5usize;
+    let mut threads = std::env::var("SIMPAR_THREADS")
+        .ok()
+        .map(|s| parse_threads(&s).unwrap_or_else(|e| fail(&e)))
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let mut check: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--cells" => {
+                cells = value("--cells").parse().unwrap_or_else(|e| fail(&format!("bad --cells: {e}")))
+            }
+            "--reps" => {
+                reps = value("--reps").parse().unwrap_or_else(|e| fail(&format!("bad --reps: {e}")))
+            }
+            "--threads" => threads = parse_threads(&value("--threads")).unwrap_or_else(|e| fail(&e)),
+            "--check" => check = Some(value("--check")),
+            other => fail(&format!(
+                "unknown argument {other:?}; usage: baseline [--out PATH] [--cells N] \
+                 [--reps N] [--threads 1,2,4] [--check PATH]"
+            )),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let rows = parse_baseline_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        validate_baseline(&rows).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!("baseline: {path} OK ({} rows)", rows.len());
+        return;
+    }
+
+    if !threads.contains(&1) {
+        threads.insert(0, 1); // the artifact always carries the serial reference
+    }
+    let rows = kernel_baseline(cells, &threads, reps);
+    validate_baseline(&rows).unwrap_or_else(|e| fail(&format!("freshly measured rows invalid: {e}")));
+    std::fs::write(&out, baseline_json(&rows))
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!("{}", kernel_table(&rows).render());
+    println!("wrote {out}");
+}

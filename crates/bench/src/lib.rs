@@ -5,6 +5,8 @@
 //! binary, the Criterion benches, and the integration tests all consume
 //! the same implementation.
 
+pub mod baseline;
+
 use d2t::{run_transaction, BroadcastShape, FaultPlan, TxnConfig};
 use datatap::TransportCosts;
 use iocontainers::protocol::{run_decrease, run_increase, ProtocolLayout};

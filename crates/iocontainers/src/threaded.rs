@@ -40,6 +40,8 @@ pub struct ThreadedConfig {
     pub bonds: Bonds,
     /// The CSym kernel.
     pub csym: CSym,
+    /// The CNA kernel.
+    pub cna: Cna,
     /// Staged-channel capacity in steps.
     pub queue_capacity: usize,
     /// Use the paper-faithful O(n²) Bonds kernel instead of the
@@ -67,6 +69,7 @@ impl Default for ThreadedConfig {
             fan_in: 2,
             bonds: Bonds::default(),
             csym: CSym::default(),
+            cna: Cna::default(),
             queue_capacity: 4,
             bonds_use_n2: false,
             initial_bonds_workers: 1,
@@ -74,6 +77,18 @@ impl Default for ThreadedConfig {
             manage: true,
             offline_dir: None,
         }
+    }
+}
+
+impl ThreadedConfig {
+    /// Sets the simpar worker-thread count on every kernel that has one
+    /// (Bonds, CSym, CNA). Kernel outputs are bit-identical for any value
+    /// (see `simpar`), so this only changes wall-clock behaviour.
+    pub fn with_kernel_threads(mut self, threads: usize) -> Self {
+        self.bonds.threads = threads;
+        self.csym.threads = threads;
+        self.cna.threads = threads;
+        self
     }
 }
 
@@ -369,6 +384,7 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
 
         // --- CNA: structural labeling after the branch. -------------------
         {
+            let cfg = cfg.clone();
             let shared = shared.clone();
             let monitor = monitor.clone();
             scope.spawn(move || {
@@ -382,7 +398,7 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
                     };
                     let t0 = Instant::now();
                     let Some(bonds) = codec::step_to_bonds(&step) else { continue };
-                    let out = Cna.compute(&bonds);
+                    let out = cfg.cna.compute(&bonds);
                     *shared.last_fcc.lock().unwrap() = Some(out.fcc_fraction);
                     observe(
                         &shared,

@@ -143,7 +143,11 @@ fn compute_range(
 
 /// Evaluates LJ forces for the whole system, writing into `sys.force` and
 /// returning aggregate statistics. `threads == 1` runs serially; larger
-/// values split atoms across scoped threads.
+/// values split atoms across simpar's scoped chunks. The filled force
+/// buffer is bit-identical for any thread count (each atom accumulates in
+/// a fixed order into a slice its chunk owns); the aggregate potential is
+/// a float sum over per-chunk partials, identical in value to well below
+/// test tolerance.
 pub fn compute_forces(sys: &mut System, cutoff: f64, threads: usize) -> ForceStats {
     let n = sys.len();
     if n == 0 {
@@ -152,31 +156,11 @@ pub fn compute_forces(sys: &mut System, cutoff: f64, threads: usize) -> ForceSta
     let cells = CellList::build(sys, cutoff);
     let cutoff2 = cutoff * cutoff;
 
-    if threads <= 1 {
-        let mut forces = std::mem::take(&mut sys.force);
-        let stats = compute_range(sys, &cells, cutoff2, 0..n, &mut forces);
-        sys.force = forces;
-        return stats;
-    }
-
-    let threads = threads.min(n);
-    let chunk = n.div_ceil(threads);
     let mut forces = std::mem::take(&mut sys.force);
     let sys_ref: &System = sys;
     let cells_ref = &cells;
-    let mut partials: Vec<ForceStats> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for (t, slice) in forces.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            let end = (start + slice.len()).min(n);
-            handles.push(scope.spawn(move || {
-                compute_range(sys_ref, cells_ref, cutoff2, start..end, slice)
-            }));
-        }
-        for h in handles {
-            partials.push(h.join().expect("force worker panicked"));
-        }
+    let partials = simpar::map_slices(&mut forces, threads, |range, slice| {
+        compute_range(sys_ref, cells_ref, cutoff2, range, slice)
     });
     sys.force = forces;
     let mut stats = ForceStats::default();

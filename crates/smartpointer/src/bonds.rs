@@ -146,29 +146,19 @@ impl Bonds {
             lists
         };
 
-        let lists: Vec<Vec<u32>> = if self.threads <= 1 || n < 2 {
-            compute_range(0..n)
-        } else {
-            let threads = self.threads.min(n);
-            let chunk = n.div_ceil(threads);
-            let mut parts: Vec<Vec<Vec<u32>>> = Vec::with_capacity(threads);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    if lo >= hi {
-                        break;
-                    }
-                    let compute_range = &compute_range;
-                    handles.push(scope.spawn(move || compute_range(lo..hi)));
-                }
-                for h in handles {
-                    parts.push(h.join().expect("bonds worker panicked"));
-                }
-            });
-            parts.into_iter().flatten().collect()
-        };
+        // Per-atom neighbor lists are owned by their chunk and concatenate
+        // in chunk order, so the adjacency is bit-identical for any thread
+        // count.
+        let lists: Vec<Vec<u32>> = simpar::chunked_map_reduce(
+            n,
+            self.threads,
+            compute_range,
+            Vec::with_capacity(n),
+            |mut acc: Vec<Vec<u32>>, part| {
+                acc.extend(part);
+                acc
+            },
+        );
 
         BondsOutput {
             snapshot: snap.clone(),

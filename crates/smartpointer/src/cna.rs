@@ -7,6 +7,14 @@
 //! pair signatures. This is the pipeline's most expensive stage (the
 //! paper's O(n³) row in Table I): the chain search over each pair's common
 //! neighborhood dominates.
+//!
+//! The hot loop is allocation-free: each worker chunk owns one
+//! [`CnaScratch`] (a reusable common-neighbor buffer plus a fixed-size
+//! bitmask adjacency for the chain search) and one fixed-capacity
+//! [`SigAccum`] signature accumulator, so classifying a pair touches no
+//! allocator and no shared map. Chunks run under `simpar` and their
+//! partials merge in chunk order into the stable public `BTreeMap`, so the
+//! output is bit-identical for any `threads` value.
 
 // BTreeMap so the public histogram iterates in a stable order.
 use std::collections::BTreeMap;
@@ -48,26 +56,105 @@ pub struct CnaOutput {
     pub fcc_fraction: f64,
 }
 
+/// The chain search tracks common neighbors in `u32` bitmasks; pairs with
+/// more common neighbors than bits exist only in degenerate inputs (a
+/// physical shell holds ≤ 12), and excess neighbors are truncated.
+const MAX_COMMON: usize = 32;
+
+/// Reusable per-worker scratch for [`Cna::pair_signature`]: the merged
+/// common-neighbor list and the bitmask adjacency of the chain search.
+/// One instance serves every pair a chunk classifies; `pair_signature`
+/// re-initializes exactly the state it reads, so no information leaks
+/// from one pair to the next (asserted by the stale-scratch regression
+/// test below).
+#[derive(Debug)]
+struct CnaScratch {
+    /// Common neighbors of the current pair (truncated to [`MAX_COMMON`]).
+    common: Vec<u32>,
+    /// `adj_bits[p]` = bitmask of common-neighbor indices bonded to `p`.
+    adj_bits: [u32; MAX_COMMON],
+}
+
+impl CnaScratch {
+    fn new() -> CnaScratch {
+        CnaScratch { common: Vec::with_capacity(MAX_COMMON), adj_bits: [0; MAX_COMMON] }
+    }
+}
+
+/// Fixed-capacity signature histogram for one worker chunk: a sorted
+/// small-vec of `(Signature, count)`, allocated once per chunk and folded
+/// into the global `BTreeMap` only at merge time. Real snapshots produce
+/// well under a dozen distinct signatures, so the sorted linear insert is
+/// cheaper than a map entry per bonded pair.
+#[derive(Debug)]
+struct SigAccum {
+    entries: Vec<(Signature, u64)>,
+}
+
+impl SigAccum {
+    fn new() -> SigAccum {
+        SigAccum { entries: Vec::with_capacity(32) }
+    }
+
+    #[inline]
+    fn add(&mut self, sig: Signature) {
+        match self.entries.binary_search_by(|(s, _)| s.cmp(&sig)) {
+            Ok(ix) => self.entries[ix].1 += 1,
+            Err(ix) => self.entries.insert(ix, (sig, 1)),
+        }
+    }
+
+    fn fold_into(self, map: &mut BTreeMap<Signature, u64>) {
+        for (sig, count) in self.entries {
+            *map.entry(sig).or_insert(0) += count;
+        }
+    }
+}
+
 /// The CNA analysis kernel.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Cna;
+#[derive(Clone, Copy, Debug)]
+pub struct Cna {
+    /// Worker threads for the per-atom labeling loop (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for Cna {
+    fn default() -> Self {
+        Cna { threads: 1 }
+    }
+}
 
 impl Cna {
     /// Runs CNA over the Bonds output.
     pub fn compute(&self, input: &BondsOutput) -> CnaOutput {
         let adj = &input.adjacency;
         let n = adj.len();
+
+        // Each chunk owns its label slice and signature accumulator; both
+        // merge in chunk order, so any thread count produces the same
+        // labels, the same histogram, and the same fcc_fraction bits.
+        let parts = simpar::map_chunks(n, self.threads, |range| {
+            let mut scratch = CnaScratch::new();
+            let mut sigs = SigAccum::new();
+            let mut labels = Vec::with_capacity(range.len());
+            let mut pair_sigs: Vec<Signature> = Vec::with_capacity(16);
+            for i in range {
+                pair_sigs.clear();
+                for &j in adj.neighbors(i) {
+                    let sig = Self::pair_signature_with(adj, i, j as usize, &mut scratch);
+                    sigs.add(sig);
+                    pair_sigs.push(sig);
+                }
+                labels.push(Self::classify(&pair_sigs));
+            }
+            (labels, sigs)
+        });
+
         let mut labels = Vec::with_capacity(n);
         let mut signature_counts: BTreeMap<Signature, u64> = BTreeMap::new();
-
-        for i in 0..n {
-            let mut sigs: Vec<Signature> = Vec::with_capacity(adj.neighbors(i).len());
-            for &j in adj.neighbors(i) {
-                let sig = Self::pair_signature(adj, i, j as usize);
-                *signature_counts.entry(sig).or_insert(0) += 1;
-                sigs.push(sig);
-            }
-            labels.push(Self::classify(&sigs));
+        for (chunk_labels, sigs) in parts {
+            labels.extend(chunk_labels);
+            sigs.fold_into(&mut signature_counts);
         }
 
         let fcc = labels.iter().filter(|&&l| l == Structure::Fcc).count();
@@ -75,67 +162,87 @@ impl Cna {
         CnaOutput { step: input.snapshot.step, labels, signature_counts, fcc_fraction }
     }
 
-    /// Computes the (ncn, nb, lcb) signature of the bonded pair (i, j).
-    fn pair_signature(adj: &Adjacency, i: usize, j: usize) -> Signature {
+    /// Computes the (ncn, nb, lcb) signature of the bonded pair (i, j)
+    /// using caller-owned scratch; allocates nothing.
+    fn pair_signature_with(
+        adj: &Adjacency,
+        i: usize,
+        j: usize,
+        scratch: &mut CnaScratch,
+    ) -> Signature {
         // Common neighbors of i and j (both lists are sorted).
         let (a, b) = (adj.neighbors(i), adj.neighbors(j));
-        let mut common: Vec<u32> = Vec::with_capacity(8);
+        scratch.common.clear();
         let (mut x, mut y) = (0usize, 0usize);
-        while x < a.len() && y < b.len() {
+        while x < a.len() && y < b.len() && scratch.common.len() < MAX_COMMON {
             match a[x].cmp(&b[y]) {
                 std::cmp::Ordering::Less => x += 1,
                 std::cmp::Ordering::Greater => y += 1,
                 std::cmp::Ordering::Equal => {
-                    common.push(a[x]);
+                    scratch.common.push(a[x]);
                     x += 1;
                     y += 1;
                 }
             }
         }
 
-        // Bonds among the common neighbors.
-        let m = common.len();
-        let mut edges: Vec<(u8, u8)> = Vec::new();
+        // Bonds among the common neighbors, as bitmask adjacency. The
+        // whole live region 0..m is zeroed before any bit is set, so state
+        // left by the previous pair cannot leak into the chain search.
+        let m = scratch.common.len();
+        scratch.adj_bits[..m].fill(0);
+        let mut nb = 0u8;
         for p in 0..m {
             for q in (p + 1)..m {
-                if adj.bonded(common[p] as usize, common[q]) {
-                    edges.push((p as u8, q as u8));
+                if adj.bonded(scratch.common[p] as usize, scratch.common[q]) {
+                    scratch.adj_bits[p] |= 1 << q;
+                    scratch.adj_bits[q] |= 1 << p;
+                    nb += 1;
                 }
             }
         }
 
-        let lcb = Self::longest_chain(m, &edges);
-        Signature { ncn: m as u8, nb: edges.len() as u8, lcb }
+        let lcb = Self::longest_chain_bits(m, &scratch.adj_bits);
+        Signature { ncn: m as u8, nb, lcb }
     }
 
     /// Longest simple path (in edges) in the small common-neighbor graph,
-    /// found by DFS — the graphs have at most a handful of vertices.
-    fn longest_chain(m: usize, edges: &[(u8, u8)]) -> u8 {
-        if edges.is_empty() {
-            return 0;
-        }
-        let mut adj: Vec<Vec<u8>> = vec![Vec::new(); m];
-        for &(a, b) in edges {
-            adj[a as usize].push(b);
-            adj[b as usize].push(a);
-        }
-        fn dfs(adj: &[Vec<u8>], v: u8, visited: &mut u32) -> u8 {
+    /// found by DFS over bitmask adjacency — the graphs have at most a
+    /// handful of vertices and the search allocates nothing.
+    fn longest_chain_bits(m: usize, adj_bits: &[u32; MAX_COMMON]) -> u8 {
+        fn dfs(adj_bits: &[u32; MAX_COMMON], v: usize, visited: &mut u32) -> u8 {
             let mut best = 0;
             *visited |= 1 << v;
-            for &w in &adj[v as usize] {
-                if *visited & (1 << w) == 0 {
-                    best = best.max(1 + dfs(adj, w, visited));
-                }
+            let mut rest = adj_bits[v] & !*visited;
+            while rest != 0 {
+                let w = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                best = best.max(1 + dfs(adj_bits, w, visited));
             }
             *visited &= !(1 << v);
             best
         }
         let mut best = 0;
         let mut visited = 0u32;
-        for v in 0..m as u8 {
-            best = best.max(dfs(&adj, v, &mut visited));
+        for v in 0..m {
+            if adj_bits[v] != 0 {
+                best = best.max(dfs(adj_bits, v, &mut visited));
+            }
         }
         best
+    }
+
+    /// Longest simple path (in edges) given an explicit edge list — the
+    /// reference form used by tests and exploratory code; the hot loop
+    /// uses [`Self::longest_chain_bits`] directly.
+    #[doc(hidden)]
+    pub fn longest_chain(m: usize, edges: &[(u8, u8)]) -> u8 {
+        let mut adj_bits = [0u32; MAX_COMMON];
+        for &(a, b) in edges {
+            adj_bits[a as usize] |= 1 << b;
+            adj_bits[b as usize] |= 1 << a;
+        }
+        Self::longest_chain_bits(m.min(MAX_COMMON), &adj_bits)
     }
 
     /// Classifies an atom from its pair signatures.
@@ -160,7 +267,7 @@ impl Cna {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bonds::Bonds;
+    use crate::bonds::{Adjacency, Bonds};
     use mdsim::{MdConfig, MdEngine};
 
     #[test]
@@ -168,7 +275,7 @@ mod tests {
         let cfg = MdConfig { temperature: 0.01, ..MdConfig::default() };
         let snap = MdEngine::new(cfg).run_epoch(1);
         let bonds = Bonds::default().compute(&snap);
-        let out = Cna.compute(&bonds);
+        let out = Cna::default().compute(&bonds);
         assert!(out.fcc_fraction > 0.9, "fcc fraction {}", out.fcc_fraction);
         // The dominant signature must be (4,2,1).
         let (&top, _) =
@@ -189,7 +296,7 @@ mod tests {
         assert!(md.cracked());
         let snap = md.run_epoch(1);
         let bonds = Bonds::default().compute(&snap);
-        let out = Cna.compute(&bonds);
+        let out = Cna::default().compute(&bonds);
         let other = out.labels.iter().filter(|&&l| l == Structure::Other).count();
         assert!(other > 0, "crack faces must be labeled Other");
         assert!(out.fcc_fraction < 1.0);
@@ -205,6 +312,8 @@ mod tests {
         assert_eq!(Cna::longest_chain(4, &[(0, 1), (2, 3)]), 1);
         // Empty: 0.
         assert_eq!(Cna::longest_chain(2, &[]), 0);
+        // 5-cycle: longest simple path 4 edges.
+        assert_eq!(Cna::longest_chain(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]), 4);
     }
 
     #[test]
@@ -222,8 +331,73 @@ mod tests {
     fn labels_cover_every_atom() {
         let snap = MdEngine::new(MdConfig::default()).run_epoch(1);
         let bonds = Bonds::default().compute(&snap);
-        let out = Cna.compute(&bonds);
+        let out = Cna::default().compute(&bonds);
         assert_eq!(out.labels.len(), snap.atom_count());
         assert_eq!(out.step, snap.step);
+    }
+
+    /// The classic stale-scratch bug: after classifying a pair with a rich
+    /// common neighborhood, a pair with a *disjoint* (and smaller)
+    /// neighborhood must see none of the previous pair's state. Atoms
+    /// 0..=5 form a bonded clique-ish cluster; atoms 6..=8 a separate
+    /// triangle sharing no atoms with it. Signatures computed through one
+    /// reused scratch must equal signatures computed through fresh scratch.
+    #[test]
+    fn scratch_reuse_does_not_leak_between_pairs() {
+        let lists: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4, 5], // 0: bonded to the whole first cluster
+            vec![0, 2, 3, 4, 5],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+            vec![0, 1, 5],
+            vec![0, 1, 4],
+            vec![7, 8], // 6: disjoint triangle
+            vec![6, 8],
+            vec![6, 7],
+        ];
+        let adj = Adjacency::from_lists(&lists);
+
+        // Visit a "rich" pair first so the scratch carries a large common
+        // neighborhood and dense adj_bits, then a disjoint "poor" pair.
+        let pairs = [(0usize, 1usize), (6, 7), (0, 2), (7, 8), (1, 4), (8, 6)];
+        let mut reused = CnaScratch::new();
+        for &(i, j) in &pairs {
+            let with_reuse = Cna::pair_signature_with(&adj, i, j, &mut reused);
+            let fresh = Cna::pair_signature_with(&adj, i, j, &mut CnaScratch::new());
+            assert_eq!(with_reuse, fresh, "stale scratch leaked into pair ({i},{j})");
+        }
+
+        // And the exact expected values for the disjoint triangle: (6,7)
+        // share only atom 8, which has no bonds among "them" (a single
+        // common neighbor has no pairs).
+        let sig = Cna::pair_signature_with(&adj, 6, 7, &mut reused);
+        assert_eq!(sig, Signature { ncn: 1, nb: 0, lcb: 0 });
+    }
+
+    /// Labels, histogram, and the fcc_fraction bit pattern are identical
+    /// for any thread count.
+    #[test]
+    fn parallel_cna_is_bit_identical() {
+        let cfg = MdConfig {
+            temperature: 0.02,
+            strain_per_step: 0.005,
+            yield_strain: 0.02,
+            ..MdConfig::default()
+        };
+        let mut md = MdEngine::new(cfg);
+        md.run(10); // crosses the yield strain: crack faces present
+        let snap = md.run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let serial = Cna { threads: 1 }.compute(&bonds);
+        for threads in [2usize, 3, 8] {
+            let parallel = Cna { threads }.compute(&bonds);
+            assert_eq!(serial.labels, parallel.labels, "threads={threads}");
+            assert_eq!(serial.signature_counts, parallel.signature_counts);
+            assert_eq!(
+                serial.fcc_fraction.to_bits(),
+                parallel.fcc_fraction.to_bits(),
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -35,39 +35,57 @@ pub struct CSym {
     pub defect_threshold: f32,
     /// Defective fraction above which a break is declared.
     pub break_fraction: f64,
+    /// Worker threads for the per-atom loop (1 = serial).
+    pub threads: usize,
 }
 
 impl Default for CSym {
     fn default() -> Self {
-        CSym { shell: 12, defect_threshold: 0.5, break_fraction: 0.01 }
+        CSym { shell: 12, defect_threshold: 0.5, break_fraction: 0.01, threads: 1 }
     }
 }
 
 impl CSym {
-    /// Computes CSP for every atom from the Bonds adjacency.
+    /// Computes CSP for every atom from the Bonds adjacency. Each simpar
+    /// chunk owns its CSP slice (and reuses its own neighbor scratch), and
+    /// slices concatenate in chunk order, so the per-atom values are
+    /// bit-identical for any thread count.
     pub fn compute(&self, input: &BondsOutput) -> CSymOutput {
         let snap = &input.snapshot;
         let adj = &input.adjacency;
         let n = snap.atom_count();
-        let mut csp = Vec::with_capacity(n);
 
-        let mut vectors: Vec<[f64; 3]> = Vec::with_capacity(self.shell);
-        for i in 0..n {
-            vectors.clear();
-            let mut neigh: Vec<(f64, u32)> = adj
-                .neighbors(i)
-                .iter()
-                .map(|&j| (snap.dist2(i, j as usize), j))
-                .collect();
-            // Atoms that lost neighbors (crack faces) have high CSP by
-            // construction: missing shell members contribute as unpaired.
-            neigh.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-            neigh.truncate(self.shell);
-            for &(_, j) in &neigh {
-                vectors.push(snap.min_image(i, j as usize));
-            }
-            csp.push(Self::centro_symmetry(&vectors, self.shell) as f32);
-        }
+        let csp: Vec<f32> = simpar::chunked_map_reduce(
+            n,
+            self.threads,
+            |range| {
+                let mut part = Vec::with_capacity(range.len());
+                let mut vectors: Vec<[f64; 3]> = Vec::with_capacity(self.shell);
+                let mut neigh: Vec<(f64, u32)> = Vec::with_capacity(2 * self.shell);
+                for i in range {
+                    vectors.clear();
+                    neigh.clear();
+                    neigh.extend(
+                        adj.neighbors(i).iter().map(|&j| (snap.dist2(i, j as usize), j)),
+                    );
+                    // Atoms that lost neighbors (crack faces) have high CSP
+                    // by construction: missing shell members contribute as
+                    // unpaired.
+                    neigh.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                    neigh.truncate(self.shell);
+                    for &(_, j) in &neigh {
+                        vectors.push(snap.min_image(i, j as usize));
+                    }
+                    part.push(Self::centro_symmetry(&vectors, self.shell) as f32);
+                }
+                part
+            },
+            Vec::with_capacity(n),
+            |mut acc: Vec<f32>, part| {
+                acc.extend(part);
+                acc
+            },
+        );
 
         let max_csp = csp.iter().copied().fold(0.0f32, f32::max);
         let defective = csp.iter().filter(|&&c| c > self.defect_threshold).count();
@@ -187,6 +205,31 @@ mod tests {
         let c_full = CSym::centro_symmetry(&full, 4);
         let c_half = CSym::centro_symmetry(&half, 4);
         assert!(c_half > c_full + 1.0, "missing shell must cost: {c_half} vs {c_full}");
+    }
+
+    /// CSP values are bit-identical (f32 bit patterns) for any thread
+    /// count, on a snapshot with real crack faces.
+    #[test]
+    fn parallel_csym_is_bit_identical() {
+        let cfg = MdConfig {
+            temperature: 0.02,
+            strain_per_step: 0.005,
+            yield_strain: 0.02,
+            ..MdConfig::default()
+        };
+        let mut md = MdEngine::new(cfg);
+        md.run(10);
+        let snap = md.run_epoch(1);
+        let bonds = Bonds::default().compute(&snap);
+        let serial = CSym { threads: 1, ..CSym::default() }.compute(&bonds);
+        for threads in [2usize, 3, 8] {
+            let parallel = CSym { threads, ..CSym::default() }.compute(&bonds);
+            let a: Vec<u32> = serial.csp.iter().map(|c| c.to_bits()).collect();
+            let b: Vec<u32> = parallel.csp.iter().map(|c| c.to_bits()).collect();
+            assert_eq!(a, b, "threads={threads}");
+            assert_eq!(serial.break_detected, parallel.break_detected);
+            assert_eq!(serial.max_csp.to_bits(), parallel.max_csp.to_bits());
+        }
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! service-time models the discrete-event experiments charge at paper
 //! scale.
 //!
+//! Bonds, CSym and CNA each carry a `threads` knob and parallelize over
+//! atoms via `simpar`'s deterministic chunking: per-chunk outputs merge in
+//! chunk order, so adjacency, CSP values, labels and signature histograms
+//! are bit-identical for every thread count.
+//!
 //! ## Example
 //! ```
 //! use mdsim::{MdConfig, MdEngine};
@@ -32,7 +37,7 @@
 //! let bonds = Bonds::default().compute(&merged);
 //! let csym = CSym::default().compute(&bonds);
 //! assert!(!csym.break_detected); // pristine crystal
-//! let cna = Cna.compute(&bonds);
+//! let cna = Cna::default().compute(&bonds);
 //! assert!(cna.fcc_fraction > 0.9);
 //! ```
 

@@ -71,11 +71,11 @@ fn analytics_chain_agrees_between_direct_and_codec_paths() {
     };
     assert_eq!(*direct.adjacency, *via_codec.adjacency);
 
-    let cna_direct = Cna.compute(&direct);
+    let cna_direct = Cna::default().compute(&direct);
     let cna_codec = {
         let step = codec::bonds_to_step(&via_codec);
         let back = codec::step_to_bonds(&step).unwrap();
-        Cna.compute(&back)
+        Cna::default().compute(&back)
     };
     assert_eq!(cna_direct.labels, cna_codec.labels);
     assert!(cna_direct.labels.contains(&Structure::Fcc));

@@ -1,0 +1,100 @@
+//! Determinism of the simpar-parallel analytics kernels: Bonds, CSym and
+//! CNA must produce *bit-identical* outputs for any thread count, and a
+//! DES run whose schedule derives from those outputs must therefore hash
+//! identically no matter how many threads the kernels used.
+
+use mdsim::{MdConfig, MdEngine, Snapshot};
+use sim_core::{Sim, SimTime};
+use smartpointer::{Bonds, CSym, Cna, CnaOutput};
+
+/// A strained crystal just past its yield strain: crack faces make the
+/// kernel outputs structurally rich (defective atoms, non-FCC labels).
+fn crack_snapshot() -> Snapshot {
+    let mut md = MdEngine::new(MdConfig {
+        temperature: 0.02,
+        strain_per_step: 0.005,
+        yield_strain: 0.02,
+        ..MdConfig::default()
+    });
+    md.run(10);
+    assert!(md.cracked(), "workload must contain a crack");
+    md.run_epoch(1)
+}
+
+#[test]
+fn kernel_outputs_are_bit_identical_across_thread_counts() {
+    let snap = crack_snapshot();
+
+    let bonds_1 = Bonds { threads: 1, ..Bonds::default() }.compute(&snap);
+    let csym_1 = CSym { threads: 1, ..CSym::default() }.compute(&bonds_1);
+    let cna_1 = Cna { threads: 1 }.compute(&bonds_1);
+
+    for threads in [2usize, 8] {
+        let bonds_t = Bonds { threads, ..Bonds::default() }.compute(&snap);
+        let n = snap.atom_count();
+        for i in 0..n {
+            assert_eq!(
+                bonds_1.adjacency.neighbors(i),
+                bonds_t.adjacency.neighbors(i),
+                "adjacency of atom {i} differs at threads={threads}"
+            );
+        }
+
+        let csym_t = CSym { threads, ..CSym::default() }.compute(&bonds_t);
+        let bits_1: Vec<u32> = csym_1.csp.iter().map(|c| c.to_bits()).collect();
+        let bits_t: Vec<u32> = csym_t.csp.iter().map(|c| c.to_bits()).collect();
+        assert_eq!(bits_1, bits_t, "CSP bits differ at threads={threads}");
+        assert_eq!(csym_1.break_detected, csym_t.break_detected);
+
+        let cna_t = Cna { threads }.compute(&bonds_t);
+        assert_eq!(cna_1.labels, cna_t.labels, "CNA labels differ at threads={threads}");
+        assert_eq!(
+            cna_1.signature_counts, cna_t.signature_counts,
+            "signature histogram differs at threads={threads}"
+        );
+        assert_eq!(
+            cna_1.fcc_fraction.to_bits(),
+            cna_t.fcc_fraction.to_bits(),
+            "fcc_fraction bits differ at threads={threads}"
+        );
+    }
+}
+
+/// Replays kernel results into a DES run: every scheduled time and every
+/// event multiplicity is a pure function of the analysis outputs, so the
+/// trace's schedule hash fingerprints them end to end.
+fn schedule_hash_from_kernels(cna: &CnaOutput, csp_sum_bits: u64) -> u64 {
+    let mut sim = Sim::new(13);
+    sim.record_trace();
+    // One event per signature kind, at a time derived from its count.
+    for (ix, (sig, count)) in cna.signature_counts.iter().enumerate() {
+        let at = SimTime::from_nanos(
+            1 + ix as u64 * 1_000 + (sig.ncn as u64) * 17 + count % 997,
+        );
+        sim.schedule_at_named("signature", at, |_| {});
+    }
+    // One event keyed on the exact CSP bit pattern and the label histogram.
+    let non_fcc = cna.labels.iter().filter(|&&l| l != smartpointer::Structure::Fcc).count();
+    sim.schedule_at_named("csp", SimTime::from_nanos(1 + (csp_sum_bits % 100_000)), |_| {});
+    sim.schedule_at_named("labels", SimTime::from_nanos(1 + non_fcc as u64), |_| {});
+    sim.run();
+    sim.take_trace().expect("tracing was on").schedule_hash()
+}
+
+#[test]
+fn schedules_built_from_parallel_kernels_are_invariant_in_thread_count() {
+    let snap = crack_snapshot();
+    let mut hashes = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let bonds = Bonds { threads, ..Bonds::default() }.compute(&snap);
+        let csym = CSym { threads, ..CSym::default() }.compute(&bonds);
+        let cna = Cna { threads }.compute(&bonds);
+        // Fold the CSP bit patterns so any single-ULP difference anywhere
+        // in the vector would change the scheduled times.
+        let csp_sum_bits =
+            csym.csp.iter().fold(0u64, |acc, c| acc.wrapping_mul(31).wrapping_add(c.to_bits() as u64));
+        hashes.push(schedule_hash_from_kernels(&cna, csp_sum_bits));
+    }
+    assert_eq!(hashes[0], hashes[1], "threads=2 changed the derived schedule");
+    assert_eq!(hashes[0], hashes[2], "threads=8 changed the derived schedule");
+}

@@ -493,6 +493,13 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
     if p.starts_with("crates/evpath/") {
         rs.thread_spawn = false;
     }
+    // simpar is the deterministic fork/join substrate: scoped spawns are
+    // its whole purpose (and its merge order makes them safe), so the
+    // thread rule is off — but it must stay clock- and RNG-free, since
+    // every analytics kernel's determinism rests on it.
+    if p.starts_with("crates/simpar/") {
+        rs.thread_spawn = false;
+    }
     // The threaded pipeline bridge is honest wall-clock/threads territory —
     // but still must not construct OS-seeded RNGs.
     if p == "crates/iocontainers/src/threaded.rs" {
@@ -637,6 +644,13 @@ mod tests {
         let rs = ruleset_for(Path::new("crates/iocontainers/src/threaded.rs")).unwrap();
         assert!(!rs.wall_clock && !rs.thread_spawn);
         assert!(rs.adhoc_rng && rs.unordered_iter);
+    }
+
+    #[test]
+    fn simpar_is_thread_exempt_but_rng_checked() {
+        let rs = ruleset_for(Path::new("crates/simpar/src/lib.rs")).unwrap();
+        assert!(!rs.thread_spawn);
+        assert!(rs.wall_clock && rs.adhoc_rng && rs.unordered_iter);
     }
 
     #[test]

@@ -49,6 +49,13 @@ fn clean_fixture_is_clean() {
 }
 
 #[test]
+fn scoped_fork_join_is_not_flagged() {
+    // simpar's pattern: `scope.spawn` joins before the scope returns, so
+    // even the full ruleset has nothing to say about it.
+    assert_eq!(lint_fixture("scoped_spawn.rs"), vec![]);
+}
+
+#[test]
 fn allow_escapes_suppress_every_finding() {
     assert_eq!(lint_fixture("allowed.rs"), vec![]);
 }

@@ -1,0 +1,15 @@
+// Fixture: simpar-style deterministic fork/join. Scoped spawns join
+// before the scope returns and partials merge in chunk order, so the
+// thread-spawn rule does not match them — only a free-running
+// `thread::spawn` would fire.
+fn map_chunks(n: usize) -> Vec<u64> {
+    let mut parts: Vec<Option<u64>> = vec![None; n];
+    std::thread::scope(|scope| {
+        for (ix, slot) in parts.iter_mut().enumerate() {
+            scope.spawn(move || {
+                *slot = Some(ix as u64 * 2);
+            });
+        }
+    });
+    parts.into_iter().map(Option::unwrap).collect()
+}
