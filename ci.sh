@@ -30,4 +30,7 @@ cargo run --release -p bench --bin baseline -- --check BENCH_kernels.json
 echo "== quickstart example (headless) =="
 cargo run --release --example quickstart
 
+echo "== fault recovery example (headless, asserts the recovery invariants) =="
+cargo run --release --example fault_recovery
+
 echo "ci: all gates passed"

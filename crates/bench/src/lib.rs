@@ -274,6 +274,14 @@ fn describe_action(run: &PipelineRun, action: &Action) -> String {
             run.log.name_of(*donor),
             run.log.name_of(*recipient)
         ),
+        Action::ContainerFailed { container, missed } => format!(
+            "FAILED {} ({missed} heartbeats missed)",
+            run.log.name_of(*container)
+        ),
+        Action::Restarted { container, attempt, added } => format!(
+            "restarted {} (attempt {attempt}, +{added} nodes)",
+            run.log.name_of(*container)
+        ),
     }
 }
 

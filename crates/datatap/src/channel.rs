@@ -45,6 +45,8 @@ pub enum WriteError {
     Closed,
     /// The writer is paused by a control action.
     Paused,
+    /// The channel failed (endpoint crash injected via [`Writer::fail`]).
+    Failed(&'static str),
 }
 
 impl std::fmt::Display for WriteError {
@@ -53,11 +55,38 @@ impl std::fmt::Display for WriteError {
             WriteError::QueueFull => write!(f, "staging queue full"),
             WriteError::Closed => write!(f, "channel closed"),
             WriteError::Paused => write!(f, "writer paused"),
+            WriteError::Failed(reason) => write!(f, "channel failed: {reason}"),
         }
     }
 }
 
 impl std::error::Error for WriteError {}
+
+/// Why a checked pull returned no step. This is the typed surface for
+/// failed pulls: a reader blocked on a crashed endpoint gets
+/// [`PullError::Failed`] instead of hanging forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PullError {
+    /// The channel failed (endpoint crash injected via [`Writer::fail`]);
+    /// any payload buffered at the crashed writer is unrecoverable.
+    Failed(&'static str),
+    /// The channel was closed and the buffer fully drained.
+    Closed,
+    /// The deadline passed with no step available.
+    TimedOut,
+}
+
+impl std::fmt::Display for PullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PullError::Failed(reason) => write!(f, "pull failed: {reason}"),
+            PullError::Closed => write!(f, "channel closed and drained"),
+            PullError::TimedOut => write!(f, "pull timed out"),
+        }
+    }
+}
+
+impl std::error::Error for PullError {}
 
 struct Envelope {
     meta: StepMeta,
@@ -69,6 +98,7 @@ struct State {
     capacity: usize,
     paused: bool,
     closed: bool,
+    failed: Option<&'static str>,
     high_watermark: usize,
 }
 
@@ -132,6 +162,7 @@ pub fn channel_with_telemetry(
             capacity,
             paused: false,
             closed: false,
+            failed: None,
             high_watermark: 0,
         }),
         writer_cv: Condvar::new(),
@@ -160,6 +191,9 @@ impl Writer {
     /// Attempts to buffer a step without blocking.
     pub fn try_write(&self, step: StepData) -> Result<StepMeta, WriteError> {
         let mut st = self.inner.state.lock();
+        if let Some(reason) = st.failed {
+            return Err(WriteError::Failed(reason));
+        }
         if st.closed {
             return Err(WriteError::Closed);
         }
@@ -177,6 +211,9 @@ impl Writer {
     pub fn write(&self, step: StepData) -> Result<StepMeta, WriteError> {
         let mut st = self.inner.state.lock();
         loop {
+            if let Some(reason) = st.failed {
+                return Err(WriteError::Failed(reason));
+            }
             if st.closed {
                 return Err(WriteError::Closed);
             }
@@ -216,7 +253,7 @@ impl Writer {
                 self.inner.clock.now(),
             );
         }
-        while !st.queue.is_empty() && !st.closed {
+        while !st.queue.is_empty() && !st.closed && st.failed.is_none() {
             self.inner.writer_cv.wait(&mut st);
         }
         draining
@@ -241,6 +278,34 @@ impl Writer {
     pub fn is_paused(&self) -> bool {
         self.inner.state.lock().paused
     }
+
+    /// Injects an endpoint failure: the channel enters the failed state,
+    /// every buffered-but-unpulled payload is discarded (it lived in the
+    /// crashed writer's memory and is unrecoverable), and all blocked
+    /// parties wake — writers fail with [`WriteError::Failed`], checked
+    /// pulls with [`PullError::Failed`], and plain pulls return `None`
+    /// instead of hanging. Returns the number of steps lost.
+    pub fn fail(&self, reason: &'static str) -> usize {
+        let mut st = self.inner.state.lock();
+        if st.failed.is_some() {
+            return 0;
+        }
+        st.failed = Some(reason);
+        let lost = st.queue.len();
+        st.queue.clear();
+        self.inner.telemetry.count(Category::Transport, "datatap.failed_steps", lost as u64);
+        if self.inner.telemetry.enabled(Category::Transport) {
+            self.inner.telemetry.mark(
+                Category::Transport,
+                "datatap",
+                "fail",
+                self.inner.clock.now(),
+            );
+        }
+        self.inner.writer_cv.notify_all();
+        self.inner.reader_cv.notify_all();
+        lost
+    }
 }
 
 /// The consuming end.
@@ -255,7 +320,9 @@ impl Reader {
     }
 
     /// Pulls the next step, blocking until one is available. Returns `None`
-    /// once the channel is closed and drained.
+    /// once the channel is closed and drained, or once it has failed (use
+    /// [`Reader::pull_checked`] to distinguish — a failed pull surfaces as
+    /// a typed [`PullError::Failed`] rather than a silent hang).
     pub fn pull(&self) -> Option<(StepMeta, StepData)> {
         let mut st = self.inner.state.lock();
         loop {
@@ -265,10 +332,43 @@ impl Reader {
                 self.inner.writer_cv.notify_all();
                 return Some((env.meta, env.payload));
             }
-            if st.closed {
+            if st.closed || st.failed.is_some() {
                 return None;
             }
             self.inner.reader_cv.wait(&mut st);
+        }
+    }
+
+    /// Pulls the next step with a typed outcome: `Ok` with the step,
+    /// [`PullError::Failed`] if the channel's endpoint crashed (no hang),
+    /// [`PullError::Closed`] once closed and drained, or
+    /// [`PullError::TimedOut`] if `timeout` elapses first (measured on the
+    /// channel's [`Clock`]).
+    pub fn pull_checked(
+        &self,
+        timeout: Duration,
+    ) -> Result<(StepMeta, StepData), PullError> {
+        let deadline = self.inner.clock.now() + to_sim(timeout);
+        let mut st = self.inner.state.lock();
+        loop {
+            if let Some(env) = st.queue.pop_front() {
+                self.inner.telemetry.count(Category::Transport, "datatap.pulled", 1);
+                self.inner.gauge_queued(st.queue.len());
+                self.inner.writer_cv.notify_all();
+                return Ok((env.meta, env.payload));
+            }
+            if let Some(reason) = st.failed {
+                return Err(PullError::Failed(reason));
+            }
+            if st.closed {
+                return Err(PullError::Closed);
+            }
+            let now = self.inner.clock.now();
+            if now >= deadline {
+                return Err(PullError::TimedOut);
+            }
+            let slice = self.inner.clock.block_slice(deadline.since(now));
+            self.inner.reader_cv.wait_for(&mut st, slice);
         }
     }
 
@@ -287,7 +387,7 @@ impl Reader {
                 self.inner.writer_cv.notify_all();
                 return Some((env.meta, env.payload));
             }
-            if st.closed {
+            if st.closed || st.failed.is_some() {
                 return None;
             }
             let now = self.inner.clock.now();
@@ -317,6 +417,11 @@ impl Reader {
     /// The deepest the buffer has ever been.
     pub fn high_watermark(&self) -> usize {
         self.inner.state.lock().high_watermark
+    }
+
+    /// The failure reason, if the channel's endpoint has crashed.
+    pub fn failure(&self) -> Option<&'static str> {
+        self.inner.state.lock().failed
     }
 
     /// The channel's time source (shared with wrappers like the
@@ -477,6 +582,67 @@ mod tests {
         // Data present still wins regardless of the clock.
         w.try_write(step(3)).unwrap();
         assert_eq!(r.pull_timeout(Duration::from_millis(10)).unwrap().0.step, 3);
+    }
+
+    #[test]
+    fn failed_channel_surfaces_typed_errors_instead_of_hanging() {
+        use crate::clock::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let (w, r) = channel_with_clock(4, clock);
+        w.try_write(step(0)).unwrap();
+        w.try_write(step(1)).unwrap();
+        // A reader blocked in pull() when the endpoint dies must wake.
+        let w2 = w.clone();
+        let failer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            w2.fail("bonds node kernel panic")
+        });
+        // Drain the two live steps first, then block.
+        assert!(r.pull().is_some());
+        assert!(r.pull().is_some());
+        assert!(r.pull().is_none(), "pull on a failed channel must return, not hang");
+        assert_eq!(failer.join().unwrap(), 0, "queue was drained before the crash");
+        // The typed surface names the reason.
+        assert_eq!(
+            r.pull_checked(Duration::from_secs(3600)).unwrap_err(),
+            PullError::Failed("bonds node kernel panic")
+        );
+        assert_eq!(r.failure(), Some("bonds node kernel panic"));
+        // Writers see the failure too.
+        assert_eq!(
+            w.try_write(step(2)).unwrap_err(),
+            WriteError::Failed("bonds node kernel panic")
+        );
+        assert_eq!(w.write(step(3)).unwrap_err(), WriteError::Failed("bonds node kernel panic"));
+    }
+
+    #[test]
+    fn fail_discards_buffered_payloads() {
+        let (w, r) = channel(4);
+        w.try_write(step(0)).unwrap();
+        w.try_write(step(1)).unwrap();
+        assert_eq!(w.fail("power loss"), 2);
+        // The crashed writer's buffered payloads are unrecoverable.
+        assert!(r.try_pull().is_none());
+        assert_eq!(r.queued(), 0);
+        // Failing twice is idempotent.
+        assert_eq!(w.fail("again"), 0);
+        assert_eq!(r.failure(), Some("power loss"));
+    }
+
+    #[test]
+    fn pull_checked_times_out_and_closes() {
+        use crate::clock::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let (w, r) = channel_with_clock(2, clock);
+        assert_eq!(
+            r.pull_checked(Duration::from_millis(5)).unwrap_err(),
+            PullError::TimedOut
+        );
+        w.try_write(step(7)).unwrap();
+        assert_eq!(r.pull_checked(Duration::from_millis(5)).unwrap().0.step, 7);
+        r.close();
+        assert_eq!(r.pull_checked(Duration::from_millis(5)).unwrap_err(), PullError::Closed);
     }
 
     #[test]

@@ -41,10 +41,15 @@ impl TransportCosts {
 
     /// Time for a paused writer's announced-but-unpulled backlog to drain at
     /// the given pull bandwidth.
+    ///
+    /// Computed in `u128` with ceiling division: `queued_bytes * 1e9`
+    /// overflows `u64` already at ~18.4 GB of backlog (silently saturating
+    /// pre-fix), and truncation would round a sub-nanosecond drain to zero.
+    /// Results past `u64::MAX` nanoseconds clamp.
     pub fn drain_time(&self, queued_bytes: u64, bandwidth_bps: u64) -> SimDuration {
         assert!(bandwidth_bps > 0, "bandwidth must be positive");
-        self.pause_toggle
-            + SimDuration::from_nanos(queued_bytes.saturating_mul(1_000_000_000) / bandwidth_bps)
+        let ns = (queued_bytes as u128 * 1_000_000_000u128).div_ceil(bandwidth_bps as u128);
+        self.pause_toggle + SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
     }
 }
 
@@ -74,5 +79,21 @@ mod tests {
     #[should_panic]
     fn zero_bandwidth_rejected() {
         TransportCosts::default().drain_time(1, 0);
+    }
+
+    #[test]
+    fn drain_time_does_not_saturate_for_huge_backlogs() {
+        let c = TransportCosts::default();
+        // Pre-fix, backlog * 1e9 saturated u64 at ~18.4 GB and every larger
+        // backlog drained in the same time.
+        let t20 = c.drain_time(20_000_000_000, 1_000_000_000);
+        let t40 = c.drain_time(40_000_000_000, 1_000_000_000);
+        assert_eq!(t40 - c.pause_toggle, (t20 - c.pause_toggle) * 2);
+        // Sub-nanosecond drains round up, not down to zero.
+        let tiny = c.drain_time(1, 8_000_000_000);
+        assert_eq!(tiny, c.pause_toggle + SimDuration::from_nanos(1));
+        // u64::MAX backlog clamps instead of wrapping.
+        let huge = c.drain_time(u64::MAX, 1);
+        assert_eq!(huge, c.pause_toggle + SimDuration::from_nanos(u64::MAX));
     }
 }

@@ -41,7 +41,8 @@ mod sched_reader;
 mod scheduler;
 
 pub use channel::{
-    channel, channel_with_clock, channel_with_telemetry, Reader, StepMeta, WriteError, Writer,
+    channel, channel_with_clock, channel_with_telemetry, PullError, Reader, StepMeta, WriteError,
+    Writer,
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use cost::TransportCosts;

@@ -32,6 +32,16 @@ pub enum Status {
     Offline,
     /// Declared but not yet started (e.g. CNA before a crack is detected).
     Inactive,
+    /// Crashed (injected fault): the component is dead and consumes nothing
+    /// until recovery restarts it or takes it offline. Arriving steps keep
+    /// queueing — recovery must lose none of them.
+    Failed,
+    /// Temporarily wedged (injected processing stall): intake continues but
+    /// no step is dispatched until the given time.
+    Stalled {
+        /// When processing resumes.
+        until: SimTime,
+    },
 }
 
 /// Static description of one container.
@@ -133,6 +143,17 @@ impl ContainerState {
         matches!(self.status, Status::Online | Status::Resizing { .. })
     }
 
+    /// True when arriving steps should queue here rather than bypass to
+    /// disk. A failed or stalled container still *accepts* steps — its
+    /// queue is the recovery path's claim that no time step is lost — it
+    /// just stops consuming them until recovery acts.
+    pub fn accepts_steps(&self) -> bool {
+        matches!(
+            self.status,
+            Status::Online | Status::Resizing { .. } | Status::Failed | Status::Stalled { .. }
+        )
+    }
+
     /// Service time for one step at the current size.
     pub fn step_time(&self, atoms: u64) -> SimDuration {
         self.spec.service.step_time_with(atoms, self.spec.model, self.units())
@@ -228,6 +249,20 @@ mod tests {
         assert_eq!(st.status, Status::Inactive);
         assert!(!st.is_online());
         assert_eq!(st.units_spareable(1_000_000, SimDuration::from_secs(15)), 0);
+    }
+
+    #[test]
+    fn failed_and_stalled_accept_steps_but_are_not_online() {
+        let mut st = state(2);
+        st.status = Status::Failed;
+        assert!(st.accepts_steps());
+        assert!(!st.is_online());
+        assert_eq!(st.units_spareable(1_000_000, SimDuration::from_secs(15)), 0);
+        st.status = Status::Stalled { until: SimTime::from_secs(30) };
+        assert!(st.accepts_steps());
+        assert!(!st.is_online());
+        st.status = Status::Offline;
+        assert!(!st.accepts_steps());
     }
 
     #[test]

@@ -6,9 +6,11 @@ use simnet::LaunchModel;
 use simtel::TelemetryConfig;
 use smartpointer::{default_models, ComputeModel, ServiceModel, Table1Names};
 
+use simfault::FaultPlan;
+
 use crate::container::ContainerSpec;
 use crate::monitor::MonitorConfig;
-use crate::policy::PolicyConfig;
+use crate::policy::{PolicyConfig, RecoveryConfig};
 use crate::sla::Sla;
 
 /// Configuration of the optional visualization container (the paper's
@@ -69,6 +71,13 @@ pub struct ExperimentConfig {
     /// Fault injection for transactional trades: the n-th trades (0-based)
     /// listed here fail their control transaction and roll back.
     pub trade_faults: Vec<u32>,
+    /// Declarative fault plan (node crashes, NIC degradation, message
+    /// loss, container crashes/stalls). An empty plan leaves the run's
+    /// event schedule bit-identical to a build without fault injection.
+    pub faults: FaultPlan,
+    /// Heartbeat-driven failure detection and recovery tunables (only
+    /// active when `faults` is non-empty).
+    pub recovery: RecoveryConfig,
     /// RNG seed.
     pub seed: u64,
     /// Which telemetry categories the run records (off by default;
@@ -175,6 +184,8 @@ impl ExperimentConfig {
             viz: None,
             directives: Vec::new(),
             trade_faults: Vec::new(),
+            faults: FaultPlan::new(),
+            recovery: RecoveryConfig::default(),
             seed: 2013,
             telemetry: TelemetryConfig::off(),
         }
@@ -261,6 +272,8 @@ pub enum ConfigError {
     ZeroCadence,
     /// `steps` was zero (the run would do nothing).
     ZeroSteps,
+    /// `bandwidth_bps` was zero (every transfer would divide by zero).
+    ZeroBandwidth,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -274,6 +287,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroQueueCapacity => write!(f, "queue_capacity must be positive"),
             ConfigError::ZeroCadence => write!(f, "output cadence must be nonzero"),
             ConfigError::ZeroSteps => write!(f, "steps must be nonzero"),
+            ConfigError::ZeroBandwidth => write!(f, "bandwidth_bps must be positive"),
         }
     }
 }
@@ -397,6 +411,18 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the declarative fault plan for the run.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Sets the failure detection and recovery tunables.
+    pub fn recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.cfg.recovery = recovery;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -426,6 +452,9 @@ impl ExperimentConfigBuilder {
         }
         if cfg.steps == 0 {
             return Err(ConfigError::ZeroSteps);
+        }
+        if cfg.bandwidth_bps == 0 {
+            return Err(ConfigError::ZeroBandwidth);
         }
         let held = cfg.held_nodes();
         if held > cfg.staging_nodes {
@@ -538,7 +567,12 @@ mod tests {
             ExperimentConfig::builder().steps(0).build().unwrap_err(),
             ConfigError::ZeroSteps
         );
+        assert_eq!(
+            ExperimentConfig::builder().bandwidth_bps(0).build().unwrap_err(),
+            ConfigError::ZeroBandwidth
+        );
         assert!(ConfigError::ZeroCadence.to_string().contains("cadence"));
+        assert!(ConfigError::ZeroBandwidth.to_string().contains("bandwidth"));
     }
 
     #[test]
@@ -550,6 +584,7 @@ mod tests {
             .crack_at_step(5)
             .directive(SimDuration::from_secs(30), Directive::LaunchViz)
             .telemetry(TelemetryConfig::all())
+            .faults(FaultPlan::new().crash_container(SimDuration::from_secs(60), "Bonds"))
             .build()
             .expect("valid");
         assert_eq!(cfg.sim_nodes, 512);
@@ -558,5 +593,6 @@ mod tests {
         assert_eq!(cfg.crack_at_step, Some(5));
         assert_eq!(cfg.directives, vec![(SimDuration::from_secs(30), Directive::LaunchViz)]);
         assert!(cfg.telemetry.container);
+        assert_eq!(cfg.faults.len(), 1);
     }
 }

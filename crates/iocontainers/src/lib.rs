@@ -58,7 +58,7 @@ pub use experiment::{
 pub use monitor::{Action, LatencySample, MonitorConfig, MonitorLog, ResourceSource};
 pub use invariance::{check_config_invariance, check_schedule_invariance, InvarianceReport};
 pub use pipeline::{run_pipeline, run_pipeline_in, PipelineRun};
-pub use policy::PolicyConfig;
+pub use policy::{PolicyConfig, RecoveryConfig};
 pub use protocol::{
     run_decrease, run_increase, run_offline, DecreaseReport, IncreaseReport, OfflineReport,
     ProtocolLayout,

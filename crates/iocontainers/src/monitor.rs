@@ -104,6 +104,23 @@ pub enum Action {
         /// The intended recipient.
         recipient: ContainerId,
     },
+    /// The failure detector declared a container dead after missing its
+    /// heartbeats.
+    ContainerFailed {
+        /// The dead container.
+        container: ContainerId,
+        /// Consecutive heartbeats missed at declaration time.
+        missed: u32,
+    },
+    /// A failed container was restarted on spare staging nodes.
+    Restarted {
+        /// The recovered container.
+        container: ContainerId,
+        /// 1-based restart attempt number.
+        attempt: u32,
+        /// Spare nodes leased for the new instance.
+        added: u32,
+    },
 }
 
 /// Where the nodes for an increase came from.
@@ -168,6 +185,12 @@ impl MonitorLog {
             Action::TradeAborted { donor, recipient } => {
                 format!("trade aborted {}→{}", self.name_of(*donor), self.name_of(*recipient))
             }
+            Action::ContainerFailed { container, missed } => {
+                format!("failed {} ({missed} heartbeats missed)", self.name_of(*container))
+            }
+            Action::Restarted { container, attempt, added } => {
+                format!("restarted {} (attempt {attempt}, +{added})", self.name_of(*container))
+            }
         }
     }
 
@@ -226,6 +249,15 @@ impl MonitorLog {
         if self.telemetry.enabled(Category::Management) {
             self.telemetry.mark(Category::Management, "manager", &self.action_label(&action), at);
             self.telemetry.count(Category::Management, "manager.actions", 1);
+        }
+        // Failure-detection and recovery actions additionally land on the
+        // fault track, so a fault-focused trace shows injection and
+        // recovery side by side.
+        if matches!(action, Action::ContainerFailed { .. } | Action::Restarted { .. })
+            && self.telemetry.enabled(Category::Fault)
+        {
+            self.telemetry.mark(Category::Fault, "fault", &self.action_label(&action), at);
+            self.telemetry.count(Category::Fault, "fault.recovery_actions", 1);
         }
         self.actions.push((at, action));
     }
@@ -365,6 +397,19 @@ mod tests {
         assert!(p99 >= p50);
         assert!(p99 >= SimDuration::from_secs(99));
         assert_eq!(log.latency_quantile(ContainerId(9), 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn failure_and_restart_actions_have_labels() {
+        let mut log = MonitorLog::new();
+        log.register(ContainerId(1), "Bonds");
+        let failed = Action::ContainerFailed { container: ContainerId(1), missed: 3 };
+        assert_eq!(log.action_label(&failed), "failed Bonds (3 heartbeats missed)");
+        let restarted = Action::Restarted { container: ContainerId(1), attempt: 1, added: 2 };
+        assert_eq!(log.action_label(&restarted), "restarted Bonds (attempt 1, +2)");
+        log.record_action(SimTime::from_secs(40), failed);
+        log.record_action(SimTime::from_secs(50), restarted);
+        assert_eq!(log.actions().len(), 2);
     }
 
     #[test]

@@ -19,12 +19,16 @@
 //!   still be observed, as the paper's figures do.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use sim_core::{shared, Shared, Sim, SimDuration, SimTime};
-use simnet::StagingArea;
+use simnet::{NodeId, StagingArea};
 use simtel::{Category, Telemetry};
 
 use datatap::TransportCosts;
+use evpath::{Event, Overlay, StoneId};
+use simfault::{Fault, LossSampler};
 use smartpointer::ComputeModel;
 
 use d2t::{run_transaction, FaultPlan, TxnConfig};
@@ -33,7 +37,7 @@ use simnet::{Network, NetworkConfig};
 use crate::container::{ContainerId, ContainerState, QueuedStep, Status};
 use crate::experiment::{Directive, ExperimentConfig};
 use crate::monitor::{Action, LatencySample, MonitorLog, ResourceSource};
-use crate::policy::{decide, ContainerView, Decision};
+use crate::policy::{decide, decide_recovery, ContainerView, Decision, FailureView};
 use crate::protocol::estimate;
 use crate::provenance::Provenance;
 
@@ -73,6 +77,16 @@ pub struct PipelineRun {
     pub finished_at: SimTime,
     /// Steps fully processed per container (by name).
     pub completed: Vec<(&'static str, u64)>,
+    /// Containers still in the crashed state at the end (by name); empty
+    /// when recovery resolved every injected failure.
+    pub failed: Vec<&'static str>,
+    /// Heartbeats the global manager received over the EVPath control
+    /// overlay (zero when the fault plan is empty: heartbeating is only
+    /// scheduled for fault-injected runs, keeping clean runs' schedules
+    /// untouched).
+    pub heartbeats_delivered: u64,
+    /// Restart attempts spent per container (by name).
+    pub restarts: Vec<(&'static str, u32)>,
     /// The run's telemetry handle (disabled unless the configuration's
     /// [`simtel::TelemetryConfig`] enabled categories). Snapshot it and
     /// feed [`simtel::export`] to produce Perfetto or CSV traces.
@@ -97,6 +111,30 @@ struct World {
     trade_count: u32,
     first_blocked_at: Option<SimTime>,
     disk_steps: Vec<(u64, Provenance)>,
+    // Fault injection and recovery state. All of it is inert (and none of
+    // it schedules events) when the configuration's fault plan is empty,
+    // so a clean run's event schedule is bit-identical to a build without
+    // fault injection.
+    /// Per-container ingress degradation: (bandwidth factor, latency
+    /// factor, expiry). Expires lazily at the next transfer — no events.
+    degraded: Vec<Option<(f64, f64, SimTime)>>,
+    /// Active message-loss window: seeded sampler and expiry.
+    loss: Option<(LossSampler, SimTime)>,
+    /// Dispatch epoch per container, bumped when a crash discards the
+    /// in-flight set; stale completion events from before the crash carry
+    /// the old epoch and are ignored.
+    epoch: Vec<u64>,
+    /// When each container's local manager last heartbeat.
+    heartbeat_last: Vec<SimTime>,
+    /// Containers the failure detector has declared dead.
+    declared_failed: Vec<bool>,
+    /// Restart attempts spent per container.
+    restart_attempts: Vec<u32>,
+    /// Control overlay carrying heartbeats to the global manager, with its
+    /// terminal stone (created only for fault-injected runs).
+    hb_overlay: Option<(Overlay, StoneId)>,
+    /// Heartbeats delivered at the overlay's terminal stone.
+    hb_delivered: Arc<AtomicU64>,
 }
 
 type W = Shared<World>;
@@ -146,23 +184,63 @@ impl World {
             trade_count: 0,
             first_blocked_at: None,
             disk_steps: Vec::new(),
+            degraded: vec![None; n],
+            loss: None,
+            epoch: vec![0; n],
+            heartbeat_last: vec![SimTime::ZERO; n],
+            declared_failed: vec![false; n],
+            restart_attempts: vec![0; n],
+            hb_overlay: None,
+            hb_delivered: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    fn transfer_time(&self, bytes: u64) -> SimDuration {
-        SimDuration::from_nanos(bytes.saturating_mul(1_000_000_000) / self.cfg.bandwidth_bps)
-            + SimDuration::from_micros(6)
+    /// Ingress transfer time into container `dst` at virtual time `now`.
+    ///
+    /// The payload term is computed in `u128` with ceiling division:
+    /// `bytes * 1e9` overflows (pre-fix: silently saturates) `u64` already
+    /// at ~18.4 GB, and truncation rounded sub-nanosecond transfers to
+    /// zero. Results past `u64::MAX` nanoseconds clamp. An active NIC
+    /// degradation on `dst` scales bandwidth down and the fixed overhead
+    /// up; an active message-loss window may charge one retransmit. Both
+    /// expire lazily here, so a faultless run schedules no extra events.
+    fn transfer_time_at(&mut self, dst: usize, bytes: u64, now: SimTime) -> SimDuration {
+        let mut bw = self.cfg.bandwidth_bps;
+        let mut overhead = SimDuration::from_micros(6);
+        match self.degraded[dst] {
+            Some((bw_factor, lat_factor, until)) if now < until => {
+                bw = ((bw as f64 * bw_factor.clamp(f64::MIN_POSITIVE, 1.0)) as u64).max(1);
+                overhead = SimDuration::from_secs_f64(overhead.as_secs_f64() * lat_factor.max(1.0));
+            }
+            Some(_) => self.degraded[dst] = None,
+            None => {}
+        }
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bw as u128);
+        let mut xfer = SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX)) + overhead;
+        if self.loss.as_ref().is_some_and(|(_, until)| now >= *until) {
+            self.loss = None;
+        }
+        if let Some((sampler, _)) = &mut self.loss {
+            // A lost announcement is retransmitted after one timeout:
+            // the step is never lost, it just pays the transfer twice.
+            if sampler.sample() {
+                xfer = xfer * 2;
+            }
+        }
+        xfer
     }
 
-    /// The *online* containers downstream of `cid` in the data path.
+    /// The step-accepting containers downstream of `cid` in the data path.
     /// Empty means the pipeline ends here. Helper fans out to both the
     /// analytics chain (Bonds) and, when launched, the visualization
-    /// container.
+    /// container. Failed and stalled analytics containers still receive
+    /// steps — their queues are the recovery path's guarantee that no time
+    /// step is lost while the manager reacts.
     fn downstream_targets(&self, cid: usize) -> Vec<usize> {
         let mut targets = Vec::with_capacity(2);
         match cid {
             HELPER => {
-                if self.containers[BONDS].is_online() {
+                if self.containers[BONDS].accepts_steps() {
                     targets.push(BONDS);
                 }
                 if self.containers.len() > VIZ && self.containers[VIZ].is_online() {
@@ -170,9 +248,9 @@ impl World {
                 }
             }
             BONDS => {
-                if self.containers[CSYM].is_online() {
+                if self.containers[CSYM].accepts_steps() {
                     targets.push(CSYM);
-                } else if self.containers[CNA].is_online() {
+                } else if self.containers[CNA].accepts_steps() {
                     targets.push(CNA);
                 }
             }
@@ -248,6 +326,48 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
         sim.schedule_at_named("ioc.directive", SimTime::ZERO + at, move |sim| perform_directive(sim, &w, directive));
     }
 
+    // Fault injection + heartbeat-driven recovery. Everything here is
+    // gated on a non-empty plan: an empty plan schedules NOTHING, so the
+    // clean run's event schedule is bit-identical to a build without
+    // simfault wired in.
+    let plan = world.borrow().cfg.faults.clone();
+    if !plan.is_empty() {
+        {
+            // Heartbeats are mirrored over an EVPath overlay into the
+            // global manager's terminal stone, as the paper's control
+            // plane does; the overlay feeds nothing back into the
+            // schedule (its counter is read only after the run drains).
+            let mut w = world.borrow_mut();
+            let overlay = Overlay::new("manager-control");
+            let delivered = w.hb_delivered.clone();
+            let sink = overlay.add_stone(evpath::Action::Terminal(Box::new(move |ev: Event| {
+                if ev.is::<Heartbeat>() {
+                    delivered.fetch_add(1, Ordering::Relaxed);
+                }
+            })));
+            w.hb_overlay = Some((overlay, sink));
+        }
+        install_pipeline_faults(sim, &world, &plan);
+        let hb_every = world.borrow().cfg.recovery.heartbeat_every;
+        let detector_lag = world.borrow().cfg.monitoring.delivery_delay;
+        {
+            let w = world.clone();
+            sim.schedule_at_named("fault.heartbeat", SimTime::ZERO + hb_every, move |sim| {
+                heartbeat_tick(sim, &w)
+            });
+        }
+        {
+            let w = world.clone();
+            // The detector evaluates just after each heartbeat round has
+            // been delivered over the control overlay.
+            sim.schedule_at_named(
+                "fault.detect",
+                SimTime::ZERO + hb_every + detector_lag,
+                move |sim| detector_tick(sim, &w),
+            );
+        }
+    }
+
     // Generous horizon: hopeless-bottleneck drains are bounded by the
     // offline action, but guard against pathological configurations.
     let horizon = SimTime::ZERO + cadence * (steps + 2) + SimDuration::from_secs(3600 * 4);
@@ -258,6 +378,12 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
     }
 
     let log = std::mem::replace(&mut world.borrow_mut().log, MonitorLog::new());
+    // Drain the heartbeat overlay before reading its delivery counter.
+    let hb_overlay = world.borrow_mut().hb_overlay.take();
+    if let Some((overlay, _)) = hb_overlay {
+        overlay.flush();
+        overlay.shutdown();
+    }
     let w = world.borrow();
     PipelineRun {
         log,
@@ -272,6 +398,19 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
             .collect(),
         final_units: w.containers.iter().map(|c| (c.spec.name, c.units())).collect(),
         completed: w.containers.iter().map(|c| (c.spec.name, c.completed)).collect(),
+        failed: w
+            .containers
+            .iter()
+            .filter(|c| matches!(c.status, Status::Failed))
+            .map(|c| c.spec.name)
+            .collect(),
+        heartbeats_delivered: w.hb_delivered.load(Ordering::Relaxed),
+        restarts: w
+            .containers
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.spec.name, w.restart_attempts[i]))
+            .collect(),
         finished_at,
         telemetry,
     }
@@ -281,7 +420,7 @@ fn emit(sim: &mut Sim, world: &W, step: u64) {
     let (arrival, qstep) = {
         let mut w = world.borrow_mut();
         let bytes = w.cfg.step_bytes();
-        let xfer = w.transfer_time(bytes);
+        let xfer = w.transfer_time_at(HELPER, bytes, sim.now());
         let start = sim.now().max(w.ingress_free[HELPER]);
         let arrival = start + xfer;
         w.ingress_free[HELPER] = arrival;
@@ -309,7 +448,10 @@ fn arrive(sim: &mut Sim, world: &W, cid: usize, mut qstep: QueuedStep) {
                 w.log.record_e2e(at, e2e);
                 return;
             }
-            Status::Online | Status::Resizing { .. } => {
+            // Failed/stalled containers keep queueing arrivals: recovery
+            // must lose no time step, so data waits for the restart (or is
+            // flushed to disk with provenance by the offline fallback).
+            Status::Online | Status::Resizing { .. } | Status::Failed | Status::Stalled { .. } => {
                 let cap = w.containers[cid].spec.queue_capacity;
                 if w.containers[cid].queue.len() >= cap {
                     // Overflow: the application (or upstream stage) blocks.
@@ -363,27 +505,34 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                             s.entered = now;
                             w.containers[cid].queue.push_back(s);
                         }
-                        Some((qstep, done))
+                        Some((qstep, done, w.epoch[cid]))
                     }
                     _ => None,
                 }
             }
         };
         match dispatched {
-            Some((qstep, done)) => {
+            Some((qstep, done, epoch)) => {
                 let w = world.clone();
-                sim.schedule_at_named("ioc.complete", done, move |sim| complete(sim, &w, cid, qstep));
+                sim.schedule_at_named("ioc.complete", done, move |sim| {
+                    complete(sim, &w, cid, qstep, epoch)
+                });
             }
             None => break,
         }
     }
 }
 
-fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep) {
+fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64) {
     let now = sim.now();
     let mut activate_branch = false;
     let (sample, forward) = {
         let mut w = world.borrow_mut();
+        // A crash between dispatch and completion discarded this replica's
+        // work (the step went back to the queue under a new epoch).
+        if w.epoch[cid] != epoch {
+            return;
+        }
         // If the offline protocol already flushed this step to disk, the
         // replica's work was discarded along with the container.
         let Some(pos) = w.in_flight[cid].iter().position(|q| q.step == qstep.step) else {
@@ -429,7 +578,7 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep) {
         let mut forward = Vec::with_capacity(targets.len());
         for dst in targets {
             let bytes = (qstep.bytes as f64 * w.containers[cid].spec.output_ratio) as u64;
-            let xfer = w.transfer_time(bytes);
+            let xfer = w.transfer_time_at(dst, bytes, now);
             let start = now.max(w.ingress_free[dst]);
             let arrival = start + xfer;
             w.ingress_free[dst] = arrival;
@@ -598,6 +747,9 @@ fn policy_tick(sim: &mut Sim, world: &W) {
             perform_rebalance(sim, world, target, lease_spare, steal);
         }
         Decision::Offline { target } => perform_offline(sim, world, target),
+        // The SLA policy never restarts; that decision belongs to the
+        // failure detector's recovery path.
+        Decision::Restart { .. } => {}
     }
 }
 
@@ -818,6 +970,362 @@ fn perform_offline(sim: &mut Sim, world: &W, target: ContainerId) {
     w.last_action_at = now;
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection and heartbeat-driven recovery.
+//
+// None of this runs for an empty fault plan: `run_pipeline_in` schedules the
+// injectors, the heartbeat chain, and the detector chain only when the plan
+// has events, so a clean run's schedule (and trace hash) is bit-identical to
+// a build without fault support.
+// ---------------------------------------------------------------------------
+
+/// A heartbeat from a container's local manager, carried over the EVPath
+/// control overlay to the global manager's terminal stone.
+struct Heartbeat {
+    #[allow(dead_code)]
+    container: u32,
+}
+
+/// True once every emitted step has exited the pipeline (processed or
+/// written to disk) — the signal for the self-rescheduling heartbeat and
+/// detector chains to stop instead of running to the horizon.
+fn run_drained(w: &World) -> bool {
+    w.log.e2e_series().len() as u64 >= w.cfg.steps
+}
+
+fn install_pipeline_faults(sim: &mut Sim, world: &W, plan: &simfault::FaultPlan) {
+    for (ev_ix, ev) in plan.events().iter().enumerate() {
+        let fault = ev.fault;
+        let seed = plan.seed;
+        let w = world.clone();
+        sim.schedule_at_named("fault.inject", SimTime::ZERO + ev.at, move |sim| {
+            inject(sim, &w, fault, seed, ev_ix)
+        });
+    }
+}
+
+fn inject(sim: &mut Sim, world: &W, fault: Fault, plan_seed: u64, ev_ix: usize) {
+    let now = sim.now();
+    match fault {
+        Fault::NodeCrash { node } => crash_node(sim, world, NodeId(node)),
+        Fault::NodeDegrade { node, bandwidth_factor, latency_factor, lasts } => {
+            let mut w = world.borrow_mut();
+            if let Some(ix) = w.containers.iter().position(|c| c.nodes.contains(&NodeId(node))) {
+                w.degraded[ix] = Some((bandwidth_factor, latency_factor, now + lasts));
+                if w.telemetry.enabled(Category::Fault) {
+                    let name = w.containers[ix].spec.name;
+                    w.telemetry.mark(Category::Fault, "fault", &format!("degrade {name}"), now);
+                }
+            }
+        }
+        Fault::MessageLoss { probability, lasts } => {
+            let mut w = world.borrow_mut();
+            // Sampler seeding mirrors simfault's network hook: the plan
+            // seed XOR the event index, so the draw sequence is a pure
+            // function of (seed, plan) — the sanctioned determinism escape.
+            let sampler = LossSampler::new(plan_seed ^ (0xFA17 + ev_ix as u64), probability);
+            w.loss = Some((sampler, now + lasts));
+            if w.telemetry.enabled(Category::Fault) {
+                w.telemetry.mark(Category::Fault, "fault", "loss window opens", now);
+            }
+        }
+        Fault::ContainerCrash { container } => {
+            let target = world.borrow().containers.iter().position(|c| c.spec.name == container);
+            if let Some(ix) = target {
+                fail_container(sim, world, ix);
+            }
+        }
+        Fault::ContainerStall { container, lasts } => {
+            let target = world.borrow().containers.iter().position(|c| c.spec.name == container);
+            if let Some(ix) = target {
+                stall_container(sim, world, ix, lasts);
+            }
+        }
+    }
+}
+
+/// A staging-node crash: the node leaves the pool forever
+/// ([`StagingArea::fail_node`]); a container holding it shrinks, and
+/// shrinking to zero nodes is a container crash.
+fn crash_node(sim: &mut Sim, world: &W, node: NodeId) {
+    let now = sim.now();
+    let dead_container = {
+        let mut w = world.borrow_mut();
+        match w.containers.iter().position(|c| c.nodes.contains(&node)) {
+            Some(ix) => {
+                w.containers[ix].nodes.retain(|&n| n != node);
+                w.staging.fail_node(node);
+                let units = w.containers[ix].units();
+                if units == 0 {
+                    Some(ix)
+                } else {
+                    // Surviving replicas absorb the load; in-flight work is
+                    // conservatively kept (completion events already
+                    // scheduled), only capacity shrinks.
+                    let model = w.containers[ix].spec.model;
+                    w.containers[ix].replica_free = vec![now; effective_replicas(model, units)];
+                    if w.telemetry.enabled(Category::Fault) {
+                        let name = w.containers[ix].spec.name;
+                        w.telemetry.mark(
+                            Category::Fault,
+                            "fault",
+                            &format!("node {} down ({name})", node.0),
+                            now,
+                        );
+                    }
+                    None
+                }
+            }
+            None => {
+                w.staging.fail_node(node);
+                None
+            }
+        }
+    };
+    if let Some(ix) = dead_container {
+        fail_container(sim, world, ix);
+    }
+}
+
+/// Executes a container crash: fence its nodes (a fenced node never
+/// returns to the pool), send in-flight work back to the head of the queue
+/// in step order under a new dispatch epoch (the work is lost, the data is
+/// not), and mark the container failed. The global manager learns of the
+/// crash only through missed heartbeats.
+fn fail_container(sim: &mut Sim, world: &W, ix: usize) {
+    let now = sim.now();
+    let mut w = world.borrow_mut();
+    if !matches!(
+        w.containers[ix].status,
+        Status::Online | Status::Resizing { .. } | Status::Stalled { .. }
+    ) {
+        return;
+    }
+    let nodes = std::mem::take(&mut w.containers[ix].nodes);
+    for n in &nodes {
+        w.staging.fail_node(*n);
+    }
+    w.epoch[ix] += 1;
+    let mut inflight = std::mem::take(&mut w.in_flight[ix]);
+    inflight.sort_by_key(|q| q.step);
+    for q in inflight.into_iter().rev() {
+        w.containers[ix].queue.push_front(q);
+    }
+    w.containers[ix].replica_free.clear();
+    w.containers[ix].status = Status::Failed;
+    if w.telemetry.enabled(Category::Fault) {
+        let name = w.containers[ix].spec.name;
+        w.telemetry.mark(Category::Fault, "fault", &format!("crash {name}"), now);
+        w.telemetry.count(Category::Fault, "fault.container_crashes", 1);
+    }
+}
+
+/// Wedges an online container until `lasts` elapses: intake continues and
+/// in-service steps finish, but nothing new is dispatched. Its local
+/// manager stops heartbeating, so a stall outlasting the miss window is
+/// (correctly) indistinguishable from a crash to the detector, which will
+/// fence and restart it.
+fn stall_container(sim: &mut Sim, world: &W, ix: usize, lasts: SimDuration) {
+    let until = sim.now() + lasts;
+    {
+        let mut w = world.borrow_mut();
+        if w.containers[ix].status != Status::Online {
+            return;
+        }
+        w.containers[ix].status = Status::Stalled { until };
+        if w.telemetry.enabled(Category::Fault) {
+            let name = w.containers[ix].spec.name;
+            w.telemetry.mark(Category::Fault, "fault", &format!("stall {name}"), sim.now());
+        }
+    }
+    let w2 = world.clone();
+    sim.schedule_at_named("fault.unstall", until, move |sim| {
+        let resumed = {
+            let mut w = w2.borrow_mut();
+            if matches!(w.containers[ix].status, Status::Stalled { .. }) {
+                w.containers[ix].status = Status::Online;
+                true
+            } else {
+                false // fenced or restarted meanwhile
+            }
+        };
+        if resumed {
+            try_dispatch(sim, &w2, ix);
+        }
+    });
+}
+
+/// One heartbeat round: every live (online or resizing) container's local
+/// manager beats; the beat lands in the global manager's table and is
+/// mirrored over the EVPath overlay. Reschedules itself until the run
+/// drains.
+fn heartbeat_tick(sim: &mut Sim, world: &W) {
+    let now = sim.now();
+    let (done, every) = {
+        let mut w = world.borrow_mut();
+        let done = run_drained(&w);
+        if !done {
+            for ix in 0..w.containers.len() {
+                if w.containers[ix].is_online() {
+                    w.heartbeat_last[ix] = now;
+                    let container = w.containers[ix].id.0;
+                    if let Some((overlay, sink)) = &w.hb_overlay {
+                        overlay.submit(*sink, Event::new(Heartbeat { container }));
+                    }
+                }
+            }
+        }
+        (done, w.cfg.recovery.heartbeat_every)
+    };
+    if !done {
+        let w = world.clone();
+        sim.schedule_in_named("fault.heartbeat", every, move |sim| heartbeat_tick(sim, &w));
+    }
+}
+
+/// One failure-detector round at the global manager: declare any watched
+/// container whose heartbeats stopped for `miss_limit` periods, then run
+/// the pure recovery policy for (at most one) declared-dead container —
+/// restart on spares, or fall back to offline staging. Reschedules itself
+/// until the run drains.
+fn detector_tick(sim: &mut Sim, world: &W) {
+    let now = sim.now();
+    let (done, every, newly_declared) = {
+        let mut w = world.borrow_mut();
+        let done = run_drained(&w);
+        let mut newly = Vec::new();
+        if !done {
+            let miss_limit = w.cfg.recovery.miss_limit;
+            let window = w.cfg.recovery.heartbeat_every * miss_limit as u64;
+            for ix in 0..w.containers.len() {
+                if w.declared_failed[ix] {
+                    continue;
+                }
+                // Offline and inactive are deliberate manager states, not
+                // failures; everything else is expected to heartbeat.
+                let watched = matches!(
+                    w.containers[ix].status,
+                    Status::Online
+                        | Status::Resizing { .. }
+                        | Status::Stalled { .. }
+                        | Status::Failed
+                );
+                if watched && now.since(w.heartbeat_last[ix]) > window {
+                    w.declared_failed[ix] = true;
+                    let id = w.containers[ix].id;
+                    w.log.record_action(
+                        now,
+                        Action::ContainerFailed { container: id, missed: miss_limit },
+                    );
+                    newly.push(ix);
+                }
+            }
+        }
+        (done, w.cfg.recovery.heartbeat_every, newly)
+    };
+    // Fence newly declared containers (the manager cannot distinguish a
+    // dead process from a wedged one, so their nodes are fenced either
+    // way before recovery reallocates).
+    for ix in newly_declared {
+        fail_container(sim, world, ix);
+    }
+
+    let decision = {
+        let w = world.borrow();
+        if done || w.action_in_flight {
+            None
+        } else {
+            let atoms = w.cfg.atoms();
+            let cadence = w.cfg.sla.output_cadence;
+            w.containers
+                .iter()
+                .enumerate()
+                .find(|&(ix, c)| w.declared_failed[ix] && matches!(c.status, Status::Failed))
+                .map(|(ix, c)| {
+                    let view = FailureView {
+                        id: c.id,
+                        needed: c.units_needed(atoms, cadence),
+                        restarts_so_far: w.restart_attempts[ix],
+                    };
+                    decide_recovery(&w.cfg.recovery, &view, w.staging.spare())
+                })
+        }
+    };
+    match decision {
+        Some(Decision::Restart { target, lease_spare }) => {
+            perform_restart(sim, world, target, lease_spare);
+        }
+        Some(Decision::Offline { target }) => {
+            // No spares (or retry budget spent): generalized offline
+            // staging — upstream output goes to disk with provenance.
+            perform_offline(sim, world, target);
+        }
+        _ => {}
+    }
+
+    if !done {
+        let w = world.clone();
+        sim.schedule_in_named("fault.detect", every, move |sim| detector_tick(sim, &w));
+    }
+}
+
+/// Restarts a failed container on `lease_spare` spare staging nodes.
+/// The duration charges the full endpoint re-setup
+/// ([`estimate::restart`]), the configured launch cost, and a linear
+/// virtual-time backoff per prior attempt.
+fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u32) {
+    let ix = target.0 as usize;
+    let total = {
+        let mut w = world.borrow_mut();
+        w.action_in_flight = true;
+        w.restart_attempts[ix] += 1;
+        let attempt = w.restart_attempts[ix];
+        let upstream_writers = if ix == HELPER {
+            (w.cfg.sim_nodes / 32).max(1)
+        } else {
+            w.containers[ix - 1].units().max(1)
+        };
+        let proto = estimate::restart(upstream_writers, lease_spare, &w.costs, PER_MSG);
+        let backoff = w.cfg.recovery.restart_backoff * (attempt - 1) as u64;
+        let launch = w.cfg.launch;
+        let total = proto + launch.sample(sim) + backoff;
+        w.containers[ix].status = Status::Resizing { until: sim.now() + total };
+        total
+    };
+    let w2 = world.clone();
+    sim.schedule_in_named("ioc.restart", total, move |sim| {
+        let restarted = {
+            let mut w = w2.borrow_mut();
+            let now = sim.now();
+            let add = lease_spare.min(w.staging.spare());
+            if add == 0 {
+                // The spare pool emptied while the restart was in flight:
+                // this attempt fails; the detector falls back next round.
+                w.containers[ix].status = Status::Failed;
+                w.action_in_flight = false;
+                w.last_action_at = now;
+                false
+            } else {
+                let nodes = w.staging.lease(add).expect("spare count checked");
+                let model = w.containers[ix].spec.model;
+                w.containers[ix].nodes = nodes;
+                w.containers[ix].replica_free = vec![now; effective_replicas(model, add)];
+                w.containers[ix].status = Status::Online;
+                w.declared_failed[ix] = false;
+                let attempt = w.restart_attempts[ix];
+                let id = w.containers[ix].id;
+                w.log.record_action(now, Action::Restarted { container: id, attempt, added: add });
+                w.action_in_flight = false;
+                w.last_action_at = now;
+                true
+            }
+        };
+        if restarted {
+            try_dispatch(sim, &w2, ix);
+        }
+    });
+}
+
 
 #[cfg(test)]
 mod tests {
@@ -1020,6 +1528,181 @@ mod tests {
         assert_eq!(a.finished_at, b.finished_at);
         assert_eq!(a.offline, b.offline);
         assert_eq!(a.log.e2e_series().points(), b.log.e2e_series().points());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use simfault::FaultPlan as SimFaultPlan;
+
+    /// Fig. 7 shape with spare headroom: Bonds crashes mid-run, the
+    /// detector notices the missed heartbeats, and recovery restarts it on
+    /// spare nodes. Every emitted step still exits the pipeline.
+    #[test]
+    fn bonds_crash_is_detected_and_restarted_on_spares() {
+        let cfg = ExperimentConfig::fig7()
+            .to_builder()
+            .staging_nodes(16) // 13 held + 3 spares
+            .faults(SimFaultPlan::new().crash_container(SimDuration::from_secs(120), "Bonds"))
+            .build()
+            .expect("valid");
+        let steps = cfg.steps;
+        let run = run_pipeline(cfg);
+
+        let failed_at = run
+            .log
+            .actions()
+            .iter()
+            .find_map(|(t, a)| {
+                matches!(a, Action::ContainerFailed { container, .. }
+                    if run.log.name_of(*container) == "Bonds")
+                .then_some(*t)
+            })
+            .expect("heartbeat loss must be detected");
+        assert!(failed_at > SimTime::from_secs(120), "detection follows the crash");
+        let restarted = run.log.actions().iter().any(|(t, a)| {
+            *t > failed_at
+                && matches!(a, Action::Restarted { container, attempt: 1, .. }
+                    if run.log.name_of(*container) == "Bonds")
+        });
+        assert!(restarted, "actions: {:?}", run.log.actions());
+
+        // Zero lost steps: every emitted step exited the pipeline, and the
+        // restarted container finished the run online.
+        assert_eq!(run.log.e2e_series().len() as u64, steps);
+        assert!(run.failed.is_empty(), "recovery resolved the crash");
+        assert!(run.offline.is_empty(), "no offline fallback was needed");
+        assert!(run.heartbeats_delivered > 0, "heartbeats flowed over the overlay");
+        let bonds_restarts =
+            run.restarts.iter().find(|(n, _)| *n == "Bonds").expect("bonds exists").1;
+        assert_eq!(bonds_restarts, 1);
+        // Bounded end-to-end latency even through the outage.
+        let worst = run.log.e2e_series().max_value().unwrap_or(f64::INFINITY);
+        assert!(worst < 120.0, "e2e stayed bounded: worst {worst}");
+    }
+
+    /// Plain Fig. 7 has zero spares: when Bonds crashes there is nothing to
+    /// restart it on, so recovery falls back to generalized offline
+    /// staging — downstream data goes to disk with provenance, and the run
+    /// still accounts for every step.
+    #[test]
+    fn crash_without_spares_falls_back_to_offline_staging() {
+        let cfg = ExperimentConfig::fig7()
+            .to_builder()
+            .faults(SimFaultPlan::new().crash_container(SimDuration::from_secs(150), "Bonds"))
+            .build()
+            .expect("valid");
+        let steps = cfg.steps;
+        let run = run_pipeline(cfg);
+
+        assert!(run.log.actions().iter().any(|(_, a)| matches!(
+            a,
+            Action::ContainerFailed { container, .. }
+                if run.log.name_of(*container) == "Bonds"
+        )));
+        assert!(run.offline.contains(&"Bonds"), "offline: {:?}", run.offline);
+        assert!(run.offline.contains(&"CSym"), "dependents cascade: {:?}", run.offline);
+        assert!(run.failed.is_empty(), "the fallback resolved the failure");
+        assert!(!run.disk_steps.is_empty(), "bypassed steps land on disk with provenance");
+        let (_, prov) = run.disk_steps.last().expect("disk steps exist");
+        assert!(prov.pending_ops.contains(&"Bonds".to_string()), "prov: {prov:?}");
+        assert_eq!(run.log.e2e_series().len() as u64, steps, "every step accounted for");
+    }
+
+    /// A stall shorter than the heartbeat miss window self-heals before the
+    /// detector reacts: no failure is declared, nothing restarts.
+    #[test]
+    fn short_stall_self_heals_without_detection() {
+        let cfg = ExperimentConfig::fig8()
+            .to_builder()
+            .faults(SimFaultPlan::new().stall_container(
+                SimDuration::from_secs(90),
+                "Bonds",
+                SimDuration::from_secs(10), // < 3 × 5 s miss window
+            ))
+            .build()
+            .expect("valid");
+        let steps = cfg.steps;
+        let run = run_pipeline(cfg);
+        assert!(run
+            .log
+            .actions()
+            .iter()
+            .all(|(_, a)| !matches!(a, Action::ContainerFailed { .. } | Action::Restarted { .. })));
+        assert_eq!(run.log.e2e_series().len() as u64, steps);
+        assert!(run.restarts.iter().all(|&(_, n)| n == 0));
+    }
+
+    /// NIC degradation and message loss stretch transfers inside their
+    /// windows, deterministically: two identical runs agree point-for-point,
+    /// and the faulted run finishes no earlier than the clean one.
+    #[test]
+    fn degradation_and_loss_are_deterministic() {
+        let plan = SimFaultPlan::new()
+            .lose_messages(SimDuration::from_secs(30), 0.5, SimDuration::from_secs(120))
+            .degrade_node(
+                SimDuration::from_secs(30),
+                256, // Helper's first staging node (Fig. 7 layout)
+                0.25,
+                4.0,
+                SimDuration::from_secs(120),
+            );
+        let cfg = ExperimentConfig::fig7()
+            .to_builder()
+            .faults(plan)
+            .build()
+            .expect("valid");
+        let a = run_pipeline(cfg.clone());
+        let b = run_pipeline(cfg);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.log.e2e_series().points(), b.log.e2e_series().points());
+        let clean = run_pipeline(ExperimentConfig::fig7());
+        assert!(a.finished_at >= clean.finished_at, "faults never speed the run up");
+    }
+
+    /// An empty fault plan schedules nothing: the kernel trace hash is
+    /// identical to the clean configuration's, and repeatable.
+    #[test]
+    fn empty_fault_plan_is_schedule_neutral() {
+        let hash_of = |cfg: ExperimentConfig| {
+            let mut sim = Sim::new(cfg.seed);
+            sim.record_trace();
+            run_pipeline_in(&mut sim, cfg);
+            sim.take_trace().expect("trace recorded").schedule_hash()
+        };
+        let mut small = ExperimentConfig::fig7();
+        small.steps = 8;
+        let clean = hash_of(small.clone());
+        let mut empty_plan = small.clone();
+        empty_plan.faults = SimFaultPlan::new(); // explicitly empty
+        assert_eq!(hash_of(empty_plan), clean, "empty plan must not perturb the schedule");
+        let mut faulted = small;
+        faulted.faults =
+            SimFaultPlan::new().stall_container(SimDuration::from_secs(20), "Bonds", SimDuration::from_secs(5));
+        assert_ne!(hash_of(faulted), clean, "a real fault does change the schedule");
+    }
+
+    /// Crashing a staging node out from under a container shrinks it; the
+    /// last node's crash kills the container outright and recovery takes
+    /// over.
+    #[test]
+    fn node_crash_shrinks_then_kills_the_container() {
+        // Fig. 7 layout: staging ids start at sim_nodes (256); Helper
+        // leases 8 (256..264), Bonds takes 264.
+        let cfg = ExperimentConfig::fig7()
+            .to_builder()
+            .staging_nodes(16)
+            .faults(SimFaultPlan::new().crash_node(SimDuration::from_secs(120), 264))
+            .build()
+            .expect("valid");
+        let steps = cfg.steps;
+        let run = run_pipeline(cfg);
+        // Bonds held node 264 (possibly among others after a resize): its
+        // crash either shrank or killed Bonds; in the killed case recovery
+        // restarted it. Either way, no step is lost.
+        assert_eq!(run.log.e2e_series().len() as u64, steps);
+        assert!(run.failed.is_empty());
     }
 }
 

@@ -48,6 +48,50 @@ impl Default for PolicyConfig {
     }
 }
 
+/// Heartbeat-driven failure detection and recovery tunables.
+///
+/// Local managers emit heartbeats over the control overlay; the global
+/// manager declares a container failed after `miss_limit` consecutive
+/// missed beats and then recovers it — restart on spare staging nodes
+/// (bounded retries with virtual-time backoff), falling back to
+/// generalized offline staging when no spares remain or the retry budget
+/// is spent.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryConfig {
+    /// Heartbeat period for every container's local manager.
+    pub heartbeat_every: SimDuration,
+    /// Consecutive missed heartbeats before a container is declared failed.
+    pub miss_limit: u32,
+    /// Restart attempts per container before falling back to offline
+    /// staging.
+    pub max_restarts: u32,
+    /// Extra delay added per prior attempt before a restart completes
+    /// (linear backoff in virtual time).
+    pub restart_backoff: SimDuration,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            heartbeat_every: SimDuration::from_secs(5),
+            miss_limit: 3,
+            max_restarts: 2,
+            restart_backoff: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// The global manager's view of a container it has declared failed.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureView {
+    /// The failed container.
+    pub id: ContainerId,
+    /// Units needed to sustain the cadence (the restart target size).
+    pub needed: u32,
+    /// Restart attempts already spent on this container.
+    pub restarts_so_far: u32,
+}
+
 /// A local manager's view of one container, as reported to the global
 /// manager.
 #[derive(Clone, Copy, Debug)]
@@ -94,6 +138,25 @@ pub enum Decision {
         /// The hopeless bottleneck.
         target: ContainerId,
     },
+    /// Restart a failed container on spare staging nodes.
+    Restart {
+        /// The failed container.
+        target: ContainerId,
+        /// Spare staging nodes to lease for the restarted instance.
+        lease_spare: u32,
+    },
+}
+
+/// Evaluates the recovery policy for a container the failure detector has
+/// declared dead: restart on spares while both the retry budget and the
+/// spare pool allow it, otherwise fall back to generalized offline staging
+/// (upstream output is redirected to disk with provenance — even an
+/// essential container gets no better option once its nodes are gone).
+pub fn decide_recovery(cfg: &RecoveryConfig, failed: &FailureView, spare: u32) -> Decision {
+    if failed.restarts_so_far >= cfg.max_restarts || spare == 0 {
+        return Decision::Offline { target: failed.id };
+    }
+    Decision::Restart { target: failed.id, lease_spare: failed.needed.max(1).min(spare) }
 }
 
 /// Evaluates the policy against the current container views.
@@ -262,6 +325,38 @@ mod tests {
         let views = [view(1, 1, 6, 0, 100)];
         let cfg = PolicyConfig { enabled: false, ..PolicyConfig::default() };
         assert_eq!(decide(&cfg, &sla(), &views, 8), Decision::None);
+    }
+
+    #[test]
+    fn recovery_restarts_on_spares_within_budget() {
+        let cfg = RecoveryConfig::default();
+        let failed = FailureView { id: ContainerId(1), needed: 2, restarts_so_far: 0 };
+        assert_eq!(
+            decide_recovery(&cfg, &failed, 4),
+            Decision::Restart { target: ContainerId(1), lease_spare: 2 }
+        );
+        // Spares cap the lease.
+        assert_eq!(
+            decide_recovery(&cfg, &failed, 1),
+            Decision::Restart { target: ContainerId(1), lease_spare: 1 }
+        );
+        // Zero-need containers still get one node back.
+        let tiny = FailureView { needed: 0, ..failed };
+        assert_eq!(
+            decide_recovery(&cfg, &tiny, 4),
+            Decision::Restart { target: ContainerId(1), lease_spare: 1 }
+        );
+    }
+
+    #[test]
+    fn recovery_falls_back_to_offline_staging() {
+        let cfg = RecoveryConfig::default();
+        // No spares left.
+        let failed = FailureView { id: ContainerId(1), needed: 2, restarts_so_far: 0 };
+        assert_eq!(decide_recovery(&cfg, &failed, 0), Decision::Offline { target: ContainerId(1) });
+        // Retry budget spent.
+        let spent = FailureView { restarts_so_far: cfg.max_restarts, ..failed };
+        assert_eq!(decide_recovery(&cfg, &spent, 8), Decision::Offline { target: ContainerId(1) });
     }
 
     #[test]

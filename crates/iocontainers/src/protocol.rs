@@ -359,6 +359,24 @@ pub mod estimate {
         per_msg * msgs + costs.metadata_exchange(new_replicas, 1)
     }
 
+    /// Estimated restart-protocol duration (excluding launch and backoff).
+    ///
+    /// A restart is an increase from zero with extra endpoint work: every
+    /// upstream writer must first tear down its endpoints to the dead
+    /// instance (one message round) and then perform a full endpoint
+    /// re-setup against the fresh replicas, so the per-writer metadata
+    /// exchange is charged twice — stale-state teardown plus fresh setup.
+    pub fn restart(
+        writers: u32,
+        new_replicas: u32,
+        costs: &TransportCosts,
+        per_msg: SimDuration,
+    ) -> SimDuration {
+        increase(writers, new_replicas, costs, per_msg)
+            + per_msg * (2 * writers as u64)
+            + costs.metadata_exchange(new_replicas, 1)
+    }
+
     /// Estimated decrease-protocol duration.
     pub fn decrease(
         writers: u32,
@@ -509,6 +527,17 @@ mod tests {
             1_600_000_000,
         );
         assert!(r.total > plain.total);
+    }
+
+    #[test]
+    fn restart_estimate_exceeds_plain_increase() {
+        let costs = TransportCosts::default();
+        let per_msg = SimDuration::from_micros(8);
+        let inc = estimate::increase(8, 4, &costs, per_msg);
+        let restart = estimate::restart(8, 4, &costs, per_msg);
+        assert!(restart > inc, "restart {restart} should exceed increase {inc}");
+        // And it scales with the restarted replica count.
+        assert!(estimate::restart(8, 8, &costs, per_msg) > restart);
     }
 
     #[test]

@@ -145,6 +145,9 @@ pub struct ThreadedReport {
     pub offline_steps: u64,
     /// The provenance-labeled container file, when the offline path fired.
     pub offline_path: Option<std::path::PathBuf>,
+    /// Failures worker threads hit and survived (offline-staging I/O
+    /// errors, leaked state). Empty on a clean run.
+    pub errors: Vec<String>,
 }
 
 struct Shared {
@@ -157,6 +160,7 @@ struct Shared {
     latency: [Mutex<Welford>; 4],
     actions: Mutex<Vec<ThreadedAction>>,
     last_fcc: Mutex<Option<f64>>,
+    errors: Mutex<Vec<String>>,
 }
 
 const STAGE_NAMES: [&str; 4] = ["Helper", "Bonds", "CSym", "CNA"];
@@ -185,6 +189,7 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
         ],
         actions: Mutex::new(Vec::new()),
         last_fcc: Mutex::new(None),
+        errors: Mutex::new(Vec::new()),
     });
 
     // Global-manager monitoring overlay: every stage reports here.
@@ -427,10 +432,27 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
                     }
                     std::thread::sleep(Duration::from_millis(10));
                 }
-                std::fs::create_dir_all(&dir).expect("offline dir");
+                // I/O failures here must not panic the scope — and must not
+                // stop the drain either: the other stages terminate on the
+                // `bonds_done + offline_written` counter, so a drainer that
+                // exits early would leave Helper blocked on a full staging
+                // queue forever. On error we record it, drop the writer, and
+                // keep counting steps through so the run still completes.
+                let record = |msg: String| shared.errors.lock().unwrap().push(msg);
                 let path = dir.join("offline-staged.bp");
-                let mut writer =
-                    adios::BpFileWriter::create(&path).expect("create offline container");
+                let mut writer = match std::fs::create_dir_all(&dir)
+                    .map_err(|e| format!("offline drainer: create {}: {e}", dir.display()))
+                    .and_then(|()| {
+                        adios::BpFileWriter::create(&path).map_err(|e| {
+                            format!("offline drainer: create {}: {e}", path.display())
+                        })
+                    }) {
+                    Ok(w) => Some(w),
+                    Err(msg) => {
+                        record(msg);
+                        None
+                    }
+                };
                 let prov = crate::provenance::Provenance::from_split(
                     &["Helper"],
                     &["Bonds", "CSym"],
@@ -445,11 +467,20 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
                         continue;
                     };
                     prov.stamp(&mut step);
-                    writer.append("atoms", &step).expect("append offline step");
+                    if let Some(w) = writer.as_mut() {
+                        if let Err(e) = w.append("atoms", &step) {
+                            record(format!("offline drainer: append step: {e}"));
+                            writer = None;
+                        }
+                    }
                     shared.offline_written.fetch_add(1, Ordering::AcqRel);
                 }
-                let final_path = writer.finalize().expect("finalize offline container");
-                *path_slot.lock().unwrap() = Some(final_path);
+                if let Some(w) = writer {
+                    match w.finalize() {
+                        Ok(final_path) => *path_slot.lock().unwrap() = Some(final_path),
+                        Err(e) => record(format!("offline drainer: finalize: {e}")),
+                    }
+                }
             });
         }
 
@@ -513,7 +544,10 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
     let monitor_events = events.load(Ordering::Relaxed);
     overlay.shutdown();
 
-    let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("threads exited"));
+    // Read results through the shared handle rather than unwrapping the
+    // Arc: every spawn joined at the end of the scope above, so nothing
+    // races these reads — and a leaked clone degrades to a reported error
+    // instead of a panic after an otherwise-successful run.
     let mean = |ix: usize| shared.latency[ix].lock().unwrap().mean();
     let stage_steps = [
         shared.latency[0].lock().unwrap().count(),
@@ -528,7 +562,11 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
         .load(Ordering::Acquire)
         .then(|| shared.crack_step.load(Ordering::Acquire));
     let last_fcc_fraction = *shared.last_fcc.lock().unwrap();
-    let actions = shared.actions.into_inner().unwrap();
+    let actions = std::mem::take(&mut *shared.actions.lock().unwrap());
+    let mut errors = std::mem::take(&mut *shared.errors.lock().unwrap());
+    if Arc::strong_count(&shared) != 1 {
+        errors.push("a worker thread leaked a shared-state handle".to_string());
+    }
     ThreadedReport {
         steps_emitted: cfg.steps,
         stage_steps,
@@ -539,6 +577,7 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
         last_fcc_fraction,
         offline_steps: shared.offline_written.load(Ordering::Acquire),
         offline_path: final_offline_path,
+        errors,
     }
 }
 
@@ -667,8 +706,51 @@ mod offline_tests {
         assert_eq!(prov.pending_ops, vec!["Bonds", "CSym"]);
         // And the staged atoms decode.
         assert!(crate::codec::step_to_snapshot(&step.data).is_some());
+        assert!(report.errors.is_empty(), "clean run: {:?}", report.errors);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An unwritable offline directory must not panic or hang the run: the
+    /// drainer reports the failure, keeps counting steps through so every
+    /// stage still terminates, and the report carries the error.
+    #[test]
+    fn unwritable_offline_dir_is_reported_not_fatal() {
+        // A *file* where the directory should go makes create_dir_all fail
+        // portably.
+        let blocker = std::env::temp_dir()
+            .join(format!("ioc-threaded-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"in the way").expect("test setup");
+        let cfg = ThreadedConfig {
+            md: MdConfig { cells: (9, 9, 9), ..MdConfig::default() },
+            steps: 12,
+            md_steps_per_epoch: 1,
+            bonds_use_n2: true,
+            initial_bonds_workers: 1,
+            max_bonds_workers: 1,
+            queue_capacity: 2,
+            manage: true,
+            offline_dir: Some(blocker.join("offline")),
+            ..ThreadedConfig::default()
+        };
+        let report = run_threaded(cfg);
+        assert!(
+            report.actions.iter().any(|a| matches!(a, ThreadedAction::OfflineBonds { .. })),
+            "manager still prunes bonds: {:?}",
+            report.actions
+        );
+        assert!(
+            report.errors.iter().any(|e| e.contains("offline drainer")),
+            "the I/O failure surfaces in the report: {:?}",
+            report.errors
+        );
+        assert!(report.offline_path.is_none(), "no container could be written");
+        assert_eq!(
+            report.stage_steps[1] + report.offline_steps,
+            12,
+            "the drain still completes so no stage deadlocks"
+        );
+        std::fs::remove_file(&blocker).ok();
     }
 
     /// With growth available, the same load is absorbed and nothing goes

@@ -1,0 +1,432 @@
+//! Deterministic fault injection for the DES substrate.
+//!
+//! The paper's managers exist to keep the analytics pipeline live under
+//! stress, but the original substrate could only *degrade by decision* —
+//! nothing could crash a node, stall a container, or lose a message. This
+//! crate supplies the missing failure model as data: a declarative
+//! [`FaultPlan`] lists virtual-time-scheduled [`Fault`]s, and the
+//! simulation layers interpret them through native hooks:
+//!
+//! - `simnet::Network` — node crashes enter the node-down set (consulted
+//!   at send *and* delivery, so a message in flight to a node that dies is
+//!   lost), NIC/link degradation folds bandwidth/latency factors into the
+//!   effective wire time, and probabilistic message loss samples a seeded
+//!   RNG installed as the network's loss sampler.
+//! - `datatap` — a failed endpoint surfaces pulls as a typed error
+//!   instead of a silent hang.
+//! - `iocontainers` — a crashed or stalled container stops consuming its
+//!   ingress queue; the recovery layer (heartbeats, restart-on-spare,
+//!   offline fallback) reacts.
+//!
+//! # Determinism
+//!
+//! The whole layer is schedule-deterministic: the only randomness is a
+//! [`LossSampler`] seeded from [`FaultPlan::seed`] and drawn exactly once
+//! per send while a loss window is open, so the same seed and the same
+//! plan yield an identical event trace. With an *empty* plan nothing is
+//! scheduled, no RNG is constructed, and the trace is bit-identical to a
+//! build without fault injection wired in. The seeded `StdRng` here is a
+//! sanctioned determinism escape, recorded in the ROADMAP hazards list.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_core::{Sim, SimDuration};
+use simnet::{Degradation, Net, NodeId};
+
+/// One injectable failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The node halts: messages from it stop, messages to it (including
+    /// those already in flight) are lost, and any container replica or
+    /// spare hosted on it is gone for good.
+    NodeCrash {
+        /// Id of the node that crashes.
+        node: u32,
+    },
+    /// The node's NIC/link degrades for an interval: its bandwidth is
+    /// multiplied by `bandwidth_factor` (0.5 = half) and its latency by
+    /// `latency_factor` (2.0 = double) for every transfer touching it.
+    NodeDegrade {
+        /// Id of the affected node.
+        node: u32,
+        /// Multiplier on effective bandwidth, in (0, 1].
+        bandwidth_factor: f64,
+        /// Multiplier on wire latency, >= 1.
+        latency_factor: f64,
+        /// How long the degradation lasts.
+        lasts: SimDuration,
+    },
+    /// Messages are lost with the given probability (sampled per send from
+    /// the plan's seeded RNG) for an interval.
+    MessageLoss {
+        /// Per-message drop probability in [0, 1].
+        probability: f64,
+        /// How long the loss window stays open.
+        lasts: SimDuration,
+    },
+    /// The named container's local manager and replicas crash. Its queue
+    /// stops draining, its heartbeats stop, and in-flight work is lost
+    /// back to the queue; recovery restarts it on spares or falls back to
+    /// offline staging.
+    ContainerCrash {
+        /// Container name as registered in the pipeline (e.g. "Bonds").
+        container: &'static str,
+    },
+    /// The named container stops processing (but its local manager stays
+    /// alive and keeps heartbeating) for an interval — a GC pause, an OS
+    /// jitter storm, a wedged replica that recovers.
+    ContainerStall {
+        /// Container name as registered in the pipeline.
+        container: &'static str,
+        /// How long processing is stalled.
+        lasts: SimDuration,
+    },
+}
+
+/// A fault scheduled at a virtual-time offset from run start.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time offset from the start of the run.
+    pub at: SimDuration,
+    /// The fault injected at that time.
+    pub fault: Fault,
+}
+
+/// A declarative, deterministic fault schedule.
+///
+/// Built with the chainable `crash_node` / `degrade_node` /
+/// `lose_messages` / `crash_container` / `stall_container` methods; the
+/// run interprets it once at startup. An empty plan injects nothing and
+/// leaves the run bit-identical to one with no fault layer at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's loss-sampling RNG (the layer's only
+    /// randomness; sanctioned escape, see crate docs).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing.
+    pub fn new() -> Self {
+        FaultPlan { seed: 0x5EED_FA17, events: Vec::new() }
+    }
+
+    /// Replaces the loss-sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Schedules a node crash at `at`.
+    pub fn crash_node(mut self, at: SimDuration, node: u32) -> Self {
+        self.events.push(FaultEvent { at, fault: Fault::NodeCrash { node } });
+        self
+    }
+
+    /// Schedules a NIC/link degradation on `node` at `at` for `lasts`.
+    pub fn degrade_node(
+        mut self,
+        at: SimDuration,
+        node: u32,
+        bandwidth_factor: f64,
+        latency_factor: f64,
+        lasts: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            fault: Fault::NodeDegrade { node, bandwidth_factor, latency_factor, lasts },
+        });
+        self
+    }
+
+    /// Opens a message-loss window at `at` for `lasts` with the given
+    /// per-message drop probability.
+    pub fn lose_messages(mut self, at: SimDuration, probability: f64, lasts: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability out of range: {probability}"
+        );
+        self.events.push(FaultEvent { at, fault: Fault::MessageLoss { probability, lasts } });
+        self
+    }
+
+    /// Schedules a crash of the named container at `at`.
+    pub fn crash_container(mut self, at: SimDuration, container: &'static str) -> Self {
+        self.events.push(FaultEvent { at, fault: Fault::ContainerCrash { container } });
+        self
+    }
+
+    /// Schedules a processing stall of the named container at `at` for
+    /// `lasts`.
+    pub fn stall_container(
+        mut self,
+        at: SimDuration,
+        container: &'static str,
+        lasts: SimDuration,
+    ) -> Self {
+        self.events.push(FaultEvent { at, fault: Fault::ContainerStall { container, lasts } });
+        self
+    }
+
+    /// True if the plan injects nothing. Runs gate *all* fault-layer
+    /// scheduling (injection events, heartbeats, detector ticks) on this,
+    /// which is what keeps an empty-plan trace bit-identical to a
+    /// fault-unaware build.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The scheduled faults, in insertion order (ties in `at` are broken
+    /// by the kernel's deterministic FIFO sequence numbers).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// The plan's seeded per-message loss sampler.
+///
+/// This is the fault layer's only randomness. It is seeded from
+/// [`FaultPlan::seed`] (xor'd with the fault's index so two loss windows
+/// in one plan draw independent streams) and consulted exactly once per
+/// send inside the deterministic event order, so identical (seed, plan)
+/// pairs reproduce identical drop patterns.
+//
+// Sanctioned determinism escape: seed_from_u64 only, never entropy.
+#[derive(Clone, Debug)]
+pub struct LossSampler {
+    rng: StdRng,
+    probability: f64,
+}
+
+impl LossSampler {
+    /// Builds a sampler dropping with `probability` from `seed`.
+    pub fn new(seed: u64, probability: f64) -> Self {
+        LossSampler { rng: StdRng::seed_from_u64(seed), probability }
+    }
+
+    /// Draws once; `true` means drop this message.
+    pub fn sample(&mut self) -> bool {
+        self.rng.gen_bool(self.probability)
+    }
+}
+
+/// Interprets the network-level faults of a plan against a
+/// `simnet::Network`, scheduling each injection (and each degradation /
+/// loss-window expiry) as a labelled kernel event (`fault.inject`,
+/// `fault.clear`).
+///
+/// Container-level faults ([`Fault::ContainerCrash`],
+/// [`Fault::ContainerStall`]) are not interpreted here — the pipeline
+/// layer owns container state and handles them itself.
+///
+/// Does nothing for an empty plan: no events, no RNG.
+pub fn install_network_faults(plan: &FaultPlan, sim: &mut Sim, net: &Net) {
+    if plan.is_empty() {
+        return;
+    }
+    for (ix, ev) in plan.events().iter().enumerate() {
+        let net = net.clone();
+        match ev.fault {
+            Fault::NodeCrash { node } => {
+                sim.schedule_in_named("fault.inject", ev.at, move |_| {
+                    net.borrow_mut().set_node_down(NodeId(node));
+                });
+            }
+            Fault::NodeDegrade { node, bandwidth_factor, latency_factor, lasts } => {
+                sim.schedule_in_named("fault.inject", ev.at, move |sim| {
+                    let until = sim.now() + lasts;
+                    net.borrow_mut().degrade_nic(
+                        NodeId(node),
+                        Degradation { bandwidth_factor, latency_factor, until },
+                    );
+                });
+            }
+            Fault::MessageLoss { probability, lasts } => {
+                let seed = plan.seed ^ (0xFA17 + ix as u64);
+                sim.schedule_in_named("fault.inject", ev.at, move |sim| {
+                    let mut sampler = LossSampler::new(seed, probability);
+                    net.borrow_mut().set_loss_sampler(move || sampler.sample());
+                    let net2 = net.clone();
+                    sim.schedule_in_named("fault.clear", lasts, move |_| {
+                        net2.borrow_mut().clear_loss_sampler();
+                    });
+                });
+            }
+            Fault::ContainerCrash { .. } | Fault::ContainerStall { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::shared;
+    use simnet::{Network, NetworkConfig};
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new()
+            .with_seed(7)
+            .crash_node(SimDuration::from_secs(1), 3)
+            .degrade_node(SimDuration::from_secs(2), 4, 0.5, 2.0, SimDuration::from_secs(5))
+            .lose_messages(SimDuration::from_secs(3), 0.25, SimDuration::from_secs(2))
+            .crash_container(SimDuration::from_secs(4), "Bonds")
+            .stall_container(SimDuration::from_secs(5), "CSym", SimDuration::from_secs(1))
+    }
+
+    #[test]
+    fn builder_records_events_in_order() {
+        let p = plan();
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.events()[0].fault, Fault::NodeCrash { node: 3 });
+        assert_eq!(
+            p.events()[3].fault,
+            Fault::ContainerCrash { container: "Bonds" }
+        );
+        assert!(FaultPlan::new().is_empty());
+        assert_eq!(p, p.clone());
+    }
+
+    #[test]
+    fn loss_sampler_is_reproducible() {
+        let draws = |seed| {
+            let mut s = LossSampler::new(seed, 0.3);
+            (0..64).map(|_| s.sample()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(42), draws(42));
+        assert_ne!(draws(42), draws(43), "different seeds should diverge");
+        // Probability 0 and 1 are degenerate but exact.
+        assert!(!LossSampler::new(1, 0.0).sample());
+        assert!(LossSampler::new(1, 1.0).sample());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn out_of_range_probability_rejected() {
+        let _ = FaultPlan::new().lose_messages(SimDuration::ZERO, 1.5, SimDuration::from_secs(1));
+    }
+
+    fn fast_net() -> Net {
+        Network::new(NetworkConfig {
+            base_latency: SimDuration::from_micros(1),
+            per_hop_latency: SimDuration::ZERO,
+            bandwidth_bps: 1_000_000_000,
+            sw_overhead: SimDuration::ZERO,
+            topology: simnet::Topology::Flat,
+        })
+    }
+
+    #[test]
+    fn empty_plan_schedules_nothing() {
+        let hash = |install: bool| {
+            let mut sim = Sim::new(0);
+            sim.record_trace();
+            let net = fast_net();
+            if install {
+                install_network_faults(&FaultPlan::new(), &mut sim, &net);
+            }
+            Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 64, |_| {});
+            sim.run();
+            sim.take_trace().expect("trace recorded").schedule_hash()
+        };
+        assert_eq!(hash(true), hash(false), "empty plan must leave the schedule untouched");
+    }
+
+    #[test]
+    fn node_crash_drops_traffic_after_injection() {
+        let mut sim = Sim::new(0);
+        let net = fast_net();
+        let p = FaultPlan::new().crash_node(SimDuration::from_secs(1), 1);
+        install_network_faults(&p, &mut sim, &net);
+        // Before the crash: delivered. After: dropped.
+        let delivered = shared(0u32);
+        let d = delivered.clone();
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 64, move |_| {
+            *d.borrow_mut() += 1;
+        });
+        let net2 = net.clone();
+        let d = delivered.clone();
+        sim.schedule_in_named("test.late", SimDuration::from_secs(2), move |sim| {
+            Network::transfer(&net2, sim, NodeId(0), NodeId(1), 64, move |_| {
+                *d.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*delivered.borrow(), 1);
+        assert_eq!(net.borrow().stats().dropped, 1);
+    }
+
+    #[test]
+    fn degradation_window_applies_and_expires() {
+        let mut sim = Sim::new(0);
+        let net = fast_net();
+        let p = FaultPlan::new().degrade_node(
+            SimDuration::from_secs(1),
+            1,
+            0.5,
+            1.0,
+            SimDuration::from_secs(5),
+        );
+        install_network_faults(&p, &mut sim, &net);
+        sim.run();
+        let n = net.borrow();
+        let base = n.config().wire_time(NodeId(0), NodeId(1), 1_000_000);
+        let inside = n.effective_wire_time(
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            sim_core::SimTime::ZERO + SimDuration::from_secs(2),
+        );
+        let after = n.effective_wire_time(
+            NodeId(0),
+            NodeId(1),
+            1_000_000,
+            sim_core::SimTime::ZERO + SimDuration::from_secs(7),
+        );
+        assert!(inside > base, "inside the window transfers slow down");
+        assert_eq!(after, base, "after expiry the link recovers");
+    }
+
+    #[test]
+    fn loss_window_is_deterministic_and_closes() {
+        let run = || {
+            let mut sim = Sim::new(0);
+            let net = fast_net();
+            let p = FaultPlan::new().with_seed(99).lose_messages(
+                SimDuration::from_secs(1),
+                0.5,
+                SimDuration::from_secs(1),
+            );
+            install_network_faults(&p, &mut sim, &net);
+            // 32 sends inside the window, 8 after it closes.
+            for i in 0..40u64 {
+                let net2 = net.clone();
+                let at = SimDuration::from_millis(1_010 + i * 100);
+                sim.schedule_in_named("test.send", at, move |sim| {
+                    Network::transfer(&net2, sim, NodeId(0), NodeId(1), 64, |_| {});
+                });
+            }
+            sim.run();
+            let stats = net.borrow().stats();
+            stats
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed + plan must reproduce the same drops");
+        assert!(a.dropped > 0, "a 50% loss window over 20 sends should drop some");
+        // Sends after second 2 (indices 10..40) are past the window.
+        assert!(a.messages >= 30, "post-window sends all deliver: {a:?}");
+    }
+}

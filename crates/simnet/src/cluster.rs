@@ -228,6 +228,16 @@ impl StagingArea {
     pub fn contains(&self, node: NodeId) -> bool {
         self.all.contains(&node)
     }
+
+    /// Permanently retires a crashed node: it is removed from the area
+    /// entirely (free pool and membership), so it can neither be leased
+    /// again nor released back. Works whether the node was spare or leased
+    /// at the time of the crash. Returns `true` if the node belonged to the
+    /// area.
+    pub fn fail_node(&mut self, node: NodeId) -> bool {
+        self.free.remove(&node);
+        self.all.remove(&node)
+    }
 }
 
 #[cfg(test)]
@@ -288,6 +298,25 @@ mod tests {
         s.release(&leased).unwrap();
         let err = s.release(&leased).unwrap_err();
         assert!(matches!(err, StagingError::ForeignNode(_)));
+    }
+
+    #[test]
+    fn failed_node_never_returns_to_the_pool() {
+        let mut s = StagingArea::with_nodes(0, 4);
+        // Fail a spare node: pool shrinks for good.
+        assert!(s.fail_node(NodeId(0)));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.spare(), 3);
+        // Fail a leased node: releasing it afterwards is a foreign-node
+        // error, and it never reappears as spare.
+        let leased = s.lease(2).unwrap();
+        assert!(s.fail_node(leased[0]));
+        assert_eq!(s.release(&leased[..1]).unwrap_err(), StagingError::ForeignNode(leased[0]));
+        s.release(&leased[1..]).unwrap();
+        assert_eq!(s.total(), 2);
+        assert_eq!(s.spare(), 2);
+        // Unknown nodes report false.
+        assert!(!s.fail_node(NodeId(99)));
     }
 
     #[test]

@@ -38,4 +38,4 @@ pub mod net;
 
 pub use cluster::{Allocation, Cluster, NodeId, NodeSpec, StagingArea, StagingError};
 pub use launch::LaunchModel;
-pub use net::{Net, NetStats, Network, NetworkConfig, Topology};
+pub use net::{Degradation, Net, NetConfigError, NetStats, Network, NetworkConfig, Topology};

@@ -33,6 +33,17 @@ pub enum Topology {
 
 impl Topology {
     /// Network hops between two nodes under this topology.
+    ///
+    /// For [`Topology::Torus3D`] node ids are mapped to coordinates
+    /// row-major and **wrap modulo the torus volume**: an id `>= x*y*z`
+    /// aliases the node at `id mod volume` axis-by-axis, so e.g. on a
+    /// (4,4,4) torus `NodeId(64)` occupies the same coordinates as
+    /// `NodeId(0)` and the hop count between them is 0 (they are distinct
+    /// ids on the same router). Callers that consider out-of-volume ids an
+    /// error should validate against the volume before calling; the wrap
+    /// semantics here are deliberate so clusters whose node-id space is
+    /// larger than one torus (e.g. staging nodes numbered past the compute
+    /// partition) still get well-defined, symmetric distances.
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
         if a == b {
             return 0;
@@ -104,14 +115,69 @@ impl NetworkConfig {
         }
     }
 
+    /// Checks the config for values that would make the model ill-defined:
+    /// zero bandwidth (divide-by-zero in [`NetworkConfig::wire_time`]) and
+    /// zero torus dimensions (divide-by-zero in the coordinate mapping).
+    ///
+    /// [`Network::new`] calls this and panics with the error, so an invalid
+    /// config fails loudly at construction instead of deep inside a
+    /// transfer; builders that expose these fields (e.g.
+    /// `ExperimentConfig::builder`) surface the same conditions as a
+    /// `Result`.
+    pub fn validate(&self) -> Result<(), NetConfigError> {
+        if self.bandwidth_bps == 0 {
+            return Err(NetConfigError::ZeroBandwidth);
+        }
+        if let Topology::Torus3D { dims } = self.topology {
+            if dims.0 == 0 || dims.1 == 0 || dims.2 == 0 {
+                return Err(NetConfigError::ZeroTorusDim);
+            }
+        }
+        Ok(())
+    }
+
     /// Pure wire time for `bytes` between `src` and `dst` with no queueing.
+    ///
+    /// The payload term is computed in `u128` with ceiling division, so it
+    /// neither saturates for multi-exabyte payloads (`bytes * 1e9` overflows
+    /// `u64` already at ~18.4 GB) nor rounds a sub-nanosecond payload down
+    /// to zero; results past `u64::MAX` nanoseconds (~584 years) clamp.
     pub fn wire_time(&self, src: NodeId, dst: NodeId, bytes: u64) -> SimDuration {
         let hops = self.topology.hops(src, dst) as u64;
         let lat = self.base_latency + self.per_hop_latency * hops.saturating_sub(1);
-        let payload =
-            SimDuration::from_nanos((bytes.saturating_mul(1_000_000_000)) / self.bandwidth_bps);
-        lat + payload + self.sw_overhead
+        lat + payload_time(bytes, self.bandwidth_bps) + self.sw_overhead
     }
+}
+
+/// Error from [`NetworkConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetConfigError {
+    /// `bandwidth_bps` is zero; every payload-time division would panic.
+    ZeroBandwidth,
+    /// A `Torus3D` dimension is zero; the coordinate mapping is undefined.
+    ZeroTorusDim,
+}
+
+impl std::fmt::Display for NetConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetConfigError::ZeroBandwidth => write!(f, "bandwidth_bps must be positive"),
+            NetConfigError::ZeroTorusDim => write!(f, "torus dimensions must all be positive"),
+        }
+    }
+}
+
+impl std::error::Error for NetConfigError {}
+
+/// Bandwidth-limited payload time: `ceil(bytes * 1e9 / bandwidth)` ns,
+/// computed in `u128` so it cannot overflow, clamped to `u64::MAX` ns.
+///
+/// Panics if `bandwidth_bps` is zero ([`NetworkConfig::validate`] rejects
+/// such configs at construction).
+pub(crate) fn payload_time(bytes: u64, bandwidth_bps: u64) -> SimDuration {
+    assert!(bandwidth_bps > 0, "bandwidth must be positive");
+    let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bandwidth_bps as u128);
+    SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -129,15 +195,47 @@ pub struct NetStats {
     pub messages: u64,
     /// Total payload bytes delivered.
     pub bytes: u64,
+    /// Messages dropped by injected faults (down endpoints, message loss).
+    pub dropped: u64,
+}
+
+/// An active NIC/link degradation on one node, installed by a fault layer
+/// (see `simfault`). Factors apply to every transfer touching the node
+/// until `until`, after which the entry is ignored (lazy expiry — the
+/// network never schedules events of its own, so an installed degradation
+/// is schedule-neutral).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degradation {
+    /// Multiplier on effective bandwidth, in (0, 1] (0.5 = half bandwidth).
+    pub bandwidth_factor: f64,
+    /// Multiplier on wire latency, >= 1 (2.0 = double latency).
+    pub latency_factor: f64,
+    /// Virtual time at which the degradation lifts.
+    pub until: SimTime,
 }
 
 /// The interconnect. Lives in a [`Shared`] cell so completion callbacks can
 /// reach it from inside kernel events.
+///
+/// # Fault hooks
+///
+/// The network carries three pieces of injectable fault state, all inert by
+/// default so a run without faults is bit-identical to one built before
+/// these hooks existed: a *node-down set* (consulted when a message is sent
+/// and again when it would be delivered — a message in flight to a node
+/// that crashes before delivery is dropped), per-node [`Degradation`]
+/// factors folded into the effective wire time, and an optional
+/// *loss sampler* closure consulted once per send (the sampler owns any
+/// randomness, typically a seeded RNG in `simfault`, keeping the kernel's
+/// own RNG untouched).
 pub struct Network {
     cfg: NetworkConfig,
     nics: BTreeMap<NodeId, NicState>,
     stats: NetStats,
     telemetry: Telemetry,
+    down: std::collections::BTreeSet<NodeId>,
+    degraded: BTreeMap<NodeId, Degradation>,
+    loss: Option<Box<dyn FnMut() -> bool>>,
 }
 
 /// Shared handle to a [`Network`].
@@ -153,11 +251,17 @@ impl Network {
     /// (per-NIC transfer spans plus `net.messages` / `net.bytes` totals,
     /// all under [`Category::Net`]).
     pub fn with_telemetry(cfg: NetworkConfig, telemetry: Telemetry) -> Net {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid NetworkConfig: {e}");
+        }
         sim_core::shared(Network {
             cfg,
             nics: BTreeMap::new(),
             stats: NetStats::default(),
             telemetry,
+            down: std::collections::BTreeSet::new(),
+            degraded: BTreeMap::new(),
+            loss: None,
         })
     }
 
@@ -194,6 +298,90 @@ impl Network {
         ((tx / elapsed).min(1.0), (rx / elapsed).min(1.0))
     }
 
+    /// Marks a node as crashed. Messages sent from it are dropped at send
+    /// time; messages already in flight toward it are dropped at delivery
+    /// time (the node-down set is consulted when `net.deliver` fires).
+    pub fn set_node_down(&mut self, n: NodeId) {
+        self.down.insert(n);
+    }
+
+    /// Clears a node's crashed state (e.g. after a restart elsewhere
+    /// reuses the id).
+    pub fn restore_node(&mut self, n: NodeId) {
+        self.down.remove(&n);
+    }
+
+    /// True if the node is currently marked down.
+    pub fn is_node_down(&self, n: NodeId) -> bool {
+        self.down.contains(&n)
+    }
+
+    /// Installs (or replaces) a NIC/link degradation on `n`. Expires lazily
+    /// at `deg.until`; no events are scheduled.
+    pub fn degrade_nic(&mut self, n: NodeId, deg: Degradation) {
+        self.degraded.insert(n, deg);
+    }
+
+    /// Removes any degradation on `n`.
+    pub fn clear_degradation(&mut self, n: NodeId) {
+        self.degraded.remove(&n);
+    }
+
+    /// Installs a message-loss sampler consulted once per send; returning
+    /// `true` drops the message. The closure owns its randomness (a seeded
+    /// RNG in `simfault`) so installing one never perturbs the kernel RNG.
+    pub fn set_loss_sampler(&mut self, sampler: impl FnMut() -> bool + 'static) {
+        self.loss = Some(Box::new(sampler));
+    }
+
+    /// Removes the message-loss sampler.
+    pub fn clear_loss_sampler(&mut self) {
+        self.loss = None;
+    }
+
+    fn degradation_at(&self, n: NodeId, now: SimTime) -> Option<Degradation> {
+        self.degraded.get(&n).copied().filter(|d| now < d.until)
+    }
+
+    /// Wire time between `src` and `dst` at virtual time `now`, with any
+    /// active [`Degradation`] on either endpoint folded in: bandwidth is
+    /// scaled by the product of the endpoints' bandwidth factors, latency
+    /// (and software overhead) by the product of their latency factors.
+    pub fn effective_wire_time(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        now: SimTime,
+    ) -> SimDuration {
+        let mut bw_factor = 1.0f64;
+        let mut lat_factor = 1.0f64;
+        for node in [src, dst] {
+            if let Some(d) = self.degradation_at(node, now) {
+                bw_factor *= d.bandwidth_factor.clamp(f64::MIN_POSITIVE, 1.0);
+                lat_factor *= d.latency_factor.max(1.0);
+            }
+        }
+        if bw_factor == 1.0 && lat_factor == 1.0 {
+            return self.cfg.wire_time(src, dst, bytes);
+        }
+        let hops = self.cfg.topology.hops(src, dst) as u64;
+        let lat = self.cfg.base_latency + self.cfg.per_hop_latency * hops.saturating_sub(1);
+        let bw = ((self.cfg.bandwidth_bps as f64 * bw_factor) as u64).max(1);
+        let slowed = SimDuration::from_nanos(
+            ((lat + self.cfg.sw_overhead).as_nanos() as f64 * lat_factor) as u64,
+        );
+        slowed + payload_time(bytes, bw)
+    }
+
+    fn note_drop(&mut self, label: &str, node: NodeId, at: SimTime) {
+        self.stats.dropped += 1;
+        if self.telemetry.enabled(Category::Net) {
+            self.telemetry.count(Category::Net, "net.dropped", 1);
+            self.telemetry.mark(Category::Net, "net", &format!("{label} n{}", node.0), at);
+        }
+    }
+
     /// Schedules delivery of `bytes` from `src` to `dst`, invoking
     /// `on_delivered` at the (virtual) completion time.
     ///
@@ -201,6 +389,14 @@ impl Network {
     /// RX path are idle — this is what makes concurrent transfers through a
     /// shared endpoint queue, the contention effect DataStager's scheduled
     /// pulls exist to mitigate.
+    ///
+    /// Fault handling: if `src` is down or the loss sampler fires, the
+    /// message is dropped at send time (no NIC time accrues, `on_delivered`
+    /// never runs, `NetStats::dropped` increments) and `sim.now()` is
+    /// returned. If `dst` is down *when delivery would occur*, the message
+    /// occupies the wire but is dropped at delivery. Callers that must not
+    /// hang on a lost message should use a timeout or a typed-error pull
+    /// path (see `datatap`).
     ///
     /// Returns the delivery time.
     pub fn transfer(
@@ -214,8 +410,18 @@ impl Network {
         let now = sim.now();
         let finish = {
             let mut n = net.borrow_mut();
+            if n.is_node_down(src) {
+                n.note_drop("drop.src-down", src, now);
+                return now;
+            }
+            if let Some(loss) = n.loss.as_mut() {
+                if loss() {
+                    n.note_drop("drop.loss", src, now);
+                    return now;
+                }
+            }
             let start = now.max(n.nic(src).tx_free).max(n.nic(dst).rx_free);
-            let wire = n.cfg.wire_time(src, dst, bytes);
+            let wire = n.effective_wire_time(src, dst, bytes, now);
             let finish = start + wire;
             {
                 let nic = n.nic(src);
@@ -239,7 +445,17 @@ impl Network {
             }
             finish
         };
-        sim.schedule_at_named("net.deliver", finish, on_delivered);
+        let net2 = net.clone();
+        sim.schedule_at_named("net.deliver", finish, move |sim| {
+            // Node-down set consulted on delivery: a message in flight to a
+            // node that crashed after send is lost, not delivered.
+            if net2.borrow().is_node_down(dst) {
+                let at = sim.now();
+                net2.borrow_mut().note_drop("drop.dst-down", dst, at);
+                return;
+            }
+            on_delivered(sim);
+        });
         finish
     }
 
@@ -428,6 +644,162 @@ mod tests {
         assert_eq!(topo.hops(NodeId(5), NodeId(5)), 0);
         // Diagonal: (1,1,1) = id 1 + 4 + 16 = 21.
         assert_eq!(topo.hops(NodeId(0), NodeId(21)), 3);
+    }
+
+    #[test]
+    fn torus_hops_for_ids_outside_the_volume_wrap() {
+        // Pin the documented wrap-modulo-volume semantics for out-of-volume
+        // ids: on a (4,4,4) torus (volume 64), id 64 aliases id 0.
+        let topo = Topology::Torus3D { dims: (4, 4, 4) };
+        assert_eq!(topo.hops(NodeId(64), NodeId(0)), 0);
+        // id 65 aliases (1,0,0): one hop from node 0 either as itself or
+        // via its in-volume alias.
+        assert_eq!(topo.hops(NodeId(65), NodeId(0)), 1);
+        assert_eq!(topo.hops(NodeId(65), NodeId(1)), 0);
+        // Symmetry holds for aliased ids too.
+        assert_eq!(topo.hops(NodeId(0), NodeId(65)), topo.hops(NodeId(65), NodeId(0)));
+    }
+
+    #[test]
+    fn wire_time_no_longer_saturates_for_huge_payloads() {
+        let cfg = fast_cfg();
+        // Pre-fix, bytes * 1e9 saturated at u64::MAX for payloads >= ~18.4GB
+        // and every larger payload produced the same time. 40 GB must take
+        // longer than 20 GB, and both must be proportional to size.
+        let t20 = cfg.wire_time(NodeId(0), NodeId(1), 20_000_000_000);
+        let t40 = cfg.wire_time(NodeId(0), NodeId(1), 40_000_000_000);
+        assert!(t40 > t20, "t40={t40} t20={t20}");
+        assert_eq!(t40.as_nanos() - cfg.base_latency.as_nanos(), 40_000_000_000);
+        // Sub-nanosecond payloads round *up*, not down to zero.
+        let mut fat = fast_cfg();
+        fat.bandwidth_bps = 8_000_000_000; // 8 bytes/ns
+        let one_byte = fat.wire_time(NodeId(0), NodeId(1), 1);
+        assert_eq!(one_byte, fat.base_latency + SimDuration::from_nanos(1));
+        // u64::MAX bytes clamps instead of wrapping.
+        let huge = cfg.wire_time(NodeId(0), NodeId(1), u64::MAX);
+        assert_eq!(huge.as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn validate_rejects_zero_bandwidth_and_zero_torus_dim() {
+        let mut cfg = fast_cfg();
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.bandwidth_bps = 0;
+        assert_eq!(cfg.validate(), Err(NetConfigError::ZeroBandwidth));
+        cfg.bandwidth_bps = 1;
+        cfg.topology = Topology::Torus3D { dims: (4, 0, 4) };
+        assert_eq!(cfg.validate(), Err(NetConfigError::ZeroTorusDim));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NetworkConfig")]
+    fn network_construction_rejects_invalid_config() {
+        let mut cfg = fast_cfg();
+        cfg.bandwidth_bps = 0;
+        let _ = Network::new(cfg);
+    }
+
+    #[test]
+    fn down_source_drops_at_send() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        net.borrow_mut().set_node_down(NodeId(0));
+        let delivered = shared(false);
+        let d = delivered.clone();
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 1_000, move |_| {
+            *d.borrow_mut() = true;
+        });
+        sim.run();
+        assert!(!*delivered.borrow());
+        let n = net.borrow();
+        assert_eq!(n.stats().dropped, 1);
+        assert_eq!(n.stats().messages, 0);
+        // No NIC time accrued for a message dropped at send.
+        assert_eq!(n.busy_time(NodeId(0)), (SimDuration::ZERO, SimDuration::ZERO));
+    }
+
+    #[test]
+    fn crash_mid_flight_drops_at_delivery() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        let delivered = shared(false);
+        let d = delivered.clone();
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 1_000_000, move |_| {
+            *d.borrow_mut() = true;
+        });
+        // Crash the destination while the message is on the wire.
+        let net2 = net.clone();
+        sim.schedule_in_named("net.crash", SimDuration::from_micros(10), move |_| {
+            net2.borrow_mut().set_node_down(NodeId(1));
+        });
+        sim.run();
+        assert!(!*delivered.borrow(), "message to a crashed node must not deliver");
+        assert_eq!(net.borrow().stats().dropped, 1);
+        // The wire was occupied: the message transmitted before being lost.
+        assert_eq!(net.borrow().stats().messages, 1);
+    }
+
+    #[test]
+    fn restored_node_delivers_again() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        net.borrow_mut().set_node_down(NodeId(1));
+        net.borrow_mut().restore_node(NodeId(1));
+        let delivered = shared(false);
+        let d = delivered.clone();
+        Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 64, move |_| {
+            *d.borrow_mut() = true;
+        });
+        sim.run();
+        assert!(*delivered.borrow());
+        assert_eq!(net.borrow().stats().dropped, 0);
+    }
+
+    #[test]
+    fn degradation_slows_transfers_until_expiry() {
+        let net = Network::new(fast_cfg());
+        let mut n = net.borrow_mut();
+        let base = n.effective_wire_time(NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO);
+        n.degrade_nic(
+            NodeId(1),
+            Degradation {
+                bandwidth_factor: 0.5,
+                latency_factor: 2.0,
+                until: SimTime::ZERO + SimDuration::from_secs(10),
+            },
+        );
+        let slowed = n.effective_wire_time(NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO);
+        // Half bandwidth => payload doubles; latency doubles too.
+        assert_eq!(slowed, base * 2);
+        // After expiry the entry is ignored.
+        let after =
+            n.effective_wire_time(NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO + SimDuration::from_secs(10));
+        assert_eq!(after, base);
+        n.clear_degradation(NodeId(1));
+        assert_eq!(n.effective_wire_time(NodeId(0), NodeId(1), 1_000_000, SimTime::ZERO), base);
+    }
+
+    #[test]
+    fn loss_sampler_drops_sampled_messages() {
+        let mut sim = Sim::new(0);
+        let net = Network::new(fast_cfg());
+        // Deterministic sampler: drop every second message.
+        let mut flip = false;
+        net.borrow_mut().set_loss_sampler(move || {
+            flip = !flip;
+            flip
+        });
+        let count = shared(0u32);
+        for _ in 0..4 {
+            let c = count.clone();
+            Network::transfer(&net, &mut sim, NodeId(0), NodeId(1), 64, move |_| {
+                *c.borrow_mut() += 1;
+            });
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 2);
+        assert_eq!(net.borrow().stats().dropped, 2);
+        net.borrow_mut().clear_loss_sampler();
     }
 
     #[test]

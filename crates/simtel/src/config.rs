@@ -21,6 +21,9 @@ pub enum Category {
     Management,
     /// SLA violations observed by the monitor.
     Sla,
+    /// Fault injection and failure recovery: injected crashes/stalls/loss,
+    /// heartbeat-miss detections, and restart actions (see `simfault`).
+    Fault,
 }
 
 /// Which [`Category`]s a [`Telemetry`](crate::Telemetry) handle records.
@@ -43,6 +46,8 @@ pub struct TelemetryConfig {
     pub management: bool,
     /// Record [`Category::Sla`] signals.
     pub sla: bool,
+    /// Record [`Category::Fault`] signals.
+    pub fault: bool,
 }
 
 impl TelemetryConfig {
@@ -56,6 +61,7 @@ impl TelemetryConfig {
             container: true,
             management: true,
             sla: true,
+            fault: true,
         }
     }
 
@@ -69,6 +75,7 @@ impl TelemetryConfig {
             container: false,
             management: false,
             sla: false,
+            fault: false,
         }
     }
 
@@ -81,6 +88,7 @@ impl TelemetryConfig {
             || self.container
             || self.management
             || self.sla
+            || self.fault
     }
 
     /// Whether `category` is enabled.
@@ -93,6 +101,7 @@ impl TelemetryConfig {
             Category::Container => self.container,
             Category::Management => self.management,
             Category::Sla => self.sla,
+            Category::Fault => self.fault,
         }
     }
 }
@@ -119,6 +128,7 @@ mod tests {
             Category::Container,
             Category::Management,
             Category::Sla,
+            Category::Fault,
         ] {
             assert!(cfg.enabled(cat), "{cat:?} should be on");
         }

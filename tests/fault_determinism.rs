@@ -1,0 +1,74 @@
+//! Cross-crate determinism contract for simfault.
+//!
+//! Two guarantees, checked over the full managed pipeline:
+//! 1. The same seed and the same `FaultPlan` produce a bit-identical kernel
+//!    schedule (hash of every event's label, time, and order).
+//! 2. An *empty* plan is schedule-neutral: the trace hash equals the run of
+//!    a configuration that never mentions simfault at all, so wiring the
+//!    fault layer in costs nothing when it is unused.
+
+use iocontainers::{run_pipeline_in, ExperimentConfig};
+use sim_core::{Sim, SimDuration};
+use simfault::FaultPlan;
+
+fn schedule_hash(cfg: ExperimentConfig) -> u64 {
+    let mut sim = Sim::new(cfg.seed);
+    sim.record_trace();
+    run_pipeline_in(&mut sim, cfg);
+    sim.take_trace().expect("trace recorded").schedule_hash()
+}
+
+fn small_fig7() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::fig7();
+    cfg.steps = 10; // keep the integration test quick
+    cfg
+}
+
+#[test]
+fn same_seed_and_plan_give_identical_schedules() {
+    let plan = FaultPlan::new()
+        .crash_container(SimDuration::from_secs(60), "Bonds")
+        .lose_messages(SimDuration::from_secs(20), 0.3, SimDuration::from_secs(40))
+        .degrade_node(SimDuration::from_secs(10), 256, 0.5, 2.0, SimDuration::from_secs(30));
+    let mut cfg = small_fig7();
+    cfg.faults = plan;
+    assert_eq!(
+        schedule_hash(cfg.clone()),
+        schedule_hash(cfg),
+        "same seed + same fault plan must replay the exact same schedule"
+    );
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_a_fault_unaware_run() {
+    // `small_fig7()` never touches `faults`: this is the "build without
+    // simfault wired in" baseline.
+    let baseline = schedule_hash(small_fig7());
+    let mut explicit = small_fig7();
+    explicit.faults = FaultPlan::new(); // empty, but explicitly set
+    assert_eq!(
+        schedule_hash(explicit),
+        baseline,
+        "an empty fault plan must not schedule a single event"
+    );
+
+    // Sanity: a real fault does perturb the schedule, so the equality above
+    // is not vacuous.
+    let mut faulted = small_fig7();
+    faulted.faults =
+        FaultPlan::new().stall_container(SimDuration::from_secs(30), "Bonds", SimDuration::from_secs(5));
+    assert_ne!(schedule_hash(faulted), baseline);
+}
+
+#[test]
+fn faulted_runs_repeat_point_for_point() {
+    let mut cfg = small_fig7();
+    cfg.faults = FaultPlan::new()
+        .stall_container(SimDuration::from_secs(30), "CSym", SimDuration::from_secs(8))
+        .lose_messages(SimDuration::from_secs(15), 0.5, SimDuration::from_secs(60));
+    let a = iocontainers::run_pipeline(cfg.clone());
+    let b = iocontainers::run_pipeline(cfg);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.log.e2e_series().points(), b.log.e2e_series().points());
+    assert_eq!(a.heartbeats_delivered, b.heartbeats_delivered);
+}

@@ -4,11 +4,14 @@ use proptest::prelude::*;
 
 use adios::{AttrValue, DataType, Dims, StepData, Value};
 use d2t::{Aggregate, RootState, Vote, VoteCollector};
-use iocontainers::policy::{decide, ContainerView, Decision, PolicyConfig};
+use datatap::TransportCosts;
+use iocontainers::policy::{
+    decide, decide_recovery, ContainerView, Decision, FailureView, PolicyConfig, RecoveryConfig,
+};
 use iocontainers::{ContainerId, Provenance, Sla};
 use sim_core::stats::{SlidingWindow, Welford};
 use sim_core::SimDuration;
-use simnet::{NodeId, StagingArea, Topology};
+use simnet::{NetworkConfig, NodeId, StagingArea, Topology};
 
 // ---------------------------------------------------------------- adios --
 
@@ -285,7 +288,71 @@ proptest! {
                 prop_assert!(t.online);
                 prop_assert!(sla.container_violated(t.avg_latency));
             }
+            Decision::Restart { .. } => {
+                prop_assert!(false, "the SLA policy never restarts; that is recovery's job");
+            }
         }
+    }
+
+    #[test]
+    fn recovery_decisions_are_always_safe(
+        needed in 0u32..16,
+        restarts_so_far in 0u32..6,
+        spare in 0u32..8,
+        max_restarts in 0u32..4
+    ) {
+        let cfg = RecoveryConfig { max_restarts, ..RecoveryConfig::default() };
+        let failed = FailureView { id: ContainerId(1), needed, restarts_so_far };
+        match decide_recovery(&cfg, &failed, spare) {
+            Decision::Restart { target, lease_spare } => {
+                prop_assert_eq!(target, failed.id);
+                prop_assert!(restarts_so_far < max_restarts, "retries stay bounded");
+                prop_assert!(lease_spare >= 1 && lease_spare <= spare);
+            }
+            Decision::Offline { target } => {
+                prop_assert_eq!(target, failed.id);
+                prop_assert!(spare == 0 || restarts_so_far >= max_restarts);
+            }
+            other => prop_assert!(false, "recovery never rebalances: {:?}", other),
+        }
+    }
+}
+
+// ------------------------------------------------------- transport costs --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The overflow fix's contract: wire time is monotone non-decreasing in
+    /// the payload size all the way up to `u64::MAX` bytes (the old
+    /// `bytes * 1e9` arithmetic wrapped long before that and broke this).
+    #[test]
+    fn wire_time_is_monotone_in_bytes(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        src in 0u32..64,
+        dst in 0u32..64
+    ) {
+        let cfg = NetworkConfig::qdr_torus((4, 4, 4));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (src, dst) = (NodeId(src), NodeId(dst));
+        prop_assert!(cfg.wire_time(src, dst, lo) <= cfg.wire_time(src, dst, hi));
+    }
+
+    /// Same contract for the datatap drain estimate, including the
+    /// degenerate 1 B/s bandwidth where every byte overflowed before.
+    #[test]
+    fn drain_time_is_monotone_in_queued_bytes(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        bw in 1u64..u64::MAX
+    ) {
+        let costs = TransportCosts::default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(costs.drain_time(lo, bw) <= costs.drain_time(hi, bw));
+        // And it never panics at the extremes.
+        let _ = costs.drain_time(u64::MAX, 1);
+        let _ = costs.drain_time(u64::MAX, u64::MAX);
     }
 }
 

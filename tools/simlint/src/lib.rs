@@ -506,6 +506,10 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
         rs.wall_clock = false;
         rs.thread_spawn = false;
     }
+    // simfault deliberately owns per-plan RNGs (message-loss sampling) and
+    // is NOT exempted from anything: its samplers derive from the plan seed
+    // via `seed_from_u64`, which is the sanctioned construction everywhere,
+    // so every rule stays on.
     Some(rs)
 }
 
@@ -659,6 +663,28 @@ mod tests {
         assert!(ruleset_for(Path::new("tools/simlint/src/lib.rs")).is_none());
         assert!(ruleset_for(Path::new("crates/bench/benches/transport.rs")).is_none());
         assert!(ruleset_for(Path::new("crates/sim-core/src/kernel.rs")).is_some());
+    }
+
+    #[test]
+    fn simfault_is_fully_in_scope_and_seeded_rng_passes() {
+        // The fault-injection crate gets every rule: its loss samplers are
+        // only sanctioned because they derive from the plan seed.
+        let rs = ruleset_for(Path::new("crates/simfault/src/lib.rs")).unwrap();
+        assert!(rs.wall_clock && rs.adhoc_rng && rs.unordered_iter && rs.thread_spawn);
+        let seeded = "fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed ^ 0xFA17); }";
+        assert!(
+            lint_source(Path::new("crates/simfault/src/lib.rs"), seeded, &rs).is_empty(),
+            "seed_from_u64 is the sanctioned construction"
+        );
+        let adhoc = "fn f() { let rng = rand::thread_rng(); }";
+        assert_eq!(
+            lint_source(Path::new("crates/simfault/src/lib.rs"), adhoc, &rs)
+                .iter()
+                .filter(|f| f.rule == Rule::AdhocRng)
+                .count(),
+            1,
+            "OS-seeded construction stays flagged even in simfault"
+        );
     }
 
     #[test]
