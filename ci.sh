@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# CI gate: build, tests, clippy, and the simlint determinism pass.
-# Every step must pass; the script stops at the first failure.
+# CI gate: build, tests, clippy, the simlint static pass (plus its JSON
+# artifact), the loom model-check job, and a Miri pass over the core
+# crates. Every step must pass; the script stops at the first failure.
+#
+# Knobs:
+#   CI_SKIP_MIRI=1  skip the Miri step explicitly (it also auto-skips
+#                   when the nightly Miri component is unavailable, e.g.
+#                   in offline containers).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -13,8 +19,27 @@ cargo test -q --workspace
 echo "== clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== simlint determinism pass =="
+echo "== simlint static pass (all rules, plus JSON artifact) =="
 cargo xtask lint
+mkdir -p target/ci
+cargo xtask lint --format json > target/ci/simlint-findings.json
+echo "simlint: artifact at target/ci/simlint-findings.json"
+
+echo "== loom model check: datatap channel pause/resume protocol =="
+# Swaps the channel's mutex/condvar for the loom stand-in (bounded seeded
+# preemption search — failures are real, passes are probabilistic).
+RUSTFLAGS="--cfg loom" cargo test -q -p datatap --test loom_channel
+
+echo "== miri: sim-core + simpar (undefined-behaviour pass) =="
+if [[ "${CI_SKIP_MIRI:-0}" == "1" ]]; then
+    echo "miri: skipped (CI_SKIP_MIRI=1)"
+elif cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -q -p sim-core -p simpar
+else
+    # Offline containers cannot `rustup component add miri`; the step
+    # degrades to a loud skip rather than failing the gate.
+    echo "miri: skipped (nightly Miri component unavailable)"
+fi
 
 echo "== benches compile =="
 cargo bench --no-run

@@ -20,10 +20,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adios::StepData;
-use parking_lot::{Condvar, Mutex};
 use simtel::{Category, Telemetry};
 
 use crate::clock::{to_sim, Clock, WallClock};
+use crate::sync::{Condvar, Mutex};
 
 /// Metadata announcing one buffered output step.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -42,14 +42,15 @@ impl TransportCosts {
     /// Time for a paused writer's announced-but-unpulled backlog to drain at
     /// the given pull bandwidth.
     ///
-    /// Computed in `u128` with ceiling division: `queued_bytes * 1e9`
-    /// overflows `u64` already at ~18.4 GB of backlog (silently saturating
-    /// pre-fix), and truncation would round a sub-nanosecond drain to zero.
-    /// Results past `u64::MAX` nanoseconds clamp.
+    /// Routed through [`sim_core::widemath`] with ceiling division:
+    /// `queued_bytes * 1e9` overflows `u64` already at ~18.4 GB of backlog
+    /// (silently saturating pre-fix), and truncation would round a
+    /// sub-nanosecond drain to zero. Results past `u64::MAX` nanoseconds
+    /// clamp.
     pub fn drain_time(&self, queued_bytes: u64, bandwidth_bps: u64) -> SimDuration {
         assert!(bandwidth_bps > 0, "bandwidth must be positive");
-        let ns = (queued_bytes as u128 * 1_000_000_000u128).div_ceil(bandwidth_bps as u128);
-        self.pause_toggle + SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+        let ns = sim_core::widemath::mul_div_ceil(queued_bytes, 1_000_000_000, bandwidth_bps);
+        self.pause_toggle + SimDuration::from_nanos(ns)
     }
 }
 

@@ -39,6 +39,7 @@ pub mod clock;
 mod cost;
 mod sched_reader;
 mod scheduler;
+mod sync;
 
 pub use channel::{
     channel, channel_with_clock, channel_with_telemetry, PullError, Reader, StepMeta, WriteError,

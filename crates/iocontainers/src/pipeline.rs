@@ -87,6 +87,14 @@ pub struct PipelineRun {
     pub heartbeats_delivered: u64,
     /// Restart attempts spent per container (by name).
     pub restarts: Vec<(&'static str, u32)>,
+    /// Engine-internal errors the run survived (broken resource
+    /// accounting, impossible allocations) — the same pattern as
+    /// [`crate::threaded::ThreadedReport::errors`]: rather than panicking
+    /// mid-run, the engine degrades (skips the action, leaves the
+    /// container inactive) and records what happened here. Empty on a
+    /// clean run; a non-empty list means the configuration or the engine
+    /// violated an invariant and the results should not be trusted.
+    pub errors: Vec<String>,
     /// The run's telemetry handle (disabled unless the configuration's
     /// [`simtel::TelemetryConfig`] enabled categories). Snapshot it and
     /// feed [`simtel::export`] to produce Perfetto or CSV traces.
@@ -130,6 +138,9 @@ struct World {
     declared_failed: Vec<bool>,
     /// Restart attempts spent per container.
     restart_attempts: Vec<u32>,
+    /// Invariant violations the run survived; surfaced as
+    /// [`PipelineRun::errors`].
+    errors: Vec<String>,
     /// Control overlay carrying heartbeats to the global manager, with its
     /// terminal stone (created only for fault-injected runs).
     hb_overlay: Option<(Overlay, StoneId)>,
@@ -153,17 +164,31 @@ impl World {
         let mut containers = Vec::with_capacity(specs.len());
         let telemetry = Telemetry::new(cfg.telemetry);
         let mut log = MonitorLog::with_telemetry(telemetry.clone());
+        let mut errors = Vec::new();
         for (i, spec) in specs.into_iter().enumerate() {
             let id = ContainerId(i as u32);
             log.register(id, spec.name);
+            let mut lease_failed = false;
             let nodes = if spec.starts_active {
-                staging
-                    .lease(spec.initial_nodes)
-                    .unwrap_or_else(|e| panic!("initial allocation for {}: {e}", spec.name))
+                match staging.lease(spec.initial_nodes) {
+                    Ok(nodes) => nodes,
+                    Err(e) => {
+                        // Impossible allocation: the config asks for more
+                        // nodes than staging holds. Start the container
+                        // inactive instead of aborting the run, and report
+                        // the violation through the run's error log.
+                        errors.push(format!("initial allocation for {}: {e}", spec.name));
+                        lease_failed = true;
+                        Vec::new()
+                    }
+                }
             } else {
                 Vec::new() // inactive containers hold nothing until activated
             };
             let mut st = ContainerState::new(id, spec, nodes);
+            if lease_failed {
+                st.status = Status::Inactive;
+            }
             st.replica_free = vec![SimTime::ZERO; effective_replicas(st.spec.model, st.units())];
             containers.push(st);
         }
@@ -192,12 +217,48 @@ impl World {
             restart_attempts: vec![0; n],
             hb_overlay: None,
             hb_delivered: Arc::new(AtomicU64::new(0)),
+            errors,
+        }
+    }
+
+    /// Writers feeding container `ix`: Helper is fed by the application's
+    /// output ranks (one writer per 32 simulation nodes, the aggregation
+    /// tree's leaf fan-in); everything else by the upstream container's
+    /// replicas.
+    fn upstream_writers(&self, ix: usize) -> u32 {
+        if ix == HELPER {
+            (self.cfg.sim_nodes / 32).max(1)
+        } else {
+            self.containers.get(ix - 1).map_or(1, |c| c.units().max(1))
+        }
+    }
+
+    /// Leases `count` spare nodes, downgrading an accounting violation
+    /// (caller asked for more than the checked spare count) from a panic
+    /// to a recorded error plus an empty lease.
+    fn lease_or_record(&mut self, count: u32, action: &str) -> Vec<NodeId> {
+        match self.staging.lease(count) {
+            Ok(nodes) => nodes,
+            Err(e) => {
+                self.errors.push(format!("{action}: lease of {count} node(s) failed: {e}"));
+                Vec::new()
+            }
+        }
+    }
+
+    /// Returns nodes to staging, downgrading an accounting violation
+    /// (nodes not owned by the pool) from a panic to a recorded error.
+    fn release_or_record(&mut self, nodes: &[NodeId], action: &str) {
+        if let Err(e) = self.staging.release(nodes) {
+            self.errors
+                .push(format!("{action}: release of {} node(s) failed: {e}", nodes.len()));
         }
     }
 
     /// Ingress transfer time into container `dst` at virtual time `now`.
     ///
-    /// The payload term is computed in `u128` with ceiling division:
+    /// The payload term routes through [`sim_core::widemath`] (u128
+    /// ceiling division):
     /// `bytes * 1e9` overflows (pre-fix: silently saturates) `u64` already
     /// at ~18.4 GB, and truncation rounded sub-nanosecond transfers to
     /// zero. Results past `u64::MAX` nanoseconds clamp. An active NIC
@@ -215,8 +276,8 @@ impl World {
             Some(_) => self.degraded[dst] = None,
             None => {}
         }
-        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bw as u128);
-        let mut xfer = SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX)) + overhead;
+        let ns = sim_core::widemath::mul_div_ceil(bytes, 1_000_000_000, bw);
+        let mut xfer = SimDuration::from_nanos(ns) + overhead;
         if self.loss.as_ref().is_some_and(|(_, until)| now >= *until) {
             self.loss = None;
         }
@@ -269,9 +330,17 @@ impl World {
     /// (visualization is excluded: it owes the data nothing).
     fn provenance_at(&self, cid: usize) -> Provenance {
         let end = self.containers.len().min(VIZ);
-        let ran: Vec<&str> =
-            self.containers[..=cid.min(end - 1)].iter().map(|c| c.spec.name).collect();
-        let pruned: Vec<&str> = self.containers[cid + 1..end]
+        let ran: Vec<&str> = self
+            .containers
+            .get(..(cid + 1).min(end))
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| c.spec.name)
+            .collect();
+        let pruned: Vec<&str> = self
+            .containers
+            .get(cid + 1..end)
+            .unwrap_or(&[])
             .iter()
             .filter(|c| c.owed)
             .map(|c| c.spec.name)
@@ -413,6 +482,7 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
             .collect(),
         finished_at,
         telemetry,
+        errors: w.errors.clone(),
     }
 }
 
@@ -486,9 +556,8 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                 let atoms = w.cfg.atoms();
                 let monitoring = w.cfg.monitoring;
                 let c = &mut w.containers[cid];
-                match c.next_free_replica() {
-                    Some(idx) if c.replica_free[idx] <= now => {
-                        let qstep = c.queue.pop_front().expect("queue checked non-empty");
+                match (c.next_free_replica(), c.queue.pop_front()) {
+                    (Some(idx), Some(qstep)) if c.replica_free[idx] <= now => {
                         let mut service = c.step_time(atoms);
                         if monitoring.samples_step(qstep.step) {
                             service += monitoring.per_sample_cost;
@@ -507,7 +576,13 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                         }
                         Some((qstep, done, w.epoch[cid]))
                     }
-                    _ => None,
+                    (_, Some(qstep)) => {
+                        // No replica free yet: the step goes back where it
+                        // came from and this dispatch round ends.
+                        c.queue.push_front(qstep);
+                        None
+                    }
+                    (_, None) => None,
                 }
             }
         };
@@ -589,7 +664,8 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
             // was pruned by policy, the step goes to disk with provenance.
             w.log.record_e2e(now, now.since(qstep.emitted));
             let end = w.containers.len().min(VIZ);
-            let owes_downstream = w.containers[cid + 1..end].iter().any(|c| c.owed);
+            let owes_downstream =
+                w.containers.get(cid + 1..end).is_some_and(|cs| cs.iter().any(|c| c.owed));
             if owes_downstream {
                 let prov = w.provenance_at(cid);
                 w.disk_steps.push((qstep.step, prov));
@@ -633,10 +709,10 @@ fn activate_container(sim: &mut Sim, world: &W, ix: usize) -> bool {
         } else {
             let want = w.containers[ix].spec.initial_nodes.max(1);
             let take = want.min(w.staging.spare());
-            if take == 0 {
+            let nodes = if take == 0 { Vec::new() } else { w.lease_or_record(take, "activate") };
+            if nodes.is_empty() {
                 false
             } else {
-                let nodes = w.staging.lease(take).expect("spare count checked");
                 let c = &mut w.containers[ix];
                 c.nodes = nodes;
                 c.replica_free = vec![now; effective_replicas(c.spec.model, c.units())];
@@ -682,7 +758,7 @@ fn perform_branch(sim: &mut Sim, world: &W) {
         let released: Vec<_> = std::mem::take(&mut w.containers[CSYM].nodes);
         w.containers[CSYM].status = Status::Offline;
         w.containers[CSYM].replica_free.clear();
-        w.staging.release(&released).expect("CSym nodes belong to staging");
+        w.release_or_record(&released, "retire CSym");
     }
     // CNA activates on the released nodes (plus any other spares).
     activate_container(sim, world, CNA);
@@ -834,14 +910,7 @@ fn start_steal(
             let dec_duration = {
                 let mut w = world.borrow_mut();
                 let donor_ix = donor.0 as usize;
-                let upstream_writers = if donor_ix == HELPER {
-                    // Helper's writers are the application's output ranks;
-                    // one writer per 32 simulation nodes (the aggregation
-                    // tree's leaf fan-in).
-                    (w.cfg.sim_nodes / 32).max(1)
-                } else {
-                    w.containers[donor_ix - 1].units().max(1)
-                };
+                let upstream_writers = w.upstream_writers(donor_ix);
                 let queued = w.queued_bytes(donor_ix);
                 let d = estimate::decrease(
                     upstream_writers,
@@ -861,7 +930,7 @@ fn start_steal(
                     let donor_ix = donor.0 as usize;
                     let keep = w.containers[donor_ix].nodes.len().saturating_sub(k as usize);
                     let removed: Vec<_> = w.containers[donor_ix].nodes.split_off(keep);
-                    w.staging.release(&removed).expect("donor nodes belong to staging");
+                    w.release_or_record(&removed, "trade decrease");
                     let units = w.containers[donor_ix].units();
                     let model = w.containers[donor_ix].spec.model;
                     w.containers[donor_ix].replica_free =
@@ -885,8 +954,7 @@ fn start_increase(sim: &mut Sim, world: &W, target: ContainerId, add: u32, sourc
     let inc_duration = {
         let mut w = world.borrow_mut();
         let tix = target.0 as usize;
-        let upstream_writers =
-            if tix == HELPER { (w.cfg.sim_nodes / 32).max(1) } else { w.containers[tix - 1].units().max(1) };
+        let upstream_writers = w.upstream_writers(tix);
         let proto = estimate::increase(upstream_writers, add, &w.costs, PER_MSG);
         let launch = w.cfg.launch;
         let total = proto + launch.sample(sim);
@@ -900,7 +968,7 @@ fn start_increase(sim: &mut Sim, world: &W, target: ContainerId, add: u32, sourc
             let tix = target.0 as usize;
             let add = add.min(w.staging.spare());
             if add > 0 {
-                let nodes = w.staging.lease(add).expect("spare count checked");
+                let nodes = w.lease_or_record(add, "trade increase");
                 w.containers[tix].nodes.extend(nodes);
             }
             let units = w.containers[tix].units();
@@ -945,7 +1013,7 @@ fn perform_offline(sim: &mut Sim, world: &W, target: ContainerId) {
     for &ix in &cascade {
         let released: Vec<_> = std::mem::take(&mut w.containers[ix].nodes);
         if !released.is_empty() {
-            w.staging.release(&released).expect("container nodes belong to staging");
+            w.release_or_record(&released, "offline cascade");
         }
         w.containers[ix].status = Status::Offline;
         w.containers[ix].owed = true;
@@ -1280,11 +1348,7 @@ fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u
         w.action_in_flight = true;
         w.restart_attempts[ix] += 1;
         let attempt = w.restart_attempts[ix];
-        let upstream_writers = if ix == HELPER {
-            (w.cfg.sim_nodes / 32).max(1)
-        } else {
-            w.containers[ix - 1].units().max(1)
-        };
+        let upstream_writers = w.upstream_writers(ix);
         let proto = estimate::restart(upstream_writers, lease_spare, &w.costs, PER_MSG);
         let backoff = w.cfg.recovery.restart_backoff * (attempt - 1) as u64;
         let launch = w.cfg.launch;
@@ -1298,7 +1362,8 @@ fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u
             let mut w = w2.borrow_mut();
             let now = sim.now();
             let add = lease_spare.min(w.staging.spare());
-            if add == 0 {
+            let nodes = if add == 0 { Vec::new() } else { w.lease_or_record(add, "restart") };
+            if nodes.is_empty() {
                 // The spare pool emptied while the restart was in flight:
                 // this attempt fails; the detector falls back next round.
                 w.containers[ix].status = Status::Failed;
@@ -1306,7 +1371,7 @@ fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u
                 w.last_action_at = now;
                 false
             } else {
-                let nodes = w.staging.lease(add).expect("spare count checked");
+                let add = nodes.len() as u32;
                 let model = w.containers[ix].spec.model;
                 w.containers[ix].nodes = nodes;
                 w.containers[ix].replica_free = vec![now; effective_replicas(model, add)];

@@ -314,6 +314,7 @@ impl Sim {
     pub fn peek_next(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.queue.peek() {
             if self.cancelled.contains(&entry.id) {
+                // simlint: allow(panic-path, pop directly follows a successful peek of the same queue)
                 let entry = self.queue.pop().expect("peeked entry vanished");
                 self.cancelled.remove(&entry.id);
                 continue;

@@ -30,6 +30,7 @@ mod kernel;
 pub mod stats;
 mod time;
 mod trace;
+pub mod widemath;
 
 pub use kernel::{shared, EventHook, EventId, Shared, Sim, TieBreak, DEFAULT_EVENT_LABEL};
 pub use time::{SimDuration, SimTime};

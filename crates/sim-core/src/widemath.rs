@@ -1,0 +1,84 @@
+//! Overflow-proof `u64` arithmetic for bytes × bandwidth × time terms.
+//!
+//! The transport-cost expressions all share one shape: multiply a byte
+//! count by a scale (nanoseconds per second, bits per byte) and divide by
+//! a rate. Done naively in `u64` the product overflows already at ~18.4 GB
+//! of payload (`bytes * 1e9 > u64::MAX`), which the original line-based
+//! simlint could only catch by pattern luck. These helpers widen through
+//! `u128`, round the way queueing math needs (up — a transfer is not done
+//! until its last bit lands), and clamp back to `u64::MAX` rather than
+//! wrapping. The `unchecked-width-math` lint rule treats a statement that
+//! routes through this module as sanitized.
+
+/// `ceil(a * b / d)` computed in `u128`, clamped to `u64::MAX`.
+///
+/// This is the wire-time kernel: `mul_div_ceil(bytes, NANOS_PER_SEC, bps)`
+/// is the nanoseconds a payload occupies a link, never rounded to zero for
+/// sub-nanosecond transfers and never overflowing for huge ones.
+///
+/// Panics if `d` is zero — rate divisors are validated at configuration
+/// construction, so a zero here is a caller bug, not a data condition.
+pub fn mul_div_ceil(a: u64, b: u64, d: u64) -> u64 {
+    assert!(d > 0, "widemath::mul_div_ceil divisor must be positive");
+    clamp((a as u128 * b as u128).div_ceil(d as u128))
+}
+
+/// `floor(a * b / d)` computed in `u128`, clamped to `u64::MAX`.
+///
+/// The rounding-down sibling of [`mul_div_ceil`], for capacity-style
+/// quantities ("how many whole units fit") rather than durations.
+///
+/// Panics if `d` is zero, as for [`mul_div_ceil`].
+pub fn mul_div_floor(a: u64, b: u64, d: u64) -> u64 {
+    assert!(d > 0, "widemath::mul_div_floor divisor must be positive");
+    clamp(a as u128 * b as u128 / d as u128)
+}
+
+/// `a * b` computed in `u128`, clamped to `u64::MAX` instead of wrapping.
+pub fn mul_clamp(a: u64, b: u64) -> u64 {
+    clamp(a as u128 * b as u128)
+}
+
+fn clamp(wide: u128) -> u64 {
+    u64::try_from(wide).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_naive_math() {
+        assert_eq!(mul_div_ceil(1_000_000, 1_000_000_000, 1_600_000_000), 625_000);
+        assert_eq!(mul_div_floor(10, 3, 4), 7);
+        assert_eq!(mul_div_ceil(10, 3, 4), 8);
+        assert_eq!(mul_clamp(6, 7), 42);
+    }
+
+    #[test]
+    fn sub_unit_results_round_up_not_to_zero() {
+        // 1 byte at 8 Gbps is an eighth of a nanosecond: ceil keeps it
+        // visible instead of truncating the transfer to instantaneous.
+        assert_eq!(mul_div_ceil(1, 1_000_000_000, 8_000_000_000), 1);
+        assert_eq!(mul_div_floor(1, 1_000_000_000, 8_000_000_000), 0);
+    }
+
+    #[test]
+    fn huge_products_clamp_instead_of_wrapping() {
+        // 20 GB * 1e9 overflows u64 ~1000x over; the u128 widening keeps
+        // the quotient exact.
+        assert_eq!(
+            mul_div_ceil(20_000_000_000, 1_000_000_000, 1_000_000_000),
+            20_000_000_000
+        );
+        // u64::MAX bytes at 1 bps clamps rather than wrapping.
+        assert_eq!(mul_div_ceil(u64::MAX, 1_000_000_000, 1), u64::MAX);
+        assert_eq!(mul_clamp(u64::MAX, 2), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor must be positive")]
+    fn zero_divisor_is_a_caller_bug() {
+        mul_div_ceil(1, 1, 0);
+    }
+}

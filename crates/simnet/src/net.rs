@@ -170,14 +170,14 @@ impl std::fmt::Display for NetConfigError {
 impl std::error::Error for NetConfigError {}
 
 /// Bandwidth-limited payload time: `ceil(bytes * 1e9 / bandwidth)` ns,
-/// computed in `u128` so it cannot overflow, clamped to `u64::MAX` ns.
+/// routed through [`sim_core::widemath`] so it cannot overflow, clamped
+/// to `u64::MAX` ns.
 ///
 /// Panics if `bandwidth_bps` is zero ([`NetworkConfig::validate`] rejects
 /// such configs at construction).
 pub(crate) fn payload_time(bytes: u64, bandwidth_bps: u64) -> SimDuration {
     assert!(bandwidth_bps > 0, "bandwidth must be positive");
-    let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bandwidth_bps as u128);
-    SimDuration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+    SimDuration::from_nanos(sim_core::widemath::mul_div_ceil(bytes, 1_000_000_000, bandwidth_bps))
 }
 
 #[derive(Clone, Copy, Debug, Default)]
@@ -250,11 +250,25 @@ impl Network {
     /// Creates a network that records link activity through `telemetry`
     /// (per-NIC transfer spans plus `net.messages` / `net.bytes` totals,
     /// all under [`Category::Net`]).
+    ///
+    /// Panics on an invalid configuration; use [`Network::try_with_telemetry`]
+    /// to handle configuration errors as values instead.
     pub fn with_telemetry(cfg: NetworkConfig, telemetry: Telemetry) -> Net {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid NetworkConfig: {e}");
+        match Network::try_with_telemetry(cfg, telemetry) {
+            Ok(net) => net,
+            // simlint: allow(panic-path, documented loud failure on construction-time config validation; fallible callers use try_with_telemetry)
+            Err(e) => panic!("invalid NetworkConfig: {e}"),
         }
-        sim_core::shared(Network {
+    }
+
+    /// Fallible constructor: validates `cfg` and returns the configuration
+    /// error instead of panicking.
+    pub fn try_with_telemetry(
+        cfg: NetworkConfig,
+        telemetry: Telemetry,
+    ) -> Result<Net, NetConfigError> {
+        cfg.validate()?;
+        Ok(sim_core::shared(Network {
             cfg,
             nics: BTreeMap::new(),
             stats: NetStats::default(),
@@ -262,7 +276,7 @@ impl Network {
             down: std::collections::BTreeSet::new(),
             degraded: BTreeMap::new(),
             loss: None,
-        })
+        }))
     }
 
     /// The configured constants.

@@ -1,0 +1,381 @@
+//! JSON findings artifact and baseline diffing.
+//!
+//! No serde offline, so both the emitter and the (tiny, findings-shaped)
+//! parser are hand-rolled. Baseline matching is **line-insensitive**: a
+//! finding matches a baseline entry by `(file, rule, message)` multiset,
+//! so unrelated edits that shift line numbers neither resurrect old
+//! findings nor mask new ones of the same shape beyond the baselined
+//! count.
+
+use std::collections::BTreeMap;
+
+use crate::Finding;
+
+/// Renders findings as the versioned JSON artifact.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", quote(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"column\": {}, ", f.column));
+        out.push_str(&format!("\"rule\": {}, ", quote(f.rule.name())));
+        out.push_str(&format!("\"message\": {}", quote(&f.message)));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One baseline entry: the line-insensitive identity of a finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineKey {
+    /// Repo-relative file path.
+    pub file: String,
+    /// Rule name.
+    pub rule: String,
+    /// Finding message.
+    pub message: String,
+}
+
+impl BaselineKey {
+    fn of(f: &Finding) -> BaselineKey {
+        BaselineKey {
+            file: f.file.clone(),
+            rule: f.rule.name().to_string(),
+            message: f.message.clone(),
+        }
+    }
+}
+
+/// Parses a findings JSON document (ours or hand-maintained with the
+/// same shape) into baseline keys.
+pub fn parse_baseline(src: &str) -> Result<Vec<BaselineKey>, String> {
+    let value = json::parse(src)?;
+    let obj = value.as_object().ok_or("baseline root must be an object")?;
+    if let Some(version) = obj.get("version") {
+        if version.as_f64() != Some(2.0) {
+            return Err(format!("unsupported baseline version {version:?} (want 2)"));
+        }
+    }
+    let findings = obj
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or("baseline must have a \"findings\" array")?;
+    let mut out = Vec::new();
+    for (i, f) in findings.iter().enumerate() {
+        let f = f.as_object().ok_or_else(|| format!("finding #{i} must be an object"))?;
+        let field = |name: &str| -> Result<String, String> {
+            f.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("finding #{i} missing string field \"{name}\""))
+        };
+        out.push(BaselineKey { file: field("file")?, rule: field("rule")?, message: field("message")? });
+    }
+    Ok(out)
+}
+
+/// Returns the findings NOT covered by the baseline: each baseline key
+/// absorbs up to its multiplicity of matching findings.
+pub fn new_findings(findings: &[Finding], baseline: &[BaselineKey]) -> Vec<Finding> {
+    let mut budget: BTreeMap<&BaselineKey, usize> = BTreeMap::new();
+    for k in baseline {
+        *budget.entry(k).or_insert(0) += 1;
+    }
+    findings
+        .iter()
+        .filter(|f| {
+            let key = BaselineKey::of(f);
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+use json::Value;
+
+/// A minimal JSON value parser — enough for the findings artifact.
+mod json {
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false` (parsed for completeness; findings artifacts
+        /// carry no booleans, so nothing outside tests reads the payload)
+        #[cfg_attr(not(test), allow(dead_code))]
+        Bool(bool),
+        /// Any number (kept as f64; line numbers fit exactly).
+        Number(f64),
+        /// String
+        Str(String),
+        /// Array
+        Array(Vec<Value>),
+        /// Object
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// The value as an object map, if it is one.
+        pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+            match self {
+                Value::Object(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The value as an array, if it is one.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a number, if it is one.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool, if it is one.
+        #[cfg_attr(not(test), allow(dead_code))]
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a complete JSON document.
+    pub fn parse(src: &str) -> Result<Value, String> {
+        let bytes = src.as_bytes();
+        let mut i = 0;
+        let v = value(bytes, &mut i)?;
+        skip_ws(bytes, &mut i);
+        if i != bytes.len() {
+            return Err(format!("trailing garbage at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => object(b, i),
+            Some(b'[') => array(b, i),
+            Some(b'"') => Ok(Value::Str(string(b, i)?)),
+            Some(b't') => lit(b, i, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, i, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, i, "null", Value::Null),
+            Some(_) => number(b, i),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn lit(b: &[u8], i: &mut usize, text: &str, v: Value) -> Result<Value, String> {
+        if b[*i..].starts_with(text.as_bytes()) {
+            *i += text.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", *i))
+        }
+    }
+
+    fn number(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        let start = *i;
+        while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *i += 1;
+        }
+        std::str::from_utf8(&b[start..*i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(b: &[u8], i: &mut usize) -> Result<String, String> {
+        *i += 1; // opening quote
+        let mut out = String::new();
+        while let Some(&c) = b.get(*i) {
+            match c {
+                b'"' => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    *i += 1;
+                    match b.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*i + 1..*i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", *i))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *i)),
+                    }
+                    *i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let s = &b[*i..];
+                    let ch_len = utf8_len(s[0]);
+                    let chunk = s.get(..ch_len).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *i += ch_len;
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+
+    fn array(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // [
+        let mut out = Vec::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b']') {
+            *i += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            out.push(value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b']') => {
+                    *i += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", *i)),
+            }
+        }
+    }
+
+    fn object(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        *i += 1; // {
+        let mut out = BTreeMap::new();
+        skip_ws(b, i);
+        if b.get(*i) == Some(&b'}') {
+            *i += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b'"') {
+                return Err(format!("expected object key at byte {}", *i));
+            }
+            let key = string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err(format!("expected ':' at byte {}", *i));
+            }
+            *i += 1;
+            out.insert(key, value(b, i)?);
+            skip_ws(b, i);
+            match b.get(*i) {
+                Some(b',') => *i += 1,
+                Some(b'}') => {
+                    *i += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", *i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json;
+
+    #[test]
+    fn parser_covers_scalars_and_nesting() {
+        let v = json::parse(r#"{"a": [1, 2.5, true, null, "sA"], "b": {"c": false}}"#)
+            .expect("parses");
+        let obj = v.as_object().expect("object root");
+        let arr = obj.get("a").and_then(json::Value::as_array).expect("array");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[4].as_str(), Some("sA"));
+        let b = obj.get("b").and_then(json::Value::as_object).expect("nested");
+        assert_eq!(b.get("c").and_then(json::Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2] trailing").is_err());
+        assert!(json::parse("\"unterminated").is_err());
+    }
+}

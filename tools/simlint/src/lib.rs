@@ -2,50 +2,63 @@
 //!
 //! The experiment harness's credibility rests on bit-identical replays:
 //! the same seed must produce the same schedule, the same figures, the
-//! same report. This linter scans the sim-path crates for the constructs
-//! that historically break that promise:
+//! same report. This linter parses every sim-path crate into an item
+//! AST (via the vendored `syn` stand-in), resolves `use` aliases, and
+//! enforces seven rule classes:
 //!
-//! * **wall-clock** — `Instant::now()` / `SystemTime` in simulation code.
-//!   Virtual time must come from the kernel clock (`SimTime`); wall-clock
-//!   reads make results depend on host load.
-//! * **unordered-iter** — iterating a `HashMap`/`HashSet` (`iter`, `keys`,
-//!   `values`, `into_iter`, `drain`, `for _ in map`). Hash iteration order
-//!   is unspecified and (with a randomized hasher) differs between
-//!   processes; if it reaches scheduling or output, replays diverge.
+//! * **wall-clock** — `Instant::now()` / `SystemTime` in simulation
+//!   code. Virtual time must come from the kernel clock (`SimTime`).
+//! * **unordered-iter** — hash iteration whose order flow could not be
+//!   resolved by the dataflow pass (the conservative verdict).
+//! * **order-taint** — hash iteration whose order *provably* reaches an
+//!   order-observable sink (event scheduling, exported output, trace
+//!   hashes). The dataflow pass also proves the inverse: iterations
+//!   consumed commutatively (`+=`, `insert`, `max`, collects into
+//!   ordered or re-keyed collections) pass with no escape at all.
 //! * **adhoc-rng** — RNG construction outside the kernel's seeded
-//!   `StdRng` (`thread_rng`, `from_entropy`, `rand::random`). Every
-//!   random draw must descend from the experiment seed.
+//!   `StdRng` (`thread_rng`, `from_entropy`, `rand::random`).
 //! * **thread-spawn** — `std::thread::spawn` in single-threaded sim
-//!   crates. The DES kernel is the only scheduler; free-running threads
-//!   reintroduce host-dependent interleavings. (Scoped fork/join
-//!   parallelism in compute kernels is fine and not matched.)
+//!   crates; the DES kernel is the only scheduler.
+//! * **panic-path** — `unwrap`/`expect`, `panic!`-family macros, and
+//!   hazardous indexing (literal/arithmetic indices, range slicing) in
+//!   engine hot paths. Test code is exempt; everything else must
+//!   propagate typed errors.
+//! * **unchecked-width-math** — u64 multiply chains over
+//!   bytes × bandwidth/time-scale operands outside
+//!   `sim_core::widemath`'s u128 ceiling helpers.
 //!
-//! Findings carry `file:line` so they paste into an editor. A finding is
-//! suppressed by a `// simlint: allow(<rule>)` comment on the same line
-//! or the line directly above. Per-path rule configuration lives in
-//! [`ruleset_for`]: genuinely threaded crates (the datatap transport, the
-//! EVPath overlay, the threaded pipeline bridge) are exempt from the
-//! threading/wall-clock rules — but **never** from the RNG rules.
-//!
-//! The scanner is a hand-rolled token scanner rather than a full parser:
-//! the container image has no network access to fetch `syn`, and the four
-//! rules only need comment/string-aware token windows, not a syntax tree.
+//! Findings carry `file:line:column` spans. A finding is suppressed by
+//! `// simlint: allow(<rule>, <reason>)` on the same line or the line
+//! directly above — the reason is **mandatory**; reasonless escapes are
+//! ignored and the unsuppressed finding says why. Per-path rule
+//! configuration lives in [`ruleset_for`].
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod baseline;
+mod engine;
+mod rules;
+mod taint;
 
 /// The determinism rules simlint enforces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Wall-clock reads (`Instant::now`, `SystemTime`) in sim code.
     WallClock,
-    /// `HashMap`/`HashSet` iteration whose order can leak into behaviour.
+    /// Hash iteration with unresolved order flow.
     UnorderedIter,
+    /// Hash iteration order proven to reach an order-observable sink.
+    OrderTaint,
     /// RNG construction not derived from the experiment seed.
     AdhocRng,
     /// Free-running `std::thread::spawn` in single-threaded sim crates.
     ThreadSpawn,
+    /// Panicking constructs in engine hot paths.
+    PanicPath,
+    /// Unwidened u64 arithmetic on bytes/bandwidth/time operands.
+    UncheckedWidthMath,
 }
 
 impl Rule {
@@ -54,8 +67,11 @@ impl Rule {
         match self {
             Rule::WallClock => "wall-clock",
             Rule::UnorderedIter => "unordered-iter",
+            Rule::OrderTaint => "order-taint",
             Rule::AdhocRng => "adhoc-rng",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::PanicPath => "panic-path",
+            Rule::UncheckedWidthMath => "unchecked-width-math",
         }
     }
 }
@@ -67,35 +83,48 @@ pub struct RuleSet {
     pub wall_clock: bool,
     /// Enforce [`Rule::UnorderedIter`].
     pub unordered_iter: bool,
+    /// Enforce [`Rule::OrderTaint`].
+    pub order_taint: bool,
     /// Enforce [`Rule::AdhocRng`].
     pub adhoc_rng: bool,
     /// Enforce [`Rule::ThreadSpawn`].
     pub thread_spawn: bool,
+    /// Enforce [`Rule::PanicPath`].
+    pub panic_path: bool,
+    /// Enforce [`Rule::UncheckedWidthMath`].
+    pub width_math: bool,
 }
 
 impl RuleSet {
-    /// All rules on — the default for sim-path crates.
+    /// Every rule on — what fixtures and the hot-path files get.
     pub fn all() -> RuleSet {
-        RuleSet { wall_clock: true, unordered_iter: true, adhoc_rng: true, thread_spawn: true }
+        RuleSet {
+            wall_clock: true,
+            unordered_iter: true,
+            order_taint: true,
+            adhoc_rng: true,
+            thread_spawn: true,
+            panic_path: true,
+            width_math: true,
+        }
     }
 
-    fn enabled(&self, rule: Rule) -> bool {
-        match rule {
-            Rule::WallClock => self.wall_clock,
-            Rule::UnorderedIter => self.unordered_iter,
-            Rule::AdhocRng => self.adhoc_rng,
-            Rule::ThreadSpawn => self.thread_spawn,
-        }
+    /// The sim-path default: the four legacy rules plus the order-taint
+    /// dataflow; panic-path and width-math are opt-in per hot path.
+    pub fn sim_default() -> RuleSet {
+        RuleSet { panic_path: false, width_math: false, ..RuleSet::all() }
     }
 }
 
-/// One diagnostic: a determinism hazard at a specific line.
+/// One diagnostic: a determinism hazard at a specific span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// File the hazard is in (as passed to the linter).
-    pub file: PathBuf,
+    /// Workspace-relative file path (as passed to the linter).
+    pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
     /// The violated rule.
     pub rule: Rule,
     /// Human-readable explanation.
@@ -106,370 +135,65 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file.display(),
+            "{}:{}:{}: [{}] {}",
+            self.file,
             self.line,
+            self.column,
             self.rule.name(),
             self.message
         )
     }
 }
 
-/// A source token: an identifier or a single punctuation char.
-#[derive(Clone, Debug)]
-struct Tok {
-    text: String,
-    line: usize,
+/// Lints one file's source under `rules`, honouring `allow(...)`
+/// escapes. Fails with a `line:col: message` string if the file does not
+/// parse.
+pub fn lint_source(path: &Path, src: &str, rules: &RuleSet) -> Result<Vec<Finding>, String> {
+    lint_source_with(path, src, rules, &BTreeSet::new())
 }
 
-/// Lexer output: the token stream plus the `allow(...)` escapes found in
-/// line comments, keyed by the comment's line number.
-struct Lexed {
-    toks: Vec<Tok>,
-    allows: BTreeMap<usize, BTreeSet<String>>,
+/// [`lint_source`] with extra crate-level hash-typed names (struct
+/// fields declared in sibling files of the same crate).
+pub fn lint_source_with(
+    path: &Path,
+    src: &str,
+    rules: &RuleSet,
+    extra_hash_names: &BTreeSet<String>,
+) -> Result<Vec<Finding>, String> {
+    let file = syn::parse_file(src).map_err(|e| e.to_string())?;
+    let cx = engine::FileCx::build(&file.items, src);
+    let flat = engine::flatten(&file.items);
+    let mut fns = Vec::new();
+    engine::for_each_fn(&file.items, false, &mut fns);
+
+    let mut hash_names = taint::collect_hash_names(&cx, &flat);
+    hash_names.extend(extra_hash_names.iter().cloned());
+
+    let mut raw = Vec::new();
+    rules::token_rules(&cx, &flat, rules, &mut raw);
+    if rules.panic_path {
+        rules::panic_path(&fns, &mut raw);
+    }
+    if rules.width_math {
+        rules::width_math(&fns, &mut raw);
+    }
+    taint::analyze(&cx, &fns, &hash_names, rules, &mut raw);
+
+    let rel = path.to_string_lossy().replace('\\', "/");
+    let mut findings = Vec::new();
+    rules::finalize(&rel, &cx, raw, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.column, f.rule));
+    findings.dedup_by_key(|f| (f.line, f.column, f.rule));
+    Ok(findings)
 }
 
-/// Strips comments, strings and char literals; splits the rest into
-/// identifier tokens and single-char punctuation, all tagged with their
-/// line number.
-fn lex(src: &str) -> Lexed {
-    let b = src.as_bytes();
-    let mut toks = Vec::new();
-    let mut allows: BTreeMap<usize, BTreeSet<String>> = BTreeMap::new();
-    let mut i = 0;
-    let mut line = 1;
-    while i < b.len() {
-        let c = b[i] as char;
-        match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
-            '/' if b.get(i + 1) == Some(&b'/') => {
-                let start = i + 2;
-                while i < b.len() && b[i] != b'\n' {
-                    i += 1;
-                }
-                parse_allow(&src[start..i], line, &mut allows);
-            }
-            '/' if b.get(i + 1) == Some(&b'*') => {
-                i += 2;
-                let mut depth = 1;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'\n' {
-                        line += 1;
-                        i += 1;
-                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                        depth += 1;
-                        i += 2;
-                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                i += 1;
-                while i < b.len() {
-                    match b[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            '\'' => {
-                // Lifetime or char literal. A char literal closes with a
-                // quote within a few bytes; a lifetime never does.
-                if b.get(i + 1) == Some(&b'\\')
-                    || (b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\''))
-                {
-                    // Char literal: skip to the closing quote.
-                    i += 1;
-                    while i < b.len() && b[i] != b'\'' {
-                        if b[i] == b'\\' {
-                            i += 1;
-                        }
-                        i += 1;
-                    }
-                    i += 1;
-                } else {
-                    // Lifetime: skip the quote; the label lexes as an ident.
-                    i += 1;
-                }
-            }
-            _ if c == '_' || c.is_ascii_alphabetic() => {
-                let start = i;
-                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
-                    i += 1;
-                }
-                let text = &src[start..i];
-                // Raw/byte string prefix? (r"...", r#"..."#, b"...", br#"..."#)
-                if matches!(text, "r" | "b" | "br") && raw_string_ahead(b, i) {
-                    i = skip_raw_string(b, i, &mut line);
-                } else {
-                    toks.push(Tok { text: text.to_string(), line });
-                }
-            }
-            _ if c.is_ascii_digit() => {
-                while i < b.len()
-                    && (b[i] == b'_' || b[i] == b'.' || (b[i] as char).is_ascii_alphanumeric())
-                {
-                    i += 1;
-                }
-            }
-            _ if c.is_whitespace() => i += 1,
-            _ => {
-                toks.push(Tok { text: c.to_string(), line });
-                i += 1;
-            }
-        }
-    }
-    Lexed { toks, allows }
-}
-
-/// True if position `i` starts the `#*"` tail of a raw string literal.
-fn raw_string_ahead(b: &[u8], mut i: usize) -> bool {
-    while b.get(i) == Some(&b'#') {
-        i += 1;
-    }
-    b.get(i) == Some(&b'"')
-}
-
-/// Skips a raw string starting at the `#*"` tail, returning the index
-/// just past the closing delimiter.
-fn skip_raw_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
-    let mut hashes = 0;
-    while b.get(i) == Some(&b'#') {
-        hashes += 1;
-        i += 1;
-    }
-    i += 1; // opening quote
-    while i < b.len() {
-        if b[i] == b'\n' {
-            *line += 1;
-            i += 1;
-        } else if b[i] == b'"' {
-            let mut j = i + 1;
-            let mut seen = 0;
-            while seen < hashes && b.get(j) == Some(&b'#') {
-                seen += 1;
-                j += 1;
-            }
-            if seen == hashes {
-                return j;
-            }
-            i += 1;
-        } else {
-            i += 1;
-        }
-    }
-    i
-}
-
-/// Parses `simlint: allow(rule, rule)` out of one line comment's body.
-fn parse_allow(comment: &str, line: usize, allows: &mut BTreeMap<usize, BTreeSet<String>>) {
-    let t = comment.trim();
-    let Some(rest) = t.strip_prefix("simlint:") else { return };
-    let rest = rest.trim();
-    let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.strip_suffix(')')) else {
-        return;
-    };
-    let set = allows.entry(line).or_default();
-    for rule in inner.split(',') {
-        set.insert(rule.trim().to_string());
-    }
-}
-
-const ITER_METHODS: &[&str] =
-    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain", "retain"];
-
-/// Lints one file's source under `rules`, honouring `allow(...)` escapes.
-pub fn lint_source(path: &Path, src: &str, rules: &RuleSet) -> Vec<Finding> {
-    let Lexed { toks, allows } = lex(src);
-    let mut findings: Vec<Finding> = Vec::new();
-    let push = |findings: &mut Vec<Finding>, line: usize, rule: Rule, message: String| {
-        if !rules.enabled(rule) || findings.iter().any(|f| f.line == line && f.rule == rule) {
-            return; // one diagnostic per (line, rule)
-        }
-        findings.push(Finding { file: path.to_path_buf(), line, rule, message });
-    };
-
-    let is = |i: usize, s: &str| toks.get(i).is_some_and(|t| t.text == s);
-    let path_sep = |i: usize| is(i, ":") && is(i + 1, ":");
-
-    // ---- token-window rules -------------------------------------------
-    for i in 0..toks.len() {
-        let t = &toks[i];
-        if t.text == "Instant" && path_sep(i + 1) && is(i + 3, "now") {
-            push(
-                &mut findings,
-                t.line,
-                Rule::WallClock,
-                "Instant::now() reads the wall clock; use the kernel's SimTime (or an \
-                 injected Clock) so replays are host-independent"
-                    .into(),
-            );
-        }
-        if t.text == "SystemTime" {
-            push(
-                &mut findings,
-                t.line,
-                Rule::WallClock,
-                "SystemTime is wall-clock time; sim code must derive time from SimTime".into(),
-            );
-        }
-        if t.text == "thread_rng" {
-            push(
-                &mut findings,
-                t.line,
-                Rule::AdhocRng,
-                "thread_rng() is OS-seeded; draw from the kernel's seeded StdRng instead".into(),
-            );
-        }
-        if t.text == "from_entropy" {
-            push(
-                &mut findings,
-                t.line,
-                Rule::AdhocRng,
-                "from_entropy() bypasses the experiment seed; use seed_from_u64 from the \
-                 kernel seed"
-                    .into(),
-            );
-        }
-        if t.text == "random" && i >= 3 && toks[i - 3].text == "rand" && path_sep(i - 2) {
-            push(
-                &mut findings,
-                t.line,
-                Rule::AdhocRng,
-                "rand::random() is OS-seeded; draw from the kernel's seeded StdRng instead".into(),
-            );
-        }
-        if t.text == "thread" && path_sep(i + 1) && is(i + 3, "spawn") {
-            push(
-                &mut findings,
-                t.line,
-                Rule::ThreadSpawn,
-                "thread::spawn in a sim crate adds host-scheduled concurrency; the DES kernel \
-                 must be the only scheduler"
-                    .into(),
-            );
-        }
-    }
-
-    // ---- unordered-iter: declaration pass, then iteration pass --------
-    if rules.unordered_iter {
-        let mut hash_idents: BTreeSet<String> = BTreeSet::new();
-        for i in 0..toks.len() {
-            if toks[i].text != "HashMap" && toks[i].text != "HashSet" {
-                continue;
-            }
-            // Unwind a leading path (`std :: collections :: HashMap`).
-            let mut j = i;
-            while j >= 3
-                && toks[j - 1].text == ":"
-                && toks[j - 2].text == ":"
-                && toks[j - 3].text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
-            {
-                j -= 3;
-            }
-            // `name : HashMap<...>` — a binding or struct-field annotation.
-            if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].text != ":" {
-                let name = &toks[j - 2].text;
-                if name.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
-                    hash_idents.insert(name.clone());
-                }
-            }
-            // `let [mut] name = ... HashMap::new()` (untyped binding):
-            // walk back to the nearest `let` within the statement.
-            let mut k = i;
-            while k > 0 && toks[k].text != ";" && toks[k].text != "let" && i - k < 24 {
-                k -= 1;
-            }
-            if toks.get(k).is_some_and(|t| t.text == "let") {
-                let mut n = k + 1;
-                if toks.get(n).is_some_and(|t| t.text == "mut") {
-                    n += 1;
-                }
-                if let Some(t) = toks.get(n) {
-                    if t.text.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') {
-                        hash_idents.insert(t.text.clone());
-                    }
-                }
-            }
-        }
-
-        for i in 0..toks.len() {
-            let t = &toks[i];
-            // `name.iter()` / `self.name.drain(..)` …
-            if hash_idents.contains(&t.text)
-                && is(i + 1, ".")
-                && toks.get(i + 2).is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
-            {
-                let method = toks[i + 2].text.clone();
-                push(
-                    &mut findings,
-                    t.line,
-                    Rule::UnorderedIter,
-                    format!(
-                        "`{}` is a hash collection; `.{}()` iterates in unspecified order — \
-                         use a BTreeMap/BTreeSet or sort before use",
-                        t.text, method
-                    ),
-                );
-            }
-            // `for x in &name {` / `for (k, v) in name {`
-            if t.text == "in" {
-                let mut j = i + 1;
-                while toks.get(j).is_some_and(|t| t.text == "&" || t.text == "mut") {
-                    j += 1;
-                }
-                if let Some(nm) = toks.get(j) {
-                    if hash_idents.contains(&nm.text) && is(j + 1, "{") {
-                        let (line, name) = (nm.line, nm.text.clone());
-                        push(
-                            &mut findings,
-                            line,
-                            Rule::UnorderedIter,
-                            format!(
-                                "`for … in {name}` iterates a hash collection in unspecified \
-                                 order — use a BTreeMap/BTreeSet or sort before use"
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    // ---- apply allow(...) escapes -------------------------------------
-    findings.retain(|f| {
-        let allowed = |line: usize| {
-            allows
-                .get(&line)
-                .is_some_and(|set| set.contains(f.rule.name()) || set.contains("all"))
-        };
-        !(allowed(f.line) || (f.line > 1 && allowed(f.line - 1)))
-    });
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
-}
-
-/// The rule configuration for a workspace-relative path, or `None` if the
-/// file is out of scope.
+/// The rule configuration for a workspace-relative path, or `None` if
+/// the file is out of scope.
 ///
 /// This table is the single source of truth for which crates are "sim
-/// path" (everything on by default) versus genuinely threaded transports
-/// (threading rules off, **RNG rules always on**).
+/// path" (sim defaults on) versus genuinely threaded transports
+/// (threading rules off, **RNG rules always on**), and for which hot
+/// paths additionally get the panic-path and width-math classes.
 pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
     let p = rel.to_string_lossy().replace('\\', "/");
     if !p.ends_with(".rs") {
@@ -483,7 +207,7 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
     if p.starts_with("crates/bench/") {
         return None;
     }
-    let mut rs = RuleSet::all();
+    let mut rs = RuleSet::sim_default();
     // datatap is the threaded two-phase transport: its tests exercise real
     // writer/reader threads, and its timeout path owns an injected clock.
     if p.starts_with("crates/datatap/") {
@@ -510,6 +234,26 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
     // is NOT exempted from anything: its samplers derive from the plan seed
     // via `seed_from_u64`, which is the sanctioned construction everywhere,
     // so every rule stays on.
+
+    // Engine hot paths: a panic mid-run loses the whole experiment, so
+    // failure must surface as typed errors.
+    let panic_scope = p.starts_with("crates/sim-core/src/")
+        || p.starts_with("crates/simnet/src/")
+        || p == "crates/iocontainers/src/pipeline.rs"
+        || p == "crates/iocontainers/src/policy.rs"
+        || p == "crates/iocontainers/src/protocol.rs";
+    if panic_scope {
+        rs.panic_path = true;
+    }
+    // Bytes × bandwidth × time arithmetic lives here; everything must
+    // route through sim_core::widemath. widemath.rs itself is the
+    // sanctioned u128 sink and is excluded.
+    let width_scope = p.starts_with("crates/simnet/src/")
+        || p == "crates/datatap/src/cost.rs"
+        || p == "crates/iocontainers/src/pipeline.rs";
+    if width_scope && p != "crates/sim-core/src/widemath.rs" {
+        rs.width_math = true;
+    }
     Some(rs)
 }
 
@@ -544,17 +288,61 @@ fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
+/// The crate-grouping key of a workspace-relative path (hash-typed field
+/// names are shared crate-wide for the taint pass).
+fn crate_key(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match parts.next() {
+        Some("crates") => format!("crates/{}", parts.next().unwrap_or("")),
+        other => other.unwrap_or("").to_string(),
+    }
+}
+
 /// Lints every in-scope file under the workspace `root`. Paths in the
-/// returned findings are workspace-relative.
+/// returned findings are workspace-relative. Parse failures become
+/// `InvalidData` IO errors naming the file.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+    struct Unit {
+        rel: String,
+        src: String,
+        rules: RuleSet,
+    }
+    let mut units = Vec::new();
     for abs in collect_files(root)? {
         let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
         let Some(rules) = ruleset_for(&rel) else { continue };
         let src = std::fs::read_to_string(&abs)?;
-        findings.extend(lint_source(&rel, &src, &rules));
+        units.push(Unit { rel: rel.to_string_lossy().replace('\\', "/"), src, rules });
+    }
+
+    // Pass 1: crate-wide hash-typed names (fields declared in one file,
+    // iterated in another).
+    let mut crate_hash: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for u in &units {
+        let file = syn::parse_file(&u.src).map_err(|e| parse_io_error(&u.rel, &e))?;
+        let cx = engine::FileCx::build(&file.items, &u.src);
+        let flat = engine::flatten(&file.items);
+        crate_hash
+            .entry(crate_key(&u.rel))
+            .or_default()
+            .extend(taint::collect_hash_names(&cx, &flat));
+    }
+
+    // Pass 2: lint with the crate context.
+    let mut findings = Vec::new();
+    for u in &units {
+        let extra = crate_hash.get(&crate_key(&u.rel)).cloned().unwrap_or_default();
+        findings.extend(
+            lint_source_with(Path::new(&u.rel), &u.src, &u.rules, &extra).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", u.rel))
+            })?,
+        );
     }
     Ok(findings)
+}
+
+fn parse_io_error(rel: &str, e: &syn::Error) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{rel}: {e}"))
 }
 
 #[cfg(test)]
@@ -562,17 +350,28 @@ mod tests {
     use super::*;
 
     fn lint(src: &str) -> Vec<Finding> {
-        lint_source(Path::new("test.rs"), src, &RuleSet::all())
+        lint_source(Path::new("test.rs"), src, &RuleSet::all()).expect("fixture parses")
     }
 
     #[test]
-    fn instant_now_is_flagged_with_line() {
+    fn instant_now_is_flagged_with_span() {
         let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
         let f = lint(src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::WallClock);
         assert_eq!(f[0].line, 2);
-        assert!(f[0].to_string().starts_with("test.rs:2: [wall-clock]"));
+        assert!(f[0].column > 1, "span carries a real column");
+        assert!(f[0].to_string().starts_with("test.rs:2:"));
+        assert!(f[0].to_string().contains("[wall-clock]"));
+    }
+
+    #[test]
+    fn aliased_instant_is_still_wall_clock() {
+        let src = "use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WallClock);
+        assert_eq!(f[0].line, 2);
     }
 
     #[test]
@@ -588,15 +387,24 @@ mod tests {
     }
 
     #[test]
-    fn allow_escape_suppresses_same_and_next_line() {
-        let src = "// simlint: allow(adhoc-rng)\nlet r = thread_rng();\n\
-                   let q = thread_rng(); // simlint: allow(adhoc-rng)\n";
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "fn f() {\n// simlint: allow(adhoc-rng, fixture: sanctioned in this test)\n\
+                   let r = thread_rng();\n\
+                   let q = thread_rng(); // simlint: allow(adhoc-rng, fixture: ditto)\n}\n";
         assert!(lint(src).is_empty());
     }
 
     #[test]
+    fn reasonless_allow_no_longer_suppresses() {
+        let src = "fn f() {\n// simlint: allow(adhoc-rng)\nlet r = thread_rng();\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "legacy escapes without a reason are dead");
+        assert!(f[0].message.contains("missing a reason"));
+    }
+
+    #[test]
     fn allow_of_other_rule_does_not_suppress() {
-        let src = "// simlint: allow(wall-clock)\nlet r = thread_rng();\n";
+        let src = "fn f() {\n// simlint: allow(wall-clock, wrong rule)\nlet r = thread_rng();\n}\n";
         assert_eq!(lint(src).len(), 1);
     }
 
@@ -635,19 +443,121 @@ mod tests {
     }
 
     #[test]
+    fn commutative_reduction_passes_without_escape() {
+        let src = "fn f(m: HashMap<u32, u64>) {\n    let mut total = 0u64;\n    \
+                   for (_, v) in &m {\n        total += v;\n    }\n    let _ = total;\n}\n";
+        assert!(lint(src).is_empty(), "order-insensitive reduction is clean");
+    }
+
+    #[test]
+    fn sum_chain_passes_without_escape() {
+        let src = "fn f(m: HashMap<u32, u64>) -> u64 { m.values().sum() }";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn collect_into_btree_passes_without_escape() {
+        let src = "fn f(m: HashMap<u32, u64>) {\n    \
+                   let v: BTreeSet<u32> = m.keys().copied().collect();\n    emit(v);\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn sorted_vec_then_sink_passes() {
+        let src = "fn f(m: HashMap<u32, u64>, out: &mut Vec<u32>) {\n    \
+                   let mut v: Vec<u32> = m.keys().copied().collect();\n    v.sort();\n    \
+                   out.extend(v);\n}\n";
+        assert!(lint(src).is_empty(), "sort launders iteration order");
+    }
+
+    #[test]
+    fn iteration_reaching_scheduler_is_order_taint() {
+        let src = "fn f(m: HashMap<u32, u64>, sim: &mut Sim) {\n    \
+                   for k in m.keys() {\n        sim.schedule(k);\n    }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::OrderTaint);
+        assert!(f[0].message.contains("schedule"));
+    }
+
+    #[test]
+    fn unwrap_in_engine_fn_is_panic_path() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicPath);
+    }
+
+    #[test]
+    fn unwrap_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { g().unwrap(); }\n}\n\
+                   fn prod() -> u32 { h().expect(\"boom\") }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "only the non-test expect is flagged");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn bare_variable_indexing_is_not_flagged() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[i] }";
+        assert!(lint(src).is_empty(), "by-construction index idiom is sanctioned");
+    }
+
+    #[test]
+    fn literal_and_arithmetic_indexing_are_flagged() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { v[0] + v[i - 1] }";
+        let f = lint(src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == Rule::PanicPath));
+    }
+
+    #[test]
+    fn range_slicing_is_flagged() {
+        let src = "fn f(v: &[u32], n: usize) -> &[u32] { &v[..n] }";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("range slicing"));
+    }
+
+    #[test]
+    fn width_hazard_multiply_is_flagged_u128_is_not() {
+        let bad = "fn f(queued_bytes: u64, bandwidth_bps: u64) -> u64 {\n    \
+                   queued_bytes * 1_000_000_000 / bandwidth_bps\n}\n";
+        let f = lint(bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::UncheckedWidthMath);
+
+        let widened = "fn f(queued_bytes: u64, bandwidth_bps: u64) -> u64 {\n    \
+                       ((queued_bytes as u128 * 1_000_000_000u128) / bandwidth_bps as u128) as u64\n}\n";
+        assert!(lint(widened).is_empty(), "explicit u128 widening is safe");
+
+        let routed = "fn f(queued_bytes: u64, bandwidth_bps: u64) -> u64 {\n    \
+                      widemath::mul_div_ceil(queued_bytes, 1_000_000_000, bandwidth_bps)\n}\n";
+        assert!(lint(routed).is_empty(), "the sanctioned sink is exempt");
+    }
+
+    #[test]
     fn thread_spawn_respects_ruleset() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         assert_eq!(lint(src).len(), 1);
         let mut rs = RuleSet::all();
         rs.thread_spawn = false;
-        assert!(lint_source(Path::new("t.rs"), src, &rs).is_empty());
+        assert!(lint_source(Path::new("t.rs"), src, &rs).expect("parses").is_empty());
+    }
+
+    #[test]
+    fn aliased_spawn_is_flagged() {
+        let src = "use std::thread::spawn;\nfn f() { spawn(|| {}); }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ThreadSpawn);
     }
 
     #[test]
     fn threaded_bridge_keeps_rng_rules() {
         let rs = ruleset_for(Path::new("crates/iocontainers/src/threaded.rs")).unwrap();
         assert!(!rs.wall_clock && !rs.thread_spawn);
-        assert!(rs.adhoc_rng && rs.unordered_iter);
+        assert!(rs.adhoc_rng && rs.unordered_iter && rs.order_taint);
     }
 
     #[test]
@@ -655,6 +565,24 @@ mod tests {
         let rs = ruleset_for(Path::new("crates/simpar/src/lib.rs")).unwrap();
         assert!(!rs.thread_spawn);
         assert!(rs.wall_clock && rs.adhoc_rng && rs.unordered_iter);
+    }
+
+    #[test]
+    fn hot_paths_get_panic_and_width_rules() {
+        let pipeline = ruleset_for(Path::new("crates/iocontainers/src/pipeline.rs")).unwrap();
+        assert!(pipeline.panic_path && pipeline.width_math);
+        let net = ruleset_for(Path::new("crates/simnet/src/net.rs")).unwrap();
+        assert!(net.panic_path && net.width_math);
+        let kernel = ruleset_for(Path::new("crates/sim-core/src/kernel.rs")).unwrap();
+        assert!(kernel.panic_path && !kernel.width_math);
+        let cost = ruleset_for(Path::new("crates/datatap/src/cost.rs")).unwrap();
+        assert!(cost.width_math && !cost.panic_path);
+        // The sanctioned u128 sink is not width-checked against itself.
+        let wm = ruleset_for(Path::new("crates/sim-core/src/widemath.rs")).unwrap();
+        assert!(!wm.width_math && wm.panic_path);
+        // Cold paths keep the sim defaults.
+        let tel = ruleset_for(Path::new("crates/simtel/src/lib.rs")).unwrap();
+        assert!(!tel.panic_path && !tel.width_math);
     }
 
     #[test]
@@ -667,18 +595,21 @@ mod tests {
 
     #[test]
     fn simfault_is_fully_in_scope_and_seeded_rng_passes() {
-        // The fault-injection crate gets every rule: its loss samplers are
-        // only sanctioned because they derive from the plan seed.
+        // The fault-injection crate gets every sim rule: its loss samplers
+        // are only sanctioned because they derive from the plan seed.
         let rs = ruleset_for(Path::new("crates/simfault/src/lib.rs")).unwrap();
         assert!(rs.wall_clock && rs.adhoc_rng && rs.unordered_iter && rs.thread_spawn);
         let seeded = "fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed ^ 0xFA17); }";
         assert!(
-            lint_source(Path::new("crates/simfault/src/lib.rs"), seeded, &rs).is_empty(),
+            lint_source(Path::new("crates/simfault/src/lib.rs"), seeded, &rs)
+                .expect("parses")
+                .is_empty(),
             "seed_from_u64 is the sanctioned construction"
         );
         let adhoc = "fn f() { let rng = rand::thread_rng(); }";
         assert_eq!(
             lint_source(Path::new("crates/simfault/src/lib.rs"), adhoc, &rs)
+                .expect("parses")
                 .iter()
                 .filter(|f| f.rule == Rule::AdhocRng)
                 .count(),
@@ -691,5 +622,26 @@ mod tests {
     fn raw_strings_and_lifetimes_lex_cleanly() {
         let src = "fn f<'a>(x: &'a str) -> &'a str { let _ = r#\"thread_rng()\"#; x }";
         assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_and_baseline_diff() {
+        let f1 = Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 10,
+            column: 5,
+            rule: Rule::WallClock,
+            message: "msg \"quoted\"".to_string(),
+        };
+        let f2 = Finding { line: 99, rule: Rule::PanicPath, ..f1.clone() };
+        let json = baseline::render_json(&[f1.clone(), f2.clone()]);
+        let keys = baseline::parse_baseline(&json).expect("own artifact parses");
+        assert_eq!(keys.len(), 2);
+        // Line drift does not resurrect a baselined finding…
+        let drifted = Finding { line: 11, ..f1.clone() };
+        assert!(baseline::new_findings(&[drifted], &keys).is_empty());
+        // …but a genuinely new finding still fails.
+        let fresh = Finding { message: "different".to_string(), ..f1 };
+        assert_eq!(baseline::new_findings(&[fresh], &keys).len(), 1);
     }
 }

@@ -1,0 +1,346 @@
+//! Token-level rules: the four legacy determinism rules (alias-aware on
+//! the AST engine) plus the v2 `panic-path` and `unchecked-width-math`
+//! classes. The `order-taint`/`unordered-iter` dataflow lives in
+//! [`crate::taint`].
+
+use syn::{Delimiter, Span, TokenTree};
+
+use crate::engine::{self, FileCx, FnInfo};
+use crate::{Finding, Rule, RuleSet};
+
+/// Raw finding before file/escape bookkeeping: (span, rule, message).
+pub type RawFinding = (Span, Rule, String);
+
+/// Runs the wall-clock / adhoc-rng / thread-spawn rules over the whole
+/// flattened file (matching v1 scope: test code included — tests that
+/// read wall clocks or spawn raw threads are still hazards for the
+/// deterministic suite).
+pub fn token_rules(cx: &FileCx, flat: &[TokenTree], rules: &RuleSet, out: &mut Vec<RawFinding>) {
+    engine::visit_streams(flat, &mut |stream| {
+        for (i, t) in stream.iter().enumerate() {
+            let TokenTree::Ident(id) = t else { continue };
+            let name = id.text.as_str();
+            let canon = cx.canonical(name);
+
+            if rules.wall_clock {
+                // `Instant::now()` (aliased or not). A bare `Instant`
+                // ident (enum variants, docs) is not flagged.
+                if canon == "Instant"
+                    && engine::is_path_sep(stream, i + 1)
+                    && engine::is_ident(stream.get(i + 3), "now")
+                {
+                    out.push((
+                        id.span,
+                        Rule::WallClock,
+                        "Instant::now() reads the wall clock; use the simulation clock".to_string(),
+                    ));
+                }
+                // Any `SystemTime` mention (UNIX_EPOCH maths included).
+                if canon == "SystemTime" {
+                    out.push((
+                        id.span,
+                        Rule::WallClock,
+                        "SystemTime reads the wall clock; use the simulation clock".to_string(),
+                    ));
+                }
+            }
+
+            if rules.adhoc_rng {
+                if canon == "thread_rng" || canon == "from_entropy" {
+                    out.push((
+                        id.span,
+                        Rule::AdhocRng,
+                        format!("{name} draws OS entropy; derive RNGs from the run seed"),
+                    ));
+                }
+                // `rand::random` / `random` aliased from rand.
+                if name == "rand"
+                    && engine::is_path_sep(stream, i + 1)
+                    && engine::is_ident(stream.get(i + 3), "random")
+                {
+                    out.push((
+                        id.span,
+                        Rule::AdhocRng,
+                        "rand::random draws OS entropy; derive RNGs from the run seed".to_string(),
+                    ));
+                }
+                if cx.canonical_path(name).is_some_and(|p| p == ["rand", "random"]) {
+                    out.push((
+                        id.span,
+                        Rule::AdhocRng,
+                        "rand::random draws OS entropy; derive RNGs from the run seed".to_string(),
+                    ));
+                }
+            }
+
+            if rules.thread_spawn {
+                // `thread::spawn` / `std::thread::spawn`.
+                if name == "thread"
+                    && engine::is_path_sep(stream, i + 1)
+                    && engine::is_ident(stream.get(i + 3), "spawn")
+                {
+                    out.push((
+                        id.span,
+                        Rule::ThreadSpawn,
+                        "raw thread::spawn bypasses the deterministic scheduler".to_string(),
+                    ));
+                }
+                // `use std::thread::spawn;` then a bare `spawn(...)` call.
+                if engine::paren_at(stream, i + 1).is_some()
+                    && cx
+                        .canonical_path(name)
+                        .is_some_and(|p| p.ends_with(&["thread".to_string(), "spawn".to_string()]))
+                {
+                    out.push((
+                        id.span,
+                        Rule::ThreadSpawn,
+                        "raw thread::spawn bypasses the deterministic scheduler".to_string(),
+                    ));
+                }
+            }
+        }
+    });
+}
+
+/// Identifiers that are Rust keywords possibly preceding a bracket group
+/// in non-index position (`&mut [T]`, `as` casts, control flow).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "ref", "dyn", "in", "as", "return", "break", "else", "match", "if", "while", "loop",
+    "move", "impl", "where", "for", "fn", "use", "pub", "let", "const", "static", "type", "enum",
+    "struct", "union", "unsafe", "async", "await", "box",
+];
+
+/// Macros that unconditionally panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Methods that panic on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// The `panic-path` rule: unwrap/expect, panicking macros, and hazardous
+/// slice indexing (literal or arithmetic indices, range slicing) inside
+/// non-test engine functions. Bare-variable indexing (`containers[id]`)
+/// is the workspace's by-construction idiom and is not flagged.
+pub fn panic_path(fns: &[FnInfo<'_>], out: &mut Vec<RawFinding>) {
+    for f in fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.item.body else { continue };
+        engine::visit_streams(&body.stream, &mut |stream| {
+            scan_panic_stream(stream, out);
+        });
+    }
+}
+
+fn scan_panic_stream(stream: &[TokenTree], out: &mut Vec<RawFinding>) {
+    for (i, t) in stream.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) => {
+                // `.unwrap()` / `.expect("…")` method calls.
+                if PANIC_METHODS.contains(&id.text.as_str())
+                    && engine::is_punct(i.checked_sub(1).and_then(|p| stream.get(p)), '.')
+                    && engine::paren_at(stream, i + 1).is_some()
+                {
+                    out.push((
+                        id.span,
+                        Rule::PanicPath,
+                        format!(
+                            ".{}() panics on the failure path; propagate a typed error",
+                            id.text
+                        ),
+                    ));
+                }
+                // `panic!` family macros.
+                if PANIC_MACROS.contains(&id.text.as_str())
+                    && engine::is_punct(stream.get(i + 1), '!')
+                {
+                    out.push((
+                        id.span,
+                        Rule::PanicPath,
+                        format!("{}! aborts the engine mid-run; propagate a typed error", id.text),
+                    ));
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter == Delimiter::Bracket && is_postfix_index(stream, i) =>
+            {
+                if let Some(kind) = hazardous_index(&g.stream) {
+                    out.push((
+                        g.span,
+                        Rule::PanicPath,
+                        format!("{kind} can panic out of bounds; use get()/get_mut() or slicing with checks"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the bracket group at `stream[i]` sits in postfix (indexing)
+/// position: directly after a non-keyword identifier, a call/paren
+/// group, or another bracket group.
+fn is_postfix_index(stream: &[TokenTree], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| stream.get(p)) else {
+        return false;
+    };
+    match prev {
+        TokenTree::Ident(id) => !NON_INDEX_KEYWORDS.contains(&id.text.as_str()),
+        TokenTree::Group(g) => {
+            g.delimiter == Delimiter::Parenthesis || g.delimiter == Delimiter::Bracket
+        }
+        _ => false,
+    }
+}
+
+/// Classifies the index expression: literal index, arithmetic index, or
+/// range slicing are hazardous; a bare variable (or field path) is not.
+fn hazardous_index(index: &[TokenTree]) -> Option<&'static str> {
+    if index.is_empty() {
+        return None;
+    }
+    // A single literal: `v[0]`.
+    if index.len() == 1 {
+        if let TokenTree::Literal(_) = index[0] {
+            return Some("literal indexing");
+        }
+    }
+    let mut prev_was_value = false;
+    for (i, t) in index.iter().enumerate() {
+        match t {
+            // Range slicing: `..` at any top-level position.
+            TokenTree::Punct(p) if p.ch == '.' => {
+                if matches!(index.get(i + 1), Some(TokenTree::Punct(q)) if q.ch == '.') {
+                    return Some("range slicing");
+                }
+            }
+            _ => {}
+        }
+        match t {
+            // Binary arithmetic on the index: `v[i - 1]`, `v[2 * k]`.
+            TokenTree::Punct(p) if matches!(p.ch, '+' | '-' | '*' | '/' | '%') => {
+                if prev_was_value && !matches!(index.get(i + 1), Some(TokenTree::Punct(_))) {
+                    return Some("arithmetic indexing");
+                }
+                prev_was_value = false;
+            }
+            TokenTree::Ident(_) | TokenTree::Literal(_) => prev_was_value = true,
+            TokenTree::Group(g) if g.delimiter == Delimiter::Parenthesis => prev_was_value = true,
+            _ => prev_was_value = false,
+        }
+    }
+    None
+}
+
+/// Name fragments marking a byte-count operand.
+const BYTES_HINTS: &[&str] = &["byte", "bytes", "size", "backlog", "queued", "payload", "chunk"];
+/// Name fragments marking a rate operand.
+const RATE_HINTS: &[&str] = &["bps", "bandwidth", "rate", "throughput"];
+/// Name fragments marking a time-in-ns operand.
+const TIME_HINTS: &[&str] = &["nanos", "_ns", "per_sec"];
+
+/// The `unchecked-width-math` rule: u64-width multiply/divide chains on
+/// bytes × bandwidth/time-scale operands outside `sim_core::widemath`.
+/// Only non-test function bodies are scanned.
+pub fn width_math(fns: &[FnInfo<'_>], out: &mut Vec<RawFinding>) {
+    for f in fns {
+        if f.in_test {
+            continue;
+        }
+        let Some(body) = &f.item.body else { continue };
+        engine::visit_streams(&body.stream, &mut |stream| {
+            for stmt in engine::statements(stream) {
+                scan_width_stmt(stmt, out);
+            }
+        });
+    }
+}
+
+fn scan_width_stmt(stmt: &[TokenTree], out: &mut Vec<RawFinding>) {
+    // A statement routed through the sanctioned sink, an explicit u128
+    // widening, or checked/saturating math is already safe.
+    let mut names = std::collections::BTreeSet::new();
+    engine::idents_in(stmt, &mut names);
+    if names.contains("widemath")
+        || names.contains("u128")
+        || names.contains("i128")
+        || names.iter().any(|n| n.starts_with("checked_") || n.starts_with("saturating_"))
+    {
+        return;
+    }
+
+    for (i, t) in stmt.iter().enumerate() {
+        let TokenTree::Punct(p) = t else { continue };
+        if p.ch != '*' {
+            continue;
+        }
+        // Binary multiply, not deref/raw-pointer: previous token must be
+        // a value (ident/literal/close-group).
+        let prev = i.checked_sub(1).and_then(|x| stmt.get(x));
+        let is_value = matches!(
+            prev,
+            Some(TokenTree::Literal(_)) | Some(TokenTree::Group(_))
+        ) || matches!(prev, Some(TokenTree::Ident(id)) if !NON_INDEX_KEYWORDS.contains(&id.text.as_str()));
+        if !is_value {
+            continue;
+        }
+
+        // Classify operand hints in a window around the multiply.
+        let lo = i.saturating_sub(8);
+        let hi = (i + 9).min(stmt.len());
+        let mut bytes_like = false;
+        let mut rate_like = false;
+        let mut big_scale = false;
+        let mut time_like = false;
+        let mut window = std::collections::BTreeSet::new();
+        engine::idents_in(&stmt[lo..hi], &mut window);
+        for name in &window {
+            let lower = name.to_ascii_lowercase();
+            bytes_like |= BYTES_HINTS.iter().any(|h| lower.contains(h));
+            rate_like |= RATE_HINTS.iter().any(|h| lower.contains(h));
+            time_like |= TIME_HINTS.iter().any(|h| lower.contains(h) || lower == "ns");
+        }
+        for t in &stmt[lo..hi] {
+            if let TokenTree::Literal(l) = t {
+                let digits: String = l.text.chars().filter(|c| c.is_ascii_digit()).collect();
+                if digits.parse::<u128>().is_ok_and(|v| v >= 1_000_000) {
+                    big_scale = true;
+                }
+            }
+        }
+
+        if bytes_like && (rate_like || big_scale || time_like) {
+            out.push((
+                p.span,
+                Rule::UncheckedWidthMath,
+                "u64 multiply on bytes/bandwidth/time operands can overflow; route through sim_core::widemath".to_string(),
+            ));
+        }
+    }
+}
+
+/// Converts raw findings into [`Finding`]s, applying escapes.
+pub fn finalize(
+    file: &str,
+    cx: &FileCx,
+    raw: Vec<RawFinding>,
+    out: &mut Vec<Finding>,
+) {
+    for (span, rule, mut message) in raw {
+        if cx.escaped(span.line, rule.name()) {
+            continue;
+        }
+        if cx.reasonless_escape(span.line, rule.name()) {
+            message.push_str(
+                " (escape present but missing a reason; reasons are mandatory — see DESIGN.md §10)",
+            );
+        }
+        out.push(Finding {
+            file: file.to_string(),
+            line: span.line,
+            column: span.column,
+            rule,
+            message,
+        });
+    }
+}

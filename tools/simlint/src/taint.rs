@@ -1,0 +1,762 @@
+//! Intra-crate order-taint dataflow.
+//!
+//! Hash-map/set iteration order is nondeterministic, but not every
+//! iteration is a hazard: a loop that only feeds commutative reductions
+//! (`+=`, `insert`, `max`) or a chain that lands in an ordered
+//! collection is order-insensitive. This module tracks taint from
+//! iteration **sources** through local bindings to **sinks** (event
+//! scheduling, pushes to exported collections, trace-hash/print output)
+//! and classifies each iteration site:
+//!
+//! * proven to reach a sink → [`Rule::OrderTaint`] naming the sink;
+//! * unresolved flow (unknown callee, returned value, stored on
+//!   `self`) → [`Rule::UnorderedIter`] (the conservative v1 verdict);
+//! * fully consumed by commutative/sanitizing uses → clean.
+//!
+//! Lookup-only maps (get/insert/entry/contains_key) never iterate, so
+//! they pass without any escape — that is what lets DESIGN.md §7's
+//! manual allowlist shrink.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use syn::{Delimiter, Span, TokenTree};
+
+use crate::engine::{self, FileCx, FnInfo};
+use crate::rules::RawFinding;
+use crate::{Rule, RuleSet};
+
+/// Iteration methods that expose hash ordering.
+pub const ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "into_iter", "drain"];
+
+/// Iteration methods that take a closure executed per element.
+const CLOSURE_ITER_METHODS: &[&str] = &["retain", "for_each"];
+
+/// Chain terminators whose result is order-insensitive.
+const SANITIZERS: &[&str] = &[
+    "sum", "product", "count", "min", "max", "min_by", "min_by_key", "max_by", "max_by_key",
+    "all", "any", "len", "is_empty", "fold_commutative",
+];
+
+/// Collection types whose contents do not depend on insertion order.
+const ORDERED_COLLECT: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap", "HashMap", "HashSet"];
+
+/// Call names treated as order-observable sinks.
+const SINKS: &[&str] = &[
+    "schedule", "schedule_at", "schedule_event", "send", "try_send", "write", "write_all",
+    "writeln", "push", "push_back", "push_front", "append", "extend", "record", "emit",
+    "publish", "hash", "write_u64", "write_u32", "write_bytes", "update", "mark", "println",
+    "print", "eprintln", "eprint", "observe",
+];
+
+/// Commutative per-element operations: safe to feed tainted values.
+const COMMUTATIVE: &[&str] = &["insert", "entry", "or_insert", "or_insert_with", "or_default", "remove"];
+
+/// Pure wrappers/constructors: propagate taint, never "unknown".
+const WRAPPERS: &[&str] = &[
+    "Some", "Ok", "Err", "Box", "Rc", "Arc", "Vec", "vec", "format", "clone", "cloned",
+    "copied", "to_string", "to_owned", "to_vec", "as_ref", "as_str", "as_slice", "into",
+    "from", "cmp", "get", "contains", "contains_key", "unwrap_or", "unwrap_or_else",
+    "unwrap_or_default", "unwrap", "expect", "min", "max", "abs", "saturating_sub",
+    "saturating_add", "map", "filter", "filter_map", "and_then", "enumerate", "zip", "rev",
+    "take", "skip", "chain", "flatten", "flat_map", "collect", "copied",
+];
+
+/// One iteration site under classification.
+struct Event {
+    span: Span,
+    recv: String,
+    status: Status,
+}
+
+#[derive(Clone, PartialEq)]
+enum Status {
+    /// No escape observed yet → clean if it stays this way.
+    Pending,
+    /// Flow left the function unresolved → `unordered-iter`.
+    Unknown,
+    /// Reached a named sink → `order-taint`.
+    Sink(String),
+}
+
+struct Analysis<'cx> {
+    cx: &'cx FileCx,
+    hash_names: &'cx BTreeSet<String>,
+    params: BTreeSet<String>,
+    locals: BTreeSet<String>,
+    /// Variable → the iteration events whose order it carries.
+    tainted: BTreeMap<String, BTreeSet<usize>>,
+    events: Vec<Event>,
+}
+
+/// Collects every identifier bound to a `HashMap`/`HashSet` in the file:
+/// `name: HashMap<…>` annotations (fields, params, lets) and
+/// `let name = HashMap::new()`-style constructions. Alias-aware.
+pub fn collect_hash_names(cx: &FileCx, flat: &[TokenTree]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    engine::visit_streams(flat, &mut |stream| {
+        for (i, t) in stream.iter().enumerate() {
+            let TokenTree::Ident(id) = t else { continue };
+            // `name : … Hash… <` — a typed binding or field. Require a
+            // single colon (not `::`) on both sides.
+            if engine::is_punct(stream.get(i + 1), ':')
+                && !engine::is_punct(stream.get(i + 2), ':')
+                && !engine::is_punct(i.checked_sub(1).and_then(|p| stream.get(p)), ':')
+            {
+                for j in (i + 2)..(i + 10).min(stream.len()) {
+                    match &stream[j] {
+                        TokenTree::Ident(ty) => {
+                            let canon = cx.canonical(&ty.text);
+                            if (canon == "HashMap" || canon == "HashSet")
+                                && engine::is_punct(stream.get(j + 1), '<')
+                            {
+                                out.insert(id.text.clone());
+                            }
+                        }
+                        TokenTree::Punct(p) if matches!(p.ch, ',' | ';' | '=' | '>') => break,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // `let [mut] name … = … Hash… :: new/with_capacity/default/from`.
+        for run in engine::statements(stream) {
+            if !engine::is_ident(run.first(), "let") {
+                continue;
+            }
+            let Some(bound) = let_bound_ident(run) else { continue };
+            for (j, t) in run.iter().enumerate() {
+                let TokenTree::Ident(ty) = t else { continue };
+                let canon = cx.canonical(&ty.text);
+                if (canon == "HashMap" || canon == "HashSet")
+                    && engine::is_path_sep(run, j + 1)
+                    && matches!(
+                        run.get(j + 3).and_then(TokenTree::ident),
+                        Some("new") | Some("with_capacity") | Some("default") | Some("from")
+                    )
+                {
+                    out.insert(bound.clone());
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Parameter names of a function: idents directly followed by a single
+/// `:` at the top level of the signature's paren group.
+fn param_names(f: &syn::ItemFn) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    if let Some(g) = f.params() {
+        let s = &g.stream;
+        for (i, t) in s.iter().enumerate() {
+            if let TokenTree::Ident(id) = t {
+                if engine::is_punct(s.get(i + 1), ':')
+                    && !engine::is_punct(s.get(i + 2), ':')
+                    && !engine::is_punct(i.checked_sub(1).and_then(|p| s.get(p)), ':')
+                {
+                    out.insert(id.text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The identifier bound by a `let` statement run.
+fn let_bound_ident(run: &[TokenTree]) -> Option<String> {
+    let mut i = 1;
+    while let Some(t) = run.get(i) {
+        match t {
+            TokenTree::Ident(id) if id.text == "mut" => i += 1,
+            TokenTree::Ident(id) => return Some(id.text.clone()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Runs the order-taint analysis over every function, emitting
+/// `order-taint` and `unordered-iter` raw findings.
+pub fn analyze(
+    cx: &FileCx,
+    fns: &[FnInfo<'_>],
+    hash_names: &BTreeSet<String>,
+    rules: &RuleSet,
+    out: &mut Vec<RawFinding>,
+) {
+    if !rules.unordered_iter && !rules.order_taint {
+        return;
+    }
+    for f in fns {
+        let Some(body) = &f.item.body else { continue };
+        let mut a = Analysis {
+            cx,
+            hash_names,
+            params: param_names(f.item),
+            locals: BTreeSet::new(),
+            tainted: BTreeMap::new(),
+            events: Vec::new(),
+        };
+        a.block(&body.stream, true);
+        for ev in a.events {
+            match ev.status {
+                Status::Pending => {}
+                Status::Unknown => {
+                    if rules.unordered_iter {
+                        out.push((
+                            ev.span,
+                            Rule::UnorderedIter,
+                            format!(
+                                "iteration over hash collection `{}` has nondeterministic order and its flow is unresolved; sort, use a BTree collection, or reduce commutatively",
+                                ev.recv
+                            ),
+                        ));
+                    }
+                }
+                Status::Sink(name) => {
+                    let rule = if rules.order_taint { Rule::OrderTaint } else { Rule::UnorderedIter };
+                    out.push((
+                        ev.span,
+                        rule,
+                        format!(
+                            "iteration order of hash collection `{}` reaches sink `{}`; sort before the sink or use a BTree collection",
+                            ev.recv, name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl Analysis<'_> {
+    fn is_hash(&self, name: &str) -> bool {
+        self.hash_names.contains(name)
+    }
+
+    fn taint_of(&self, name: &str) -> Option<&BTreeSet<usize>> {
+        self.tainted.get(name)
+    }
+
+    fn mark(&mut self, roots: &BTreeSet<usize>, status: Status) {
+        for &r in roots {
+            let ev = &mut self.events[r];
+            match (&ev.status, &status) {
+                (Status::Pending, _) => ev.status = status.clone(),
+                (Status::Unknown, Status::Sink(_)) => ev.status = status.clone(),
+                _ => {}
+            }
+        }
+    }
+
+    /// Union of taint roots of every tainted identifier in the stream
+    /// (descending into all groups).
+    fn tainted_roots_in(&self, stream: &[TokenTree]) -> BTreeSet<usize> {
+        let mut names = BTreeSet::new();
+        engine::idents_in(stream, &mut names);
+        let mut roots = BTreeSet::new();
+        for n in &names {
+            if let Some(r) = self.taint_of(n) {
+                roots.extend(r.iter().copied());
+            }
+        }
+        roots
+    }
+
+    /// Analyzes a block stream statement by statement. `top` marks the
+    /// function body itself (for tail-expression detection).
+    fn block(&mut self, stream: &[TokenTree], top: bool) {
+        let runs = split_runs(stream);
+        let n = runs.len();
+        for (ix, (run, semi)) in runs.into_iter().enumerate() {
+            if run.is_empty() {
+                continue;
+            }
+            if engine::is_ident(run.first(), "for") {
+                self.for_loop(run);
+                continue;
+            }
+            let tail = top && ix + 1 == n && !semi;
+            let events_before = self.events.len();
+            let tail_roots = if tail { self.tainted_roots_in(run) } else { BTreeSet::new() };
+            self.generic_run(run);
+            // Tail expression of the function body: an unresolved escape
+            // for any taint it mentions and any chain it starts —
+            // unless the chain was sanitized (never became an event).
+            if tail {
+                if !tail_roots.is_empty() {
+                    self.mark(&tail_roots, Status::Unknown);
+                }
+                let fresh: BTreeSet<usize> = (events_before..self.events.len())
+                    .filter(|&i| self.events[i].status == Status::Pending)
+                    .collect();
+                if !fresh.is_empty() {
+                    self.mark(&fresh, Status::Unknown);
+                }
+            }
+        }
+    }
+
+    /// `for <pat> in <iter-expr> { body }`.
+    fn for_loop(&mut self, run: &[TokenTree]) {
+        // Locate the top-level `in` and the trailing body group.
+        let in_at = run.iter().position(|t| t.ident() == Some("in"));
+        let body = match run.last() {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => Some(g),
+            _ => None,
+        };
+        let (Some(in_at), Some(body)) = (in_at, body) else {
+            // Malformed for our purposes; still visit nested blocks.
+            self.recurse_braces(run);
+            return;
+        };
+        let pat = &run[1..in_at];
+        let iter_expr = &run[in_at + 1..run.len() - 1];
+
+        let mut pat_idents = BTreeSet::new();
+        engine::idents_in(pat, &mut pat_idents);
+        pat_idents.retain(|n| n != "mut" && n != "ref" && n != "_");
+
+        // Does the iterated expression expose hash order?
+        let mut roots = BTreeSet::new();
+        if let Some((span, recv, sanitized)) = self.hash_iteration(iter_expr) {
+            if !sanitized {
+                self.events.push(Event { span, recv, status: Status::Pending });
+                roots.insert(self.events.len() - 1);
+            }
+        }
+        // Iterating an already-tainted value forwards its roots.
+        roots.extend(self.tainted_roots_in(iter_expr));
+
+        let saved: Vec<(String, Option<BTreeSet<usize>>)> = pat_idents
+            .iter()
+            .map(|n| (n.clone(), self.tainted.get(n).cloned()))
+            .collect();
+        if !roots.is_empty() {
+            for n in &pat_idents {
+                self.tainted.insert(n.clone(), roots.clone());
+            }
+        }
+        self.block(&body.stream, false);
+        // Loop vars go out of scope.
+        for (n, prev) in saved {
+            match prev {
+                Some(r) => {
+                    self.tainted.insert(n, r);
+                }
+                None => {
+                    self.tainted.remove(&n);
+                }
+            }
+        }
+    }
+
+    /// Detects a hash iteration inside an expression: either a bare hash
+    /// receiver (`&m`, `m`) or a `recv.iter()`-style chain. Returns the
+    /// anchor span, a receiver description, and whether a sanitizing
+    /// terminator already neutralises the order.
+    fn hash_iteration(&self, expr: &[TokenTree]) -> Option<(Span, String, bool)> {
+        // Chain form: `recv . M ( … )` with M an iteration method.
+        for (i, t) in expr.iter().enumerate() {
+            let TokenTree::Ident(id) = t else { continue };
+            let is_iter = ITER_METHODS.contains(&id.text.as_str());
+            let is_closure_iter = CLOSURE_ITER_METHODS.contains(&id.text.as_str());
+            if (is_iter || is_closure_iter)
+                && engine::is_punct(i.checked_sub(1).and_then(|p| expr.get(p)), '.')
+                && engine::paren_at(expr, i + 1).is_some()
+            {
+                let recv = self.receiver_hash_name(expr, i - 1)?;
+                let mut rest_idents = BTreeSet::new();
+                engine::idents_in(&expr[i + 1..], &mut rest_idents);
+                let sanitized = rest_idents.iter().any(|n| {
+                    SANITIZERS.contains(&n.as_str())
+                        || ORDERED_COLLECT.contains(&self.cx.canonical(n))
+                });
+                return Some((id.span, recv, sanitized));
+            }
+        }
+        // Bare form: `[& [mut]] m` where every ident is skippable except
+        // one hash name.
+        let idents: Vec<&syn::Ident> = expr
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        let names: Vec<&syn::Ident> =
+            idents.into_iter().filter(|i| i.text != "mut" && i.text != "self").collect();
+        if let [only] = names.as_slice() {
+            if self.is_hash(&only.text) {
+                return Some((only.span, only.text.clone(), false));
+            }
+        }
+        None
+    }
+
+    /// Resolves the receiver run ending at the `.` at `dot_at` to a hash
+    /// name: `m.`, `self.field.`, `x.field.` where the final segment (or
+    /// the variable itself) is a known hash binding/field.
+    fn receiver_hash_name(&self, expr: &[TokenTree], dot_at: usize) -> Option<String> {
+        let mut j = dot_at;
+        let mut segs: Vec<String> = Vec::new();
+        while j > 0 {
+            let prev = &expr[j - 1];
+            match prev {
+                TokenTree::Ident(id) => {
+                    segs.push(id.text.clone());
+                    j -= 1;
+                    if j > 0 && engine::is_punct(expr.get(j - 1), '.') {
+                        j -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter == Delimiter::Parenthesis => {
+                    // A call in the receiver chain: give up on this hop
+                    // but keep what we have.
+                    break;
+                }
+                _ => break,
+            }
+        }
+        segs.into_iter().find(|s| self.is_hash(s))
+    }
+
+    /// Generic (non-`for`) statement processing.
+    fn generic_run(&mut self, run: &[TokenTree]) {
+        if engine::is_ident(run.first(), "let") {
+            if let Some(bound) = let_bound_ident(run) {
+                self.locals.insert(bound);
+            }
+        }
+
+        // 1. Iteration chains starting in this run.
+        if let Some((span, recv, sanitized)) = self.hash_iteration_chain_only(run) {
+            if !sanitized {
+                self.events.push(Event { span, recv, status: Status::Pending });
+                let id = self.events.len() - 1;
+                self.resolve_chain_escape(run, id);
+            }
+        }
+
+        // 2. Sort-family calls launder their receiver.
+        for (i, t) in run.iter().enumerate() {
+            let TokenTree::Ident(id) = t else { continue };
+            if id.text.starts_with("sort")
+                && engine::is_punct(i.checked_sub(1).and_then(|p| run.get(p)), '.')
+                && engine::paren_at(run, i + 1).is_some()
+            {
+                if let Some(recv) =
+                    i.checked_sub(2).and_then(|p| run.get(p)).and_then(TokenTree::ident)
+                {
+                    self.tainted.remove(recv);
+                }
+            }
+        }
+
+        // 3. Calls consuming tainted arguments (skipping nested blocks —
+        // those are analyzed by recursion below).
+        self.scan_calls(run);
+
+        // 4. `let` propagation.
+        if engine::is_ident(run.first(), "let") {
+            if let Some(bound) = let_bound_ident(run) {
+                if let Some(eq) = top_level_assign(run) {
+                    let rhs = &run[eq + 1..];
+                    let mut rhs_idents = BTreeSet::new();
+                    engine::idents_in(rhs, &mut rhs_idents);
+                    let sanitized = rhs_idents.iter().any(|n| {
+                        SANITIZERS.contains(&n.as_str())
+                            || ORDERED_COLLECT.contains(&self.cx.canonical(n))
+                    });
+                    let roots = self.tainted_roots_in(rhs);
+                    if !roots.is_empty() && !sanitized {
+                        self.tainted.entry(bound).or_default().extend(roots);
+                    }
+                }
+            }
+        }
+
+        // 5. `return` and `self.x = …` escapes.
+        if engine::is_ident(run.first(), "return") {
+            let roots = self.tainted_roots_in(&run[1..]);
+            if !roots.is_empty() {
+                self.mark(&roots, Status::Unknown);
+            }
+        } else if let Some(eq) = top_level_assign(run) {
+            let lhs = &run[..eq];
+            let has_self = lhs.iter().any(|t| t.ident() == Some("self"));
+            let lhs_local = lhs
+                .iter()
+                .filter_map(TokenTree::ident)
+                .any(|n| self.locals.contains(n) || self.tainted.contains_key(n));
+            if has_self || !lhs_local {
+                let rhs = &run[eq + 1..];
+                let mut rhs_idents = BTreeSet::new();
+                engine::idents_in(rhs, &mut rhs_idents);
+                let sanitized = rhs_idents.iter().any(|n| {
+                    SANITIZERS.contains(&n.as_str())
+                        || ORDERED_COLLECT.contains(&self.cx.canonical(n))
+                });
+                let roots = self.tainted_roots_in(rhs);
+                if !roots.is_empty() && !sanitized && !engine::is_ident(run.first(), "let") {
+                    self.mark(&roots, Status::Unknown);
+                }
+            }
+        }
+
+        // 6. Nested blocks.
+        self.recurse_braces(run);
+    }
+
+    /// Like [`Self::hash_iteration`] but only the chain form, and only
+    /// outside top-level brace groups (nested blocks are handled by
+    /// recursion).
+    fn hash_iteration_chain_only(&self, run: &[TokenTree]) -> Option<(Span, String, bool)> {
+        for (i, t) in run.iter().enumerate() {
+            if matches!(t, TokenTree::Group(g) if g.delimiter == Delimiter::Brace) {
+                continue;
+            }
+            let TokenTree::Ident(id) = t else { continue };
+            let is_iter = ITER_METHODS.contains(&id.text.as_str())
+                || CLOSURE_ITER_METHODS.contains(&id.text.as_str());
+            if is_iter
+                && engine::is_punct(i.checked_sub(1).and_then(|p| run.get(p)), '.')
+                && engine::paren_at(run, i + 1).is_some()
+            {
+                if let Some(recv) = self.receiver_hash_name(run, i - 1) {
+                    let mut rest = BTreeSet::new();
+                    engine::idents_in(&run[i + 1..], &mut rest);
+                    // The let-annotation also names the collect target.
+                    let mut head = BTreeSet::new();
+                    engine::idents_in(&run[..i.saturating_sub(1)], &mut head);
+                    let sanitized = rest
+                        .iter()
+                        .any(|n| {
+                            SANITIZERS.contains(&n.as_str())
+                                || ORDERED_COLLECT.contains(&self.cx.canonical(n))
+                        })
+                        || head.iter().any(|n| ORDERED_COLLECT.contains(&self.cx.canonical(n)));
+                    return Some((id.span, recv, sanitized));
+                }
+            }
+        }
+        None
+    }
+
+    /// Decides where an unsanitized iteration chain's order goes: into a
+    /// `let` binding (taint it), into a sink named in the run, or
+    /// nowhere resolvable (unknown).
+    fn resolve_chain_escape(&mut self, run: &[TokenTree], event: usize) {
+        let roots: BTreeSet<usize> = [event].into_iter().collect();
+        if engine::is_ident(run.first(), "let") {
+            if let Some(bound) = let_bound_ident(run) {
+                self.tainted.entry(bound).or_default().extend(roots.iter().copied());
+                return;
+            }
+        }
+        // `return <chain>` escapes the function unresolved.
+        if engine::is_ident(run.first(), "return") {
+            self.mark(&roots, Status::Unknown);
+            return;
+        }
+        // `target = <chain>`: a local target carries the taint; a field
+        // or unknown target escapes.
+        if let Some(eq) = top_level_assign(run) {
+            let lhs = &run[..eq];
+            let lhs_idents: Vec<&str> = lhs.iter().filter_map(TokenTree::ident).collect();
+            if let [single] = lhs_idents.as_slice() {
+                if self.locals.contains(*single) {
+                    self.tainted.entry(single.to_string()).or_default().extend(roots);
+                    return;
+                }
+            }
+            self.mark(&roots, Status::Unknown);
+            return;
+        }
+        // Closure-driven iteration (`for_each`, `retain`) or a chain in
+        // expression position: look for sink names anywhere in the run;
+        // commutative-only consumption stays clean.
+        let mut names = BTreeSet::new();
+        engine::idents_in(run, &mut names);
+        if let Some(sink) = names.iter().find(|n| SINKS.contains(&n.as_str())) {
+            self.mark(&roots, Status::Sink(sink.clone()));
+            return;
+        }
+        let consuming_calls: Vec<&String> = names
+            .iter()
+            .filter(|n| {
+                !SANITIZERS.contains(&n.as_str())
+                    && !COMMUTATIVE.contains(&n.as_str())
+                    && !WRAPPERS.contains(&n.as_str())
+                    && !ITER_METHODS.contains(&n.as_str())
+                    && !CLOSURE_ITER_METHODS.contains(&n.as_str())
+            })
+            .collect();
+        // Only hash receivers, loop plumbing, and pure names left → the
+        // chain is consumed commutatively; anything else is unresolved.
+        let all_known = consuming_calls
+            .iter()
+            .all(|n| self.is_hash(n) || n.as_str() == "self" || !is_call_name(run, n));
+        if !all_known {
+            self.mark(&roots, Status::Unknown);
+        }
+    }
+
+    /// Scans a run for calls with tainted arguments, classifying each as
+    /// sink / commutative / propagation / unknown. Does not enter
+    /// top-level brace groups.
+    fn scan_calls(&mut self, run: &[TokenTree]) {
+        let mut pending: Vec<(String, Option<String>, BTreeSet<usize>)> = Vec::new();
+        collect_calls(run, &mut |name, recv, args| {
+            let roots = self.tainted_roots_in(args);
+            if roots.is_empty() {
+                return;
+            }
+            pending.push((name.to_string(), recv.map(str::to_string), roots));
+        });
+        for (name, recv, roots) in pending {
+            if SINKS.contains(&name.as_str()) {
+                // Pushing into a tracked local propagates; anything else
+                // (self fields, params, channels) is a real sink.
+                if matches!(name.as_str(), "push" | "push_back" | "push_front" | "extend" | "append")
+                {
+                    if let Some(r) = &recv {
+                        if self.locals.contains(r) && !self.params.contains(r) {
+                            self.tainted.entry(r.clone()).or_default().extend(roots);
+                            continue;
+                        }
+                    }
+                }
+                self.mark(&roots, Status::Sink(name.clone()));
+            } else if COMMUTATIVE.contains(&name.as_str())
+                || WRAPPERS.contains(&name.as_str())
+                || SANITIZERS.contains(&name.as_str())
+            {
+                // Commutative/pure: no escape.
+            } else {
+                self.mark(&roots, Status::Unknown);
+            }
+        }
+    }
+
+    /// Recurses into the run's top-level brace groups (if/else/match/
+    /// while bodies).
+    fn recurse_braces(&mut self, run: &[TokenTree]) {
+        for t in run {
+            if let TokenTree::Group(g) = t {
+                if g.delimiter == Delimiter::Brace {
+                    self.block(&g.stream, false);
+                }
+            }
+        }
+    }
+}
+
+/// True if `name` appears as a call (`name(…)` or `name!(…)`) in the run.
+fn is_call_name(run: &[TokenTree], name: &str) -> bool {
+    let mut found = false;
+    engine::visit_streams(run, &mut |stream| {
+        for (i, t) in stream.iter().enumerate() {
+            if t.ident() == Some(name)
+                && (engine::paren_at(stream, i + 1).is_some()
+                    || engine::is_punct(stream.get(i + 1), '!'))
+            {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Invokes `f(name, receiver, args)` for every call in the run:
+/// `recv.name(args)`, `name(args)`, and `name!(args)`. Descends into
+/// paren/bracket groups (argument lists) but not top-level brace groups.
+fn collect_calls<'a>(
+    run: &'a [TokenTree],
+    f: &mut impl FnMut(&'a str, Option<&'a str>, &'a [TokenTree]),
+) {
+    for (i, t) in run.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) => {
+                let args = match run.get(i + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter != Delimiter::Brace => {
+                        Some(&g.stream)
+                    }
+                    Some(TokenTree::Punct(p)) if p.ch == '!' => match run.get(i + 2) {
+                        Some(TokenTree::Group(g)) => Some(&g.stream),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(args) = args {
+                    let recv = i
+                        .checked_sub(2)
+                        .filter(|_| engine::is_punct(run.get(i - 1), '.'))
+                        .and_then(|p| run.get(p))
+                        .and_then(TokenTree::ident);
+                    f(&id.text, recv, args);
+                }
+            }
+            TokenTree::Group(g) if g.delimiter != Delimiter::Brace => {
+                collect_calls(&g.stream, f);
+            }
+            // Top-level brace groups are nested statement blocks handled
+            // by the block recursion, not by this scan.
+            _ => {}
+        }
+    }
+}
+
+/// Splits a block stream into statement runs at top-level `;`, `,`, and
+/// after top-level brace groups (block expressions carry no semicolon).
+/// Returns each run with whether a `;` terminated it.
+fn split_runs(stream: &[TokenTree]) -> Vec<(&[TokenTree], bool)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < stream.len() {
+        match &stream[i] {
+            TokenTree::Punct(p) if p.ch == ';' || p.ch == ',' => {
+                out.push((&stream[start..i], p.ch == ';'));
+                start = i + 1;
+            }
+            // `else { … }` / `else if …` keeps the chain together.
+            TokenTree::Group(g)
+                if g.delimiter == Delimiter::Brace
+                    && !engine::is_ident(stream.get(i + 1), "else") =>
+            {
+                out.push((&stream[start..=i], false));
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < stream.len() {
+        out.push((&stream[start..], false));
+    }
+    out
+}
+
+/// The index of a top-level plain `=` (not `==`, `=>`, `<=`, `+=` …).
+fn top_level_assign(run: &[TokenTree]) -> Option<usize> {
+    for (i, t) in run.iter().enumerate() {
+        let TokenTree::Punct(p) = t else { continue };
+        if p.ch != '=' {
+            continue;
+        }
+        let next_eq = engine::is_punct(run.get(i + 1), '=') || engine::is_punct(run.get(i + 1), '>');
+        let prev_op = i
+            .checked_sub(1)
+            .and_then(|x| run.get(x))
+            .and_then(TokenTree::punct)
+            .is_some_and(|c| matches!(c, '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'));
+        if !next_eq && !prev_op {
+            return Some(i);
+        }
+    }
+    None
+}

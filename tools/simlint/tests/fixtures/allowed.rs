@@ -1,13 +1,24 @@
-// Fixture: the same hazards as elsewhere, every one explicitly allowed.
+// Fixture: the same hazards as elsewhere, every one explicitly allowed
+// with the v2 escape grammar — `allow(<rule>, <reason>)`.
 use std::time::Instant;
 
 fn wall_clock_bridge() -> Instant {
     // This is the one sanctioned wall-clock read: the process-epoch base.
-    // simlint: allow(wall-clock)
+    // simlint: allow(wall-clock, process-epoch base for telemetry export)
     Instant::now()
 }
 
 fn seeded_escape() -> u64 {
-    let mut rng = rand::thread_rng(); // simlint: allow(adhoc-rng)
+    let mut rng = rand::thread_rng(); // simlint: allow(adhoc-rng, fixture: exercising the escape)
     rng.gen()
+}
+
+fn checked_by_construction(v: &[u32]) -> u32 {
+    // simlint: allow(panic-path, index 0 guaranteed by the caller's invariant)
+    v[0]
+}
+
+fn widened_elsewhere(bytes: u64, bandwidth_bps: u64) -> u64 {
+    // simlint: allow(unchecked-width-math, fixture: operands bounded < 2^32)
+    bytes * 1_000_000_000 / bandwidth_bps
 }

@@ -1,0 +1,50 @@
+// Fixture: hash-order dataflow (never compiled; scanned as text).
+// Tainted flows reach sinks; sanitized/commutative flows must pass
+// without any escape.
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Registry {
+    by_id: HashMap<u64, u64>,
+}
+
+fn schedule_all(m: HashMap<u64, u64>, sim: &mut Sim) {
+    for k in m.keys() {
+        sim.schedule(k);
+    }
+}
+
+fn export_unsorted(m: &HashMap<u64, u64>, out: &mut Vec<u64>) {
+    for (_, v) in m.iter() {
+        out.push(*v);
+    }
+}
+
+fn total(m: &HashMap<u64, u64>) -> u64 {
+    let mut sum = 0;
+    for (_, v) in m {
+        sum += v;
+    }
+    sum
+}
+
+fn sum_chain(m: &HashMap<u64, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn ordered_export(m: &HashMap<u64, u64>, out: &mut Vec<u64>) {
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort();
+    out.extend(keys);
+}
+
+fn rekeyed(m: &HashMap<u64, u64>) -> BTreeMap<u64, u64> {
+    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<u64, u64>>()
+}
+
+fn lookup_only(r: &Registry, id: u64) -> Option<u64> {
+    r.by_id.get(&id).copied()
+}
+
+fn counted(s: &HashSet<u32>) -> usize {
+    s.iter().count()
+}

@@ -1,0 +1,42 @@
+// Fixture: panicking constructs in engine code (never compiled; scanned
+// as text). The bare-variable index in `sanctioned_lookup` must NOT
+// fire — it is the workspace's by-construction container-id idiom.
+fn take_next(q: &mut Queue) -> Event {
+    q.pop_front().unwrap()
+}
+
+fn lease(staging: &mut Staging, take: u32) -> Lease {
+    staging.lease(take).expect("spare count checked")
+}
+
+fn dispatch(state: State) {
+    match state {
+        State::Ready => run(),
+        _ => panic!("dispatch from non-ready state"),
+    }
+}
+
+fn head(v: &[u64]) -> u64 {
+    v[0]
+}
+
+fn neighbor(v: &[u64], i: usize) -> u64 {
+    v[i - 1]
+}
+
+fn window(v: &[u64], n: usize) -> &[u64] {
+    &v[..n]
+}
+
+fn sanctioned_lookup(containers: &[Container], id: usize) -> &Container {
+    &containers[id]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        build().unwrap();
+        assert_eq!(parts()[0], 1);
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: u64 width hazards on bytes × bandwidth/time operands (never
+// compiled; scanned as text). The widened and routed forms must pass.
+fn wire_time_ns(payload_bytes: u64, bandwidth_bps: u64) -> u64 {
+    payload_bytes * 1_000_000_000 / bandwidth_bps
+}
+
+fn drain_estimate(queued_bytes: u64, rate: u64) -> u64 {
+    queued_bytes * 8 / rate * 1_000_000_000
+}
+
+fn widened(payload_bytes: u64, bandwidth_bps: u64) -> u64 {
+    ((payload_bytes as u128 * 1_000_000_000u128) / bandwidth_bps as u128) as u64
+}
+
+fn routed(payload_bytes: u64, bandwidth_bps: u64) -> u64 {
+    widemath::mul_div_ceil(payload_bytes, 1_000_000_000, bandwidth_bps)
+}
+
+fn saturating_is_explicit(size_bytes: u64, copies: u64) -> u64 {
+    size_bytes.saturating_mul(copies)
+}
+
+fn unrelated_scale(score: u64, weight: u64) -> u64 {
+    score * weight
+}

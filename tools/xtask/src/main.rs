@@ -2,8 +2,15 @@
 //! in `.cargo/config.toml`).
 //!
 //! Tasks:
-//! * `lint` — run the simlint determinism pass over the sim-path crates;
-//!   exits nonzero if any hazard is found.
+//! * `lint` — run the simlint determinism/robustness pass over the
+//!   sim-path crates; exits nonzero if any hazard is found.
+//!   * `--format json` emits the versioned findings artifact instead of
+//!     the human one-liner-per-finding form.
+//!   * `--baseline FILE` fails only on findings NOT covered by the
+//!     baseline artifact (line-insensitive multiset match), so CI gates
+//!     on *new* findings while a cleanup is in flight.
+//!   * `--write-baseline FILE` records the current findings as the new
+//!     baseline and exits 0.
 //! * `invariance` — run the schedule-invariance checker (the runtime race
 //!   detector) on the managed-pipeline experiment, via its in-crate tests.
 
@@ -19,7 +26,48 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn lint() -> ExitCode {
+#[derive(Default)]
+struct LintOpts {
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
+    let mut opts = LintOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects json|text, got {other:?}")),
+            },
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline expects a file path")?;
+                opts.baseline = Some(PathBuf::from(path));
+            }
+            "--write-baseline" => {
+                let path = it.next().ok_or("--write-baseline expects a file path")?;
+                opts.write_baseline = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown lint flag {other:?}")),
+        }
+    }
+    if opts.baseline.is_some() && opts.write_baseline.is_some() {
+        return Err("--baseline and --write-baseline are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let opts = match parse_lint_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let root = workspace_root();
     let findings = match simlint::lint_workspace(&root) {
         Ok(f) => f,
@@ -28,17 +76,62 @@ fn lint() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if findings.is_empty() {
-        println!("simlint: clean (no determinism hazards in sim-path crates)");
+
+    if let Some(path) = &opts.write_baseline {
+        let artifact = simlint::baseline::render_json(&findings);
+        if let Err(e) = std::fs::write(path, artifact) {
+            eprintln!("xtask lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "simlint: baseline of {} finding(s) written to {}",
+            findings.len(),
+            path.display()
+        );
         return ExitCode::SUCCESS;
     }
-    for f in &findings {
-        println!("{f}");
+
+    // With a baseline, only findings outside it gate the exit code; the
+    // report (text or JSON) shows just the gating set so CI logs point
+    // straight at what regressed.
+    let gating = match &opts.baseline {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let keys = match simlint::baseline::parse_baseline(&src) {
+                Ok(k) => k,
+                Err(e) => {
+                    eprintln!("xtask lint: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            simlint::baseline::new_findings(&findings, &keys)
+        }
+        None => findings,
+    };
+
+    if opts.json {
+        print!("{}", simlint::baseline::render_json(&gating));
+    } else if gating.is_empty() {
+        println!("simlint: clean (no hazards in sim-path crates)");
+    } else {
+        for f in &gating {
+            println!("{f}");
+        }
+    }
+    if gating.is_empty() {
+        return ExitCode::SUCCESS;
     }
     eprintln!(
-        "simlint: {} determinism hazard{} found",
-        findings.len(),
-        if findings.len() == 1 { "" } else { "s" }
+        "simlint: {} {}hazard{} found",
+        gating.len(),
+        if opts.baseline.is_some() { "new " } else { "" },
+        if gating.len() == 1 { "" } else { "s" }
     );
     ExitCode::FAILURE
 }
@@ -69,10 +162,12 @@ fn invariance() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(),
+        Some("lint") => lint(&args[1..]),
         Some("invariance") => invariance(),
         _ => {
-            eprintln!("usage: cargo xtask <lint | invariance>");
+            eprintln!(
+                "usage: cargo xtask <lint [--format json] [--baseline FILE | --write-baseline FILE] | invariance>"
+            );
             ExitCode::from(2)
         }
     }

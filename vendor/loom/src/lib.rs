@@ -1,0 +1,263 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The real `loom` exhaustively enumerates thread interleavings of a
+//! concurrent model. That engine is unavailable offline, so — per the
+//! workspace's `vendor/` convention — this crate implements the API
+//! subset the datatap channel's model suite uses, with the strongest
+//! semantics std primitives can offer: [`model`] runs the closure under
+//! **many seeded schedules**, and the lock/wait primitives inject
+//! seed-derived preemption points (spin-yields) before every acquisition
+//! and wake, so each iteration explores a different interleaving of the
+//! lock-order graph. It is a bounded stress search, not an exhaustive
+//! proof — findings are real, passes are probabilistic — which the CI
+//! job's documentation states explicitly.
+//!
+//! API kept source-compatible with the test-side subset of `loom`:
+//! `loom::model(|| …)`, `loom::thread::{spawn, yield_now}`, and
+//! `loom::sync::{Arc, Mutex, Condvar}` — with the mutex/condvar calling
+//! convention matching the vendored `parking_lot` (non-poisoning
+//! `lock()`, waits by `&mut MutexGuard`), since that is what the channel
+//! swaps them for under `--cfg loom`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iterations (distinct preemption seeds) one [`model`] call explores.
+const MODEL_ITERATIONS: u64 = 64;
+
+/// The current iteration's preemption seed; 0 outside a model run.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+/// Global preemption-point counter, mixed with the seed per decision.
+static PREEMPT_CLOCK: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `f` repeatedly under distinct seeded preemption schedules.
+///
+/// Panics propagate from the first failing iteration, so a protocol
+/// violation fails the surrounding `#[test]` exactly as under real loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    for seed in 1..=MODEL_ITERATIONS {
+        SCHEDULE_SEED.store(seed, Ordering::SeqCst);
+        PREEMPT_CLOCK.store(0, Ordering::SeqCst);
+        f();
+    }
+    SCHEDULE_SEED.store(0, Ordering::SeqCst);
+}
+
+/// Injects one preemption point: with a seed-derived decision, yields the
+/// OS scheduler (possibly repeatedly) to perturb the interleaving.
+fn preempt() {
+    let seed = SCHEDULE_SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        return; // outside a model run: primitives behave plainly
+    }
+    let t = PREEMPT_CLOCK.fetch_add(1, Ordering::Relaxed);
+    // splitmix64 over (seed, tick): cheap, stateless, well-distributed.
+    let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    match z % 8 {
+        0 => std::thread::yield_now(),
+        1 => {
+            for _ in 0..(z >> 32) % 3 + 1 {
+                std::thread::yield_now();
+            }
+        }
+        2 => std::hint::spin_loop(),
+        _ => {}
+    }
+}
+
+/// Thread spawning with preemption points at spawn and start.
+pub mod thread {
+    /// Re-export of the std join handle; `loom`'s has the same surface.
+    pub use std::thread::JoinHandle;
+
+    /// Spawns a thread, injecting preemption points around the handoff.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preempt();
+        std::thread::spawn(move || {
+            super::preempt();
+            f()
+        })
+    }
+
+    /// Yields the scheduler (a manual preemption point in models).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Synchronization primitives with preemption injection.
+pub mod sync {
+    use std::sync::{self, PoisonError};
+    use std::time::Duration;
+
+    pub use std::sync::Arc;
+
+    /// Atomics module, mirroring `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::*;
+    }
+
+    /// Non-poisoning mutex with a preemption point before each
+    /// acquisition (the schedule decision loom explores).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: sync::Mutex<T>,
+    }
+
+    /// RAII guard for [`Mutex`]; releases the lock on drop.
+    pub struct MutexGuard<'a, T> {
+        // `Option` so the condvar can hand the inner guard to std's
+        // by-value wait calls and put it back (same trick as the
+        // vendored parking_lot).
+        inner: Option<sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex { inner: sync::Mutex::new(value) }
+        }
+
+        /// Acquires the lock after a preemption point. Never poisons.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            super::preempt();
+            MutexGuard {
+                inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            }
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard active")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard active")
+        }
+    }
+
+    /// Result of a timed condvar wait.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult {
+        timed_out: bool,
+    }
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.timed_out
+        }
+    }
+
+    /// Condition variable with the `&mut guard` calling convention and
+    /// preemption points on wake paths.
+    #[derive(Debug, Default)]
+    pub struct Condvar {
+        inner: sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub fn new() -> Condvar {
+            Condvar { inner: sync::Condvar::new() }
+        }
+
+        /// Blocks until notified, releasing the guard's lock while
+        /// waiting.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let g = guard.inner.take().expect("guard active");
+            let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
+            super::preempt();
+            guard.inner = Some(g);
+        }
+
+        /// Blocks until notified or `timeout` elapses.
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            let g = guard.inner.take().expect("guard active");
+            let (g, res) = self
+                .inner
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            super::preempt();
+            guard.inner = Some(g);
+            WaitTimeoutResult { timed_out: res.timed_out() }
+        }
+
+        /// Wakes one waiter after a preemption point.
+        pub fn notify_one(&self) {
+            super::preempt();
+            self.inner.notify_one();
+        }
+
+        /// Wakes all waiters after a preemption point.
+        pub fn notify_all(&self) {
+            super::preempt();
+            self.inner.notify_all();
+        }
+    }
+}
+
+/// Manual preemption hooks for models that want explicit exploration
+/// points.
+pub mod hint {
+    /// A seed-driven preemption point.
+    pub fn preempt() {
+        super::preempt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c = count.clone();
+        super::model(move || {
+            c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), super::MODEL_ITERATIONS);
+    }
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = pair.clone();
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut done = m.lock();
+                *done = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+            drop(done);
+            t.join().expect("worker joins");
+        });
+    }
+}

@@ -1,0 +1,369 @@
+//! The lexer: source text → flat spanned tokens → nested token trees.
+//!
+//! Comments are skipped (linters that need comment directives, like
+//! simlint's `// simlint: allow(...)` escapes, re-scan the raw source —
+//! the same division of labour tools built on the real `syn` use, which
+//! also drops comments). Strings, chars, lifetimes, raw strings, raw
+//! identifiers and numeric literals all lex as single tokens so that
+//! nothing inside a literal can ever look like code to a rule.
+
+use crate::{Delimiter, Error, Group, Ident, Literal, Punct, Span, TokenTree};
+
+/// A flat token before tree construction.
+enum Flat {
+    Open(Delimiter, Span),
+    Close(Delimiter, Span),
+    Tree(TokenTree),
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Cursor<'a> {
+        Cursor { b: src.as_bytes(), src, i: 0, line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, column: self.col }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if self.b.get(self.i) == Some(&b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into flat tokens (delimiters still unmatched).
+fn lex_flat(src: &str) -> Result<Vec<Flat>, Error> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+
+    // Shebang line (`#!/...` at the very start of the file).
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while cur.peek(0).is_some_and(|c| c != b'\n') {
+            cur.bump();
+        }
+    }
+
+    while let Some(c) = cur.peek(0) {
+        let span = cur.span();
+        match c {
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while cur.peek(0).is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump_n(2);
+                        }
+                        (Some(_), _) => cur.bump(),
+                        (None, _) => {
+                            return Err(Error::new(span, "unterminated block comment"));
+                        }
+                    }
+                }
+            }
+            b'"' => out.push(Flat::Tree(lex_string(&mut cur)?)),
+            b'\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident not
+                // followed by a closing quote; everything else is a char.
+                let is_lifetime = cur.peek(1).is_some_and(is_ident_start)
+                    && cur.peek(1) != Some(b'\\')
+                    && {
+                        // Find the end of the would-be label.
+                        let mut j = cur.i + 2;
+                        while cur.b.get(j).copied().is_some_and(is_ident_continue) {
+                            j += 1;
+                        }
+                        cur.b.get(j) != Some(&b'\'')
+                    };
+                if is_lifetime {
+                    let start = cur.i;
+                    cur.bump(); // the quote
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.push(Flat::Tree(TokenTree::Ident(Ident {
+                        text: src[start..cur.i].to_string(),
+                        span,
+                    })));
+                } else {
+                    out.push(Flat::Tree(lex_char(&mut cur)?));
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = cur.i;
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                let text = &cur.src[start..cur.i];
+                match text {
+                    // Raw-string / byte-string prefixes glue to the literal.
+                    "r" | "b" | "br" | "c" | "cr" if raw_or_quote_ahead(&cur) => {
+                        let lit = lex_raw_or_prefixed(&mut cur, start, span)?;
+                        out.push(Flat::Tree(lit));
+                    }
+                    // Raw identifier `r#name`.
+                    "r" if cur.peek(0) == Some(b'#') && cur.peek(1).is_some_and(is_ident_start) => {
+                        cur.bump(); // '#'
+                        let id_start = cur.i;
+                        while cur.peek(0).is_some_and(is_ident_continue) {
+                            cur.bump();
+                        }
+                        out.push(Flat::Tree(TokenTree::Ident(Ident {
+                            text: cur.src[id_start..cur.i].to_string(),
+                            span,
+                        })));
+                    }
+                    _ => out.push(Flat::Tree(TokenTree::Ident(Ident {
+                        text: text.to_string(),
+                        span,
+                    }))),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = cur.i;
+                while cur
+                    .peek(0)
+                    .is_some_and(|c| is_ident_continue(c) || c == b'.')
+                {
+                    // `1..2` range: the dot belongs to the range operator.
+                    if cur.peek(0) == Some(b'.') && cur.peek(1) == Some(b'.') {
+                        break;
+                    }
+                    // `1.method()`: a dot followed by an identifier is a call.
+                    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(is_ident_start) {
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.push(Flat::Tree(TokenTree::Literal(Literal {
+                    text: cur.src[start..cur.i].to_string(),
+                    span,
+                })));
+            }
+            _ if c.is_ascii_whitespace() => cur.bump(),
+            b'(' | b'[' | b'{' => {
+                let d = match c {
+                    b'(' => Delimiter::Parenthesis,
+                    b'[' => Delimiter::Bracket,
+                    _ => Delimiter::Brace,
+                };
+                out.push(Flat::Open(d, span));
+                cur.bump();
+            }
+            b')' | b']' | b'}' => {
+                let d = match c {
+                    b')' => Delimiter::Parenthesis,
+                    b']' => Delimiter::Bracket,
+                    _ => Delimiter::Brace,
+                };
+                out.push(Flat::Close(d, span));
+                cur.bump();
+            }
+            _ => {
+                out.push(Flat::Tree(TokenTree::Punct(Punct { ch: c as char, span })));
+                cur.bump();
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// True if the cursor (just past an `r`/`b`/`br`-style prefix) sits on the
+/// `#*"` tail of a raw string or directly on a quote.
+fn raw_or_quote_ahead(cur: &Cursor<'_>) -> bool {
+    let mut j = 0;
+    while cur.peek(j) == Some(b'#') {
+        j += 1;
+    }
+    match cur.peek(j) {
+        Some(b'"') => true,
+        Some(b'\'') => j == 0, // byte char literal `b'x'`
+        _ => false,
+    }
+}
+
+/// Lexes a (possibly raw, possibly byte) string or byte-char literal whose
+/// prefix started at byte `start`.
+fn lex_raw_or_prefixed(cur: &mut Cursor<'_>, start: usize, span: Span) -> Result<TokenTree, Error> {
+    if cur.peek(0) == Some(b'\'') {
+        // Byte char literal: reuse the char lexer, then re-span.
+        let tt = lex_char(cur)?;
+        if let TokenTree::Literal(mut l) = tt {
+            l.text = cur.src[start..cur.i].to_string();
+            l.span = span;
+            return Ok(TokenTree::Literal(l));
+        }
+        unreachable!("lex_char returns a literal");
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    debug_assert_eq!(cur.peek(0), Some(b'"'));
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => return Err(Error::new(span, "unterminated raw string")),
+            Some(b'"') => {
+                cur.bump();
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some(b'#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    return Ok(TokenTree::Literal(Literal {
+                        text: cur.src[start..cur.i].to_string(),
+                        span,
+                    }));
+                }
+            }
+            // Escapes are inert in raw strings; in non-raw `b"..."` strings
+            // (`hashes == 0` with a `b` prefix) they must be honoured, but
+            // a lone backslash before a quote only matters there:
+            Some(b'\\') if hashes == 0 => {
+                cur.bump();
+                if cur.peek(0).is_some() {
+                    cur.bump();
+                }
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Lexes a plain `"..."` string literal.
+fn lex_string(cur: &mut Cursor<'_>) -> Result<TokenTree, Error> {
+    let span = cur.span();
+    let start = cur.i;
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => return Err(Error::new(span, "unterminated string literal")),
+            Some(b'\\') => {
+                cur.bump();
+                if cur.peek(0).is_some() {
+                    cur.bump();
+                }
+            }
+            Some(b'"') => {
+                cur.bump();
+                return Ok(TokenTree::Literal(Literal {
+                    text: cur.src[start..cur.i].to_string(),
+                    span,
+                }));
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Lexes a `'x'` char literal (escapes included).
+fn lex_char(cur: &mut Cursor<'_>) -> Result<TokenTree, Error> {
+    let span = cur.span();
+    let start = cur.i;
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek(0) {
+            None => return Err(Error::new(span, "unterminated char literal")),
+            Some(b'\\') => {
+                cur.bump();
+                if cur.peek(0).is_some() {
+                    cur.bump();
+                }
+            }
+            Some(b'\'') => {
+                cur.bump();
+                return Ok(TokenTree::Literal(Literal {
+                    text: cur.src[start..cur.i].to_string(),
+                    span,
+                }));
+            }
+            Some(_) => cur.bump(),
+        }
+    }
+}
+
+/// Lexes `src` into a balanced token-tree stream.
+pub(crate) fn lex_trees(src: &str) -> Result<Vec<TokenTree>, Error> {
+    let flat = lex_flat(src)?;
+    // (delimiter, open span, children) per open group.
+    let mut stack: Vec<(Delimiter, Span, Vec<TokenTree>)> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+    for f in flat {
+        match f {
+            Flat::Tree(t) => match stack.last_mut() {
+                Some((_, _, children)) => children.push(t),
+                None => top.push(t),
+            },
+            Flat::Open(d, span) => stack.push((d, span, Vec::new())),
+            Flat::Close(d, span) => {
+                let Some((open_d, open_span, children)) = stack.pop() else {
+                    return Err(Error::new(span, format!("unmatched closing `{}`", d.close())));
+                };
+                if open_d != d {
+                    return Err(Error::new(
+                        open_span,
+                        format!("`{}` closed by `{}`", open_d.open(), d.close()),
+                    ));
+                }
+                let g = TokenTree::Group(Group {
+                    delimiter: d,
+                    stream: children,
+                    span: open_span,
+                });
+                match stack.last_mut() {
+                    Some((_, _, parent)) => parent.push(g),
+                    None => top.push(g),
+                }
+            }
+        }
+    }
+    if let Some((d, span, _)) = stack.pop() {
+        return Err(Error::new(span, format!("unclosed `{}`", d.open())));
+    }
+    Ok(top)
+}

@@ -1,0 +1,470 @@
+//! Offline stand-in for the `syn` crate.
+//!
+//! The real `syn` is unavailable in this build environment (no registry
+//! access), so — like every other `vendor/` crate — this implements
+//! exactly the API subset the workspace uses: the `simlint` determinism
+//! linter needs a span-preserving lexer, `proc-macro2`-style token trees,
+//! and *item-level* structure (use declarations with alias resolution
+//! hooks, functions with attributes and bodies, modules, impl/trait
+//! blocks), not full expression grammar. Expression-level analysis in
+//! simlint works structurally over the token trees, which is exactly how
+//! token-level rules in `syn`-based linters treat macro bodies.
+//!
+//! Divergences from the real crate, by design:
+//!
+//! * Token trees carry [`Span`]s with resolved 1-based line/column (the
+//!   real `syn` needs `proc-macro2`'s span-locations feature for this).
+//! * [`Item`] is a reduced enum: `Use`, `Fn`, `Mod`, `Impl` (also used
+//!   for `trait` blocks — both are "containers of functions" to a
+//!   linter), and `Other` for everything a linter only needs to scan
+//!   token-linearly (structs, enums, statics, consts, macros).
+//! * Comments are dropped, as in the real `syn`; tools that need comment
+//!   directives re-scan the raw source.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+
+use std::fmt;
+
+/// A resolved source position: 1-based line and column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based byte column within the line.
+    pub column: usize,
+}
+
+impl Span {
+    /// A span pointing at the start of the file (used for synthesized
+    /// nodes).
+    pub fn start() -> Span {
+        Span { line: 1, column: 1 }
+    }
+}
+
+/// Parse failure: the offending position and a message.
+#[derive(Clone, Debug)]
+pub struct Error {
+    span: Span,
+    message: String,
+}
+
+impl Error {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, message: impl Into<String>) -> Error {
+        Error { span, message: message.into() }
+    }
+
+    /// Where the parse failed.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.column, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The delimiter of a [`Group`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+}
+
+impl Delimiter {
+    /// The opening character.
+    pub fn open(self) -> char {
+        match self {
+            Delimiter::Parenthesis => '(',
+            Delimiter::Brace => '{',
+            Delimiter::Bracket => '[',
+        }
+    }
+
+    /// The closing character.
+    pub fn close(self) -> char {
+        match self {
+            Delimiter::Parenthesis => ')',
+            Delimiter::Brace => '}',
+            Delimiter::Bracket => ']',
+        }
+    }
+}
+
+/// A delimited token group.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Which delimiter pair wraps the group.
+    pub delimiter: Delimiter,
+    /// The tokens inside the delimiters.
+    pub stream: Vec<TokenTree>,
+    /// The opening delimiter's position.
+    pub span: Span,
+}
+
+/// An identifier (keywords and lifetimes included — a linter treats them
+/// uniformly).
+#[derive(Clone, Debug)]
+pub struct Ident {
+    /// The identifier text (without any `r#` prefix).
+    pub text: String,
+    /// Its position.
+    pub span: Span,
+}
+
+/// A single punctuation character.
+#[derive(Clone, Debug)]
+pub struct Punct {
+    /// The character.
+    pub ch: char,
+    /// Its position.
+    pub span: Span,
+}
+
+/// A literal: number, string, raw string, char, or byte variant thereof,
+/// kept as raw source text.
+#[derive(Clone, Debug)]
+pub struct Literal {
+    /// The literal's raw source text.
+    pub text: String,
+    /// Its position.
+    pub span: Span,
+}
+
+/// One node of a token stream.
+#[derive(Clone, Debug)]
+pub enum TokenTree {
+    /// A delimited group.
+    Group(Group),
+    /// An identifier.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The node's position.
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span,
+            TokenTree::Ident(i) => i.span,
+            TokenTree::Punct(p) => p.span,
+            TokenTree::Literal(l) => l.span,
+        }
+    }
+
+    /// The identifier text, if this is an [`Ident`].
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(&i.text),
+            _ => None,
+        }
+    }
+
+    /// The punctuation char, if this is a [`Punct`].
+    pub fn punct(&self) -> Option<char> {
+        match self {
+            TokenTree::Punct(p) => Some(p.ch),
+            _ => None,
+        }
+    }
+
+    /// The group, if this is a [`Group`].
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// An outer attribute (`#[...]`), kept as its inner token stream.
+#[derive(Clone, Debug)]
+pub struct Attribute {
+    /// The tokens between the brackets of `#[...]`.
+    pub tokens: Vec<TokenTree>,
+    /// The `#`'s position.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// The attribute's leading path identifier (`test` in `#[test]`,
+    /// `cfg` in `#[cfg(test)]`), if any.
+    pub fn path_ident(&self) -> Option<&str> {
+        self.tokens.first().and_then(TokenTree::ident)
+    }
+
+    /// True for `#[test]` (and `#[tokio::test]`-shaped attributes ending
+    /// in `test`).
+    pub fn is_test(&self) -> bool {
+        self.tokens.iter().rev().find_map(TokenTree::ident) == Some("test")
+            || self.path_ident() == Some("test")
+    }
+
+    /// True for `#[cfg(test)]` and `#[cfg(any(test, ...))]`-shaped
+    /// attributes: a `cfg` whose argument list mentions `test`.
+    pub fn is_cfg_test(&self) -> bool {
+        if self.path_ident() != Some("cfg") {
+            return false;
+        }
+        fn mentions_test(stream: &[TokenTree]) -> bool {
+            stream.iter().any(|t| match t {
+                TokenTree::Ident(i) => i.text == "test",
+                TokenTree::Group(g) => mentions_test(&g.stream),
+                _ => false,
+            })
+        }
+        self.tokens
+            .iter()
+            .filter_map(TokenTree::group)
+            .any(|g| mentions_test(&g.stream))
+    }
+}
+
+/// One name introduced by a `use` declaration.
+#[derive(Clone, Debug)]
+pub struct UseBinding {
+    /// The local name the declaration brings into scope (the alias after
+    /// `as`, or the path's last segment).
+    pub name: String,
+    /// The full path segments, root first (`["std", "collections",
+    /// "HashMap"]`).
+    pub path: Vec<String>,
+    /// Position of the binding's final segment.
+    pub span: Span,
+}
+
+/// A `use` declaration, flattened to the bindings it introduces.
+#[derive(Clone, Debug)]
+pub struct ItemUse {
+    /// Every name the declaration brings into scope. Glob imports
+    /// contribute a binding named `*`.
+    pub bindings: Vec<UseBinding>,
+}
+
+/// A function item (free, associated, or trait-default).
+#[derive(Clone, Debug)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The function's name.
+    pub ident: Ident,
+    /// Signature tokens between the name and the body (generics,
+    /// parameter list group, return type, where clause).
+    pub signature: Vec<TokenTree>,
+    /// The body block, or `None` for bodyless declarations (trait
+    /// methods, extern fns).
+    pub body: Option<Group>,
+}
+
+impl ItemFn {
+    /// The parameter-list group of the signature, if present.
+    pub fn params(&self) -> Option<&Group> {
+        self.signature
+            .iter()
+            .filter_map(TokenTree::group)
+            .find(|g| g.delimiter == Delimiter::Parenthesis)
+    }
+}
+
+/// An inline or out-of-line module.
+#[derive(Clone, Debug)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The module's name.
+    pub ident: Ident,
+    /// Items of an inline `mod name { ... }`; `None` for `mod name;`.
+    pub content: Option<Vec<Item>>,
+}
+
+/// An `impl` or `trait` block: to a linter, a container of functions.
+#[derive(Clone, Debug)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Header tokens between the keyword and the body (generics, the
+    /// type, trait path, where clause).
+    pub header: Vec<TokenTree>,
+    /// The block's items.
+    pub items: Vec<Item>,
+}
+
+/// A parsed item.
+#[derive(Clone, Debug)]
+pub enum Item {
+    /// A `use` declaration.
+    Use(ItemUse),
+    /// A function.
+    Fn(ItemFn),
+    /// A module.
+    Mod(ItemMod),
+    /// An `impl` or `trait` block.
+    Impl(ItemImpl),
+    /// Anything else (structs, enums, consts, statics, type aliases,
+    /// macro invocations/definitions), kept as attributes plus the raw
+    /// token run for token-linear scanning.
+    Other(Vec<Attribute>, Vec<TokenTree>),
+}
+
+/// A parsed source file.
+#[derive(Clone, Debug)]
+pub struct File {
+    /// The file's top-level items.
+    pub items: Vec<Item>,
+}
+
+/// Parses a full source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let trees = lexer::lex_trees(src)?;
+    let items = parser::parse_items(trees)?;
+    Ok(File { items })
+}
+
+/// Lexes a source file to its raw token-tree stream without item
+/// structure (useful for fixtures and token-linear passes).
+pub fn parse_tokens(src: &str) -> Result<Vec<TokenTree>, Error> {
+    lexer::lex_trees(src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        parse_file(src).expect("parses")
+    }
+
+    #[test]
+    fn spans_are_line_and_column() {
+        let f = parse("fn main() {\n    let x = 1;\n}\n");
+        let Item::Fn(func) = &f.items[0] else { panic!("fn item") };
+        assert_eq!(func.ident.text, "main");
+        assert_eq!(func.ident.span, Span { line: 1, column: 4 });
+        let body = func.body.as_ref().unwrap();
+        let x = body.stream.iter().find(|t| t.ident() == Some("x")).unwrap();
+        assert_eq!(x.span(), Span { line: 2, column: 9 });
+    }
+
+    #[test]
+    fn use_bindings_flatten_groups_and_aliases() {
+        let f = parse("use std::collections::{HashMap as Map, HashSet};\nuse std::time::Instant;\n");
+        let Item::Use(u) = &f.items[0] else { panic!("use item") };
+        assert_eq!(u.bindings.len(), 2);
+        assert_eq!(u.bindings[0].name, "Map");
+        assert_eq!(u.bindings[0].path, ["std", "collections", "HashMap"]);
+        assert_eq!(u.bindings[1].name, "HashSet");
+        let Item::Use(u) = &f.items[1] else { panic!("use item") };
+        assert_eq!(u.bindings[0].name, "Instant");
+        assert_eq!(u.bindings[0].path, ["std", "time", "Instant"]);
+    }
+
+    #[test]
+    fn impl_blocks_contain_fns_with_attrs() {
+        let src = "impl Foo {\n    #[inline]\n    pub fn bar(&self) -> u32 { 7 }\n    fn baz() {}\n}";
+        let f = parse(src);
+        let Item::Impl(im) = &f.items[0] else { panic!("impl item") };
+        assert_eq!(im.items.len(), 2);
+        let Item::Fn(bar) = &im.items[0] else { panic!("fn") };
+        assert_eq!(bar.ident.text, "bar");
+        assert_eq!(bar.attrs.len(), 1);
+        assert_eq!(bar.attrs[0].path_ident(), Some("inline"));
+        assert!(bar.params().is_some());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_detected() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert!(true); }\n}";
+        let f = parse(src);
+        let Item::Mod(m) = &f.items[0] else { panic!("mod item") };
+        assert!(m.attrs[0].is_cfg_test());
+        let Some(items) = &m.content else { panic!("inline mod") };
+        let Item::Fn(t) = &items[0] else { panic!("fn") };
+        assert!(t.attrs[0].is_test());
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_do_not_confuse_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str {\n    // Instant::now() in comment\n    let _ = \"Instant::now()\";\n    let _ = r#\"nested \"quotes\" here\"#;\n    let _c = 'x';\n    let _e = '\\n';\n    x\n}";
+        let f = parse(src);
+        let Item::Fn(func) = &f.items[0] else { panic!("fn") };
+        let body = func.body.as_ref().unwrap();
+        // No `Instant` identifier token may exist anywhere in the body.
+        fn has_ident(stream: &[TokenTree], name: &str) -> bool {
+            stream.iter().any(|t| match t {
+                TokenTree::Ident(i) => i.text == name,
+                TokenTree::Group(g) => has_ident(&g.stream, name),
+                _ => false,
+            })
+        }
+        assert!(!has_ident(&body.stream, "Instant"));
+    }
+
+    #[test]
+    fn trait_blocks_parse_default_and_declared_methods() {
+        let src = "pub trait Clock: Send {\n    fn now(&self) -> u64;\n    fn tick(&self) -> u64 { self.now() + 1 }\n}";
+        let f = parse(src);
+        let Item::Impl(tr) = &f.items[0] else { panic!("trait as impl container") };
+        assert_eq!(tr.items.len(), 2);
+        let Item::Fn(now) = &tr.items[0] else { panic!("fn") };
+        assert!(now.body.is_none());
+        let Item::Fn(tick) = &tr.items[1] else { panic!("fn") };
+        assert!(tick.body.is_some());
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error_with_span() {
+        let e = parse_file("fn f() {\n    let x = (1;\n}").unwrap_err();
+        assert_eq!(e.span().line, 2);
+    }
+
+    #[test]
+    fn other_items_keep_their_tokens() {
+        let src = "pub struct S { pub field: HashMap<u32, u32> }\nstatic N: usize = 4;";
+        let f = parse(src);
+        assert_eq!(f.items.len(), 2);
+        let Item::Other(_, toks) = &f.items[0] else { panic!("struct as Other") };
+        assert!(toks.iter().any(|t| t.ident() == Some("struct")));
+    }
+
+    #[test]
+    fn nested_mods_nest_items() {
+        let src = "mod outer {\n    mod inner {\n        fn leaf() {}\n    }\n}";
+        let f = parse(src);
+        let Item::Mod(outer) = &f.items[0] else { panic!("mod") };
+        let Item::Mod(inner) = &outer.content.as_ref().unwrap()[0] else { panic!("mod") };
+        let Item::Fn(leaf) = &inner.content.as_ref().unwrap()[0] else { panic!("fn") };
+        assert_eq!(leaf.ident.text, "leaf");
+    }
+
+    #[test]
+    fn const_generic_fn_signature_finds_the_body() {
+        let src = "fn f<const N: usize>(x: [u32; N]) -> u32 { x[0] }";
+        let f = parse(src);
+        let Item::Fn(func) = &f.items[0] else { panic!("fn") };
+        assert!(func.body.is_some());
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_plain_idents() {
+        let f = parse("fn f() { let r#type = 1; let _ = r#type; }");
+        let Item::Fn(func) = &f.items[0] else { panic!("fn") };
+        let body = func.body.as_ref().unwrap();
+        assert!(body.stream.iter().any(|t| t.ident() == Some("type")));
+    }
+}

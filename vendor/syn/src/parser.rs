@@ -1,0 +1,385 @@
+//! Item-level parsing over the lexer's token trees.
+//!
+//! The grammar here is deliberately shallow: it recovers the item
+//! skeleton (use/fn/mod/impl/trait, with attributes and bodies) and
+//! leaves everything else as token runs. Where full Rust would need
+//! lookahead the parser cannot provide (const-generic braces in return
+//! types), it favours the common case and the workspace's own idioms.
+
+use crate::{
+    Attribute, Delimiter, Error, Item, ItemFn, ItemImpl, ItemMod, ItemUse, Span, TokenTree,
+    UseBinding,
+};
+
+/// Parses a token-tree stream into items.
+pub(crate) fn parse_items(trees: Vec<TokenTree>) -> Result<Vec<Item>, Error> {
+    let mut p = Parser { toks: trees, i: 0 };
+    p.items()
+}
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self, ahead: usize) -> Option<&TokenTree> {
+        self.toks.get(self.i + ahead)
+    }
+
+    fn peek_ident(&self, ahead: usize) -> Option<&str> {
+        self.peek(ahead).and_then(TokenTree::ident)
+    }
+
+    fn peek_punct(&self, ahead: usize) -> Option<char> {
+        self.peek(ahead).and_then(TokenTree::punct)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn items(&mut self) -> Result<Vec<Item>, Error> {
+        let mut items = Vec::new();
+        while !self.at_end() {
+            if let Some(item) = self.item()? {
+                items.push(item);
+            }
+        }
+        Ok(items)
+    }
+
+    /// Parses one item; returns `None` for skipped inner attributes and
+    /// stray separators.
+    fn item(&mut self) -> Result<Option<Item>, Error> {
+        // Inner attribute `#![...]`: file/module metadata, skipped.
+        if self.peek_punct(0) == Some('#') && self.peek_punct(1) == Some('!') {
+            self.bump();
+            self.bump();
+            self.bump(); // the bracket group
+            return Ok(None);
+        }
+        // Stray semicolon.
+        if self.peek_punct(0) == Some(';') {
+            self.bump();
+            return Ok(None);
+        }
+
+        let attrs = self.attributes();
+        let start = self.i;
+
+        // Visibility: `pub` with optional `(crate)` / `(super)` / `(in …)`.
+        if self.peek_ident(0) == Some("pub") {
+            self.bump();
+            if self
+                .peek(0)
+                .and_then(TokenTree::group)
+                .is_some_and(|g| g.delimiter == Delimiter::Parenthesis)
+            {
+                self.bump();
+            }
+        }
+
+        // Qualifier run, then the deciding keyword.
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 16 {
+                break; // pathological qualifier run; fall through to Other
+            }
+            match self.peek_ident(0) {
+                Some("fn") => {
+                    self.bump();
+                    return self.item_fn(attrs).map(Some);
+                }
+                Some("mod") => {
+                    self.bump();
+                    return self.item_mod(attrs).map(Some);
+                }
+                Some("impl") | Some("trait") => {
+                    self.bump();
+                    return self.item_impl(attrs).map(Some);
+                }
+                Some("use") => {
+                    self.bump();
+                    return self.item_use().map(Some);
+                }
+                Some("default") | Some("unsafe") | Some("async") => {
+                    self.bump();
+                }
+                Some("const") => {
+                    // `const fn` (qualifier) vs `const NAME: …` (item).
+                    if matches!(
+                        self.peek_ident(1),
+                        Some("fn") | Some("unsafe") | Some("extern") | Some("async")
+                    ) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Some("extern") => {
+                    // `extern "C" fn` is a qualifier; `extern crate` and
+                    // `extern "C" { … }` blocks are Other items.
+                    if matches!(self.peek(1), Some(TokenTree::Literal(_)))
+                        && matches!(self.peek_ident(2), Some("fn"))
+                    {
+                        self.bump();
+                        self.bump();
+                    } else if matches!(self.peek_ident(1), Some("fn")) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        self.item_other(attrs, start)
+    }
+
+    /// Collects a run of outer attributes.
+    fn attributes(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek_punct(0) == Some('#') {
+            let span = self.peek(0).map(|t| t.span()).unwrap_or_else(Span::start);
+            let Some(TokenTree::Group(g)) = self.peek(1) else { break };
+            if g.delimiter != Delimiter::Bracket {
+                break;
+            }
+            let tokens = g.stream.clone();
+            self.bump();
+            self.bump();
+            attrs.push(Attribute { tokens, span });
+        }
+        attrs
+    }
+
+    fn item_fn(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i,
+            other => {
+                let span = other.map(|t| t.span()).unwrap_or_else(Span::start);
+                return Err(Error::new(span, "expected function name after `fn`"));
+            }
+        };
+        let mut signature = Vec::new();
+        let mut body = None;
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                    body = Some(g.clone());
+                    self.bump();
+                    break;
+                }
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => signature.push(self.bump().expect("peeked token")),
+            }
+        }
+        Ok(Item::Fn(ItemFn { attrs, ident, signature, body }))
+    }
+
+    fn item_mod(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i,
+            other => {
+                let span = other.map(|t| t.span()).unwrap_or_else(Span::start);
+                return Err(Error::new(span, "expected module name after `mod`"));
+            }
+        };
+        let content = match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let inner = g.stream.clone();
+                self.bump();
+                Some(parse_items(inner)?)
+            }
+            _ => {
+                // `mod name;` — consume the semicolon if present.
+                if self.peek_punct(0) == Some(';') {
+                    self.bump();
+                }
+                None
+            }
+        };
+        Ok(Item::Mod(ItemMod { attrs, ident, content }))
+    }
+
+    fn item_impl(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let mut header = Vec::new();
+        let mut items = Vec::new();
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                    let inner = g.stream.clone();
+                    self.bump();
+                    items = parse_items(inner)?;
+                    break;
+                }
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    self.bump();
+                    break;
+                }
+                _ => header.push(self.bump().expect("peeked token")),
+            }
+        }
+        Ok(Item::Impl(ItemImpl { attrs, header, items }))
+    }
+
+    fn item_use(&mut self) -> Result<Item, Error> {
+        let mut toks = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if t.punct() == Some(';') {
+                self.bump();
+                break;
+            }
+            toks.push(self.bump().expect("peeked token"));
+        }
+        let mut bindings = Vec::new();
+        use_tree(&toks, &[], &mut bindings);
+        Ok(Item::Use(ItemUse { bindings }))
+    }
+
+    /// Everything else: re-wind to `start` (visibility included) and
+    /// consume one item's worth of tokens.
+    fn item_other(&mut self, attrs: Vec<Attribute>, start: usize) -> Result<Option<Item>, Error> {
+        self.i = start;
+        let mut toks = Vec::new();
+        // `struct`/`enum`/`union`/`extern`-block items and brace-form
+        // macro invocations (`thread_local! { … }`) end at their first
+        // top-level brace group (or at a `;` for tuple/unit structs);
+        // `static`/`const`/`type`/`extern crate` items end at `;` only —
+        // a brace group there is an initializer expression.
+        let brace_terminates = {
+            let mut j = 0;
+            let mut decided = false;
+            while let Some(name) = self.peek_ident(j) {
+                match name {
+                    "pub" | "default" | "unsafe" | "async" => j += 1,
+                    "struct" | "enum" | "union" | "extern" | "macro_rules" | "macro" => {
+                        decided = true;
+                        break;
+                    }
+                    "static" | "const" | "type" => break,
+                    // A macro invocation: `name! …`.
+                    _ if self.peek_punct(j + 1) == Some('!') => {
+                        decided = true;
+                        break;
+                    }
+                    _ => break,
+                }
+                if j > 8 {
+                    break;
+                }
+            }
+            decided
+        };
+        while let Some(t) = self.peek(0) {
+            match t {
+                TokenTree::Punct(p) if p.ch == ';' => {
+                    toks.push(self.bump().expect("peeked token"));
+                    break;
+                }
+                TokenTree::Group(g) if g.delimiter == Delimiter::Brace && brace_terminates => {
+                    toks.push(self.bump().expect("peeked token"));
+                    // `macro_rules! m { … }` needs no `;`; a trailing one
+                    // after bracket/paren macro definitions is consumed by
+                    // the stray-semicolon path.
+                    break;
+                }
+                _ => toks.push(self.bump().expect("peeked token")),
+            }
+        }
+        if toks.is_empty() {
+            // Nothing consumable (lone attribute at end of stream).
+            return Ok(None);
+        }
+        Ok(Some(Item::Other(attrs, toks)))
+    }
+}
+
+/// Recursively flattens a use-tree token run into bindings.
+fn use_tree(toks: &[TokenTree], prefix: &[String], out: &mut Vec<UseBinding>) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut last_span = Span::start();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.text == "as" => {
+                // Alias: the next ident names the binding.
+                if let Some(TokenTree::Ident(alias)) = toks.get(i + 1) {
+                    out.push(UseBinding {
+                        name: alias.text.clone(),
+                        path: path.clone(),
+                        span: alias.span,
+                    });
+                }
+                return;
+            }
+            TokenTree::Ident(id) if id.text == "self" => {
+                // `{self, …}` binds the prefix's last segment.
+                i += 1;
+            }
+            TokenTree::Ident(id) => {
+                path.push(id.text.clone());
+                last_span = id.span;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.ch == '*' => {
+                out.push(UseBinding { name: "*".to_string(), path: path.clone(), span: p.span });
+                return;
+            }
+            TokenTree::Group(g) if g.delimiter == Delimiter::Brace => {
+                // Split the group on top-level commas; recurse per branch.
+                let mut branch: Vec<TokenTree> = Vec::new();
+                for t in &g.stream {
+                    if t.punct() == Some(',') {
+                        if !branch.is_empty() {
+                            use_tree(&branch, &path, out);
+                            branch.clear();
+                        } else {
+                            // `{self, …}`: a bare `self` branch re-binds
+                            // the prefix itself.
+                            bind_tail(&path, g.span, out);
+                        }
+                    } else if t.ident() == Some("self") && branch.is_empty() {
+                        bind_tail(&path, t.span(), out);
+                    } else {
+                        branch.push(t.clone());
+                    }
+                }
+                if !branch.is_empty() {
+                    use_tree(&branch, &path, out);
+                }
+                return;
+            }
+            _ => i += 1, // `::` separators, commas at this level
+        }
+    }
+    if path.len() > prefix.len() {
+        out.push(UseBinding {
+            name: path.last().cloned().unwrap_or_default(),
+            path,
+            span: last_span,
+        });
+    }
+}
+
+/// Binds the prefix path's own tail segment (the `self` in `a::b::{self}`).
+fn bind_tail(path: &[String], span: Span, out: &mut Vec<UseBinding>) {
+    if let Some(last) = path.last() {
+        out.push(UseBinding { name: last.clone(), path: path.to_vec(), span });
+    }
+}
+

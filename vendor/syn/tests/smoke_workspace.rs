@@ -1,0 +1,36 @@
+// The whole tree — sim crates, tools, vendor stubs, fixtures — must lex
+// and item-parse; simlint only covers the sim-path subset.
+use std::path::Path;
+
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) {
+    for e in std::fs::read_dir(dir).unwrap() {
+        let p = e.unwrap().path();
+        if p.is_dir() {
+            let n = p.file_name().unwrap().to_string_lossy().to_string();
+            if n == "target" || n == ".git" { continue; }
+            walk(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn parses_entire_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap();
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tools", "vendor", "tests", "examples"] {
+        let d = root.join(top);
+        if d.is_dir() { walk(&d, &mut files); }
+    }
+    assert!(files.len() > 80, "found {}", files.len());
+    let mut failed = 0;
+    for f in &files {
+        let src = std::fs::read_to_string(f).unwrap();
+        if let Err(e) = syn::parse_file(&src) {
+            eprintln!("PARSE FAIL {}: {e}", f.display());
+            failed += 1;
+        }
+    }
+    assert_eq!(failed, 0, "{failed}/{} files failed to parse", files.len());
+}
