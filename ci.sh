@@ -19,6 +19,9 @@ cargo test -q --workspace
 echo "== clippy (workspace, all targets, deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== public-API snapshot: iocontainers facade vs committed baseline =="
+cargo xtask api
+
 echo "== simlint static pass (all rules, plus JSON artifact) =="
 cargo xtask lint
 mkdir -p target/ci
@@ -57,5 +60,8 @@ cargo run --release --example quickstart
 
 echo "== fault recovery example (headless, asserts the recovery invariants) =="
 cargo run --release --example fault_recovery
+
+echo "== multi-tenant example (24 tenants, managed vs unmanaged) =="
+cargo run --release --example multi_tenant
 
 echo "ci: all gates passed"

@@ -255,6 +255,9 @@ fn describe_action(run: &PipelineRun, action: &Action) -> String {
                 iocontainers::ResourceSource::StolenFrom(d) => {
                     format!("stolen from {}", run.log.name_of(*d))
                 }
+                iocontainers::ResourceSource::StolenFromTenant { tenant, container } => {
+                    format!("stolen from tenant {tenant}#{}", container.0)
+                }
             };
             format!("increase {} by {added} ({src})", run.log.name_of(*container))
         }
@@ -437,7 +440,7 @@ pub fn sweep_cadence() -> Table {
 /// artifacts: a Perfetto/Chrome-trace JSON and the gauge time series as
 /// CSV. The `figures trace` job writes these to `target/traces/`.
 pub fn trace_artifacts() -> (String, String) {
-    let cfg = ExperimentConfig::builder()
+    let cfg = ExperimentConfig::builder_from(ExperimentConfig::fig7())
         .telemetry(simtel::TelemetryConfig::all())
         .build()
         .expect("the Fig. 7 preset is valid");

@@ -70,6 +70,18 @@ pub struct ContainerSpec {
     pub output_ratio: f64,
 }
 
+impl ContainerSpec {
+    /// Replicas the engine runs at `units` nodes: round-robin components
+    /// run one replica per node; single-instance components always run
+    /// exactly one regardless of node count.
+    pub fn effective_replicas(&self, units: u32) -> usize {
+        match self.model {
+            ComputeModel::RoundRobin => units.max(1) as usize,
+            _ => 1,
+        }
+    }
+}
+
 /// A step waiting in (or moving through) a container.
 #[derive(Clone, Copy, Debug)]
 pub struct QueuedStep {
@@ -179,6 +191,14 @@ impl ContainerState {
         }
         let needed = self.units_needed(atoms, cadence).max(1);
         self.units().saturating_sub(needed)
+    }
+
+    /// Resets the per-replica free times to match the current node count,
+    /// with every replica free at `at` (used after a resize or restart).
+    pub fn reset_replicas(&mut self, at: SimTime) {
+        let n = self.spec.effective_replicas(self.units());
+        self.replica_free.clear();
+        self.replica_free.resize(n, at);
     }
 
     /// The earliest-free replica index, if any replica exists.

@@ -1,0 +1,111 @@
+//! The crate's unified public error type.
+//!
+//! Per-module enums ([`ConfigError`], admission outcomes, engine error
+//! strings) stay the precise internal currency; [`Error`] is the one type
+//! callers match on at the public boundary. It is `#[non_exhaustive]`
+//! so new failure classes (and new variants of the wrapped enums) are not
+//! breaking changes.
+
+use crate::experiment::ConfigError;
+
+/// Everything that can go wrong assembling or running an experiment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A machine-level (cluster) parameter failed validation.
+    Config(ConfigError),
+    /// One tenant's workload failed validation.
+    Workload {
+        /// The offending tenant's id.
+        tenant: String,
+        /// What was wrong with it.
+        source: ConfigError,
+    },
+    /// [`Experiment::builder`](crate::Experiment::builder) was finished
+    /// without a [`ClusterConfig`](crate::ClusterConfig).
+    NoCluster,
+    /// The experiment has a cluster but not a single tenant.
+    NoTenants,
+    /// Two tenants share an id.
+    DuplicateTenant(String),
+    /// The tenants' compute partitions sum past the machine.
+    ComputeOvercommitted {
+        /// Simulation nodes the machine has.
+        sim_nodes: u32,
+        /// Simulation nodes the tenants requested in total.
+        requested: u64,
+    },
+    /// Admission control rejected a tenant at run time: its held
+    /// allocation did not fit the spare staging nodes.
+    AdmissionRejected {
+        /// The rejected tenant's id.
+        tenant: String,
+        /// Nodes the tenant's initially-active containers hold.
+        held: u32,
+        /// Spare staging nodes at evaluation time.
+        spare: u32,
+    },
+    /// The engine recorded invariant violations during the run (broken
+    /// resource accounting, impossible allocations); results should not
+    /// be trusted.
+    Pipeline(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "cluster configuration: {e}"),
+            Error::Workload { tenant, source } => write!(f, "tenant {tenant:?}: {source}"),
+            Error::NoCluster => write!(f, "experiment has no cluster configuration"),
+            Error::NoTenants => write!(f, "experiment has no tenants"),
+            Error::DuplicateTenant(id) => write!(f, "duplicate tenant id {id:?}"),
+            Error::ComputeOvercommitted { sim_nodes, requested } => write!(
+                f,
+                "tenants request {requested} simulation nodes but the machine has {sim_nodes}"
+            ),
+            Error::AdmissionRejected { tenant, held, spare } => write!(
+                f,
+                "tenant {tenant:?} rejected at admission: holds {held} node(s), \
+                 {spare} spare"
+            ),
+            Error::Pipeline(msg) => write!(f, "pipeline engine: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) | Error::Workload { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = Error::Workload {
+            tenant: "md-a".to_string(),
+            source: ConfigError::ZeroSteps,
+        };
+        assert!(e.to_string().contains("md-a"));
+        assert!(e.source().is_some());
+        assert!(Error::NoTenants.source().is_none());
+        let from: Error = ConfigError::ZeroBandwidth.into();
+        assert_eq!(from, Error::Config(ConfigError::ZeroBandwidth));
+        assert!(Error::AdmissionRejected { tenant: "t".into(), held: 13, spare: 4 }
+            .to_string()
+            .contains("admission"));
+    }
+}

@@ -1,5 +1,7 @@
-//! Experiment configurations, including the paper's three weak-scaling
-//! setups (Figs. 7, 8, 9/10).
+//! Experiment configurations: the machine-level [`ClusterConfig`], the
+//! per-tenant [`WorkloadConfig`], the composed multi-tenant
+//! [`Experiment`], and the paper's three weak-scaling presets (Figs. 7,
+//! 8, 9/10) kept as single-tenant sugar on [`ExperimentConfig`].
 
 use sim_core::SimDuration;
 use simnet::LaunchModel;
@@ -9,6 +11,7 @@ use smartpointer::{default_models, ComputeModel, ServiceModel, Table1Names};
 use simfault::FaultPlan;
 
 use crate::container::ContainerSpec;
+use crate::error::Error;
 use crate::monitor::MonitorConfig;
 use crate::policy::{PolicyConfig, RecoveryConfig};
 use crate::sla::Sla;
@@ -99,72 +102,8 @@ impl ExperimentConfig {
     /// Builds the four container specs for this configuration, in
     /// pipeline order: Helper → Bonds → CSym (→ CNA after the branch).
     pub fn container_specs(&self) -> Vec<ContainerSpec> {
-        let models = default_models();
-        let mut specs = vec![
-            ContainerSpec {
-                name: "Helper",
-                model: ComputeModel::Tree,
-                service: models.helper,
-                initial_nodes: self.initial.helper,
-                queue_capacity: self.queue_capacity,
-                essential: true, // the aggregation tree is the pipeline's intake
-                depends_on: vec![],
-                starts_active: true,
-                output_ratio: 1.0,
-            },
-            ContainerSpec {
-                name: "Bonds",
-                model: ComputeModel::RoundRobin,
-                service: models.bonds,
-                initial_nodes: self.initial.bonds,
-                queue_capacity: self.queue_capacity,
-                essential: false,
-                depends_on: vec!["Helper"],
-                starts_active: true,
-                // Forwards the atom data it ingests plus the adjacency list.
-                output_ratio: 1.5,
-            },
-            ContainerSpec {
-                name: "CSym",
-                model: ComputeModel::RoundRobin,
-                service: models.csym,
-                initial_nodes: self.initial.csym,
-                queue_capacity: self.queue_capacity,
-                essential: false,
-                depends_on: vec!["Bonds"],
-                starts_active: true,
-                output_ratio: 0.2, // per-atom scalar annotations
-            },
-            ContainerSpec {
-                name: "CNA",
-                model: ComputeModel::RoundRobin,
-                service: models.cna,
-                initial_nodes: self.initial.cna,
-                queue_capacity: self.queue_capacity,
-                essential: false,
-                depends_on: vec!["Bonds"],
-                starts_active: false, // activated by the dynamic branch
-                output_ratio: 0.2,
-            },
-        ];
-        if let Some(viz) = self.viz {
-            specs.push(ContainerSpec {
-                name: "Viz",
-                model: ComputeModel::RoundRobin,
-                // Rendering is linear in the atom count and cheap relative
-                // to the analytics.
-                service: ServiceModel { coeff_s: 0.4, exponent: 1.0, parallel_efficiency: 0.9 },
-                initial_nodes: viz.nodes,
-                queue_capacity: self.queue_capacity,
-                essential: false,
-                depends_on: vec!["Helper"],
-                starts_active: viz.active_from_start,
-                output_ratio: 0.0, // frames leave the machine
-            });
-        }
-        specs
+        specs_for(self.initial, self.queue_capacity, self.viz)
     }
-
     fn base(sim_nodes: u32, staging_nodes: u32, initial: Table1Names<u32>) -> ExperimentConfig {
         ExperimentConfig {
             sim_nodes,
@@ -191,17 +130,57 @@ impl ExperimentConfig {
         }
     }
 
-    /// Starts a validating builder from the Fig. 7 preset (the smallest
-    /// paper setup); override whatever the experiment needs and finish
-    /// with [`ExperimentConfigBuilder::build`].
-    pub fn builder() -> ExperimentConfigBuilder {
-        ExperimentConfig::fig7().to_builder()
+    /// Starts a validating builder from an explicit preset; override
+    /// whatever the experiment needs and finish with
+    /// [`ExperimentConfigBuilder::build`].
+    ///
+    /// (The old `ExperimentConfig::builder()`, which silently seeded from
+    /// `fig7()`, is gone: spell the starting point out.)
+    pub fn builder_from(preset: ExperimentConfig) -> ExperimentConfigBuilder {
+        preset.to_builder()
     }
 
     /// Re-opens this configuration as a builder, so presets can be
     /// adjusted fluently and re-validated.
     pub fn to_builder(self) -> ExperimentConfigBuilder {
         ExperimentConfigBuilder { cfg: self }
+    }
+
+    /// Splits this single-tenant bundle into its machine half and its
+    /// workload half — the inverse of what the presets glue together. The
+    /// cluster's policy tick period inherits the workload's cadence, so a
+    /// single-tenant [`Experiment`] schedules exactly the events the
+    /// legacy engine did.
+    pub fn split(self) -> (ClusterConfig, WorkloadConfig) {
+        let cluster = ClusterConfig {
+            sim_nodes: self.sim_nodes,
+            staging_nodes: self.staging_nodes,
+            bandwidth_bps: self.bandwidth_bps,
+            launch: self.launch,
+            policy: self.policy,
+            monitoring: self.monitoring,
+            recovery: self.recovery,
+            admission: AdmissionControl::Reject,
+            policy_tick_every: self.cadence,
+            trade_faults: self.trade_faults,
+            seed: self.seed,
+            telemetry: self.telemetry,
+        };
+        let workload = WorkloadConfig {
+            id: "t0".to_string(),
+            sim_nodes: self.sim_nodes,
+            cadence: self.cadence,
+            steps: self.steps,
+            crack_at_step: self.crack_at_step,
+            initial: self.initial,
+            queue_capacity: self.queue_capacity,
+            sla: self.sla,
+            viz: self.viz,
+            directives: self.directives,
+            faults: self.faults,
+            weight: 1,
+        };
+        (cluster, workload)
     }
 
     /// Staging nodes held by containers that are active from the start
@@ -256,6 +235,374 @@ impl ExperimentConfig {
     }
 }
 
+/// The paper's four-stage pipeline (plus optional Viz) as container
+/// specs, shared by the single-tenant [`ExperimentConfig`] and the
+/// per-tenant [`WorkloadConfig`].
+fn specs_for(
+    initial: Table1Names<u32>,
+    queue_capacity: usize,
+    viz: Option<VizConfig>,
+) -> Vec<ContainerSpec> {
+    let models = default_models();
+    let mut specs = vec![
+        ContainerSpec {
+            name: "Helper",
+            model: ComputeModel::Tree,
+            service: models.helper,
+            initial_nodes: initial.helper,
+            queue_capacity,
+            essential: true, // the aggregation tree is the pipeline's intake
+            depends_on: vec![],
+            starts_active: true,
+            output_ratio: 1.0,
+        },
+        ContainerSpec {
+            name: "Bonds",
+            model: ComputeModel::RoundRobin,
+            service: models.bonds,
+            initial_nodes: initial.bonds,
+            queue_capacity,
+            essential: false,
+            depends_on: vec!["Helper"],
+            starts_active: true,
+            // Forwards the atom data it ingests plus the adjacency list.
+            output_ratio: 1.5,
+        },
+        ContainerSpec {
+            name: "CSym",
+            model: ComputeModel::RoundRobin,
+            service: models.csym,
+            initial_nodes: initial.csym,
+            queue_capacity,
+            essential: false,
+            depends_on: vec!["Bonds"],
+            starts_active: true,
+            output_ratio: 0.2, // per-atom scalar annotations
+        },
+        ContainerSpec {
+            name: "CNA",
+            model: ComputeModel::RoundRobin,
+            service: models.cna,
+            initial_nodes: initial.cna,
+            queue_capacity,
+            essential: false,
+            depends_on: vec!["Bonds"],
+            starts_active: false, // activated by the dynamic branch
+            output_ratio: 0.2,
+        },
+    ];
+    if let Some(viz) = viz {
+        specs.push(ContainerSpec {
+            name: "Viz",
+            model: ComputeModel::RoundRobin,
+            // Rendering is linear in the atom count and cheap relative
+            // to the analytics.
+            service: ServiceModel { coeff_s: 0.4, exponent: 1.0, parallel_efficiency: 0.9 },
+            initial_nodes: viz.nodes,
+            queue_capacity,
+            essential: false,
+            depends_on: vec!["Helper"],
+            starts_active: viz.active_from_start,
+            output_ratio: 0.0, // frames leave the machine
+        });
+    }
+    specs
+}
+
+/// What the global manager does with a tenant whose initially-held
+/// allocation does not fit the spare staging nodes at submission time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionControl {
+    /// Reject the tenant outright: it never runs, and its
+    /// [`TenantRun`](crate::TenantRun) reports the rejection.
+    #[default]
+    Reject,
+    /// Queue the tenant: the global manager re-evaluates at every policy
+    /// tick and admits it as soon as enough spare nodes free up.
+    Queue,
+}
+
+/// Machine-level configuration: the simulated cluster every tenant
+/// contends for. One of these per DES run; pair it with one
+/// [`WorkloadConfig`] per tenant via [`Experiment::builder`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Simulation (compute) nodes on the machine. Tenant application
+    /// partitions ([`WorkloadConfig::sim_nodes`]) must fit in here.
+    pub sim_nodes: u32,
+    /// Staging-area nodes shared by every tenant's containers.
+    pub staging_nodes: u32,
+    /// Interconnect bandwidth for bulk transfers.
+    pub bandwidth_bps: u64,
+    /// Launch model for new replicas during an increase.
+    pub launch: LaunchModel,
+    /// The global manager's management policy (cluster-wide: one manager
+    /// arbitrates all tenants).
+    pub policy: PolicyConfig,
+    /// Monitoring layer configuration.
+    pub monitoring: MonitorConfig,
+    /// Heartbeat-driven failure detection and recovery tunables.
+    pub recovery: RecoveryConfig,
+    /// Admission control for tenants that do not fit at submission time.
+    pub admission: AdmissionControl,
+    /// Period of the global manager's policy evaluation. A single-tenant
+    /// split inherits the workload's cadence here (the legacy engine
+    /// evaluated once per output step).
+    pub policy_tick_every: SimDuration,
+    /// Fault injection for transactional trades: the n-th trades (0-based,
+    /// counted cluster-wide) listed here fail their control transaction
+    /// and roll back.
+    pub trade_faults: Vec<u32>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Which telemetry categories the run records.
+    pub telemetry: TelemetryConfig,
+}
+
+impl ClusterConfig {
+    /// A cluster with the given node counts and the presets' defaults for
+    /// everything else (15 s policy tick, paper bandwidth/launch models,
+    /// admission control set to reject).
+    pub fn new(sim_nodes: u32, staging_nodes: u32) -> ClusterConfig {
+        ClusterConfig {
+            sim_nodes,
+            staging_nodes,
+            bandwidth_bps: 1_600_000_000,
+            launch: LaunchModel::Fixed(SimDuration::from_secs(3)),
+            policy: PolicyConfig::default(),
+            monitoring: MonitorConfig::default(),
+            recovery: RecoveryConfig::default(),
+            admission: AdmissionControl::Reject,
+            policy_tick_every: SimDuration::from_secs(15),
+            trade_faults: Vec::new(),
+            seed: 2013,
+            telemetry: TelemetryConfig::off(),
+        }
+    }
+}
+
+/// Per-tenant workload: one pipeline DAG with its own data rates, SLA,
+/// initial allocation, directives, and fault exposure. N of these contend
+/// for one [`ClusterConfig`].
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Tenant id, unique within an experiment — used in reports and as the
+    /// telemetry track prefix (`<id>/...`) in multi-tenant runs.
+    pub id: String,
+    /// Simulation nodes of this tenant's application partition — sets the
+    /// atom count per Table II and the Helper fan-in.
+    pub sim_nodes: u32,
+    /// Output cadence of this tenant's application.
+    pub cadence: SimDuration,
+    /// Output steps the tenant's application emits.
+    pub steps: u64,
+    /// Step at which the material cracks (activates the dynamic branch),
+    /// if any.
+    pub crack_at_step: Option<u64>,
+    /// Initial node allocation per container.
+    pub initial: Table1Names<u32>,
+    /// Ingress queue capacity per container, in steps.
+    pub queue_capacity: usize,
+    /// The SLA the global manager enforces for this tenant.
+    pub sla: Sla,
+    /// Optional visualization container.
+    pub viz: Option<VizConfig>,
+    /// Online user directives, delivered at the given virtual times
+    /// (relative to the tenant's admission).
+    pub directives: Vec<(SimDuration, Directive)>,
+    /// Tenant-scoped fault plan (crashes name this tenant's containers).
+    pub faults: FaultPlan,
+    /// Fair-share weight: this tenant's share of the staging area is
+    /// `weight / Σ weights` over admitted tenants.
+    pub weight: u32,
+}
+
+impl WorkloadConfig {
+    /// A workload with the Fig. 7 pipeline shape (8/1/4/2 initial nodes,
+    /// 15 s cadence, 40 steps) on the given application partition.
+    pub fn new(id: impl Into<String>, sim_nodes: u32) -> WorkloadConfig {
+        WorkloadConfig {
+            id: id.into(),
+            sim_nodes,
+            cadence: SimDuration::from_secs(15),
+            steps: 40,
+            crack_at_step: None,
+            initial: Table1Names { helper: 8, bonds: 1, csym: 4, cna: 2 },
+            queue_capacity: 8,
+            sla: Sla::paper_default(),
+            viz: None,
+            directives: Vec::new(),
+            faults: FaultPlan::new(),
+            weight: 1,
+        }
+    }
+
+    /// Atom count for this workload's partition (Table II).
+    pub fn atoms(&self) -> u64 {
+        mdsim::atoms_for_nodes(self.sim_nodes)
+    }
+
+    /// Output bytes per step (Table II).
+    pub fn step_bytes(&self) -> u64 {
+        mdsim::output_bytes(self.atoms())
+    }
+
+    /// This workload's container specs in pipeline order.
+    pub fn container_specs(&self) -> Vec<ContainerSpec> {
+        specs_for(self.initial, self.queue_capacity, self.viz)
+    }
+
+    /// Staging nodes held by containers active from the start (the
+    /// tenant's admission footprint).
+    pub fn held_nodes(&self) -> u32 {
+        self.container_specs()
+            .iter()
+            .filter(|s| s.starts_active)
+            .map(|s| s.initial_nodes)
+            .sum()
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.cadence.is_zero() {
+            return Err(ConfigError::ZeroCadence);
+        }
+        if self.steps == 0 {
+            return Err(ConfigError::ZeroSteps);
+        }
+        if self.weight == 0 {
+            return Err(ConfigError::ZeroWeight);
+        }
+        Ok(())
+    }
+}
+
+/// A validated multi-tenant experiment: one machine, N workloads.
+///
+/// Built by [`Experiment::builder`] (which validates the composition) or
+/// [`Experiment::single`] (infallible sugar around a legacy
+/// [`ExperimentConfig`]); run with [`Experiment::run`].
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    pub(crate) cluster: ClusterConfig,
+    pub(crate) workloads: Vec<WorkloadConfig>,
+}
+
+impl Experiment {
+    /// Starts an empty builder; add a cluster and at least one tenant.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder { cluster: None, workloads: Vec::new() }
+    }
+
+    /// Wraps a single-tenant configuration without further validation (the
+    /// legacy engine accepted these configs directly; see
+    /// [`ExperimentConfig::split`]).
+    pub fn single(cfg: ExperimentConfig) -> Experiment {
+        let (cluster, workload) = cfg.split();
+        Experiment { cluster, workloads: vec![workload] }
+    }
+
+    /// The machine half.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
+    }
+
+    /// The tenants, in submission order.
+    pub fn workloads(&self) -> &[WorkloadConfig] {
+        &self.workloads
+    }
+}
+
+/// Validating composer of a [`ClusterConfig`] with N [`WorkloadConfig`]s.
+///
+/// ```
+/// use iocontainers::{ClusterConfig, Experiment, WorkloadConfig};
+///
+/// let exp = Experiment::builder()
+///     .cluster(ClusterConfig::new(1024, 32))
+///     .tenant(WorkloadConfig::new("md-a", 256))
+///     .tenant(WorkloadConfig::new("md-b", 256))
+///     .build()
+///     .expect("valid experiment");
+/// assert_eq!(exp.workloads().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentBuilder {
+    cluster: Option<ClusterConfig>,
+    workloads: Vec<WorkloadConfig>,
+}
+
+impl ExperimentBuilder {
+    /// Sets the machine-level configuration.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Adds one tenant.
+    pub fn tenant(mut self, workload: WorkloadConfig) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Adds many tenants at once.
+    pub fn tenants(mut self, workloads: impl IntoIterator<Item = WorkloadConfig>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Validates the composition.
+    ///
+    /// Rejects a missing cluster, a zero-tenant run, duplicate tenant ids,
+    /// degenerate per-workload parameters (zero cadence/steps/queue
+    /// capacity/weight), a tenant whose held allocation could never fit
+    /// the staging area even alone, a zero cluster bandwidth or policy
+    /// tick, and compute partitions summing past the machine. Whether all
+    /// tenants fit *together* is decided at run time by admission control
+    /// ([`ClusterConfig::admission`]), not here — that is the contended
+    /// case the experiment exists to study.
+    pub fn build(self) -> Result<Experiment, Error> {
+        let Some(cluster) = self.cluster else {
+            return Err(Error::NoCluster);
+        };
+        if self.workloads.is_empty() {
+            return Err(Error::NoTenants);
+        }
+        if cluster.bandwidth_bps == 0 {
+            return Err(Error::Config(ConfigError::ZeroBandwidth));
+        }
+        if cluster.policy_tick_every.is_zero() {
+            return Err(Error::Config(ConfigError::ZeroCadence));
+        }
+        let mut requested: u64 = 0;
+        for (i, wl) in self.workloads.iter().enumerate() {
+            if self.workloads[..i].iter().any(|w| w.id == wl.id) {
+                return Err(Error::DuplicateTenant(wl.id.clone()));
+            }
+            if let Err(source) = wl.validate() {
+                return Err(Error::Workload { tenant: wl.id.clone(), source });
+            }
+            let held = wl.held_nodes();
+            if held > cluster.staging_nodes {
+                return Err(Error::Workload {
+                    tenant: wl.id.clone(),
+                    source: ConfigError::Overcommitted {
+                        staging_nodes: cluster.staging_nodes,
+                        held,
+                    },
+                });
+            }
+            requested += wl.sim_nodes as u64;
+        }
+        if requested > cluster.sim_nodes as u64 {
+            return Err(Error::ComputeOvercommitted { sim_nodes: cluster.sim_nodes, requested });
+        }
+        Ok(Experiment { cluster, workloads: self.workloads })
+    }
+}
+
 /// Why a built configuration was rejected.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ConfigError {
@@ -274,6 +621,9 @@ pub enum ConfigError {
     ZeroSteps,
     /// `bandwidth_bps` was zero (every transfer would divide by zero).
     ZeroBandwidth,
+    /// A workload's fair-share `weight` was zero (the tenant would own no
+    /// slice of the machine).
+    ZeroWeight,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -288,6 +638,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroCadence => write!(f, "output cadence must be nonzero"),
             ConfigError::ZeroSteps => write!(f, "steps must be nonzero"),
             ConfigError::ZeroBandwidth => write!(f, "bandwidth_bps must be positive"),
+            ConfigError::ZeroWeight => write!(f, "fair-share weight must be positive"),
         }
     }
 }
@@ -528,7 +879,10 @@ mod tests {
     #[test]
     fn builder_rejects_overcommitted_staging_area() {
         // Fig. 7 holds exactly 13 nodes; 12 staging nodes cannot fit them.
-        let err = ExperimentConfig::builder().staging_nodes(12).build().unwrap_err();
+        let err = ExperimentConfig::builder_from(ExperimentConfig::fig7())
+            .staging_nodes(12)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::Overcommitted { staging_nodes: 12, held: 13 });
     }
 
@@ -555,24 +909,94 @@ mod tests {
 
     #[test]
     fn builder_rejects_degenerate_parameters() {
+        let fig7 = || ExperimentConfig::builder_from(ExperimentConfig::fig7());
         assert_eq!(
-            ExperimentConfig::builder().queue_capacity(0).build().unwrap_err(),
+            fig7().queue_capacity(0).build().unwrap_err(),
             ConfigError::ZeroQueueCapacity
         );
         assert_eq!(
-            ExperimentConfig::builder().cadence(SimDuration::ZERO).build().unwrap_err(),
+            fig7().cadence(SimDuration::ZERO).build().unwrap_err(),
             ConfigError::ZeroCadence
         );
+        assert_eq!(fig7().steps(0).build().unwrap_err(), ConfigError::ZeroSteps);
         assert_eq!(
-            ExperimentConfig::builder().steps(0).build().unwrap_err(),
-            ConfigError::ZeroSteps
-        );
-        assert_eq!(
-            ExperimentConfig::builder().bandwidth_bps(0).build().unwrap_err(),
+            fig7().bandwidth_bps(0).build().unwrap_err(),
             ConfigError::ZeroBandwidth
         );
         assert!(ConfigError::ZeroCadence.to_string().contains("cadence"));
         assert!(ConfigError::ZeroBandwidth.to_string().contains("bandwidth"));
+        assert!(ConfigError::ZeroWeight.to_string().contains("weight"));
+    }
+
+    #[test]
+    fn split_preserves_the_bundle() {
+        let (cluster, wl) = ExperimentConfig::fig8().split();
+        assert_eq!(cluster.sim_nodes, 512);
+        assert_eq!(cluster.staging_nodes, 24);
+        // The legacy engine evaluated policy once per output step.
+        assert_eq!(cluster.policy_tick_every, wl.cadence);
+        assert_eq!(wl.sim_nodes, 512);
+        assert_eq!(wl.steps, 40);
+        assert_eq!(wl.held_nodes(), ExperimentConfig::fig8().held_nodes());
+        assert_eq!(wl.step_bytes(), ExperimentConfig::fig8().step_bytes());
+    }
+
+    #[test]
+    fn experiment_builder_validates_composition() {
+        use crate::error::Error;
+        // No cluster / no tenants.
+        assert_eq!(Experiment::builder().build().unwrap_err(), Error::NoCluster);
+        assert_eq!(
+            Experiment::builder().cluster(ClusterConfig::new(512, 32)).build().unwrap_err(),
+            Error::NoTenants
+        );
+        // Duplicate ids.
+        let err = Experiment::builder()
+            .cluster(ClusterConfig::new(1024, 64))
+            .tenant(WorkloadConfig::new("a", 256))
+            .tenant(WorkloadConfig::new("a", 256))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::DuplicateTenant("a".to_string()));
+        // A tenant that could never fit even alone.
+        let err = Experiment::builder()
+            .cluster(ClusterConfig::new(1024, 8))
+            .tenant(WorkloadConfig::new("big", 256)) // holds 13 > 8
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Workload { ref tenant, source: ConfigError::Overcommitted { .. } }
+                if tenant == "big"
+        ));
+        // Compute partitions past the machine.
+        let err = Experiment::builder()
+            .cluster(ClusterConfig::new(300, 64))
+            .tenants([WorkloadConfig::new("a", 256), WorkloadConfig::new("b", 256)])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::ComputeOvercommitted { sim_nodes: 300, requested: 512 });
+        // Degenerate workload parameters surface with the tenant id.
+        let mut wl = WorkloadConfig::new("w", 256);
+        wl.weight = 0;
+        let err = Experiment::builder()
+            .cluster(ClusterConfig::new(512, 32))
+            .tenant(wl)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::Workload { tenant: "w".to_string(), source: ConfigError::ZeroWeight }
+        );
+        // A valid two-tenant composition builds.
+        let exp = Experiment::builder()
+            .cluster(ClusterConfig::new(1024, 64))
+            .tenant(WorkloadConfig::new("a", 256))
+            .tenant(WorkloadConfig::new("b", 512))
+            .build()
+            .expect("valid");
+        assert_eq!(exp.cluster().staging_nodes, 64);
+        assert_eq!(exp.workloads()[1].id, "b");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod codec;
 mod container;
+mod error;
 mod experiment;
 pub mod invariance;
 mod monitor;
@@ -52,17 +53,22 @@ mod sla;
 pub mod threaded;
 
 pub use container::{ContainerId, ContainerSpec, ContainerState, QueuedStep, Status};
+pub use error::Error;
 pub use experiment::{
-    ConfigError, Directive, ExperimentConfig, ExperimentConfigBuilder, VizConfig,
+    AdmissionControl, ClusterConfig, ConfigError, Directive, Experiment, ExperimentBuilder,
+    ExperimentConfig, ExperimentConfigBuilder, VizConfig, WorkloadConfig,
 };
 pub use monitor::{Action, LatencySample, MonitorConfig, MonitorLog, ResourceSource};
 pub use invariance::{check_config_invariance, check_schedule_invariance, InvarianceReport};
-pub use pipeline::{run_pipeline, run_pipeline_in, PipelineRun};
+pub use pipeline::{
+    run_experiment, run_experiment_in, run_pipeline, run_pipeline_in, AdmissionOutcome,
+    ExperimentRun, PipelineRun, TenantRun,
+};
 pub use policy::{PolicyConfig, RecoveryConfig};
 pub use protocol::{
     run_decrease, run_increase, run_offline, DecreaseReport, IncreaseReport, OfflineReport,
     ProtocolLayout,
 };
 pub use provenance::{Provenance, PENDING_OPS, PROCESSED_BY};
-pub use sla::Sla;
+pub use sla::{Sla, SlaAttainment};
 pub use threaded::{run_threaded, ThreadedAction, ThreadedConfig, ThreadedReport};

@@ -128,8 +128,16 @@ pub enum Action {
 pub enum ResourceSource {
     /// Spare staging-area nodes.
     Spare,
-    /// Stolen from another container.
+    /// Stolen from another container of the same tenant.
     StolenFrom(ContainerId),
+    /// Stolen across tenants: a foreign tenant held more than its fair
+    /// share and its container could spare the nodes.
+    StolenFromTenant {
+        /// The donor tenant's index in the experiment.
+        tenant: u32,
+        /// The donor container.
+        container: ContainerId,
+    },
 }
 
 /// The global manager's aggregate monitoring view.
@@ -149,6 +157,10 @@ pub struct MonitorLog {
     actions: Vec<(SimTime, Action)>,
     names: BTreeMap<ContainerId, &'static str>,
     telemetry: Telemetry,
+    /// Prefix applied to every mirrored telemetry name and track
+    /// (`"t3/"` in a multi-tenant run, empty otherwise). An empty scope
+    /// leaves the telemetry byte-identical to the single-tenant layout.
+    scope: String,
 }
 
 impl MonitorLog {
@@ -159,7 +171,15 @@ impl MonitorLog {
 
     /// Creates an empty log mirroring its signals into `telemetry`.
     pub fn with_telemetry(telemetry: Telemetry) -> MonitorLog {
-        MonitorLog { e2e: Series::new("end_to_end_s"), telemetry, ..MonitorLog::default() }
+        MonitorLog::with_scoped_telemetry(telemetry, String::new())
+    }
+
+    /// Creates an empty log mirroring its signals into `telemetry`, with
+    /// every exported name and track prefixed by `scope` (pass the tenant
+    /// id plus `/`). An empty scope is byte-identical to
+    /// [`MonitorLog::with_telemetry`].
+    pub fn with_scoped_telemetry(telemetry: Telemetry, scope: String) -> MonitorLog {
+        MonitorLog { e2e: Series::new("end_to_end_s"), telemetry, scope, ..MonitorLog::default() }
     }
 
     /// A one-line label for an action, using registered container names
@@ -170,6 +190,9 @@ impl MonitorLog {
                 let src = match source {
                     ResourceSource::Spare => "spare pool".to_string(),
                     ResourceSource::StolenFrom(d) => self.name_of(*d).to_string(),
+                    ResourceSource::StolenFromTenant { tenant, container } => {
+                        format!("tenant {tenant}#{}", container.0)
+                    }
                 };
                 format!("increase {} +{added} (from {src})", self.name_of(*container))
             }
@@ -217,15 +240,16 @@ impl MonitorLog {
         }
         if self.telemetry.enabled(Category::Container) {
             let name = self.name_of(sample.container);
+            let scope = &self.scope;
             self.telemetry.gauge(
                 Category::Container,
-                &format!("{name}_latency_s"),
+                &format!("{scope}{name}_latency_s"),
                 sample.taken_at,
                 sample.latency.as_secs_f64(),
             );
             self.telemetry.gauge(
                 Category::Container,
-                &format!("{name}_queue"),
+                &format!("{scope}{name}_queue"),
                 sample.taken_at,
                 sample.queue_len as f64,
             );
@@ -241,14 +265,26 @@ impl MonitorLog {
     /// Records an end-to-end latency point (step emitted → pipeline exit).
     pub fn record_e2e(&mut self, at: SimTime, e2e: SimDuration) {
         self.e2e.push(at, e2e.as_secs_f64());
-        self.telemetry.gauge(Category::Container, "end_to_end_s", at, e2e.as_secs_f64());
+        let scope = &self.scope;
+        self.telemetry.gauge(
+            Category::Container,
+            &format!("{scope}end_to_end_s"),
+            at,
+            e2e.as_secs_f64(),
+        );
     }
 
     /// Records a management action.
     pub fn record_action(&mut self, at: SimTime, action: Action) {
+        let scope = self.scope.clone();
         if self.telemetry.enabled(Category::Management) {
-            self.telemetry.mark(Category::Management, "manager", &self.action_label(&action), at);
-            self.telemetry.count(Category::Management, "manager.actions", 1);
+            self.telemetry.mark(
+                Category::Management,
+                &format!("{scope}manager"),
+                &self.action_label(&action),
+                at,
+            );
+            self.telemetry.count(Category::Management, &format!("{scope}manager.actions"), 1);
         }
         // Failure-detection and recovery actions additionally land on the
         // fault track, so a fault-focused trace shows injection and
@@ -256,8 +292,13 @@ impl MonitorLog {
         if matches!(action, Action::ContainerFailed { .. } | Action::Restarted { .. })
             && self.telemetry.enabled(Category::Fault)
         {
-            self.telemetry.mark(Category::Fault, "fault", &self.action_label(&action), at);
-            self.telemetry.count(Category::Fault, "fault.recovery_actions", 1);
+            self.telemetry.mark(
+                Category::Fault,
+                &format!("{scope}fault"),
+                &self.action_label(&action),
+                at,
+            );
+            self.telemetry.count(Category::Fault, &format!("{scope}fault.recovery_actions"), 1);
         }
         self.actions.push((at, action));
     }

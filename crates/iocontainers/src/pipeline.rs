@@ -29,17 +29,23 @@ use simtel::{Category, Telemetry};
 use datatap::TransportCosts;
 use evpath::{Event, Overlay, StoneId};
 use simfault::{Fault, LossSampler};
-use smartpointer::ComputeModel;
 
 use d2t::{run_transaction, FaultPlan, TxnConfig};
 use simnet::{Network, NetworkConfig};
 
 use crate::container::{ContainerId, ContainerState, QueuedStep, Status};
-use crate::experiment::{Directive, ExperimentConfig};
+use crate::error::Error;
+use crate::experiment::{
+    AdmissionControl, ClusterConfig, Directive, Experiment, ExperimentConfig, WorkloadConfig,
+};
 use crate::monitor::{Action, LatencySample, MonitorLog, ResourceSource};
-use crate::policy::{decide, decide_recovery, ContainerView, Decision, FailureView};
+use crate::policy::{
+    decide_cluster, decide_recovery, ClusterDecision, ContainerView, Decision, FailureView,
+    TenantPolicyView,
+};
 use crate::protocol::estimate;
 use crate::provenance::Provenance;
+use crate::sla::SlaAttainment;
 
 /// Indices of the containers in pipeline order.
 const HELPER: usize = 0;
@@ -101,11 +107,115 @@ pub struct PipelineRun {
     pub telemetry: Telemetry,
 }
 
+/// How a tenant's admission resolved over the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionOutcome {
+    /// The tenant ran, with its containers online from the given virtual
+    /// time ([`SimTime::ZERO`] when it started with the machine).
+    Admitted {
+        /// When the tenant's containers came online.
+        at: SimTime,
+    },
+    /// The tenant waited in the admission queue and never got in.
+    Queued,
+    /// Admission control rejected the tenant outright: its initial
+    /// allocation did not fit the spare staging nodes.
+    Rejected {
+        /// Nodes the tenant's initially active containers wanted.
+        held: u32,
+        /// Spare staging nodes at evaluation time.
+        spare: u32,
+    },
+}
+
+/// One tenant's slice of an [`ExperimentRun`].
+#[derive(Debug)]
+pub struct TenantRun {
+    /// The tenant's id (from its [`WorkloadConfig`]).
+    pub id: String,
+    /// How admission resolved for this tenant.
+    pub admission: AdmissionOutcome,
+    /// The tenant's SLA attainment over the run.
+    pub attainment: SlaAttainment,
+    /// The tenant's full per-pipeline report: its own monitor log, disk
+    /// steps, blocked/crack state, final units. `heartbeats_delivered`
+    /// and `errors` are machine-global and repeated on every tenant.
+    pub run: PipelineRun,
+}
+
+/// Result of a multi-tenant [`Experiment`] run.
+#[derive(Debug)]
+pub struct ExperimentRun {
+    /// Per-tenant results, in submission order.
+    pub tenants: Vec<TenantRun>,
+    /// Virtual time when the whole machine drained.
+    pub finished_at: SimTime,
+    /// Machine-global engine errors (see [`PipelineRun::errors`]).
+    pub errors: Vec<String>,
+    /// The machine's telemetry handle.
+    pub telemetry: Telemetry,
+}
+
+impl ExperimentRun {
+    /// The first thing that went wrong, as the crate's public [`Error`]:
+    /// an admission rejection, or an engine-invariant violation the run
+    /// survived. `None` for a clean run (a queued-but-never-admitted
+    /// tenant is visible in its [`TenantRun::admission`], not here).
+    pub fn first_error(&self) -> Option<Error> {
+        for t in &self.tenants {
+            if let AdmissionOutcome::Rejected { held, spare } = t.admission {
+                return Some(Error::AdmissionRejected { tenant: t.id.clone(), held, spare });
+            }
+        }
+        self.errors.first().map(|e| Error::Pipeline(e.clone()))
+    }
+}
+
+impl Experiment {
+    /// Runs this experiment to completion on a fresh kernel seeded with
+    /// the cluster's seed.
+    pub fn run(self) -> ExperimentRun {
+        run_experiment(self)
+    }
+}
+
+/// Internal admission lifecycle (the public report shape is
+/// [`AdmissionOutcome`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AdmissionState {
+    Admitted { at: SimTime },
+    Queued,
+    /// The admission protocol is running; leases happen at completion.
+    AdmitInFlight,
+    Rejected { held: u32, spare: u32 },
+}
+
+/// Per-tenant runtime state. The tenant's containers occupy the global
+/// container vector's contiguous range `base..base + count`.
+struct TenantRt {
+    wl: WorkloadConfig,
+    base: usize,
+    count: usize,
+    /// Telemetry name/track prefix (`"<id>/"` in multi-tenant runs, empty
+    /// for a single tenant so the exported trace stays byte-identical to
+    /// the legacy engine's).
+    prefix: String,
+    log: MonitorLog,
+    admission: AdmissionState,
+    crack_detected: bool,
+    first_blocked_at: Option<SimTime>,
+    disk_steps: Vec<(u64, Provenance)>,
+    /// Active message-loss window for this tenant's ingress paths.
+    loss: Option<(LossSampler, SimTime)>,
+}
+
 struct World {
-    cfg: ExperimentConfig,
+    cluster: ClusterConfig,
+    tenants: Vec<TenantRt>,
+    /// Tenant index owning each container (parallel to `containers`).
+    tenant_of: Vec<usize>,
     containers: Vec<ContainerState>,
     staging: StagingArea,
-    log: MonitorLog,
     telemetry: Telemetry,
     costs: TransportCosts,
     ingress_free: Vec<SimTime>,
@@ -113,21 +223,16 @@ struct World {
     /// Steps dispatched to replicas whose completion events are pending;
     /// tracked so an offline action can flush in-flight work to disk.
     in_flight: Vec<Vec<QueuedStep>>,
-    crack_detected: bool,
     action_in_flight: bool,
     last_action_at: SimTime,
     trade_count: u32,
-    first_blocked_at: Option<SimTime>,
-    disk_steps: Vec<(u64, Provenance)>,
     // Fault injection and recovery state. All of it is inert (and none of
-    // it schedules events) when the configuration's fault plan is empty,
-    // so a clean run's event schedule is bit-identical to a build without
+    // it schedules events) when every tenant's fault plan is empty, so a
+    // clean run's event schedule is bit-identical to a build without
     // fault injection.
     /// Per-container ingress degradation: (bandwidth factor, latency
     /// factor, expiry). Expires lazily at the next transfer — no events.
     degraded: Vec<Option<(f64, f64, SimTime)>>,
-    /// Active message-loss window: seeded sampler and expiry.
-    loss: Option<(LossSampler, SimTime)>,
     /// Dispatch epoch per container, bumped when a crash discards the
     /// in-flight set; stale completion events from before the crash carry
     /// the old epoch and are ignored.
@@ -150,67 +255,91 @@ struct World {
 
 type W = Shared<World>;
 
-fn effective_replicas(model: ComputeModel, units: u32) -> usize {
-    match model {
-        ComputeModel::RoundRobin => units.max(1) as usize,
-        _ => 1,
-    }
-}
-
 impl World {
-    fn new(cfg: ExperimentConfig) -> World {
-        let mut staging = StagingArea::with_nodes(cfg.sim_nodes, cfg.staging_nodes);
-        let specs = cfg.container_specs();
-        let mut containers = Vec::with_capacity(specs.len());
-        let telemetry = Telemetry::new(cfg.telemetry);
-        let mut log = MonitorLog::with_telemetry(telemetry.clone());
+    fn new(ex: Experiment) -> World {
+        let Experiment { cluster, workloads } = ex;
+        let mut staging = StagingArea::with_nodes(cluster.sim_nodes, cluster.staging_nodes);
+        let telemetry = Telemetry::new(cluster.telemetry);
+        let multi = workloads.len() > 1;
         let mut errors = Vec::new();
-        for (i, spec) in specs.into_iter().enumerate() {
-            let id = ContainerId(i as u32);
-            log.register(id, spec.name);
-            let mut lease_failed = false;
-            let nodes = if spec.starts_active {
-                match staging.lease(spec.initial_nodes) {
-                    Ok(nodes) => nodes,
-                    Err(e) => {
-                        // Impossible allocation: the config asks for more
-                        // nodes than staging holds. Start the container
-                        // inactive instead of aborting the run, and report
-                        // the violation through the run's error log.
-                        errors.push(format!("initial allocation for {}: {e}", spec.name));
-                        lease_failed = true;
-                        Vec::new()
-                    }
-                }
+        let mut tenants = Vec::with_capacity(workloads.len());
+        let mut containers = Vec::new();
+        let mut tenant_of = Vec::new();
+        for (t, wl) in workloads.into_iter().enumerate() {
+            let prefix = if multi { format!("{}/", wl.id) } else { String::new() };
+            let mut log = MonitorLog::with_scoped_telemetry(telemetry.clone(), prefix.clone());
+            let specs = wl.container_specs();
+            let base = containers.len();
+            let count = specs.len();
+            // Runtime admission control: the tenant's whole initial
+            // allocation must fit the spare pool, or the tenant is
+            // rejected/queued as configured. (The legacy engine started
+            // overcommitted configs partially; a tenant is now an
+            // all-or-nothing unit.)
+            let held = wl.held_nodes();
+            let spare = staging.spare();
+            let admission = if held <= spare {
+                AdmissionState::Admitted { at: SimTime::ZERO }
             } else {
-                Vec::new() // inactive containers hold nothing until activated
+                match cluster.admission {
+                    AdmissionControl::Queue => AdmissionState::Queued,
+                    AdmissionControl::Reject => AdmissionState::Rejected { held, spare },
+                }
             };
-            let mut st = ContainerState::new(id, spec, nodes);
-            if lease_failed {
-                st.status = Status::Inactive;
+            let admitted = matches!(admission, AdmissionState::Admitted { .. });
+            for (i, spec) in specs.into_iter().enumerate() {
+                let id = ContainerId((base + i) as u32);
+                log.register(id, spec.name);
+                let nodes = if admitted && spec.starts_active {
+                    match staging.lease(spec.initial_nodes) {
+                        Ok(nodes) => nodes,
+                        Err(e) => {
+                            // Unreachable once held <= spare, but keep the
+                            // downgrade: record, start inactive.
+                            errors.push(format!("initial allocation for {}: {e}", spec.name));
+                            Vec::new()
+                        }
+                    }
+                } else {
+                    Vec::new() // waiting/rejected tenants hold nothing
+                };
+                let mut st = ContainerState::new(id, spec, nodes);
+                if !admitted || (st.spec.starts_active && st.nodes.is_empty()) {
+                    st.status = Status::Inactive;
+                }
+                st.reset_replicas(SimTime::ZERO);
+                containers.push(st);
+                tenant_of.push(t);
             }
-            st.replica_free = vec![SimTime::ZERO; effective_replicas(st.spec.model, st.units())];
-            containers.push(st);
+            tenants.push(TenantRt {
+                wl,
+                base,
+                count,
+                prefix,
+                log,
+                admission,
+                crack_detected: false,
+                first_blocked_at: None,
+                disk_steps: Vec::new(),
+                loss: None,
+            });
         }
         let n = containers.len();
         World {
-            cfg,
+            cluster,
+            tenants,
+            tenant_of,
             containers,
             staging,
-            log,
             telemetry,
             costs: TransportCosts::default(),
             ingress_free: vec![SimTime::ZERO; n],
             stalled: vec![VecDeque::new(); n],
             in_flight: vec![Vec::new(); n],
-            crack_detected: false,
             action_in_flight: false,
             last_action_at: SimTime::ZERO,
             trade_count: 0,
-            first_blocked_at: None,
-            disk_steps: Vec::new(),
             degraded: vec![None; n],
-            loss: None,
             epoch: vec![0; n],
             heartbeat_last: vec![SimTime::ZERO; n],
             declared_failed: vec![false; n],
@@ -221,13 +350,14 @@ impl World {
         }
     }
 
-    /// Writers feeding container `ix`: Helper is fed by the application's
-    /// output ranks (one writer per 32 simulation nodes, the aggregation
-    /// tree's leaf fan-in); everything else by the upstream container's
-    /// replicas.
+    /// Writers feeding container `ix`: a tenant's Helper is fed by its
+    /// application partition's output ranks (one writer per 32 simulation
+    /// nodes, the aggregation tree's leaf fan-in); everything else by the
+    /// upstream container's replicas.
     fn upstream_writers(&self, ix: usize) -> u32 {
-        if ix == HELPER {
-            (self.cfg.sim_nodes / 32).max(1)
+        let t = &self.tenants[self.tenant_of[ix]];
+        if ix == t.base + HELPER {
+            (t.wl.sim_nodes / 32).max(1)
         } else {
             self.containers.get(ix - 1).map_or(1, |c| c.units().max(1))
         }
@@ -266,7 +396,7 @@ impl World {
     /// up; an active message-loss window may charge one retransmit. Both
     /// expire lazily here, so a faultless run schedules no extra events.
     fn transfer_time_at(&mut self, dst: usize, bytes: u64, now: SimTime) -> SimDuration {
-        let mut bw = self.cfg.bandwidth_bps;
+        let mut bw = self.cluster.bandwidth_bps;
         let mut overhead = SimDuration::from_micros(6);
         match self.degraded[dst] {
             Some((bw_factor, lat_factor, until)) if now < until => {
@@ -278,10 +408,11 @@ impl World {
         }
         let ns = sim_core::widemath::mul_div_ceil(bytes, 1_000_000_000, bw);
         let mut xfer = SimDuration::from_nanos(ns) + overhead;
-        if self.loss.as_ref().is_some_and(|(_, until)| now >= *until) {
-            self.loss = None;
+        let loss = &mut self.tenants[self.tenant_of[dst]].loss;
+        if loss.as_ref().is_some_and(|(_, until)| now >= *until) {
+            *loss = None;
         }
-        if let Some((sampler, _)) = &mut self.loss {
+        if let Some((sampler, _)) = loss {
             // A lost announcement is retransmitted after one timeout:
             // the step is never lost, it just pays the transfer twice.
             if sampler.sample() {
@@ -298,21 +429,26 @@ impl World {
     /// steps — their queues are the recovery path's guarantee that no time
     /// step is lost while the manager reacts.
     fn downstream_targets(&self, cid: usize) -> Vec<usize> {
+        let t = &self.tenants[self.tenant_of[cid]];
+        let (base, count) = (t.base, t.count);
+        let accepts = |ix: usize| self.containers.get(ix).is_some_and(ContainerState::accepts_steps);
         let mut targets = Vec::with_capacity(2);
-        match cid {
+        match cid - base {
             HELPER => {
-                if self.containers[BONDS].accepts_steps() {
-                    targets.push(BONDS);
+                if accepts(base + BONDS) {
+                    targets.push(base + BONDS);
                 }
-                if self.containers.len() > VIZ && self.containers[VIZ].is_online() {
-                    targets.push(VIZ);
+                if count > VIZ
+                    && self.containers.get(base + VIZ).is_some_and(ContainerState::is_online)
+                {
+                    targets.push(base + VIZ);
                 }
             }
             BONDS => {
-                if self.containers[CSYM].accepts_steps() {
-                    targets.push(CSYM);
-                } else if self.containers[CNA].accepts_steps() {
-                    targets.push(CNA);
+                if accepts(base + CSYM) {
+                    targets.push(base + CSYM);
+                } else if accepts(base + CNA) {
+                    targets.push(base + CNA);
                 }
             }
             _ => {}
@@ -323,23 +459,26 @@ impl World {
     /// True for the analytics chain (visualization is a side sink and does
     /// not participate in provenance or the analytics end-to-end path).
     fn is_analytics(&self, cid: usize) -> bool {
-        cid < VIZ
+        cid - self.tenants[self.tenant_of[cid]].base < VIZ
     }
 
     /// Provenance for a step exiting at `cid` with downstream pruned
-    /// (visualization is excluded: it owes the data nothing).
+    /// (visualization is excluded: it owes the data nothing). Scoped to
+    /// the owning tenant's analytics chain.
     fn provenance_at(&self, cid: usize) -> Provenance {
-        let end = self.containers.len().min(VIZ);
+        let t = &self.tenants[self.tenant_of[cid]];
+        let (base, end) = (t.base, t.base + t.count.min(VIZ));
+        let local = cid - base;
         let ran: Vec<&str> = self
             .containers
-            .get(..(cid + 1).min(end))
+            .get(base..(base + (local + 1)).min(end))
             .unwrap_or(&[])
             .iter()
             .map(|c| c.spec.name)
             .collect();
         let pruned: Vec<&str> = self
             .containers
-            .get(cid + 1..end)
+            .get(base + local + 1..end)
             .unwrap_or(&[])
             .iter()
             .filter(|c| c.owed)
@@ -350,6 +489,14 @@ impl World {
 
     fn queued_bytes(&self, cid: usize) -> u64 {
         self.containers[cid].queue.iter().map(|q| q.bytes).sum()
+    }
+
+    /// The `[base, base + count)` window of the flat container vec — one
+    /// tenant's containers. The bounds are fixed at construction; an
+    /// out-of-range window degrades to an empty slice rather than
+    /// panicking.
+    fn tenant_slice(&self, base: usize, count: usize) -> &[ContainerState] {
+        self.containers.get(base..base + count).unwrap_or(&[])
     }
 }
 
@@ -362,10 +509,26 @@ pub fn run_pipeline(cfg: ExperimentConfig) -> PipelineRun {
 /// Runs the experiment inside a caller-built kernel — e.g. one with a
 /// perturbed tie-break and tracing enabled, as the schedule-invariance
 /// checker does. The kernel's RNG seed should normally match `cfg.seed`.
+///
+/// This is single-tenant sugar over [`run_experiment_in`]: the config is
+/// wrapped in [`Experiment::single`] and the sole tenant's report is
+/// returned. A single-tenant experiment schedules exactly the events the
+/// legacy single-pipeline engine did, so traces stay bit-identical.
 pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
-    let steps = cfg.steps;
-    let cadence = cfg.cadence;
-    let world: W = shared(World::new(cfg));
+    let mut run = run_experiment_in(sim, Experiment::single(cfg));
+    run.tenants.remove(0).run
+}
+
+/// Runs a multi-tenant experiment to completion on a fresh kernel seeded
+/// with the cluster's seed.
+pub fn run_experiment(ex: Experiment) -> ExperimentRun {
+    let mut sim = Sim::new(ex.cluster().seed);
+    run_experiment_in(&mut sim, ex)
+}
+
+/// Runs a multi-tenant experiment inside a caller-built kernel.
+pub fn run_experiment_in(sim: &mut Sim, ex: Experiment) -> ExperimentRun {
+    let world: W = shared(World::new(ex));
     let telemetry = world.borrow().telemetry.clone();
 
     // Kernel-category telemetry observes every executed event by label via
@@ -378,29 +541,94 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
         }));
     }
 
-    // Application output steps.
-    for step in 0..steps {
-        let w = world.clone();
-        sim.schedule_at_named("ioc.emit", SimTime::ZERO + cadence * step, move |sim| emit(sim, &w, step));
+    // Application output steps, per admitted tenant, in tenant order.
+    // Queued tenants emit nothing until admission launches them.
+    let n_tenants = world.borrow().tenants.len();
+    for t in 0..n_tenants {
+        let (admitted, steps, cadence) = {
+            let w = world.borrow();
+            let tn = &w.tenants[t];
+            (
+                matches!(tn.admission, AdmissionState::Admitted { .. }),
+                tn.wl.steps,
+                tn.wl.cadence,
+            )
+        };
+        if !admitted {
+            continue;
+        }
+        for step in 0..steps {
+            let w = world.clone();
+            sim.schedule_at_named("ioc.emit", SimTime::ZERO + cadence * step, move |sim| {
+                emit(sim, &w, t, step)
+            });
+        }
     }
-    // Global-manager policy ticks (bounded, so the run always drains).
-    for tick in 1..(steps + 30) {
+    // Global-manager policy ticks (bounded, so the run always drains). The
+    // tick count covers the slowest non-rejected tenant's emission span —
+    // with a single tenant the cluster tick interval equals the tenant
+    // cadence, so this reduces to the legacy `1..steps + 30` schedule —
+    // doubled when a tenant waits in the admission queue so its post-
+    // admission run is still managed.
+    let (tick_every, ticks) = {
+        let w = world.borrow();
+        let tick_every = w.cluster.policy_tick_every;
+        let mut span = 0u64;
+        let mut any_queued = false;
+        for tn in &w.tenants {
+            match tn.admission {
+                AdmissionState::Rejected { .. } => {}
+                _ => {
+                    let emit_span = (tn.wl.cadence * tn.wl.steps).as_nanos();
+                    span = span.max(emit_span.div_ceil(tick_every.as_nanos().max(1)));
+                }
+            }
+            if matches!(tn.admission, AdmissionState::Queued) {
+                any_queued = true;
+            }
+        }
+        (tick_every, if any_queued { span * 2 } else { span })
+    };
+    for tick in 1..(ticks + 30) {
         let w = world.clone();
-        sim.schedule_at_named("ioc.policy_tick", SimTime::ZERO + cadence * tick, move |sim| policy_tick(sim, &w));
+        sim.schedule_at_named("ioc.policy_tick", SimTime::ZERO + tick_every * tick, move |sim| {
+            policy_tick(sim, &w)
+        });
     }
-    // Online user directives.
-    let directives = world.borrow().cfg.directives.clone();
-    for (at, directive) in directives {
-        let w = world.clone();
-        sim.schedule_at_named("ioc.directive", SimTime::ZERO + at, move |sim| perform_directive(sim, &w, directive));
+    // Online user directives (admitted tenants only; a queued tenant's
+    // directives are scheduled relative to its admission time).
+    for t in 0..n_tenants {
+        let directives = {
+            let w = world.borrow();
+            let tn = &w.tenants[t];
+            if matches!(tn.admission, AdmissionState::Admitted { .. }) {
+                tn.wl.directives.clone()
+            } else {
+                Vec::new()
+            }
+        };
+        for (at, directive) in directives {
+            let w = world.clone();
+            sim.schedule_at_named("ioc.directive", SimTime::ZERO + at, move |sim| {
+                perform_directive(sim, &w, t, directive)
+            });
+        }
     }
 
     // Fault injection + heartbeat-driven recovery. Everything here is
-    // gated on a non-empty plan: an empty plan schedules NOTHING, so the
-    // clean run's event schedule is bit-identical to a build without
-    // simfault wired in.
-    let plan = world.borrow().cfg.faults.clone();
-    if !plan.is_empty() {
+    // gated on every non-rejected tenant's plan being empty: an empty
+    // plan schedules NOTHING, so the clean run's event schedule is
+    // bit-identical to a build without simfault wired in.
+    let fault_tenants: Vec<usize> = {
+        let w = world.borrow();
+        (0..n_tenants)
+            .filter(|&t| {
+                !matches!(w.tenants[t].admission, AdmissionState::Rejected { .. })
+                    && !w.tenants[t].wl.faults.is_empty()
+            })
+            .collect()
+    };
+    if !fault_tenants.is_empty() {
         {
             // Heartbeats are mirrored over an EVPath overlay into the
             // global manager's terminal stone, as the paper's control
@@ -416,9 +644,12 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
             })));
             w.hb_overlay = Some((overlay, sink));
         }
-        install_pipeline_faults(sim, &world, &plan);
-        let hb_every = world.borrow().cfg.recovery.heartbeat_every;
-        let detector_lag = world.borrow().cfg.monitoring.delivery_delay;
+        for &t in &fault_tenants {
+            let plan = world.borrow().tenants[t].wl.faults.clone();
+            install_pipeline_faults(sim, &world, t, &plan);
+        }
+        let hb_every = world.borrow().cluster.recovery.heartbeat_every;
+        let detector_lag = world.borrow().cluster.monitoring.delivery_delay;
         {
             let w = world.clone();
             sim.schedule_at_named("fault.heartbeat", SimTime::ZERO + hb_every, move |sim| {
@@ -438,84 +669,126 @@ pub fn run_pipeline_in(sim: &mut Sim, cfg: ExperimentConfig) -> PipelineRun {
     }
 
     // Generous horizon: hopeless-bottleneck drains are bounded by the
-    // offline action, but guard against pathological configurations.
-    let horizon = SimTime::ZERO + cadence * (steps + 2) + SimDuration::from_secs(3600 * 4);
+    // offline action, but guard against pathological configurations. Sized
+    // by the slowest non-rejected tenant.
+    let horizon = {
+        let w = world.borrow();
+        let mut max_span = SimDuration::ZERO;
+        for tn in &w.tenants {
+            if !matches!(tn.admission, AdmissionState::Rejected { .. }) {
+                let span = tn.wl.cadence * (tn.wl.steps + 2);
+                if span > max_span {
+                    max_span = span;
+                }
+            }
+        }
+        SimTime::ZERO + max_span + SimDuration::from_secs(3600 * 4)
+    };
     sim.run_until(horizon);
     let finished_at = sim.now();
     if telemetry.enabled(Category::Kernel) {
         sim.clear_event_hook();
     }
 
-    let log = std::mem::replace(&mut world.borrow_mut().log, MonitorLog::new());
     // Drain the heartbeat overlay before reading its delivery counter.
     let hb_overlay = world.borrow_mut().hb_overlay.take();
     if let Some((overlay, _)) = hb_overlay {
         overlay.flush();
         overlay.shutdown();
     }
-    let w = world.borrow();
-    PipelineRun {
-        log,
-        blocked_at: w.first_blocked_at,
-        disk_steps: w.disk_steps.clone(),
-        crack_detected: w.crack_detected,
-        offline: w
-            .containers
-            .iter()
-            .filter(|c| matches!(c.status, Status::Offline))
-            .map(|c| c.spec.name)
-            .collect(),
-        final_units: w.containers.iter().map(|c| (c.spec.name, c.units())).collect(),
-        completed: w.containers.iter().map(|c| (c.spec.name, c.completed)).collect(),
-        failed: w
-            .containers
-            .iter()
-            .filter(|c| matches!(c.status, Status::Failed))
-            .map(|c| c.spec.name)
-            .collect(),
-        heartbeats_delivered: w.hb_delivered.load(Ordering::Relaxed),
-        restarts: w
-            .containers
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.spec.name, w.restart_attempts[i]))
-            .collect(),
-        finished_at,
-        telemetry,
-        errors: w.errors.clone(),
+    let mut w = world.borrow_mut();
+    let heartbeats_delivered = w.hb_delivered.load(Ordering::Relaxed);
+    let errors = w.errors.clone();
+    let mut tenants = Vec::with_capacity(w.tenants.len());
+    for t in 0..w.tenants.len() {
+        let log = std::mem::replace(&mut w.tenants[t].log, MonitorLog::new());
+        let tn = &w.tenants[t];
+        let (base, count) = (tn.base, tn.count);
+        let slice = w.tenant_slice(base, count);
+        let admission = match tn.admission {
+            AdmissionState::Admitted { at } => AdmissionOutcome::Admitted { at },
+            AdmissionState::Queued | AdmissionState::AdmitInFlight => AdmissionOutcome::Queued,
+            AdmissionState::Rejected { held, spare } => {
+                AdmissionOutcome::Rejected { held, spare }
+            }
+        };
+        let emitted =
+            if matches!(admission, AdmissionOutcome::Admitted { .. }) { tn.wl.steps } else { 0 };
+        let attainment = tn.wl.sla.attainment(
+            emitted,
+            log.e2e_series().points().iter().map(|&(_, v)| v),
+            slice.iter().flat_map(|c| {
+                log.latency_series(c.id)
+                    .map(|s| s.points().iter().map(|&(_, v)| v).collect::<Vec<_>>())
+                    .unwrap_or_default()
+            }),
+        );
+        let run = PipelineRun {
+            log,
+            blocked_at: tn.first_blocked_at,
+            disk_steps: tn.disk_steps.clone(),
+            crack_detected: tn.crack_detected,
+            offline: slice
+                .iter()
+                .filter(|c| matches!(c.status, Status::Offline))
+                .map(|c| c.spec.name)
+                .collect(),
+            final_units: slice.iter().map(|c| (c.spec.name, c.units())).collect(),
+            completed: slice.iter().map(|c| (c.spec.name, c.completed)).collect(),
+            failed: slice
+                .iter()
+                .filter(|c| matches!(c.status, Status::Failed))
+                .map(|c| c.spec.name)
+                .collect(),
+            heartbeats_delivered,
+            restarts: slice
+                .iter()
+                .map(|c| (c.spec.name, w.restart_attempts[c.id.0 as usize]))
+                .collect(),
+            finished_at,
+            telemetry: telemetry.clone(),
+            errors: errors.clone(),
+        };
+        tenants.push(TenantRun { id: w.tenants[t].wl.id.clone(), admission, attainment, run });
     }
+    ExperimentRun { tenants, finished_at, errors, telemetry }
 }
 
-fn emit(sim: &mut Sim, world: &W, step: u64) {
-    let (arrival, qstep) = {
+fn emit(sim: &mut Sim, world: &W, t: usize, step: u64) {
+    let (helper, arrival, qstep) = {
         let mut w = world.borrow_mut();
-        let bytes = w.cfg.step_bytes();
-        let xfer = w.transfer_time_at(HELPER, bytes, sim.now());
-        let start = sim.now().max(w.ingress_free[HELPER]);
+        let helper = w.tenants[t].base + HELPER;
+        let bytes = w.tenants[t].wl.step_bytes();
+        let xfer = w.transfer_time_at(helper, bytes, sim.now());
+        let start = sim.now().max(w.ingress_free[helper]);
         let arrival = start + xfer;
-        w.ingress_free[HELPER] = arrival;
+        w.ingress_free[helper] = arrival;
         (
+            helper,
             arrival,
             QueuedStep { step, bytes, entered: arrival, emitted: sim.now() },
         )
     };
     let w = world.clone();
-    sim.schedule_at_named("ioc.arrive", arrival, move |sim| arrive(sim, &w, HELPER, qstep));
+    sim.schedule_at_named("ioc.arrive", arrival, move |sim| arrive(sim, &w, helper, qstep));
 }
 
 fn arrive(sim: &mut Sim, world: &W, cid: usize, mut qstep: QueuedStep) {
     {
         let mut w = world.borrow_mut();
+        let t = w.tenant_of[cid];
         match w.containers[cid].status {
             Status::Offline | Status::Inactive => {
                 // Mid-flight data landing on a pruned container goes to
                 // disk, labeled with its provenance.
-                let prov = w.provenance_at(cid.saturating_sub(1));
+                let base = w.tenants[t].base;
+                let local = cid - base;
+                let prov = w.provenance_at(base + local.saturating_sub(1));
                 w.containers[cid].bypassed += 1;
-                w.disk_steps.push((qstep.step, prov));
+                w.tenants[t].disk_steps.push((qstep.step, prov));
                 let at = sim.now();
                 let e2e = at.since(qstep.emitted);
-                w.log.record_e2e(at, e2e);
+                w.tenants[t].log.record_e2e(at, e2e);
                 return;
             }
             // Failed/stalled containers keep queueing arrivals: recovery
@@ -529,9 +802,9 @@ fn arrive(sim: &mut Sim, world: &W, cid: usize, mut qstep: QueuedStep) {
                         w.containers[cid].overflowed = true;
                         let id = w.containers[cid].id;
                         let at = sim.now();
-                        w.log.record_action(at, Action::Blocked { container: id });
-                        if w.first_blocked_at.is_none() {
-                            w.first_blocked_at = Some(at);
+                        w.tenants[t].log.record_action(at, Action::Blocked { container: id });
+                        if w.tenants[t].first_blocked_at.is_none() {
+                            w.tenants[t].first_blocked_at = Some(at);
                         }
                     }
                     w.stalled[cid].push_back(qstep);
@@ -553,8 +826,9 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                 None
             } else {
                 let now = sim.now();
-                let atoms = w.cfg.atoms();
-                let monitoring = w.cfg.monitoring;
+                let t = w.tenant_of[cid];
+                let atoms = w.tenants[t].wl.atoms();
+                let monitoring = w.cluster.monitoring;
                 let c = &mut w.containers[cid];
                 match (c.next_free_replica(), c.queue.pop_front()) {
                     (Some(idx), Some(qstep)) if c.replica_free[idx] <= now => {
@@ -566,8 +840,11 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
                         c.replica_free[idx] = done;
                         w.in_flight[cid].push(qstep);
                         if w.telemetry.enabled(Category::Container) {
-                            let name = w.containers[cid].spec.name;
-                            w.telemetry.span(Category::Container, name, "step", now, done);
+                            let track = format!(
+                                "{}{}",
+                                w.tenants[t].prefix, w.containers[cid].spec.name
+                            );
+                            w.telemetry.span(Category::Container, &track, "step", now, done);
                         }
                         // Accept a stalled step into the freed queue slot.
                         if let Some(mut s) = w.stalled[cid].pop_front() {
@@ -601,8 +878,9 @@ fn try_dispatch(sim: &mut Sim, world: &W, cid: usize) {
 fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64) {
     let now = sim.now();
     let mut activate_branch = false;
-    let (sample, forward) = {
+    let (t, sample, forward) = {
         let mut w = world.borrow_mut();
+        let t = w.tenant_of[cid];
         // A crash between dispatch and completion discarded this replica's
         // work (the step went back to the queue under a new epoch).
         if w.epoch[cid] != epoch {
@@ -617,7 +895,7 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
         if matches!(w.containers[cid].status, Status::Offline) {
             // Retired mid-step (dynamic branch): the work is still valid
             // output, but the container no longer reports or forwards.
-            w.log.record_e2e(now, now.since(qstep.emitted));
+            w.tenants[t].log.record_e2e(now, now.since(qstep.emitted));
             return;
         }
         let latency = now.since(qstep.entered);
@@ -631,16 +909,19 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
             queue_len: c.queue.len(),
             taken_at: now,
         };
-        if w.telemetry.enabled(Category::Sla) && w.cfg.sla.container_violated(latency) {
-            let name = w.containers[cid].spec.name;
-            w.telemetry.mark(Category::Sla, name, "sla.violation", now);
-            w.telemetry.count(Category::Sla, "sla.violations", 1);
+        if w.telemetry.enabled(Category::Sla) && w.tenants[t].wl.sla.container_violated(latency) {
+            let prefix = &w.tenants[t].prefix;
+            let track = format!("{}{}", prefix, w.containers[cid].spec.name);
+            let counter = format!("{prefix}sla.violations");
+            w.telemetry.mark(Category::Sla, &track, "sla.violation", now);
+            w.telemetry.count(Category::Sla, &counter, 1);
         }
 
         // Dynamic branch: CSym detecting the break retires itself and
         // activates CNA (which then reads from Bonds).
-        if cid == CSYM && !w.crack_detected {
-            if let Some(crack_at) = w.cfg.crack_at_step {
+        let base = w.tenants[t].base;
+        if cid == base + CSYM && !w.tenants[t].crack_detected {
+            if let Some(crack_at) = w.tenants[t].wl.crack_at_step {
                 if qstep.step >= crack_at {
                     activate_branch = true;
                 }
@@ -649,7 +930,7 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
 
         let targets = w.downstream_targets(cid);
         let analytics_targets =
-            targets.iter().filter(|&&t| w.is_analytics(t)).count();
+            targets.iter().filter(|&&dst| w.is_analytics(dst)).count();
         let mut forward = Vec::with_capacity(targets.len());
         for dst in targets {
             let bytes = (qstep.bytes as f64 * w.containers[cid].spec.output_ratio) as u64;
@@ -662,20 +943,20 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
         if analytics_targets == 0 && w.is_analytics(cid) {
             // Analytics-path exit: record end-to-end latency; if downstream
             // was pruned by policy, the step goes to disk with provenance.
-            w.log.record_e2e(now, now.since(qstep.emitted));
-            let end = w.containers.len().min(VIZ);
+            w.tenants[t].log.record_e2e(now, now.since(qstep.emitted));
+            let end = base + w.tenants[t].count.min(VIZ);
             let owes_downstream =
                 w.containers.get(cid + 1..end).is_some_and(|cs| cs.iter().any(|c| c.owed));
             if owes_downstream {
                 let prov = w.provenance_at(cid);
-                w.disk_steps.push((qstep.step, prov));
+                w.tenants[t].disk_steps.push((qstep.step, prov));
             }
         }
-        (sample, forward)
+        (t, sample, forward)
     };
 
     if activate_branch {
-        perform_branch(sim, world);
+        perform_branch(sim, world, t);
     }
 
     for (dst, arrival, fwd) in forward {
@@ -685,11 +966,11 @@ fn complete(sim: &mut Sim, world: &W, cid: usize, qstep: QueuedStep, epoch: u64)
 
     // Local manager reports to the global manager over the control
     // overlay, at the configured sampling frequency.
-    let monitoring = world.borrow().cfg.monitoring;
+    let monitoring = world.borrow().cluster.monitoring;
     if monitoring.samples_step(sample.step) {
         let w = world.clone();
         sim.schedule_in_named("ioc.monitor", monitoring.delivery_delay, move |_sim| {
-            w.borrow_mut().log.record(&sample);
+            w.borrow_mut().tenants[t].log.record(&sample);
         });
     }
 
@@ -713,12 +994,13 @@ fn activate_container(sim: &mut Sim, world: &W, ix: usize) -> bool {
             if nodes.is_empty() {
                 false
             } else {
+                let t = w.tenant_of[ix];
                 let c = &mut w.containers[ix];
                 c.nodes = nodes;
-                c.replica_free = vec![now; effective_replicas(c.spec.model, c.units())];
+                c.reset_replicas(now);
                 c.status = Status::Online;
                 let id = c.id;
-                w.log.record_action(now, Action::Activate { container: id });
+                w.tenants[t].log.record_action(now, Action::Activate { container: id });
                 true
             }
         }
@@ -730,103 +1012,228 @@ fn activate_container(sim: &mut Sim, world: &W, ix: usize) -> bool {
 }
 
 /// Executes an online user directive at the global manager.
-fn perform_directive(sim: &mut Sim, world: &W, directive: Directive) {
+fn perform_directive(sim: &mut Sim, world: &W, t: usize, directive: Directive) {
     let target = {
         let w = world.borrow();
-        match directive {
-            Directive::LaunchViz => {
-                w.containers.iter().position(|c| c.spec.name == "Viz")
-            }
-            Directive::Activate(name) => {
-                w.containers.iter().position(|c| c.spec.name == name)
-            }
-        }
+        let (base, count) = (w.tenants[t].base, w.tenants[t].count);
+        let name = match directive {
+            Directive::LaunchViz => "Viz",
+            Directive::Activate(name) => name,
+        };
+        w.tenant_slice(base, count)
+            .iter()
+            .position(|c| c.spec.name == name)
+            .map(|local| base + local)
     };
     if let Some(ix) = target {
         activate_container(sim, world, ix);
     }
 }
 
-/// CSym detected the break: retire CSym, activate CNA on CSym's nodes plus
-/// whatever spare nodes its allocation calls for.
-fn perform_branch(sim: &mut Sim, world: &W) {
-    {
+/// Tenant `t`'s CSym detected the break: retire CSym, activate CNA on
+/// CSym's nodes plus whatever spare nodes its allocation calls for.
+fn perform_branch(sim: &mut Sim, world: &W, t: usize) {
+    let (csym, cna) = {
         let mut w = world.borrow_mut();
-        w.crack_detected = true;
+        w.tenants[t].crack_detected = true;
+        let base = w.tenants[t].base;
+        let (csym, cna) = (base + CSYM, base + CNA);
 
         // Retire CSym (its question is answered); not "owed" work.
-        let released: Vec<_> = std::mem::take(&mut w.containers[CSYM].nodes);
-        w.containers[CSYM].status = Status::Offline;
-        w.containers[CSYM].replica_free.clear();
+        let released: Vec<_> = std::mem::take(&mut w.containers[csym].nodes);
+        w.containers[csym].status = Status::Offline;
+        w.containers[csym].replica_free.clear();
         w.release_or_record(&released, "retire CSym");
-    }
+        (csym, cna)
+    };
     // CNA activates on the released nodes (plus any other spares).
-    activate_container(sim, world, CNA);
+    activate_container(sim, world, cna);
     {
         // Steps queued at CSym still need the post-break analysis.
         let mut w = world.borrow_mut();
-        let pending: Vec<_> = w.containers[CSYM].queue.drain(..).collect();
+        let pending: Vec<_> = w.containers[csym].queue.drain(..).collect();
         for q in pending {
-            w.containers[CNA].queue.push_back(q);
+            w.containers[cna].queue.push_back(q);
         }
     }
-    try_dispatch(sim, world, CNA);
+    try_dispatch(sim, world, cna);
 }
 
-/// Periodic global-manager evaluation: build local-manager views, run the
-/// pure policy, execute the decision.
+/// Periodic global-manager evaluation: build per-tenant local-manager
+/// views, run the pure cluster policy (admission first, then fair-share
+/// rebalancing with cross-tenant steal), execute the decision.
 fn policy_tick(sim: &mut Sim, world: &W) {
     let decision = {
         let w = world.borrow();
-        if !w.cfg.policy.enabled
+        if !w.cluster.policy.enabled
             || w.action_in_flight
-            || sim.now() < w.last_action_at + w.cfg.policy.cooldown
+            || sim.now() < w.last_action_at + w.cluster.policy.cooldown
         {
             return;
         }
         w.telemetry.count(Category::Management, "policy.rounds", 1);
-        let atoms = w.cfg.atoms();
-        let cadence = w.cfg.sla.output_cadence;
-        let views: Vec<ContainerView> = w
-            .containers
+        let total_weight: u64 = w
+            .tenants
             .iter()
-            .map(|c| {
-                // The head-of-line age bounds the next completion's latency
-                // from below; it lets the manager see a starving queue even
-                // before the first (very slow) completion.
-                let head_age = c
-                    .queue
-                    .front()
-                    .map(|q| sim.now().since(q.entered))
-                    .unwrap_or(SimDuration::ZERO);
-                let avg = c.latency_window.mean().max(head_age);
-                ContainerView {
-                    id: c.id,
-                    online: c.status == Status::Online,
-                    essential: c.spec.essential,
-                    units: c.units(),
-                    needed: c.units_needed(atoms, cadence),
-                    spareable: c.units_spareable(atoms, cadence),
-                    queue_len: c.queue.len() + w.stalled[c.id.0 as usize].len(),
-                    queue_capacity: c.spec.queue_capacity,
-                    avg_latency: avg,
-                    samples: c.latency_window.len() + c.queue.len(),
-                }
-            })
+            .filter(|tn| matches!(tn.admission, AdmissionState::Admitted { .. }))
+            .map(|tn| tn.wl.weight as u64)
+            .sum();
+        let queued: Vec<(u32, u32)> = w
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, tn)| matches!(tn.admission, AdmissionState::Queued))
+            .map(|(i, tn)| (i as u32, tn.wl.held_nodes()))
             .collect();
-        decide(&w.cfg.policy, &w.cfg.sla, &views, w.staging.spare())
+        let mut tenants = Vec::new();
+        for (i, tn) in w.tenants.iter().enumerate() {
+            if !matches!(tn.admission, AdmissionState::Admitted { .. }) {
+                continue;
+            }
+            let atoms = tn.wl.atoms();
+            let cadence = tn.wl.sla.output_cadence;
+            let views: Vec<ContainerView> = w
+                .tenant_slice(tn.base, tn.count)
+                .iter()
+                .map(|c| {
+                    // The head-of-line age bounds the next completion's
+                    // latency from below; it lets the manager see a starving
+                    // queue even before the first (very slow) completion.
+                    let head_age = c
+                        .queue
+                        .front()
+                        .map(|q| sim.now().since(q.entered))
+                        .unwrap_or(SimDuration::ZERO);
+                    let avg = c.latency_window.mean().max(head_age);
+                    ContainerView {
+                        id: c.id,
+                        online: c.status == Status::Online,
+                        essential: c.spec.essential,
+                        units: c.units(),
+                        needed: c.units_needed(atoms, cadence),
+                        spareable: c.units_spareable(atoms, cadence),
+                        queue_len: c.queue.len() + w.stalled[c.id.0 as usize].len(),
+                        queue_capacity: c.spec.queue_capacity,
+                        avg_latency: avg,
+                        samples: c.latency_window.len() + c.queue.len(),
+                    }
+                })
+                .collect();
+            let held: u32 = views.iter().map(|v| v.units).sum();
+            let fair_share = (w.cluster.staging_nodes as u64 * tn.wl.weight as u64
+                / total_weight.max(1)) as u32;
+            tenants.push(TenantPolicyView {
+                tenant: i as u32,
+                sla: tn.wl.sla,
+                fair_share,
+                held,
+                views,
+            });
+        }
+        decide_cluster(&w.cluster.policy, &tenants, &queued, w.staging.spare())
     };
 
     match decision {
-        Decision::None => {}
-        Decision::Rebalance { target, lease_spare, steal } => {
-            perform_rebalance(sim, world, target, lease_spare, steal);
+        ClusterDecision::None => {}
+        ClusterDecision::Admit { tenant } => perform_admission(sim, world, tenant as usize),
+        ClusterDecision::Act { decision, .. } => match decision {
+            Decision::None => {}
+            Decision::Rebalance { target, lease_spare, steal } => {
+                perform_rebalance(sim, world, target, lease_spare, steal);
+            }
+            Decision::Offline { target } => perform_offline(sim, world, target),
+            // The SLA policy never restarts; that decision belongs to the
+            // failure detector's recovery path.
+            Decision::Restart { .. } => {}
+        },
+        ClusterDecision::CrossSteal { target, lease_spare, donor, take, .. } => {
+            perform_rebalance(sim, world, target, lease_spare, Some((donor, take)));
         }
-        Decision::Offline { target } => perform_offline(sim, world, target),
-        // The SLA policy never restarts; that decision belongs to the
-        // failure detector's recovery path.
-        Decision::Restart { .. } => {}
     }
+}
+
+/// Launches a queued tenant: the admission protocol (container launches
+/// plus DataTap reader registration for every initially active stage) runs
+/// for its estimated duration, then the tenant's leases are taken and its
+/// emission/directive schedule begins relative to the admission time.
+fn perform_admission(sim: &mut Sim, world: &W, t: usize) {
+    let duration = {
+        let mut w = world.borrow_mut();
+        w.action_in_flight = true;
+        w.tenants[t].admission = AdmissionState::AdmitInFlight;
+        let tn = &w.tenants[t];
+        let mut writers = (tn.wl.sim_nodes / 32).max(1);
+        let mut stages = Vec::new();
+        for c in w.tenant_slice(tn.base, tn.count) {
+            if c.spec.starts_active {
+                stages.push((writers, c.spec.initial_nodes.max(1)));
+                writers = c.spec.initial_nodes.max(1);
+            }
+        }
+        estimate::admission(&stages, &w.costs, PER_MSG) + w.cluster.launch.sample(sim)
+    };
+    let w2 = world.clone();
+    sim.schedule_in_named("ioc.admit", duration, move |sim| {
+        let now = sim.now();
+        let launched = {
+            let mut w = w2.borrow_mut();
+            let held = w.tenants[t].wl.held_nodes();
+            let spare = w.staging.spare();
+            if held > spare {
+                // The machine filled up while the protocol ran: back to
+                // the queue, try again at a later tick.
+                w.tenants[t].admission = AdmissionState::Queued;
+                w.action_in_flight = false;
+                w.last_action_at = now;
+                false
+            } else {
+                let (base, count) = (w.tenants[t].base, w.tenants[t].count);
+                for ix in base..base + count {
+                    if !w.containers[ix].spec.starts_active {
+                        continue;
+                    }
+                    let want = w.containers[ix].spec.initial_nodes;
+                    let nodes = w.lease_or_record(want, "admission");
+                    let c = &mut w.containers[ix];
+                    c.nodes = nodes;
+                    c.status = Status::Online;
+                    c.reset_replicas(now);
+                    let id = c.id;
+                    w.heartbeat_last[ix] = now;
+                    w.tenants[t].log.record_action(now, Action::Activate { container: id });
+                }
+                w.tenants[t].admission = AdmissionState::Admitted { at: now };
+                w.action_in_flight = false;
+                w.last_action_at = now;
+                true
+            }
+        };
+        if !launched {
+            return;
+        }
+        // The tenant's application starts emitting now; its directives are
+        // relative to its own start.
+        let (steps, cadence, directives, base, count) = {
+            let w = w2.borrow();
+            let tn = &w.tenants[t];
+            (tn.wl.steps, tn.wl.cadence, tn.wl.directives.clone(), tn.base, tn.count)
+        };
+        for step in 0..steps {
+            let w = w2.clone();
+            sim.schedule_at_named("ioc.emit", now + cadence * step, move |sim| {
+                emit(sim, &w, t, step)
+            });
+        }
+        for (at, directive) in directives {
+            let w = w2.clone();
+            sim.schedule_at_named("ioc.directive", now + at, move |sim| {
+                perform_directive(sim, &w, t, directive)
+            });
+        }
+        for ix in base..base + count {
+            try_dispatch(sim, &w2, ix);
+        }
+    });
 }
 
 fn perform_rebalance(
@@ -847,13 +1254,13 @@ fn perform_rebalance(
             // charged here.
             let txn = {
                 let mut w = world.borrow_mut();
-                if w.cfg.policy.transactional_trades {
+                if w.cluster.policy.transactional_trades {
                     let trade_ix = w.trade_count;
                     w.trade_count += 1;
-                    let inject = w.cfg.trade_faults.contains(&trade_ix);
+                    let inject = w.cluster.trade_faults.contains(&trade_ix);
                     let writers = w.containers[donor.0 as usize].units().max(1);
                     let readers = w.containers[target.0 as usize].units().max(1);
-                    let mut txn_sim = Sim::new(w.cfg.seed ^ (0xD2D2 + trade_ix as u64));
+                    let mut txn_sim = Sim::new(w.cluster.seed ^ (0xD2D2 + trade_ix as u64));
                     let net = Network::new(NetworkConfig::portals_xt4());
                     let cfg = TxnConfig { writers, readers, ..TxnConfig::default() };
                     let mut faults = FaultPlan::default();
@@ -873,7 +1280,8 @@ fn perform_rebalance(
                     sim.schedule_in_named("ioc.trade_txn", txn_duration, move |sim| {
                         let mut w = w2.borrow_mut();
                         let at = sim.now();
-                        w.log.record_action(
+                        let t = w.tenant_of[target.0 as usize];
+                        w.tenants[t].log.record_action(
                             at,
                             Action::TradeAborted { donor, recipient: target },
                         );
@@ -918,35 +1326,37 @@ fn start_steal(
                     &w.costs,
                     PER_MSG,
                     queued / upstream_writers.max(1) as u64,
-                    w.cfg.bandwidth_bps,
+                    w.cluster.bandwidth_bps,
                 );
                 w.containers[donor_ix].status = Status::Resizing { until: sim.now() + d };
                 d
             };
             let w2 = world.clone();
             sim.schedule_in_named("ioc.trade_dec", dec_duration, move |sim| {
-                {
+                let source = {
                     let mut w = w2.borrow_mut();
                     let donor_ix = donor.0 as usize;
                     let keep = w.containers[donor_ix].nodes.len().saturating_sub(k as usize);
                     let removed: Vec<_> = w.containers[donor_ix].nodes.split_off(keep);
                     w.release_or_record(&removed, "trade decrease");
-                    let units = w.containers[donor_ix].units();
-                    let model = w.containers[donor_ix].spec.model;
-                    w.containers[donor_ix].replica_free =
-                        vec![sim.now(); effective_replicas(model, units)];
                     w.containers[donor_ix].status = Status::Online;
-                    let at = sim.now();
-                    w.log.record_action(at, Action::Decrease { container: donor, removed: k });
-                }
+                    let now = sim.now();
+                    w.containers[donor_ix].reset_replicas(now);
+                    let dt = w.tenant_of[donor_ix];
+                    w.tenants[dt].log.record_action(
+                        now,
+                        Action::Decrease { container: donor, removed: k },
+                    );
+                    // A foreign donor is recorded distinctly in the
+                    // recipient's action log.
+                    if dt == w.tenant_of[target.0 as usize] {
+                        ResourceSource::StolenFrom(donor)
+                    } else {
+                        ResourceSource::StolenFromTenant { tenant: dt as u32, container: donor }
+                    }
+                };
                 try_dispatch(sim, &w2, donor.0 as usize);
-                start_increase(
-                    sim,
-                    &w2,
-                    target,
-                    lease_spare + k,
-                    ResourceSource::StolenFrom(donor),
-                );
+                start_increase(sim, &w2, target, lease_spare + k, source);
             });
 }
 
@@ -956,7 +1366,7 @@ fn start_increase(sim: &mut Sim, world: &W, target: ContainerId, add: u32, sourc
         let tix = target.0 as usize;
         let upstream_writers = w.upstream_writers(tix);
         let proto = estimate::increase(upstream_writers, add, &w.costs, PER_MSG);
-        let launch = w.cfg.launch;
+        let launch = w.cluster.launch;
         let total = proto + launch.sample(sim);
         w.containers[tix].status = Status::Resizing { until: sim.now() + total };
         total
@@ -972,16 +1382,19 @@ fn start_increase(sim: &mut Sim, world: &W, target: ContainerId, add: u32, sourc
                 w.containers[tix].nodes.extend(nodes);
             }
             let units = w.containers[tix].units();
-            let model = w.containers[tix].spec.model;
+            let replicas = w.containers[tix].spec.effective_replicas(units);
             // New replicas are free immediately; existing ones keep their
             // in-flight work (conservatively reset to now: in-flight steps
             // already have completion events scheduled).
             let mut frees = w.containers[tix].replica_free.clone();
-            frees.resize(effective_replicas(model, units), sim.now());
+            frees.resize(replicas, sim.now());
             w.containers[tix].replica_free = frees;
             w.containers[tix].status = Status::Online;
             let at = sim.now();
-            w.log.record_action(at, Action::Increase { container: target, added: add, source });
+            let t = w.tenant_of[tix];
+            w.tenants[t]
+                .log
+                .record_action(at, Action::Increase { container: target, added: add, source });
             w.action_in_flight = false;
             w.last_action_at = at;
         }
@@ -993,11 +1406,14 @@ fn perform_offline(sim: &mut Sim, world: &W, target: ContainerId) {
     let now = sim.now();
     let mut w = world.borrow_mut();
     let tix = target.0 as usize;
+    let t = w.tenant_of[tix];
+    let (base, count) = (w.tenants[t].base, w.tenants[t].count);
 
-    // Cascade: the target plus everything downstream that depends on it
-    // (transitively) and is not already offline.
+    // Cascade: the target plus everything downstream (within the owning
+    // tenant's pipeline) that depends on it (transitively) and is not
+    // already offline.
     let mut cascade = vec![tix];
-    for i in tix + 1..w.containers.len() {
+    for i in tix + 1..base + count {
         if matches!(w.containers[i].status, Status::Offline) {
             continue;
         }
@@ -1023,18 +1439,19 @@ fn perform_offline(sim: &mut Sim, world: &W, target: ContainerId) {
 
     // Flush queued and stalled steps of the pruned containers to disk with
     // provenance: they were processed up to the container before the cut.
-    let prov = w.provenance_at(tix.saturating_sub(1));
+    let local = tix - base;
+    let prov = w.provenance_at(base + local.saturating_sub(1));
     for &ix in &cascade {
         let mut drained: Vec<_> = w.containers[ix].queue.drain(..).collect();
         drained.extend(w.stalled[ix].drain(..));
         drained.append(&mut w.in_flight[ix]);
         for q in drained {
-            w.disk_steps.push((q.step, prov.clone()));
-            w.log.record_e2e(now, now.since(q.emitted));
+            w.tenants[t].disk_steps.push((q.step, prov.clone()));
+            w.tenants[t].log.record_e2e(now, now.since(q.emitted));
         }
     }
 
-    w.log.record_action(now, Action::Offline { containers: ids });
+    w.tenants[t].log.record_action(now, Action::Offline { containers: ids });
     w.last_action_at = now;
 }
 
@@ -1054,25 +1471,41 @@ struct Heartbeat {
     container: u32,
 }
 
-/// True once every emitted step has exited the pipeline (processed or
-/// written to disk) — the signal for the self-rescheduling heartbeat and
-/// detector chains to stop instead of running to the horizon.
+/// True once every tenant is terminal: rejected tenants trivially, queued
+/// tenants never (the detector keeps running so admission can still act),
+/// admitted tenants once every emitted step has exited the pipeline
+/// (processed or written to disk) — the signal for the self-rescheduling
+/// heartbeat and detector chains to stop instead of running to the
+/// horizon.
 fn run_drained(w: &World) -> bool {
-    w.log.e2e_series().len() as u64 >= w.cfg.steps
+    w.tenants.iter().all(|tn| match tn.admission {
+        AdmissionState::Rejected { .. } => true,
+        AdmissionState::Queued | AdmissionState::AdmitInFlight => false,
+        AdmissionState::Admitted { .. } => tn.log.e2e_series().len() as u64 >= tn.wl.steps,
+    })
 }
 
-fn install_pipeline_faults(sim: &mut Sim, world: &W, plan: &simfault::FaultPlan) {
+fn install_pipeline_faults(sim: &mut Sim, world: &W, t: usize, plan: &simfault::FaultPlan) {
     for (ev_ix, ev) in plan.events().iter().enumerate() {
         let fault = ev.fault;
         let seed = plan.seed;
         let w = world.clone();
         sim.schedule_at_named("fault.inject", SimTime::ZERO + ev.at, move |sim| {
-            inject(sim, &w, fault, seed, ev_ix)
+            inject(sim, &w, t, fault, seed, ev_ix)
         });
     }
 }
 
-fn inject(sim: &mut Sim, world: &W, fault: Fault, plan_seed: u64, ev_ix: usize) {
+/// Marks a fault on the owning tenant's fault track (unprefixed in
+/// single-tenant runs, matching the legacy trace byte for byte).
+fn fault_mark(w: &World, t: usize, label: &str, now: SimTime) {
+    if w.telemetry.enabled(Category::Fault) {
+        let track = format!("{}fault", w.tenants[t].prefix);
+        w.telemetry.mark(Category::Fault, &track, label, now);
+    }
+}
+
+fn inject(sim: &mut Sim, world: &W, t: usize, fault: Fault, plan_seed: u64, ev_ix: usize) {
     let now = sim.now();
     match fault {
         Fault::NodeCrash { node } => crash_node(sim, world, NodeId(node)),
@@ -1080,10 +1513,9 @@ fn inject(sim: &mut Sim, world: &W, fault: Fault, plan_seed: u64, ev_ix: usize) 
             let mut w = world.borrow_mut();
             if let Some(ix) = w.containers.iter().position(|c| c.nodes.contains(&NodeId(node))) {
                 w.degraded[ix] = Some((bandwidth_factor, latency_factor, now + lasts));
-                if w.telemetry.enabled(Category::Fault) {
-                    let name = w.containers[ix].spec.name;
-                    w.telemetry.mark(Category::Fault, "fault", &format!("degrade {name}"), now);
-                }
+                let name = w.containers[ix].spec.name;
+                let owner = w.tenant_of[ix];
+                fault_mark(&w, owner, &format!("degrade {name}"), now);
             }
         }
         Fault::MessageLoss { probability, lasts } => {
@@ -1092,19 +1524,31 @@ fn inject(sim: &mut Sim, world: &W, fault: Fault, plan_seed: u64, ev_ix: usize) 
             // seed XOR the event index, so the draw sequence is a pure
             // function of (seed, plan) — the sanctioned determinism escape.
             let sampler = LossSampler::new(plan_seed ^ (0xFA17 + ev_ix as u64), probability);
-            w.loss = Some((sampler, now + lasts));
-            if w.telemetry.enabled(Category::Fault) {
-                w.telemetry.mark(Category::Fault, "fault", "loss window opens", now);
-            }
+            w.tenants[t].loss = Some((sampler, now + lasts));
+            fault_mark(&w, t, "loss window opens", now);
         }
         Fault::ContainerCrash { container } => {
-            let target = world.borrow().containers.iter().position(|c| c.spec.name == container);
+            let target = {
+                let w = world.borrow();
+                let tn = &w.tenants[t];
+                w.tenant_slice(tn.base, tn.count)
+                    .iter()
+                    .position(|c| c.spec.name == container)
+                    .map(|local| tn.base + local)
+            };
             if let Some(ix) = target {
                 fail_container(sim, world, ix);
             }
         }
         Fault::ContainerStall { container, lasts } => {
-            let target = world.borrow().containers.iter().position(|c| c.spec.name == container);
+            let target = {
+                let w = world.borrow();
+                let tn = &w.tenants[t];
+                w.tenant_slice(tn.base, tn.count)
+                    .iter()
+                    .position(|c| c.spec.name == container)
+                    .map(|local| tn.base + local)
+            };
             if let Some(ix) = target {
                 stall_container(sim, world, ix, lasts);
             }
@@ -1130,17 +1574,10 @@ fn crash_node(sim: &mut Sim, world: &W, node: NodeId) {
                     // Surviving replicas absorb the load; in-flight work is
                     // conservatively kept (completion events already
                     // scheduled), only capacity shrinks.
-                    let model = w.containers[ix].spec.model;
-                    w.containers[ix].replica_free = vec![now; effective_replicas(model, units)];
-                    if w.telemetry.enabled(Category::Fault) {
-                        let name = w.containers[ix].spec.name;
-                        w.telemetry.mark(
-                            Category::Fault,
-                            "fault",
-                            &format!("node {} down ({name})", node.0),
-                            now,
-                        );
-                    }
+                    w.containers[ix].reset_replicas(now);
+                    let name = w.containers[ix].spec.name;
+                    let owner = w.tenant_of[ix];
+                    fault_mark(&w, owner, &format!("node {} down ({name})", node.0), now);
                     None
                 }
             }
@@ -1183,8 +1620,10 @@ fn fail_container(sim: &mut Sim, world: &W, ix: usize) {
     w.containers[ix].status = Status::Failed;
     if w.telemetry.enabled(Category::Fault) {
         let name = w.containers[ix].spec.name;
-        w.telemetry.mark(Category::Fault, "fault", &format!("crash {name}"), now);
-        w.telemetry.count(Category::Fault, "fault.container_crashes", 1);
+        let owner = w.tenant_of[ix];
+        fault_mark(&w, owner, &format!("crash {name}"), now);
+        let counter = format!("{}fault.container_crashes", w.tenants[owner].prefix);
+        w.telemetry.count(Category::Fault, &counter, 1);
     }
 }
 
@@ -1201,10 +1640,9 @@ fn stall_container(sim: &mut Sim, world: &W, ix: usize, lasts: SimDuration) {
             return;
         }
         w.containers[ix].status = Status::Stalled { until };
-        if w.telemetry.enabled(Category::Fault) {
-            let name = w.containers[ix].spec.name;
-            w.telemetry.mark(Category::Fault, "fault", &format!("stall {name}"), sim.now());
-        }
+        let name = w.containers[ix].spec.name;
+        let owner = w.tenant_of[ix];
+        fault_mark(&w, owner, &format!("stall {name}"), sim.now());
     }
     let w2 = world.clone();
     sim.schedule_at_named("fault.unstall", until, move |sim| {
@@ -1243,7 +1681,7 @@ fn heartbeat_tick(sim: &mut Sim, world: &W) {
                 }
             }
         }
-        (done, w.cfg.recovery.heartbeat_every)
+        (done, w.cluster.recovery.heartbeat_every)
     };
     if !done {
         let w = world.clone();
@@ -1263,8 +1701,8 @@ fn detector_tick(sim: &mut Sim, world: &W) {
         let done = run_drained(&w);
         let mut newly = Vec::new();
         if !done {
-            let miss_limit = w.cfg.recovery.miss_limit;
-            let window = w.cfg.recovery.heartbeat_every * miss_limit as u64;
+            let miss_limit = w.cluster.recovery.miss_limit;
+            let window = w.cluster.recovery.heartbeat_every * miss_limit as u64;
             for ix in 0..w.containers.len() {
                 if w.declared_failed[ix] {
                     continue;
@@ -1281,7 +1719,8 @@ fn detector_tick(sim: &mut Sim, world: &W) {
                 if watched && now.since(w.heartbeat_last[ix]) > window {
                     w.declared_failed[ix] = true;
                     let id = w.containers[ix].id;
-                    w.log.record_action(
+                    let t = w.tenant_of[ix];
+                    w.tenants[t].log.record_action(
                         now,
                         Action::ContainerFailed { container: id, missed: miss_limit },
                     );
@@ -1289,7 +1728,7 @@ fn detector_tick(sim: &mut Sim, world: &W) {
                 }
             }
         }
-        (done, w.cfg.recovery.heartbeat_every, newly)
+        (done, w.cluster.recovery.heartbeat_every, newly)
     };
     // Fence newly declared containers (the manager cannot distinguish a
     // dead process from a wedged one, so their nodes are fenced either
@@ -1303,19 +1742,18 @@ fn detector_tick(sim: &mut Sim, world: &W) {
         if done || w.action_in_flight {
             None
         } else {
-            let atoms = w.cfg.atoms();
-            let cadence = w.cfg.sla.output_cadence;
             w.containers
                 .iter()
                 .enumerate()
                 .find(|&(ix, c)| w.declared_failed[ix] && matches!(c.status, Status::Failed))
                 .map(|(ix, c)| {
+                    let wl = &w.tenants[w.tenant_of[ix]].wl;
                     let view = FailureView {
                         id: c.id,
-                        needed: c.units_needed(atoms, cadence),
+                        needed: c.units_needed(wl.atoms(), wl.sla.output_cadence),
                         restarts_so_far: w.restart_attempts[ix],
                     };
-                    decide_recovery(&w.cfg.recovery, &view, w.staging.spare())
+                    decide_recovery(&w.cluster.recovery, &view, w.staging.spare())
                 })
         }
     };
@@ -1350,8 +1788,8 @@ fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u
         let attempt = w.restart_attempts[ix];
         let upstream_writers = w.upstream_writers(ix);
         let proto = estimate::restart(upstream_writers, lease_spare, &w.costs, PER_MSG);
-        let backoff = w.cfg.recovery.restart_backoff * (attempt - 1) as u64;
-        let launch = w.cfg.launch;
+        let backoff = w.cluster.recovery.restart_backoff * (attempt - 1) as u64;
+        let launch = w.cluster.launch;
         let total = proto + launch.sample(sim) + backoff;
         w.containers[ix].status = Status::Resizing { until: sim.now() + total };
         total
@@ -1372,14 +1810,16 @@ fn perform_restart(sim: &mut Sim, world: &W, target: ContainerId, lease_spare: u
                 false
             } else {
                 let add = nodes.len() as u32;
-                let model = w.containers[ix].spec.model;
                 w.containers[ix].nodes = nodes;
-                w.containers[ix].replica_free = vec![now; effective_replicas(model, add)];
+                w.containers[ix].reset_replicas(now);
                 w.containers[ix].status = Status::Online;
                 w.declared_failed[ix] = false;
                 let attempt = w.restart_attempts[ix];
                 let id = w.containers[ix].id;
-                w.log.record_action(now, Action::Restarted { container: id, attempt, added: add });
+                let t = w.tenant_of[ix];
+                w.tenants[t]
+                    .log
+                    .record_action(now, Action::Restarted { container: id, attempt, added: add });
                 w.action_in_flight = false;
                 w.last_action_at = now;
                 true

@@ -221,6 +221,183 @@ pub fn decide(cfg: &PolicyConfig, sla: &Sla, views: &[ContainerView], spare: u32
     Decision::None
 }
 
+/// One tenant's slice of the machine, as the cluster-level arbiter sees
+/// it: the per-container views its local managers reported, its SLA, and
+/// its fair-share position.
+#[derive(Clone, Debug)]
+pub struct TenantPolicyView {
+    /// Tenant index (submission order).
+    pub tenant: u32,
+    /// The SLA this tenant is managed against.
+    pub sla: Sla,
+    /// The tenant's fair share of the staging area
+    /// (`staging_nodes · weight / Σ weights` over admitted tenants).
+    pub fair_share: u32,
+    /// Staging nodes the tenant's containers currently hold.
+    pub held: u32,
+    /// Per-container local-manager views, in pipeline order.
+    pub views: Vec<ContainerView>,
+}
+
+/// What the cluster-level arbiter decided for this policy round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterDecision {
+    /// Nothing to do.
+    None,
+    /// Admit a queued tenant: enough spare nodes freed up for its held
+    /// allocation. Admission outranks rebalancing — the machine fills
+    /// itself before optimizing whoever is already on it.
+    Admit {
+        /// The tenant to admit (submission order index).
+        tenant: u32,
+    },
+    /// Execute an ordinary within-tenant decision (spares, in-tenant
+    /// steal, or offline) for the chosen tenant.
+    Act {
+        /// The tenant the decision belongs to.
+        tenant: u32,
+        /// The per-tenant policy's decision.
+        decision: Decision,
+    },
+    /// Cross-tenant steal: no in-tenant remedy completes, but a container
+    /// of another tenant underuses its allocation enough to cover the
+    /// rest.
+    CrossSteal {
+        /// The bottleneck's tenant.
+        tenant: u32,
+        /// The bottleneck container.
+        target: ContainerId,
+        /// Spare staging nodes leased alongside the steal.
+        lease_spare: u32,
+        /// The donor's tenant.
+        donor_tenant: u32,
+        /// The donor container.
+        donor: ContainerId,
+        /// Nodes taken from the donor.
+        take: u32,
+    },
+}
+
+/// The bottleneck candidate of one tenant, per the same rules
+/// [`decide`] applies: the online container with the longest trusted
+/// average latency, if it violates the tenant's SLA with a positive unit
+/// deficit.
+fn tenant_candidate<'a>(
+    cfg: &PolicyConfig,
+    tv: &'a TenantPolicyView,
+) -> Option<(&'a ContainerView, u32)> {
+    let bottleneck = tv
+        .views
+        .iter()
+        .filter(|v| v.online && v.samples >= cfg.window.min(2))
+        .max_by(|a, b| a.avg_latency.cmp(&b.avg_latency))?;
+    if !tv.sla.container_violated(bottleneck.avg_latency) {
+        return None;
+    }
+    let deficit = bottleneck.needed.saturating_sub(bottleneck.units);
+    (deficit > 0).then_some((bottleneck, deficit))
+}
+
+/// Evaluates the cluster-level policy: admission of queued tenants first,
+/// then fair-share arbitration across violating tenants, then the chosen
+/// tenant's within-tenant policy ([`decide`]), upgraded to a cross-tenant
+/// steal when the in-tenant remedy is incomplete and another tenant
+/// underuses its allocation.
+///
+/// `queued` lists waiting tenants as `(tenant, held_nodes)` in submission
+/// order; `spare` is the free staging-node count. With a single admitted
+/// tenant and nothing queued this reduces *exactly* to
+/// `Act { tenant, decision: decide(...) }` — the property that keeps
+/// single-tenant runs bit-identical to the legacy engine.
+pub fn decide_cluster(
+    cfg: &PolicyConfig,
+    tenants: &[TenantPolicyView],
+    queued: &[(u32, u32)],
+    spare: u32,
+) -> ClusterDecision {
+    if !cfg.enabled {
+        return ClusterDecision::None;
+    }
+
+    // Admission first, in submission order.
+    for &(tenant, held) in queued {
+        if held <= spare {
+            return ClusterDecision::Admit { tenant };
+        }
+    }
+
+    // Which tenants are violating with a real deficit?
+    let candidates: Vec<usize> = tenants
+        .iter()
+        .enumerate()
+        .filter(|(_, tv)| tenant_candidate(cfg, tv).is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let Some(&pick) = candidates.iter().min_by_key(|&&i| {
+        // Serve the tenant furthest under its fair share first; the
+        // fixed-point ratio keeps the ordering integer-deterministic.
+        let tv = &tenants[i];
+        ((tv.held as u128 * 1_000_000) / tv.fair_share.max(1) as u128, i)
+    }) else {
+        return ClusterDecision::None;
+    };
+
+    let tv = &tenants[pick];
+    // Under contention, a tenant at or beyond its fair share must find
+    // the nodes inside its own allocation (or another tenant's surplus);
+    // uncontested, spares flow freely — which is also the single-tenant
+    // legacy behaviour.
+    let spare_cap = if candidates.len() > 1 {
+        spare.min(tv.fair_share.saturating_sub(tv.held))
+    } else {
+        spare
+    };
+    let decision = decide(cfg, &tv.sla, &tv.views, spare_cap);
+    if let Decision::Rebalance { steal: Some(_), .. } = decision {
+        return ClusterDecision::Act { tenant: tv.tenant, decision };
+    }
+
+    // `pick` came from the candidate set, so this is always Some; if the
+    // invariant ever broke we degrade to the in-tenant decision rather
+    // than panic.
+    let Some((bottleneck, deficit)) = tenant_candidate(cfg, tv) else {
+        return ClusterDecision::Act { tenant: tv.tenant, decision };
+    };
+    let lease_spare = deficit.min(spare_cap);
+    let remaining = deficit - lease_spare;
+    if remaining > 0 {
+        // The in-tenant remedy is incomplete. A donor container in another
+        // tenant whose surplus covers the rest completes it; prefer the
+        // donor tenant furthest over its fair share, then the biggest
+        // surplus, then the lowest container id.
+        let donor = tenants
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != pick)
+            .flat_map(|(j, dv)| {
+                dv.views
+                    .iter()
+                    .filter(|v| v.online && v.spareable >= remaining)
+                    .map(move |v| (j, v))
+            })
+            .max_by_key(|&(j, v)| {
+                let dv = &tenants[j];
+                (dv.held.saturating_sub(dv.fair_share), v.spareable, std::cmp::Reverse(v.id))
+            });
+        if let Some((j, v)) = donor {
+            return ClusterDecision::CrossSteal {
+                tenant: tv.tenant,
+                target: bottleneck.id,
+                lease_spare,
+                donor_tenant: tenants[j].tenant,
+                donor: v.id,
+                take: remaining,
+            };
+        }
+    }
+    ClusterDecision::Act { tenant: tv.tenant, decision }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +542,127 @@ mod tests {
         off.online = false;
         let views = [view(0, 8, 1, 7, 2), off];
         assert_eq!(decide(&PolicyConfig::default(), &sla(), &views, 0), Decision::None);
+    }
+
+    fn tenant(ix: u32, fair_share: u32, held: u32, views: Vec<ContainerView>) -> TenantPolicyView {
+        TenantPolicyView { tenant: ix, sla: sla(), fair_share, held, views }
+    }
+
+    #[test]
+    fn single_tenant_cluster_reduces_to_decide() {
+        let cfg = PolicyConfig::default();
+        for (views, spare) in [
+            (vec![view(0, 8, 1, 7, 2), view(1, 2, 6, 0, 45)], 4u32), // spares
+            (vec![view(0, 8, 1, 7, 2), view(1, 1, 2, 0, 45)], 0),    // in-tenant steal
+            (vec![view(0, 8, 1, 7, 2), view(1, 2, 2, 0, 20)], 4),    // healthy
+        ] {
+            let expected = decide(&cfg, &sla(), &views, spare);
+            let tv = tenant(0, 13, 13, views);
+            let got = decide_cluster(&cfg, &[tv], &[], spare);
+            match expected {
+                Decision::None => assert_eq!(got, ClusterDecision::None),
+                d => assert_eq!(got, ClusterDecision::Act { tenant: 0, decision: d }),
+            }
+        }
+    }
+
+    #[test]
+    fn admission_outranks_rebalancing() {
+        let cfg = PolicyConfig::default();
+        let starving = tenant(0, 8, 2, vec![view(1, 2, 6, 0, 45)]);
+        // Second queued tenant fits, first does not: submission order wins
+        // among those that fit.
+        let got = decide_cluster(&cfg, &[starving], &[(1, 9), (2, 4)], 6);
+        assert_eq!(got, ClusterDecision::Admit { tenant: 2 });
+    }
+
+    #[test]
+    fn fair_share_serves_the_most_under_share_tenant() {
+        let cfg = PolicyConfig::default();
+        // Both tenants violate and need 2 nodes; tenant 1 is far under its
+        // share, tenant 0 is over.
+        let t0 = tenant(0, 8, 12, vec![view(0, 2, 4, 0, 45)]);
+        let t1 = tenant(1, 8, 3, vec![view(10, 2, 4, 0, 45)]);
+        let got = decide_cluster(&cfg, &[t0, t1], &[], 4);
+        assert_eq!(
+            got,
+            ClusterDecision::Act {
+                tenant: 1,
+                decision: Decision::Rebalance {
+                    target: ContainerId(10),
+                    lease_spare: 2,
+                    steal: None
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn contention_caps_spares_at_the_fair_share() {
+        let cfg = PolicyConfig::default();
+        // Tenant 0 is picked (more under share) but only 1 node under its
+        // share: the lease is capped at 1 of the 4 spares, leaving nodes
+        // for the other violating tenant's turn.
+        let t0 = tenant(0, 8, 7, vec![view(0, 2, 5, 0, 45)]);
+        let t1 = tenant(1, 8, 8, vec![view(10, 2, 5, 0, 45)]);
+        let got = decide_cluster(&cfg, &[t0, t1], &[], 4);
+        assert_eq!(
+            got,
+            ClusterDecision::Act {
+                tenant: 0,
+                decision: Decision::Rebalance {
+                    target: ContainerId(0),
+                    lease_spare: 1,
+                    steal: None
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn cross_tenant_steal_taps_an_underusing_tenant() {
+        let cfg = PolicyConfig::default();
+        // Tenant 0's bottleneck needs 2; no spares and no in-tenant donor.
+        // Tenant 1 holds far more than its share and can spare 3.
+        let t0 = tenant(0, 8, 3, vec![view(0, 1, 3, 0, 45)]);
+        let t1 = tenant(1, 8, 13, vec![view(10, 13, 1, 3, 2)]);
+        let got = decide_cluster(&cfg, &[t0, t1], &[], 0);
+        assert_eq!(
+            got,
+            ClusterDecision::CrossSteal {
+                tenant: 0,
+                target: ContainerId(0),
+                lease_spare: 0,
+                donor_tenant: 1,
+                donor: ContainerId(10),
+                take: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn cross_steal_not_taken_when_in_tenant_remedy_completes() {
+        let cfg = PolicyConfig::default();
+        let t0 = tenant(0, 8, 9, vec![view(0, 8, 1, 7, 2), view(1, 1, 2, 0, 45)]);
+        let t1 = tenant(1, 8, 7, vec![view(10, 7, 1, 6, 2)]);
+        let got = decide_cluster(&cfg, &[t0, t1], &[], 0);
+        assert_eq!(
+            got,
+            ClusterDecision::Act {
+                tenant: 0,
+                decision: Decision::Rebalance {
+                    target: ContainerId(1),
+                    lease_spare: 0,
+                    steal: Some((ContainerId(0), 1)),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_policy_decides_nothing_cluster_wide() {
+        let cfg = PolicyConfig { enabled: false, ..PolicyConfig::default() };
+        let t0 = tenant(0, 8, 2, vec![view(0, 1, 6, 0, 100)]);
+        assert_eq!(decide_cluster(&cfg, &[t0], &[(1, 2)], 8), ClusterDecision::None);
     }
 }

@@ -377,6 +377,21 @@ pub mod estimate {
             + costs.metadata_exchange(new_replicas, 1)
     }
 
+    /// Estimated cost of admitting a whole tenant: every initially active
+    /// stage runs its increase protocol (registration plus writer-side
+    /// endpoint setup), serialized at the global manager. `stages` lists
+    /// `(writers, replicas)` per stage in pipeline order.
+    pub fn admission(
+        stages: &[(u32, u32)],
+        costs: &TransportCosts,
+        per_msg: SimDuration,
+    ) -> SimDuration {
+        stages
+            .iter()
+            .map(|&(writers, replicas)| increase(writers, replicas, costs, per_msg))
+            .fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+
     /// Estimated decrease-protocol duration.
     pub fn decrease(
         writers: u32,

@@ -51,6 +51,88 @@ impl Sla {
     pub fn end_to_end_violated(&self, e2e: SimDuration) -> bool {
         self.max_end_to_end.map(|m| e2e > m).unwrap_or(false)
     }
+
+    /// Summarizes a finished run against this SLA: how many of the
+    /// `steps` emitted made it through end to end, how many of those kept
+    /// inside the end-to-end bound (when one is set), and what fraction of
+    /// container latency samples stayed under the per-container bound.
+    pub fn attainment(
+        &self,
+        steps: u64,
+        e2e_secs: impl Iterator<Item = f64>,
+        latency_secs: impl Iterator<Item = f64>,
+    ) -> SlaAttainment {
+        let bound = self.max_end_to_end.map(|m| m.as_secs_f64());
+        let (mut accounted, mut e2e_within) = (0u64, 0u64);
+        for v in e2e_secs {
+            accounted += 1;
+            if bound.map(|b| v <= b).unwrap_or(true) {
+                e2e_within += 1;
+            }
+        }
+        let cap = self.max_container_latency.as_secs_f64();
+        let (mut samples, mut samples_within) = (0u64, 0u64);
+        for v in latency_secs {
+            samples += 1;
+            if v <= cap {
+                samples_within += 1;
+            }
+        }
+        SlaAttainment {
+            steps,
+            accounted,
+            e2e_within,
+            e2e_bounded: bound.is_some(),
+            samples,
+            samples_within,
+        }
+    }
+}
+
+/// Per-tenant SLA attainment over one finished run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlaAttainment {
+    /// Output steps the application emitted.
+    pub steps: u64,
+    /// Steps that completed the full pipeline (rather than bypassing to
+    /// disk or never draining).
+    pub accounted: u64,
+    /// Completed steps inside the end-to-end bound (all of them when the
+    /// SLA sets no bound).
+    pub e2e_within: u64,
+    /// Whether the SLA actually bounds end-to-end latency.
+    pub e2e_bounded: bool,
+    /// Container latency samples observed.
+    pub samples: u64,
+    /// Samples at or under the per-container latency bound.
+    pub samples_within: u64,
+}
+
+impl SlaAttainment {
+    /// Fraction of emitted steps that completed end to end within bound.
+    pub fn e2e_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            return 1.0;
+        }
+        self.e2e_within as f64 / self.steps as f64
+    }
+
+    /// Fraction of emitted steps accounted for by pipeline completions.
+    pub fn accounted_fraction(&self) -> f64 {
+        if self.steps == 0 {
+            return 1.0;
+        }
+        self.accounted as f64 / self.steps as f64
+    }
+
+    /// Fraction of latency samples inside the per-container bound
+    /// (1.0 when nothing was sampled).
+    pub fn container_fraction(&self) -> f64 {
+        if self.samples == 0 {
+            return 1.0;
+        }
+        self.samples_within as f64 / self.samples as f64
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +155,36 @@ mod tests {
         assert!(!sla.end_to_end_violated(SimDuration::from_secs(1_000)));
         let strict = Sla { max_end_to_end: Some(SimDuration::from_secs(60)), ..sla };
         assert!(strict.end_to_end_violated(SimDuration::from_secs(61)));
+    }
+
+    #[test]
+    fn attainment_counts_bounded_steps_and_samples() {
+        let sla = Sla {
+            max_end_to_end: Some(SimDuration::from_secs(60)),
+            ..Sla::from_cadence(SimDuration::from_secs(10))
+        };
+        let att = sla.attainment(
+            4,
+            [30.0, 59.0, 61.0].into_iter(),
+            [5.0, 20.0, 21.0, 19.0].into_iter(),
+        );
+        assert_eq!(att.accounted, 3);
+        assert_eq!(att.e2e_within, 2);
+        assert!(att.e2e_bounded);
+        assert_eq!(att.samples_within, 3);
+        assert!((att.e2e_fraction() - 0.5).abs() < 1e-12);
+        assert!((att.accounted_fraction() - 0.75).abs() < 1e-12);
+        assert!((att.container_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unbounded_e2e_counts_every_completion() {
+        let sla = Sla::paper_default();
+        let att = sla.attainment(2, [1e9, 2e9].into_iter(), std::iter::empty());
+        assert_eq!(att.e2e_within, 2);
+        assert!(!att.e2e_bounded);
+        assert_eq!(att.container_fraction(), 1.0);
+        let empty = sla.attainment(0, std::iter::empty(), std::iter::empty());
+        assert_eq!(empty.e2e_fraction(), 1.0);
     }
 }

@@ -46,7 +46,7 @@ fn main() {
     println!("I/O container management across the paper's weak-scaling setups\n");
     // The Fig. 7 run records full telemetry; its trace is exported below.
     let fig7 = run_pipeline(
-        ExperimentConfig::builder()
+        ExperimentConfig::builder_from(ExperimentConfig::fig7())
             .telemetry(TelemetryConfig::all())
             .build()
             .expect("the Fig. 7 preset is valid"),

@@ -1,0 +1,218 @@
+//! Multi-tenant staging: builder validation, admission control, and the
+//! bit-identity guarantee — a single-tenant [`Experiment`] must schedule
+//! exactly the events the legacy single-pipeline engine did. The pinned
+//! hashes below were recorded on the pre-refactor engine; any drift means
+//! the refactor changed single-tenant behavior.
+
+use iocontainers::{
+    AdmissionControl, AdmissionOutcome, ClusterConfig, Error, Experiment, ExperimentConfig,
+    WorkloadConfig,
+};
+use sim_core::Sim;
+
+fn schedule_hash(cfg: ExperimentConfig) -> u64 {
+    let mut sim = Sim::new(cfg.seed);
+    sim.record_trace();
+    iocontainers::run_pipeline_in(&mut sim, cfg);
+    sim.take_trace().expect("tracing was enabled").schedule_hash()
+}
+
+/// Golden schedule hashes recorded on the pre-refactor single-pipeline
+/// engine (seed 2013). The multi-tenant engine must reproduce them bit for
+/// bit when given the same single-tenant presets.
+#[test]
+fn single_tenant_traces_match_the_legacy_engine() {
+    let cases: [(&str, ExperimentConfig, u64); 3] = [
+        ("fig7", ExperimentConfig::fig7(), 0x7297887ee2c58dc9),
+        ("fig8", ExperimentConfig::fig8(), 0x058fe0bd47928106),
+        ("fig9", ExperimentConfig::fig9(), 0x322085bdc1a7dcb3),
+    ];
+    for (name, cfg, expect) in cases {
+        assert_eq!(schedule_hash(cfg), expect, "{name} (40 steps) trace drifted");
+    }
+    let short: [(&str, ExperimentConfig, u64); 3] = [
+        ("fig7", ExperimentConfig::fig7(), 0x54d9891d44abdee7),
+        ("fig8", ExperimentConfig::fig8(), 0x13557210ae873c8e),
+        ("fig9", ExperimentConfig::fig9(), 0xd1ff7716270424e1),
+    ];
+    for (name, mut cfg, expect) in short {
+        cfg.steps = 12;
+        assert_eq!(schedule_hash(cfg), expect, "{name} (12 steps) trace drifted");
+    }
+}
+
+/// `Experiment::single(preset).run()` must agree with the legacy
+/// `run_pipeline` surface on every observable.
+#[test]
+fn experiment_single_matches_run_pipeline() {
+    let legacy = iocontainers::run_pipeline(ExperimentConfig::fig8());
+    let run = Experiment::single(ExperimentConfig::fig8()).run();
+    assert_eq!(run.tenants.len(), 1);
+    let t = &run.tenants[0];
+    assert_eq!(t.id, "t0");
+    assert_eq!(t.admission, AdmissionOutcome::Admitted { at: sim_core::SimTime::ZERO });
+    assert_eq!(t.run.finished_at, legacy.finished_at);
+    assert_eq!(t.run.final_units, legacy.final_units);
+    assert_eq!(t.run.completed, legacy.completed);
+    assert_eq!(t.run.log.e2e_series().points(), legacy.log.e2e_series().points());
+    assert!(run.first_error().is_none());
+    // 40 steps emitted, all accounted for by pipeline completions.
+    assert_eq!(t.attainment.steps, 40);
+    assert_eq!(t.attainment.accounted, 40);
+}
+
+fn small_tenant(id: &str) -> WorkloadConfig {
+    let mut wl = WorkloadConfig::new(id, 8);
+    wl.steps = 10;
+    wl.initial.helper = 2;
+    wl.initial.bonds = 1;
+    wl.initial.csym = 2;
+    wl.initial.cna = 2;
+    wl
+}
+
+/// Two healthy tenants sharing one machine both meet their SLAs, each with
+/// its own report and monitor log.
+#[test]
+fn two_tenants_share_the_machine() {
+    let exp = Experiment::builder()
+        .cluster(ClusterConfig::new(64, 12))
+        .tenant(small_tenant("md-a"))
+        .tenant(small_tenant("md-b"))
+        .build()
+        .expect("both tenants fit");
+    let run = exp.run();
+    assert_eq!(run.tenants.len(), 2);
+    assert!(run.first_error().is_none());
+    for t in &run.tenants {
+        assert!(matches!(t.admission, AdmissionOutcome::Admitted { .. }), "tenant {}", t.id);
+        assert_eq!(t.attainment.steps, 10, "tenant {}", t.id);
+        assert_eq!(t.attainment.accounted, 10, "tenant {}", t.id);
+        assert!(t.run.blocked_at.is_none(), "tenant {}", t.id);
+        // Each tenant's log covers exactly its own four containers.
+        assert_eq!(t.run.final_units.len(), 4, "tenant {}", t.id);
+    }
+}
+
+/// The builder rejects compositions the machine could never host.
+#[test]
+fn builder_validation() {
+    // No cluster.
+    let err = Experiment::builder().tenant(small_tenant("a")).build().unwrap_err();
+    assert!(matches!(err, Error::NoCluster), "{err}");
+
+    // No tenants.
+    let err = Experiment::builder().cluster(ClusterConfig::new(64, 12)).build().unwrap_err();
+    assert!(matches!(err, Error::NoTenants), "{err}");
+
+    // Duplicate ids.
+    let err = Experiment::builder()
+        .cluster(ClusterConfig::new(64, 12))
+        .tenants([small_tenant("a"), small_tenant("a")])
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, Error::DuplicateTenant(ref id) if id == "a"), "{err}");
+
+    // One tenant alone overflows the staging area (held 5 > staging 4).
+    let err = Experiment::builder()
+        .cluster(ClusterConfig::new(64, 4))
+        .tenant(small_tenant("a"))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, Error::Workload { ref tenant, .. } if tenant == "a"), "{err}");
+
+    // Application partitions overflow the compute side of the machine.
+    let err = Experiment::builder()
+        .cluster(ClusterConfig::new(8, 12))
+        .tenants([small_tenant("a"), small_tenant("b")])
+        .build()
+        .unwrap_err();
+    assert!(
+        matches!(err, Error::ComputeOvercommitted { sim_nodes: 8, requested: 16 }),
+        "{err}"
+    );
+
+    // Errors implement std::error::Error and render a message.
+    let err: Box<dyn std::error::Error> = Box::new(err);
+    assert!(!err.to_string().is_empty());
+}
+
+/// Under `AdmissionControl::Reject` a tenant that does not fit the spare
+/// pool at submission never runs, and the rejection is the run's first
+/// error.
+#[test]
+fn admission_reject_refuses_the_overflow_tenant() {
+    // First tenant holds 5 of 8 staging nodes; the second needs 5 more.
+    let exp = Experiment::builder()
+        .cluster(ClusterConfig::new(64, 8))
+        .tenant(small_tenant("first"))
+        .tenant(small_tenant("late"))
+        .build()
+        .expect("each tenant fits alone; contention is a runtime matter");
+    let run = exp.run();
+    assert!(matches!(run.tenants[0].admission, AdmissionOutcome::Admitted { .. }));
+    assert_eq!(run.tenants[1].admission, AdmissionOutcome::Rejected { held: 5, spare: 3 });
+    // The rejected tenant did nothing.
+    assert_eq!(run.tenants[1].attainment.steps, 0);
+    assert!(run.tenants[1].run.log.e2e_series().is_empty());
+    assert!(run.tenants[1].run.completed.iter().all(|&(_, n)| n == 0));
+    // The admitted tenant was unaffected.
+    assert_eq!(run.tenants[0].attainment.accounted, 10);
+    match run.first_error() {
+        Some(Error::AdmissionRejected { tenant, held: 5, spare: 3 }) => {
+            assert_eq!(tenant, "late");
+        }
+        other => panic!("expected AdmissionRejected, got {other:?}"),
+    }
+}
+
+/// Under `AdmissionControl::Queue` the tenant waits instead; with no nodes
+/// ever freed it stays queued and is reported as such (not an error).
+#[test]
+fn admission_queue_keeps_the_tenant_waiting() {
+    let mut cluster = ClusterConfig::new(64, 8);
+    cluster.admission = AdmissionControl::Queue;
+    let exp = Experiment::builder()
+        .cluster(cluster)
+        .tenant(small_tenant("first"))
+        .tenant(small_tenant("late"))
+        .build()
+        .expect("valid");
+    let run = exp.run();
+    assert_eq!(run.tenants[1].admission, AdmissionOutcome::Queued);
+    assert!(run.first_error().is_none(), "queued is a report state, not an error");
+    assert_eq!(run.tenants[0].attainment.accounted, 10);
+}
+
+/// Under `AdmissionControl::Queue` a queued tenant is admitted as soon as
+/// the manager frees enough nodes — here by taking the first tenant's
+/// hopeless bottleneck offline (the Fig. 9 action), which returns its
+/// nodes to the spare pool.
+#[test]
+fn queued_tenant_is_admitted_once_nodes_free_up() {
+    let mut cluster = ClusterConfig::new(2048, 24);
+    cluster.admission = AdmissionControl::Queue;
+    // Fig. 9 shape: undersized staging forces Bonds+CSym offline, freeing
+    // their nodes mid-run.
+    let (_, mut big) = ExperimentConfig::fig9().split();
+    big.id = "big".into();
+    let exp = Experiment::builder()
+        .cluster(cluster)
+        .tenant(big)
+        .tenant(small_tenant("late"))
+        .build()
+        .expect("valid");
+    let run = exp.run();
+    let late = &run.tenants[1];
+    match late.admission {
+        AdmissionOutcome::Admitted { at } => {
+            assert!(at > sim_core::SimTime::ZERO, "queued tenants are admitted later");
+        }
+        other => panic!("expected late admission, got {other:?}"),
+    }
+    // Once admitted, the tenant runs its full workload.
+    assert_eq!(late.attainment.steps, 10);
+    assert_eq!(late.attainment.accounted, 10);
+    // The first tenant still shows the Fig. 9 offline action.
+    assert!(run.tenants[0].run.offline.contains(&"Bonds"));
+}

@@ -1,0 +1,108 @@
+//! Public-API snapshot: the `iocontainers` facade must match the committed
+//! baseline (`tests/public_api_baseline.txt`) item for item. The surface is
+//! the flattened set of `pub mod` / `pub use` lines in its `lib.rs`, so a
+//! rename, removal, or accidental new export fails this test (and the
+//! matching `cargo xtask api` CI gate) until the baseline is deliberately
+//! regenerated with `cargo xtask api --write-baseline`.
+//!
+//! The parser is duplicated from `tools/xtask/src/main.rs` on purpose:
+//! xtask deliberately does not link the sim stack, and this test must not
+//! depend on xtask, so each side carries its own ~40-line copy.
+
+use std::path::Path;
+
+/// Flattens a `lib.rs` facade into one sorted line per exported item:
+/// every `pub mod` and every name a `pub use` re-exports, brace groups
+/// expanded. Mirrors `api_surface` in `tools/xtask/src/main.rs`.
+fn api_surface(lib_rs: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut buf = String::new();
+    let mut in_item = false;
+    for raw in lib_rs.lines() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_item {
+            if line.starts_with("pub mod ") || line.starts_with("pub use ") {
+                buf.clear();
+                in_item = true;
+            } else {
+                continue;
+            }
+        } else {
+            buf.push(' ');
+        }
+        buf.push_str(line);
+        if let Some(end) = buf.find(';') {
+            let item: String = buf[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+            in_item = false;
+            if let Some(rest) = item.strip_prefix("pub use ") {
+                if let Some(brace) = rest.find('{') {
+                    let prefix = rest[..brace].trim();
+                    let inner = rest[brace + 1..].trim_end_matches('}');
+                    items.extend(
+                        inner
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(|name| format!("pub use {prefix}{name}")),
+                    );
+                } else {
+                    items.push(format!("pub use {rest}"));
+                }
+            } else {
+                items.push(item);
+            }
+        }
+    }
+    items.sort();
+    items
+}
+
+#[test]
+fn facade_matches_committed_baseline() {
+    // This integration test lives in the workspace-root package, so the
+    // manifest dir IS the workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let lib = root.join("crates/iocontainers/src/lib.rs");
+    let baseline_path = root.join("tests/public_api_baseline.txt");
+
+    let current = api_surface(&std::fs::read_to_string(&lib).expect("read facade lib.rs"));
+    let baseline: Vec<String> = std::fs::read_to_string(&baseline_path)
+        .expect("read tests/public_api_baseline.txt (run `cargo xtask api --write-baseline`)")
+        .lines()
+        .map(str::to_string)
+        .filter(|l| !l.is_empty())
+        .collect();
+
+    let removed: Vec<_> = baseline.iter().filter(|l| !current.contains(l)).collect();
+    let added: Vec<_> = current.iter().filter(|l| !baseline.contains(l)).collect();
+    assert!(
+        removed.is_empty() && added.is_empty(),
+        "public API drifted from tests/public_api_baseline.txt\n\
+         removed: {removed:#?}\nadded: {added:#?}\n\
+         if this change is intended, run `cargo xtask api --write-baseline`",
+    );
+}
+
+#[test]
+fn parser_expands_brace_groups_and_ignores_comments() {
+    let src = "\
+// a comment\n\
+pub mod codec; // trailing\n\
+mod private;\n\
+pub use error::Error;\n\
+pub use experiment::{\n    Alpha, Beta, // inline\n    Gamma,\n};\n";
+    let got = api_surface(src);
+    assert_eq!(
+        got,
+        vec![
+            "pub mod codec",
+            "pub use error::Error",
+            "pub use experiment::Alpha",
+            "pub use experiment::Beta",
+            "pub use experiment::Gamma",
+        ]
+    );
+}

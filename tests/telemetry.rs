@@ -9,7 +9,7 @@ use sim_core::Sim;
 use simtel::TelemetryConfig;
 
 fn schedule_hash_with(telemetry: TelemetryConfig) -> u64 {
-    let cfg = ExperimentConfig::builder()
+    let cfg = ExperimentConfig::builder_from(ExperimentConfig::fig7())
         .telemetry(telemetry)
         .build()
         .expect("the Fig. 7 preset is valid");
@@ -30,7 +30,7 @@ fn telemetry_on_and_off_produce_identical_schedules() {
 fn telemetry_does_not_change_run_outcomes() {
     let run_off = run_pipeline(ExperimentConfig::fig7());
     let run_on = run_pipeline(
-        ExperimentConfig::builder()
+        ExperimentConfig::builder_from(ExperimentConfig::fig7())
             .telemetry(TelemetryConfig::all())
             .build()
             .expect("the Fig. 7 preset is valid"),

@@ -13,6 +13,11 @@
 //!     baseline and exits 0.
 //! * `invariance` — run the schedule-invariance checker (the runtime race
 //!   detector) on the managed-pipeline experiment, via its in-crate tests.
+//! * `api` — snapshot the `iocontainers` facade (every `pub mod` / `pub
+//!   use` item in its `lib.rs`) and diff it against the committed baseline
+//!   (`tests/public_api_baseline.txt`), so accidental API breaks fail CI.
+//!   * `--write-baseline` records the current surface as the new baseline
+//!     after a deliberate API change.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -159,14 +164,128 @@ fn invariance() -> ExitCode {
     }
 }
 
+/// Flattens the `iocontainers` facade into one line per exported item:
+/// every `pub mod` and every name a `pub use` re-exports (brace groups
+/// expanded), sorted. Formatting, comments, and grouping don't affect the
+/// snapshot — only the actual set of exported paths does.
+fn api_surface(lib_rs: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut buf = String::new();
+    let mut in_item = false;
+    for raw in lib_rs.lines() {
+        let line = raw.split("//").next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_item {
+            if line.starts_with("pub mod ") || line.starts_with("pub use ") {
+                buf.clear();
+                in_item = true;
+            } else {
+                continue;
+            }
+        } else {
+            buf.push(' ');
+        }
+        buf.push_str(line);
+        if let Some(end) = buf.find(';') {
+            let item: String = buf[..end].split_whitespace().collect::<Vec<_>>().join(" ");
+            in_item = false;
+            if let Some(rest) = item.strip_prefix("pub use ") {
+                if let Some(brace) = rest.find('{') {
+                    let prefix = rest[..brace].trim();
+                    let inner = rest[brace + 1..].trim_end_matches('}');
+                    items.extend(
+                        inner
+                            .split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(|name| format!("pub use {prefix}{name}")),
+                    );
+                } else {
+                    items.push(format!("pub use {rest}"));
+                }
+            } else {
+                items.push(item);
+            }
+        }
+    }
+    items.sort();
+    items
+}
+
+fn api(args: &[String]) -> ExitCode {
+    let write = match args {
+        [] => false,
+        [flag] if flag == "--write-baseline" => true,
+        _ => {
+            eprintln!("usage: cargo xtask api [--write-baseline]");
+            return ExitCode::from(2);
+        }
+    };
+    let root = workspace_root();
+    let lib = root.join("crates/iocontainers/src/lib.rs");
+    let baseline_path = root.join("tests/public_api_baseline.txt");
+    let src = match std::fs::read_to_string(&lib) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask api: cannot read {}: {e}", lib.display());
+            return ExitCode::from(2);
+        }
+    };
+    let current = api_surface(&src);
+
+    if write {
+        let mut out = current.join("\n");
+        out.push('\n');
+        if let Err(e) = std::fs::write(&baseline_path, out) {
+            eprintln!("xtask api: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("api: baseline of {} item(s) written to {}", current.len(), baseline_path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline: Vec<String> = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s.lines().map(str::to_string).filter(|l| !l.is_empty()).collect(),
+        Err(e) => {
+            eprintln!(
+                "xtask api: cannot read baseline {}: {e}\n(run `cargo xtask api --write-baseline` to create it)",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let removed: Vec<_> = baseline.iter().filter(|l| !current.contains(l)).collect();
+    let added: Vec<_> = current.iter().filter(|l| !baseline.contains(l)).collect();
+    if removed.is_empty() && added.is_empty() {
+        println!("api: surface matches the baseline ({} items)", current.len());
+        return ExitCode::SUCCESS;
+    }
+    for l in &removed {
+        println!("- {l}");
+    }
+    for l in &added {
+        println!("+ {l}");
+    }
+    eprintln!(
+        "api: public surface drifted from tests/public_api_baseline.txt \
+         ({} removed, {} added); if intended, run `cargo xtask api --write-baseline`",
+        removed.len(),
+        added.len()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("invariance") => invariance(),
+        Some("api") => api(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--format json] [--baseline FILE | --write-baseline FILE] | invariance>"
+                "usage: cargo xtask <lint [--format json] [--baseline FILE | --write-baseline FILE] | invariance | api [--write-baseline]>"
             );
             ExitCode::from(2)
         }
