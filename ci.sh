@@ -55,6 +55,17 @@ cargo run --release -p bench --bin baseline -- \
 cargo run --release -p bench --bin baseline -- --check target/BENCH_kernels.json
 cargo run --release -p bench --bin baseline -- --check BENCH_kernels.json
 
+echo "== bench-events: event-kernel throughput artifact emits and validates =="
+# Same shape for the event-kernel artifact: emit at tiny sizes to prove
+# the emitter works, schema-check both the fresh and the committed file.
+cargo run --release -p bench --bin events -- \
+    --out target/BENCH_events.json --sizes 1000,10000 --reps 2
+cargo run --release -p bench --bin events -- --check target/BENCH_events.json
+cargo run --release -p bench --bin events -- --check BENCH_events.json
+
+echo "== bench-diff: events/sec vs the committed baseline (auto-skips when throttled) =="
+cargo xtask bench-diff
+
 echo "== quickstart example (headless) =="
 cargo run --release --example quickstart
 

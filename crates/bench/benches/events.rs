@@ -1,0 +1,26 @@
+//! Criterion group over the event-kernel workloads (interactive
+//! counterpart of the committed `BENCH_events.json` artifact — same
+//! workloads, same sizes at the small end).
+
+use bench::events::{run_cancel_heavy, run_pipeline_replay, run_schedule_heavy};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events");
+    for n in [1_000u64, 10_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("schedule_heavy", n), &n, |b, &n| {
+            b.iter(|| black_box(run_schedule_heavy(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("cancel_heavy", n), &n, |b, &n| {
+            b.iter(|| black_box(run_cancel_heavy(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline_replay", n), &n, |b, &n| {
+            b.iter(|| black_box(run_pipeline_replay(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_events);
+criterion_main!(benches);

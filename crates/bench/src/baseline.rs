@@ -66,6 +66,21 @@ fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     best
 }
 
+/// Measures the kernels on crack snapshots of several sizes (`cells` is
+/// edge cells per snapshot; atoms = 4·cells³, so 6/10/20 → 864/4k/32k)
+/// and concatenates the per-size sweeps in the order given.
+pub fn kernel_baseline_multi(
+    cells_list: &[u32],
+    thread_counts: &[usize],
+    reps: usize,
+) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    for &cells in cells_list {
+        rows.extend(kernel_baseline(cells, thread_counts, reps));
+    }
+    rows
+}
+
 /// Measures the three simpar-parallel kernels on the crack snapshot at
 /// each requested thread count and returns rows in deterministic order
 /// (kernel, then thread count as given). `reps` is best-of-N per cell.
@@ -193,22 +208,30 @@ pub fn parse_baseline_json(s: &str) -> Result<Vec<BaselineRow>, String> {
 }
 
 /// The CI schema gate: rows must be non-empty, cover the three kernels,
-/// carry positive finite timings, and each kernel's `threads = 1` row must
-/// report a speedup of ~1 against itself (≥ 0.9 catches an emitter whose
-/// serial baseline and serial measurement drifted apart).
+/// carry positive finite timings, and every `(kernel, atoms)` sweep in
+/// the artifact must include a `threads = 1` row reporting a speedup of
+/// ~1 against itself (≥ 0.9 catches an emitter whose serial baseline and
+/// serial measurement drifted apart).
 pub fn validate_baseline(rows: &[BaselineRow]) -> Result<(), String> {
     if rows.is_empty() {
         return Err("baseline has no rows".into());
     }
     for kernel in ["bonds", "csym", "cna"] {
+        if !rows.iter().any(|r| r.kernel == kernel) {
+            return Err(format!("kernel {kernel:?} has no rows"));
+        }
+    }
+    for r in rows {
         let serial = rows
             .iter()
-            .find(|r| r.kernel == kernel && r.threads == 1)
-            .ok_or_else(|| format!("kernel {kernel:?} has no threads=1 row"))?;
+            .find(|s| s.kernel == r.kernel && s.atoms == r.atoms && s.threads == 1)
+            .ok_or_else(|| {
+                format!("kernel {:?} at {} atoms has no threads=1 row", r.kernel, r.atoms)
+            })?;
         if !(serial.speedup_vs_serial >= 0.9 && serial.speedup_vs_serial <= 1.1) {
             return Err(format!(
-                "kernel {kernel:?}: serial speedup vs itself is {} (expected ~1.0)",
-                serial.speedup_vs_serial
+                "kernel {:?} at {} atoms: serial speedup vs itself is {} (expected ~1.0)",
+                r.kernel, r.atoms, serial.speedup_vs_serial
             ));
         }
     }
@@ -229,11 +252,11 @@ pub fn validate_baseline(rows: &[BaselineRow]) -> Result<(), String> {
 /// The serial-vs-parallel kernel table the `figures kernels` job prints
 /// (and EXPERIMENTS.md quotes).
 pub fn kernel_table(rows: &[BaselineRow]) -> Table {
-    let atoms = rows.first().map(|r| r.atoms).unwrap_or(0);
     Table {
-        title: format!("Kernel baseline on the crack-detection snapshot ({atoms} atoms)"),
+        title: "Kernel baseline on crack-detection snapshots".into(),
         header: vec![
             "kernel".into(),
+            "atoms".into(),
             "threads".into(),
             "ns/atom".into(),
             "speedup_vs_serial".into(),
@@ -243,6 +266,7 @@ pub fn kernel_table(rows: &[BaselineRow]) -> Table {
             .map(|r| {
                 vec![
                     r.kernel.clone(),
+                    r.atoms.to_string(),
                     r.threads.to_string(),
                     format!("{:.1}", r.ns_per_atom),
                     format!("{:.2}x", r.speedup_vs_serial),
@@ -302,6 +326,16 @@ mod tests {
         assert_eq!(rows.len(), 6);
         let table = kernel_table(&rows);
         assert_eq!(table.rows.len(), 6);
-        assert!(table.title.contains("108 atoms"), "{}", table.title);
+        assert!(table.header.contains(&"atoms".to_string()));
+        assert_eq!(table.rows[0][1], "108");
+    }
+
+    #[test]
+    fn multi_size_baseline_concatenates_per_size_sweeps() {
+        let rows = kernel_baseline_multi(&[2, 3], &[1], 1);
+        validate_baseline(&rows).expect("multi-size rows validate");
+        assert_eq!(rows.len(), 6);
+        let sizes: Vec<usize> = rows.iter().map(|r| r.atoms).collect();
+        assert_eq!(sizes, vec![32, 32, 32, 108, 108, 108]);
     }
 }

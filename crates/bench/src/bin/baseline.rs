@@ -2,15 +2,17 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin baseline                  # BENCH_kernels.json
-//! cargo run -p bench --release --bin baseline -- --threads 1,2,4 --cells 8
+//! cargo run -p bench --release --bin baseline -- --threads 1,2,4 --cells 6,10,20
 //! cargo run -p bench --bin baseline -- --check BENCH_kernels.json
 //! ```
 //!
 //! The thread sweep defaults to `1,2,4` and can also come from the
-//! `SIMPAR_THREADS` environment variable (the flag wins).
+//! `SIMPAR_THREADS` environment variable (the flag wins). `--cells`
+//! takes a comma list of snapshot sizes (atoms = 4·cells³, so the
+//! default `6,10,20` measures 864, 4 000 and 32 000 atoms).
 
 use bench::baseline::{
-    baseline_json, kernel_baseline, kernel_table, parse_baseline_json, validate_baseline,
+    baseline_json, kernel_baseline_multi, kernel_table, parse_baseline_json, validate_baseline,
 };
 
 fn parse_threads(spec: &str) -> Result<Vec<usize>, String> {
@@ -22,6 +24,14 @@ fn parse_threads(spec: &str) -> Result<Vec<usize>, String> {
     }
 }
 
+fn parse_cells(spec: &str) -> Result<Vec<u32>, String> {
+    let sizes: Result<Vec<u32>, _> = spec.split(',').map(|t| t.trim().parse::<u32>()).collect();
+    match sizes {
+        Ok(c) if !c.is_empty() && c.iter().all(|&n| n > 0) => Ok(c),
+        _ => Err(format!("bad cell list {spec:?}; expected e.g. 6,10,20")),
+    }
+}
+
 fn fail(msg: &str) -> ! {
     eprintln!("baseline: {msg}");
     std::process::exit(2);
@@ -30,7 +40,7 @@ fn fail(msg: &str) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = "BENCH_kernels.json".to_string();
-    let mut cells = 6u32;
+    let mut cells = vec![6u32, 10, 20];
     let mut reps = 5usize;
     let mut threads = std::env::var("SIMPAR_THREADS")
         .ok()
@@ -45,16 +55,14 @@ fn main() {
         };
         match arg.as_str() {
             "--out" => out = value("--out"),
-            "--cells" => {
-                cells = value("--cells").parse().unwrap_or_else(|e| fail(&format!("bad --cells: {e}")))
-            }
+            "--cells" => cells = parse_cells(&value("--cells")).unwrap_or_else(|e| fail(&e)),
             "--reps" => {
                 reps = value("--reps").parse().unwrap_or_else(|e| fail(&format!("bad --reps: {e}")))
             }
             "--threads" => threads = parse_threads(&value("--threads")).unwrap_or_else(|e| fail(&e)),
             "--check" => check = Some(value("--check")),
             other => fail(&format!(
-                "unknown argument {other:?}; usage: baseline [--out PATH] [--cells N] \
+                "unknown argument {other:?}; usage: baseline [--out PATH] [--cells 6,10,20] \
                  [--reps N] [--threads 1,2,4] [--check PATH]"
             )),
         }
@@ -72,7 +80,7 @@ fn main() {
     if !threads.contains(&1) {
         threads.insert(0, 1); // the artifact always carries the serial reference
     }
-    let rows = kernel_baseline(cells, &threads, reps);
+    let rows = kernel_baseline_multi(&cells, &threads, reps);
     validate_baseline(&rows).unwrap_or_else(|e| fail(&format!("freshly measured rows invalid: {e}")));
     std::fs::write(&out, baseline_json(&rows))
         .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));

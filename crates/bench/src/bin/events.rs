@@ -1,0 +1,158 @@
+//! Emits, validates, or diffs the committed event-kernel throughput
+//! baseline.
+//!
+//! ```text
+//! cargo run -p bench --release --bin events                    # BENCH_events.json
+//! cargo run -p bench --release --bin events -- --sizes 10000,100000
+//! cargo run -p bench --bin events -- --check BENCH_events.json
+//! cargo run -p bench --release --bin events -- --diff BENCH_events.json
+//! ```
+//!
+//! `--diff` re-measures the workloads at the committed sizes and fails
+//! (exit 1) if any cell lost more than the tolerance of its events/sec,
+//! after the committed floors are scaled by the machine-state yardstick
+//! (the best fresh/committed cell, clamped to [0.5, 1.0]) so a slow
+//! machine window is not mistaken for a code regression. The tolerance
+//! comes from `--tolerance`, else the `BENCH_EVENTS_TOLERANCE`
+//! environment variable, else 0.45. Because CI containers are sometimes
+//! throttled so hard that any wall-clock comparison is noise, the diff
+//! first takes two calibration runs of the same workload: if they
+//! disagree by more than 2x, the gate degrades to a loud skip (exit 0)
+//! rather than failing on scheduler weather.
+
+use bench::events::{
+    compare_events_scaled, events_baseline, events_json, events_table, machine_state_yardstick,
+    parse_events_json, run_schedule_heavy, validate_events, DEFAULT_SIZES,
+};
+
+fn parse_sizes(spec: &str) -> Result<Vec<u64>, String> {
+    let sizes: Result<Vec<u64>, _> = spec.split(',').map(|t| t.trim().parse::<u64>()).collect();
+    match sizes {
+        Ok(s) if !s.is_empty() && s.iter().all(|&n| n > 0) => Ok(s),
+        _ => Err(format!("bad size list {spec:?}; expected e.g. 10000,100000,1000000")),
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("events: {msg}");
+    std::process::exit(2);
+}
+
+/// Two timed runs of the same deterministic workload. On a healthy
+/// machine they agree closely; a ratio beyond 2x means the container is
+/// being throttled or preempted hard enough that diffing against a
+/// baseline measured elsewhere is meaningless.
+fn environment_is_steady() -> bool {
+    let timed = || {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(run_schedule_heavy(50_000));
+        t0.elapsed().as_secs_f64()
+    };
+    let (a, b) = (timed(), timed());
+    let ratio = a.max(b) / a.min(b).max(1e-12);
+    if ratio > 2.0 {
+        eprintln!("events: calibration runs disagree by {ratio:.1}x; container looks throttled");
+    }
+    ratio <= 2.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_events.json".to_string();
+    let mut sizes = DEFAULT_SIZES.to_vec();
+    let mut reps = 3usize;
+    let mut check: Option<String> = None;
+    let mut diff: Option<String> = None;
+    let mut tolerance: Option<f64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--out" => out = value("--out"),
+            "--sizes" => sizes = parse_sizes(&value("--sizes")).unwrap_or_else(|e| fail(&e)),
+            "--reps" => {
+                reps = value("--reps").parse().unwrap_or_else(|e| fail(&format!("bad --reps: {e}")))
+            }
+            "--check" => check = Some(value("--check")),
+            "--diff" => diff = Some(value("--diff")),
+            "--tolerance" => {
+                tolerance = Some(
+                    value("--tolerance")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("bad --tolerance: {e}"))),
+                )
+            }
+            other => fail(&format!(
+                "unknown argument {other:?}; usage: events [--out PATH] [--sizes N,N] \
+                 [--reps N] [--check PATH] [--diff PATH [--tolerance F]]"
+            )),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let rows = parse_events_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        validate_events(&rows).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        println!("events: {path} OK ({} rows)", rows.len());
+        return;
+    }
+
+    if let Some(path) = diff {
+        let tolerance = tolerance
+            .or_else(|| {
+                std::env::var("BENCH_EVENTS_TOLERANCE").ok().map(|s| {
+                    s.parse().unwrap_or_else(|e| fail(&format!("bad BENCH_EVENTS_TOLERANCE: {e}")))
+                })
+            })
+            .unwrap_or(0.45);
+        if !(0.0..1.0).contains(&tolerance) {
+            fail(&format!("tolerance {tolerance} outside [0, 1)"));
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let committed = parse_events_json(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        validate_events(&committed).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        if !environment_is_steady() {
+            println!("events: diff skipped (unsteady environment)");
+            return;
+        }
+        let committed_sizes: Vec<u64> = {
+            let mut s: Vec<u64> = committed.iter().map(|r| r.events).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        let fresh = events_baseline(&committed_sizes, reps);
+        let state = machine_state_yardstick(&committed, &fresh);
+        if state < 1.0 {
+            println!(
+                "events: machine running at {:.0}% of the baseline capture; floors scaled to match",
+                state * 100.0
+            );
+        }
+        let regressions = compare_events_scaled(&committed, &fresh, tolerance, state);
+        if regressions.is_empty() {
+            println!(
+                "events: no regression beyond {:.0}% across {} cells",
+                tolerance * 100.0,
+                committed.len()
+            );
+            return;
+        }
+        for r in &regressions {
+            eprintln!("events: REGRESSION {r}");
+        }
+        std::process::exit(1);
+    }
+
+    let rows = events_baseline(&sizes, reps);
+    validate_events(&rows).unwrap_or_else(|e| fail(&format!("freshly measured rows invalid: {e}")));
+    std::fs::write(&out, events_json(&rows))
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!("{}", events_table(&rows).render());
+    println!("wrote {out}");
+}

@@ -1,0 +1,487 @@
+//! The event-kernel throughput baseline behind `BENCH_events.json`.
+//!
+//! `BENCH_kernels.json` tracks the analytics kernels; this module tracks
+//! the other half of the perf story — the DES kernel itself. Three
+//! synthetic workloads bound the schedules real experiments produce:
+//!
+//! * **schedule-heavy** — pre-schedule N events at pseudo-random
+//!   timestamps, then drain. Stresses heap push/pop at large queue
+//!   depths. `events` counts executed events (all N fire).
+//! * **cancel-heavy** — schedule N events, cancel every other one, then
+//!   drain. Stresses cancellation (the old kernel accumulated tombstones
+//!   here; the indexed queue removes eagerly). `events` counts scheduled
+//!   events (N); half execute.
+//! * **pipeline-replay** — 64 event chains, each handler scheduling its
+//!   successor at a short pseudo-random delay, until N events executed.
+//!   Mimics the steady-state cadence of the pipeline experiments: a
+//!   small hot queue with heavy churn. `events` counts executed events.
+//!
+//! Every workload is deterministic (timestamps come from a SplitMix64
+//! stream with a fixed seed); only the wall-clock measurement varies.
+//! Like the kernel baseline, the committed artifact is a small flat JSON
+//! file (`bench-events/v1`) so the throughput trajectory is diffable
+//! PR-over-PR, and `compare` implements the regression gate behind
+//! `cargo xtask bench-diff`.
+
+use std::time::Instant;
+
+use sim_core::{shared, Sim, SimDuration, SimTime};
+
+/// Identifier baked into the artifact so `--check` can reject files
+/// produced by an incompatible emitter.
+pub const EVENTS_SCHEMA: &str = "bench-events/v1";
+
+/// The workload names, in artifact order.
+pub const WORKLOADS: [&str; 3] = ["schedule-heavy", "cancel-heavy", "pipeline-replay"];
+
+/// The event counts the committed artifact carries.
+pub const DEFAULT_SIZES: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// One measured point of the event-kernel baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventsRow {
+    /// Workload name (one of [`WORKLOADS`]).
+    pub workload: String,
+    /// Nominal event count of the workload (see the module docs for what
+    /// each workload counts).
+    pub events: u64,
+    /// Best-of-N wall time divided by the event count, in nanoseconds.
+    pub ns_per_event: f64,
+    /// Events per second of wall time (`1e9 / ns_per_event`).
+    pub events_per_sec: f64,
+}
+
+/// Deterministic SplitMix64 stream driving workload timestamps. The
+/// kernel's own RNG is deliberately not used: the workload must cost the
+/// same no matter how the kernel evolves.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the schedule-heavy workload once; returns executed-event count.
+pub fn run_schedule_heavy(n: u64) -> u64 {
+    let mut sim = Sim::new(42);
+    let hits = shared(0u64);
+    let mut rng = 0x5EED_0001u64;
+    let horizon = n.saturating_mul(1_000).max(1);
+    for _ in 0..n {
+        let hits = hits.clone();
+        let at = SimTime::from_nanos(splitmix(&mut rng) % horizon);
+        sim.schedule_at_named("bench.sched", at, move |_| *hits.borrow_mut() += 1);
+    }
+    sim.run();
+    let executed = *hits.borrow();
+    executed
+}
+
+/// Runs the cancel-heavy workload once; returns executed-event count
+/// (half of `n` — the other half is cancelled before draining).
+pub fn run_cancel_heavy(n: u64) -> u64 {
+    let mut sim = Sim::new(42);
+    let hits = shared(0u64);
+    let mut rng = 0x5EED_0002u64;
+    let horizon = n.saturating_mul(1_000).max(1);
+    let mut ids = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let hits = hits.clone();
+        let at = SimTime::from_nanos(splitmix(&mut rng) % horizon);
+        ids.push(sim.schedule_at_named("bench.cancel", at, move |_| *hits.borrow_mut() += 1));
+    }
+    for id in ids.into_iter().step_by(2) {
+        sim.cancel(id);
+    }
+    sim.run();
+    let executed = *hits.borrow();
+    executed
+}
+
+/// Runs the pipeline-replay workload once; returns executed-event count.
+pub fn run_pipeline_replay(n: u64) -> u64 {
+    const CHAINS: u64 = 64;
+    let mut sim = Sim::new(42);
+    let hits = shared(0u64);
+    fn link(sim: &mut Sim, hits: sim_core::Shared<u64>, mut rng: u64, budget: u64) {
+        *hits.borrow_mut() += 1;
+        if budget > 1 {
+            let delay = SimDuration::from_nanos(splitmix(&mut rng) % 10_000);
+            sim.schedule_in_named("bench.replay", delay, move |sim| {
+                link(sim, hits, rng, budget - 1);
+            });
+        }
+    }
+    for chain in 0..CHAINS.min(n.max(1)) {
+        let hits = hits.clone();
+        let budget = n / CHAINS + u64::from(chain < n % CHAINS);
+        if budget == 0 {
+            continue;
+        }
+        let rng = 0x5EED_0003u64 ^ chain.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        sim.schedule_at_named("bench.replay", SimTime::from_nanos(chain), move |sim| {
+            link(sim, hits, rng, budget);
+        });
+    }
+    sim.run();
+    let executed = *hits.borrow();
+    executed
+}
+
+fn best_of<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut executed = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        executed = std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, executed)
+}
+
+/// Measures every workload at each requested size and returns rows in
+/// deterministic order (workload, then size as given). `reps` is
+/// best-of-N per cell.
+pub fn events_baseline(sizes: &[u64], reps: usize) -> Vec<EventsRow> {
+    let mut rows = Vec::new();
+    for workload in WORKLOADS {
+        for &n in sizes {
+            let (secs, executed) = match workload {
+                "schedule-heavy" => best_of(reps, || run_schedule_heavy(n)),
+                "cancel-heavy" => best_of(reps, || run_cancel_heavy(n)),
+                _ => best_of(reps, || run_pipeline_replay(n)),
+            };
+            // The workloads are deterministic, so a wrong executed count is
+            // an emitter bug, not noise.
+            let expect = if workload == "cancel-heavy" { n / 2 } else { n };
+            assert_eq!(executed, expect, "{workload} at {n}: wrong executed count");
+            let ns_per_event = secs * 1e9 / n.max(1) as f64;
+            rows.push(EventsRow {
+                workload: workload.to_string(),
+                events: n,
+                ns_per_event,
+                events_per_sec: 1e9 / ns_per_event,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders rows as the committed `BENCH_events.json` artifact.
+pub fn events_json(rows: &[EventsRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{EVENTS_SCHEMA}\",\n"));
+    out.push_str("  \"rows\": [\n");
+    for (ix, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"events\": {}, \"ns_per_event\": {:.2}, \
+             \"events_per_sec\": {:.0}}}{}\n",
+            r.workload,
+            r.events,
+            r.ns_per_event,
+            r.events_per_sec,
+            if ix + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn field<'a>(obj: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start =
+        obj.find(&pat).ok_or_else(|| format!("missing field {key:?} in {obj:?}"))? + pat.len();
+    let rest = obj[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses an artifact produced by [`events_json`]. Like the kernel
+/// baseline parser, this handles exactly the flat schema this module
+/// emits — all the CI gate needs, with no serde dependency.
+pub fn parse_events_json(s: &str) -> Result<Vec<EventsRow>, String> {
+    let schema = field(s, "schema")?;
+    if schema != EVENTS_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {EVENTS_SCHEMA:?}"));
+    }
+    let rows_start = s.find("\"rows\"").ok_or("missing rows array")?;
+    let body = &s[rows_start..];
+    let open = body.find('[').ok_or("missing rows [")?;
+    let close = body.rfind(']').ok_or("missing rows ]")?;
+    let mut rows = Vec::new();
+    for obj in body[open + 1..close].split('}') {
+        let obj = obj.trim().trim_start_matches(',').trim();
+        if obj.is_empty() {
+            continue;
+        }
+        let obj = obj.trim_start_matches('{');
+        let num = |key: &str| -> Result<f64, String> {
+            field(obj, key)?.parse::<f64>().map_err(|e| format!("bad {key}: {e}"))
+        };
+        rows.push(EventsRow {
+            workload: field(obj, "workload")?.to_string(),
+            events: num("events")? as u64,
+            ns_per_event: num("ns_per_event")?,
+            events_per_sec: num("events_per_sec")?,
+        });
+    }
+    Ok(rows)
+}
+
+/// The CI schema gate: rows must be non-empty, cover all three workloads,
+/// and carry positive finite, mutually consistent timings.
+pub fn validate_events(rows: &[EventsRow]) -> Result<(), String> {
+    if rows.is_empty() {
+        return Err("events baseline has no rows".into());
+    }
+    for workload in WORKLOADS {
+        if !rows.iter().any(|r| r.workload == workload) {
+            return Err(format!("workload {workload:?} has no rows"));
+        }
+    }
+    for r in rows {
+        if r.events == 0 {
+            return Err(format!("row {r:?}: zero events"));
+        }
+        if !(r.ns_per_event.is_finite() && r.ns_per_event > 0.0) {
+            return Err(format!("row {r:?}: non-positive ns_per_event"));
+        }
+        if !(r.events_per_sec.is_finite() && r.events_per_sec > 0.0) {
+            return Err(format!("row {r:?}: non-positive events_per_sec"));
+        }
+        // The two columns are redundant by construction; drift beyond
+        // rounding means a hand-edited artifact.
+        let implied = 1e9 / r.ns_per_event;
+        if (implied - r.events_per_sec).abs() > implied * 0.02 {
+            return Err(format!("row {r:?}: ns_per_event and events_per_sec disagree"));
+        }
+    }
+    Ok(())
+}
+
+/// Estimate of the machine's current speed relative to the baseline
+/// capture, from the best fresh/committed events-per-sec ratio across
+/// the shared cells.
+///
+/// The committed artifact is a best-of-many capture, and this box's
+/// effective clock drifts by tens of percent between windows. Drift
+/// scales *every* workload down together, so the least-affected cell is
+/// a yardstick for the machine state itself; a code regression instead
+/// concentrates in the workloads exercising the changed operation and
+/// falls away from that yardstick. Clamped to `[0.5, 1.0]`: the gate
+/// never *raises* expectations above the committed numbers, and a
+/// machine-wide slowdown beyond 2x is treated as a real regression
+/// rather than excusable drift.
+pub fn machine_state_yardstick(committed: &[EventsRow], fresh: &[EventsRow]) -> f64 {
+    let mut best = 0.0f64;
+    for base in committed {
+        let Some(now) = fresh
+            .iter()
+            .find(|r| r.workload == base.workload && r.events == base.events)
+        else {
+            continue;
+        };
+        if base.events_per_sec > 0.0 {
+            best = best.max(now.events_per_sec / base.events_per_sec);
+        }
+    }
+    if best == 0.0 {
+        return 1.0; // no shared cells: nothing to normalize
+    }
+    best.clamp(0.5, 1.0)
+}
+
+/// Diffs a fresh measurement against the committed baseline: every
+/// `(workload, events)` cell present in both must not have lost more
+/// than `tolerance` (fractional) of its events/sec, after the committed
+/// figures are scaled by `state` (see [`machine_state_yardstick`];
+/// pass `1.0` for a raw absolute comparison). Returns the list of
+/// regressions, empty when the gate passes. Cells present in only one
+/// file are ignored (sizes may differ between CI and the full artifact).
+pub fn compare_events_scaled(
+    committed: &[EventsRow],
+    fresh: &[EventsRow],
+    tolerance: f64,
+    state: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    for base in committed {
+        let Some(now) = fresh
+            .iter()
+            .find(|r| r.workload == base.workload && r.events == base.events)
+        else {
+            continue;
+        };
+        let floor = base.events_per_sec * state * (1.0 - tolerance);
+        if now.events_per_sec < floor {
+            regressions.push(format!(
+                "{} at {} events: {:.0} ev/s, below {:.0} (committed {:.0} x {:.2} machine state - {:.0}% tolerance)",
+                base.workload,
+                base.events,
+                now.events_per_sec,
+                floor,
+                base.events_per_sec,
+                state,
+                tolerance * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
+/// [`compare_events_scaled`] without machine-state normalization.
+pub fn compare_events(
+    committed: &[EventsRow],
+    fresh: &[EventsRow],
+    tolerance: f64,
+) -> Vec<String> {
+    compare_events_scaled(committed, fresh, tolerance, 1.0)
+}
+
+/// The events/sec table the `events` bin prints (and EXPERIMENTS.md
+/// quotes).
+pub fn events_table(rows: &[EventsRow]) -> crate::Table {
+    crate::Table {
+        title: "Event-kernel throughput baseline".into(),
+        header: vec![
+            "workload".into(),
+            "events".into(),
+            "ns/event".into(),
+            "events/sec".into(),
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.clone(),
+                    r.events.to_string(),
+                    format!("{:.1}", r.ns_per_event),
+                    format!("{:.2}M", r.events_per_sec / 1e6),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<EventsRow> {
+        WORKLOADS
+            .iter()
+            .flat_map(|w| {
+                [1_000u64, 10_000].into_iter().map(|n| EventsRow {
+                    workload: w.to_string(),
+                    events: n,
+                    ns_per_event: 100.0,
+                    events_per_sec: 1e7,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trips_and_validates() {
+        let rows = sample_rows();
+        let json = events_json(&rows);
+        let back = parse_events_json(&json).expect("parses");
+        assert_eq!(back.len(), rows.len());
+        assert_eq!(back[0].workload, "schedule-heavy");
+        assert_eq!(back[0].events, 1_000);
+        assert!((back[0].ns_per_event - 100.0).abs() < 1e-9);
+        validate_events(&back).expect("valid");
+    }
+
+    #[test]
+    fn validation_rejects_bad_artifacts() {
+        assert!(validate_events(&[]).is_err());
+        let mut rows = sample_rows();
+        rows.retain(|r| r.workload != "cancel-heavy");
+        assert!(validate_events(&rows).unwrap_err().contains("cancel-heavy"));
+        let mut rows = sample_rows();
+        rows[0].events_per_sec = 5e7; // disagrees with ns_per_event
+        assert!(validate_events(&rows).is_err());
+        assert!(parse_events_json("{\"schema\": \"other/v9\", \"rows\": []}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let committed = sample_rows();
+        let mut fresh = sample_rows();
+        assert!(compare_events(&committed, &fresh, 0.2).is_empty());
+        fresh[0].events_per_sec = 7.9e6; // 21% down
+        let regressions = compare_events(&committed, &fresh, 0.2);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("schedule-heavy"));
+        // Within tolerance: no finding.
+        fresh[0].events_per_sec = 8.5e6;
+        assert!(compare_events(&committed, &fresh, 0.2).is_empty());
+        // Cells only on one side are ignored.
+        fresh.remove(0);
+        assert!(compare_events(&committed, &fresh, 0.2).is_empty());
+    }
+
+    #[test]
+    fn yardstick_tracks_the_best_cell_and_clamps() {
+        let committed = sample_rows();
+        let mut fresh = sample_rows();
+        assert_eq!(machine_state_yardstick(&committed, &fresh), 1.0);
+        // Uniform 30% slowdown: the best cell reveals the machine state.
+        for r in &mut fresh {
+            r.events_per_sec = 7e6;
+        }
+        let y = machine_state_yardstick(&committed, &fresh);
+        assert!((y - 0.7).abs() < 1e-9, "yardstick {y}");
+        // Faster-than-committed never raises expectations…
+        fresh[0].events_per_sec = 2e7;
+        assert_eq!(machine_state_yardstick(&committed, &fresh), 1.0);
+        // …and a machine-wide collapse is not excusable past 2x.
+        for r in &mut fresh {
+            r.events_per_sec = 2e6;
+        }
+        assert_eq!(machine_state_yardstick(&committed, &fresh), 0.5);
+        assert_eq!(machine_state_yardstick(&committed, &[]), 1.0);
+    }
+
+    #[test]
+    fn state_scaled_compare_excuses_drift_but_not_selective_regressions() {
+        let committed = sample_rows();
+        // A slow machine window: everything down ~40%, one workload only 35%.
+        let mut fresh = sample_rows();
+        for r in &mut fresh {
+            r.events_per_sec = 6e6;
+        }
+        fresh[0].events_per_sec = 6.5e6;
+        let state = machine_state_yardstick(&committed, &fresh);
+        assert!(compare_events(&committed, &fresh, 0.35).len() > 1, "raw compare trips on drift");
+        assert!(
+            compare_events_scaled(&committed, &fresh, 0.35, state).is_empty(),
+            "uniform drift is normalized out"
+        );
+        // Same window, but one workload genuinely lost 3x: it falls away
+        // from the yardstick and still fails.
+        fresh[2].events_per_sec = 2e6;
+        let state = machine_state_yardstick(&committed, &fresh);
+        let regressions = compare_events_scaled(&committed, &fresh, 0.35, state);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("cancel-heavy"));
+    }
+
+    #[test]
+    fn workloads_execute_the_documented_counts() {
+        assert_eq!(run_schedule_heavy(500), 500);
+        assert_eq!(run_cancel_heavy(501), 250);
+        assert_eq!(run_pipeline_replay(500), 500);
+        assert_eq!(run_pipeline_replay(5), 5); // fewer events than chains
+    }
+
+    #[test]
+    fn measured_baseline_on_tiny_sizes_is_valid() {
+        let rows = events_baseline(&[1_000], 1);
+        validate_events(&rows).expect("measured rows validate");
+        assert_eq!(rows.len(), 3);
+    }
+}

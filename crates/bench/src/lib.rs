@@ -6,6 +6,7 @@
 //! the same implementation.
 
 pub mod baseline;
+pub mod events;
 
 use d2t::{run_transaction, BroadcastShape, FaultPlan, TxnConfig};
 use datatap::TransportCosts;

@@ -161,6 +161,17 @@ pub struct MonitorLog {
     /// (`"t3/"` in a multi-tenant run, empty otherwise). An empty scope
     /// leaves the telemetry byte-identical to the single-tenant layout.
     scope: String,
+    /// Scoped telemetry keys precomputed at construction/registration so
+    /// the per-sample hot paths ([`MonitorLog::record`],
+    /// [`MonitorLog::record_e2e`]) format nothing: the same strings the
+    /// old `format!("{scope}…")` appends produced, built once.
+    scoped_e2e: String,
+    scoped_manager: String,
+    scoped_manager_actions: String,
+    scoped_fault: String,
+    scoped_fault_recovery: String,
+    /// Per-container `("{scope}{name}_latency_s", "{scope}{name}_queue")`.
+    scoped_keys: BTreeMap<ContainerId, (String, String)>,
 }
 
 impl MonitorLog {
@@ -179,7 +190,17 @@ impl MonitorLog {
     /// id plus `/`). An empty scope is byte-identical to
     /// [`MonitorLog::with_telemetry`].
     pub fn with_scoped_telemetry(telemetry: Telemetry, scope: String) -> MonitorLog {
-        MonitorLog { e2e: Series::new("end_to_end_s"), telemetry, scope, ..MonitorLog::default() }
+        MonitorLog {
+            e2e: Series::new("end_to_end_s"),
+            telemetry,
+            scoped_e2e: format!("{scope}end_to_end_s"),
+            scoped_manager: format!("{scope}manager"),
+            scoped_manager_actions: format!("{scope}manager.actions"),
+            scoped_fault: format!("{scope}fault"),
+            scoped_fault_recovery: format!("{scope}fault.recovery_actions"),
+            scope,
+            ..MonitorLog::default()
+        }
     }
 
     /// A one-line label for an action, using registered container names
@@ -220,6 +241,10 @@ impl MonitorLog {
     /// Registers a container's display name.
     pub fn register(&mut self, id: ContainerId, name: &'static str) {
         self.names.insert(id, name);
+        let scope = &self.scope;
+        self.scoped_keys
+            .entry(id)
+            .or_insert_with(|| (format!("{scope}{name}_latency_s"), format!("{scope}{name}_queue")));
         self.latency.entry(id).or_insert_with(|| Series::new(format!("{name}_latency_s")));
         self.queue.entry(id).or_insert_with(|| Series::new(format!("{name}_queue")));
     }
@@ -239,20 +264,41 @@ impl MonitorLog {
             s.push(sample.taken_at, sample.queue_len as f64);
         }
         if self.telemetry.enabled(Category::Container) {
-            let name = self.name_of(sample.container);
-            let scope = &self.scope;
-            self.telemetry.gauge(
-                Category::Container,
-                &format!("{scope}{name}_latency_s"),
-                sample.taken_at,
-                sample.latency.as_secs_f64(),
-            );
-            self.telemetry.gauge(
-                Category::Container,
-                &format!("{scope}{name}_queue"),
-                sample.taken_at,
-                sample.queue_len as f64,
-            );
+            // Registered containers use the precomputed keys (the hot
+            // path); an unregistered id falls back to formatting the
+            // legacy "?" names so the exported trace is unchanged.
+            match self.scoped_keys.get(&sample.container) {
+                Some((latency_key, queue_key)) => {
+                    self.telemetry.gauge(
+                        Category::Container,
+                        latency_key,
+                        sample.taken_at,
+                        sample.latency.as_secs_f64(),
+                    );
+                    self.telemetry.gauge(
+                        Category::Container,
+                        queue_key,
+                        sample.taken_at,
+                        sample.queue_len as f64,
+                    );
+                }
+                None => {
+                    let name = self.name_of(sample.container);
+                    let scope = &self.scope;
+                    self.telemetry.gauge(
+                        Category::Container,
+                        &format!("{scope}{name}_latency_s"),
+                        sample.taken_at,
+                        sample.latency.as_secs_f64(),
+                    );
+                    self.telemetry.gauge(
+                        Category::Container,
+                        &format!("{scope}{name}_queue"),
+                        sample.taken_at,
+                        sample.queue_len as f64,
+                    );
+                }
+            }
         }
     }
 
@@ -265,26 +311,19 @@ impl MonitorLog {
     /// Records an end-to-end latency point (step emitted → pipeline exit).
     pub fn record_e2e(&mut self, at: SimTime, e2e: SimDuration) {
         self.e2e.push(at, e2e.as_secs_f64());
-        let scope = &self.scope;
-        self.telemetry.gauge(
-            Category::Container,
-            &format!("{scope}end_to_end_s"),
-            at,
-            e2e.as_secs_f64(),
-        );
+        self.telemetry.gauge(Category::Container, &self.scoped_e2e, at, e2e.as_secs_f64());
     }
 
     /// Records a management action.
     pub fn record_action(&mut self, at: SimTime, action: Action) {
-        let scope = self.scope.clone();
         if self.telemetry.enabled(Category::Management) {
             self.telemetry.mark(
                 Category::Management,
-                &format!("{scope}manager"),
+                &self.scoped_manager,
                 &self.action_label(&action),
                 at,
             );
-            self.telemetry.count(Category::Management, &format!("{scope}manager.actions"), 1);
+            self.telemetry.count(Category::Management, &self.scoped_manager_actions, 1);
         }
         // Failure-detection and recovery actions additionally land on the
         // fault track, so a fault-focused trace shows injection and
@@ -294,11 +333,11 @@ impl MonitorLog {
         {
             self.telemetry.mark(
                 Category::Fault,
-                &format!("{scope}fault"),
+                &self.scoped_fault,
                 &self.action_label(&action),
                 at,
             );
-            self.telemetry.count(Category::Fault, &format!("{scope}fault.recovery_actions"), 1);
+            self.telemetry.count(Category::Fault, &self.scoped_fault_recovery, 1);
         }
         self.actions.push((at, action));
     }

@@ -251,6 +251,24 @@ struct World {
     hb_overlay: Option<(Overlay, StoneId)>,
     /// Heartbeats delivered at the overlay's terminal stone.
     hb_delivered: Arc<AtomicU64>,
+    /// Reusable buffers for the periodic policy tick (see
+    /// [`PolicyScratch`]); taken out with `mem::take` for the duration of
+    /// a tick and returned with its heap blocks intact.
+    scratch: PolicyScratch,
+}
+
+/// Scratch space for [`policy_tick`]. The tick rebuilds the global
+/// manager's view of every tenant each round; at steady state that was
+/// two fresh `Vec`s plus one `Vec<ContainerView>` per admitted tenant per
+/// tick. The buffers live here across rounds instead: `queued` and
+/// `tenants` are cleared in place, and each tenant's view vector is
+/// drained back into `view_pool` after the decision so the next round
+/// pops an already-sized allocation.
+#[derive(Default)]
+struct PolicyScratch {
+    queued: Vec<(u32, u32)>,
+    tenants: Vec<TenantPolicyView>,
+    view_pool: Vec<Vec<ContainerView>>,
 }
 
 type W = Shared<World>;
@@ -346,6 +364,7 @@ impl World {
             restart_attempts: vec![0; n],
             hb_overlay: None,
             hb_delivered: Arc::new(AtomicU64::new(0)),
+            scratch: PolicyScratch::default(),
             errors,
         }
     }
@@ -1064,7 +1083,7 @@ fn perform_branch(sim: &mut Sim, world: &W, t: usize) {
 /// rebalancing with cross-tenant steal), execute the decision.
 fn policy_tick(sim: &mut Sim, world: &W) {
     let decision = {
-        let w = world.borrow();
+        let mut w = world.borrow_mut();
         if !w.cluster.policy.enabled
             || w.action_in_flight
             || sim.now() < w.last_action_at + w.cluster.policy.cooldown
@@ -1072,30 +1091,33 @@ fn policy_tick(sim: &mut Sim, world: &W) {
             return;
         }
         w.telemetry.count(Category::Management, "policy.rounds", 1);
-        let total_weight: u64 = w
-            .tenants
-            .iter()
-            .filter(|tn| matches!(tn.admission, AdmissionState::Admitted { .. }))
-            .map(|tn| tn.wl.weight as u64)
-            .sum();
-        let queued: Vec<(u32, u32)> = w
-            .tenants
-            .iter()
-            .enumerate()
-            .filter(|(_, tn)| matches!(tn.admission, AdmissionState::Queued))
-            .map(|(i, tn)| (i as u32, tn.wl.held_nodes()))
-            .collect();
-        let mut tenants = Vec::new();
-        for (i, tn) in w.tenants.iter().enumerate() {
-            if !matches!(tn.admission, AdmissionState::Admitted { .. }) {
-                continue;
-            }
-            let atoms = tn.wl.atoms();
-            let cadence = tn.wl.sla.output_cadence;
-            let views: Vec<ContainerView> = w
-                .tenant_slice(tn.base, tn.count)
+        // The tick's buffers are recycled across rounds (see
+        // [`PolicyScratch`]); take them out so the build below can hold a
+        // shared borrow of the world.
+        let mut scratch = std::mem::take(&mut w.scratch);
+        {
+            let w = &*w;
+            let total_weight: u64 = w
+                .tenants
                 .iter()
-                .map(|c| {
+                .filter(|tn| matches!(tn.admission, AdmissionState::Admitted { .. }))
+                .map(|tn| tn.wl.weight as u64)
+                .sum();
+            scratch.queued.extend(
+                w.tenants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, tn)| matches!(tn.admission, AdmissionState::Queued))
+                    .map(|(i, tn)| (i as u32, tn.wl.held_nodes())),
+            );
+            for (i, tn) in w.tenants.iter().enumerate() {
+                if !matches!(tn.admission, AdmissionState::Admitted { .. }) {
+                    continue;
+                }
+                let atoms = tn.wl.atoms();
+                let cadence = tn.wl.sla.output_cadence;
+                let mut views = scratch.view_pool.pop().unwrap_or_default();
+                views.extend(w.tenant_slice(tn.base, tn.count).iter().map(|c| {
                     // The head-of-line age bounds the next completion's
                     // latency from below; it lets the manager see a starving
                     // queue even before the first (very slow) completion.
@@ -1117,20 +1139,28 @@ fn policy_tick(sim: &mut Sim, world: &W) {
                         avg_latency: avg,
                         samples: c.latency_window.len() + c.queue.len(),
                     }
-                })
-                .collect();
-            let held: u32 = views.iter().map(|v| v.units).sum();
-            let fair_share = (w.cluster.staging_nodes as u64 * tn.wl.weight as u64
-                / total_weight.max(1)) as u32;
-            tenants.push(TenantPolicyView {
-                tenant: i as u32,
-                sla: tn.wl.sla,
-                fair_share,
-                held,
-                views,
-            });
+                }));
+                let held: u32 = views.iter().map(|v| v.units).sum();
+                let fair_share = (w.cluster.staging_nodes as u64 * tn.wl.weight as u64
+                    / total_weight.max(1)) as u32;
+                scratch.tenants.push(TenantPolicyView {
+                    tenant: i as u32,
+                    sla: tn.wl.sla,
+                    fair_share,
+                    held,
+                    views,
+                });
+            }
         }
-        decide_cluster(&w.cluster.policy, &tenants, &queued, w.staging.spare())
+        let decision =
+            decide_cluster(&w.cluster.policy, &scratch.tenants, &scratch.queued, w.staging.spare());
+        scratch.queued.clear();
+        for mut tv in scratch.tenants.drain(..) {
+            tv.views.clear();
+            scratch.view_pool.push(tv.views);
+        }
+        w.scratch = scratch;
+        decision
     };
 
     match decision {

@@ -326,19 +326,25 @@ pub fn decide_cluster(
         }
     }
 
-    // Which tenants are violating with a real deficit?
-    let candidates: Vec<usize> = tenants
-        .iter()
-        .enumerate()
-        .filter(|(_, tv)| tenant_candidate(cfg, tv).is_some())
-        .map(|(i, _)| i)
-        .collect();
-    let Some(&pick) = candidates.iter().min_by_key(|&&i| {
-        // Serve the tenant furthest under its fair share first; the
-        // fixed-point ratio keeps the ordering integer-deterministic.
-        let tv = &tenants[i];
-        ((tv.held as u128 * 1_000_000) / tv.fair_share.max(1) as u128, i)
-    }) else {
+    // Which tenants are violating with a real deficit? A single pass
+    // tracks the count and the minimum, so the hot policy tick allocates
+    // nothing. Serve the tenant furthest under its fair share first; the
+    // fixed-point ratio keeps the ordering integer-deterministic, and the
+    // strict `<` keeps the lowest index on ties (matching the old
+    // `min_by_key` over `(ratio, i)`).
+    let mut n_candidates = 0usize;
+    let mut picked: Option<(u128, usize)> = None;
+    for (i, tv) in tenants.iter().enumerate() {
+        if tenant_candidate(cfg, tv).is_none() {
+            continue;
+        }
+        n_candidates += 1;
+        let ratio = (tv.held as u128 * 1_000_000) / tv.fair_share.max(1) as u128;
+        if picked.is_none_or(|(best, _)| ratio < best) {
+            picked = Some((ratio, i));
+        }
+    }
+    let Some((_, pick)) = picked else {
         return ClusterDecision::None;
     };
 
@@ -347,7 +353,7 @@ pub fn decide_cluster(
     // the nodes inside its own allocation (or another tenant's surplus);
     // uncontested, spares flow freely — which is also the single-tenant
     // legacy behaviour.
-    let spare_cap = if candidates.len() > 1 {
+    let spare_cap = if n_candidates > 1 {
         spare.min(tv.fair_share.saturating_sub(tv.held))
     } else {
         spare

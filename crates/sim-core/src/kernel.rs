@@ -10,18 +10,16 @@
 //! read the clock, draw randomness, and schedule follow-up events.
 
 use std::cell::RefCell;
-use std::cmp::Ordering;
-// BTreeSet (not HashSet) for the cancellation set: the kernel itself must be
-// free of unordered collections so no future change can leak iteration order
-// into scheduling.
-use std::collections::{BTreeSet, BinaryHeap};
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{mix64, Trace};
+
+pub use crate::queue::EventId;
 
 /// Shared, interiorly-mutable model state for single-threaded simulation.
 pub type Shared<T> = Rc<RefCell<T>>;
@@ -30,10 +28,6 @@ pub type Shared<T> = Rc<RefCell<T>>;
 pub fn shared<T>(value: T) -> Shared<T> {
     Rc::new(RefCell::new(value))
 }
-
-/// Handle for a scheduled event, usable to cancel it before it fires.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
 
 /// How the kernel orders events that share a timestamp.
 ///
@@ -73,44 +67,28 @@ type Action = Box<dyn FnOnce(&mut Sim)>;
 /// [`Sim::set_event_hook`]).
 pub type EventHook = Box<dyn FnMut(SimTime, &'static str)>;
 
-struct Entry {
-    at: SimTime,
-    /// Intra-timestamp ordering key, computed from the insertion number by
-    /// the active [`TieBreak`] at push time.
-    ord_key: u64,
+/// Queue payload: everything the kernel needs when an event fires.
+struct Ev {
+    /// Global insertion number, recorded in traces.
     seq: u64,
-    id: EventId,
     label: &'static str,
     action: Action,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.ord_key == other.ord_key
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, key) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.ord_key).cmp(&(self.at, self.ord_key))
-    }
 }
 
 /// Label attached to events scheduled through the unlabeled API.
 pub const DEFAULT_EVENT_LABEL: &str = "event";
 
 /// A deterministic discrete-event simulator.
+///
+/// Events live in an index-mapped four-ary heap over a slab arena (see
+/// [`crate::queue`] and DESIGN.md §12): slot reuse is O(1),
+/// [`cancel`](Sim::cancel)/[`reschedule_at`](Sim::reschedule_at) are true
+/// O(log n) removals, and same-timestamp runs are drained in one batched
+/// pass before dispatch.
 pub struct Sim {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Entry>,
-    cancelled: BTreeSet<EventId>,
+    queue: EventQueue<Ev>,
     rng: StdRng,
     executed: u64,
     tie_break: TieBreak,
@@ -132,8 +110,7 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             executed: 0,
             tie_break,
@@ -192,9 +169,19 @@ impl Sim {
         self.executed
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of events currently pending.
+    ///
+    /// Exact: cancelled events leave the queue immediately, so they are
+    /// never counted. (Before the indexed queue this included cancelled
+    /// tombstones that had not yet reached the head of the heap.)
     pub fn events_pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Whether `id` refers to an event that is still scheduled (not yet
+    /// fired and not cancelled).
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.queue.contains(id)
     }
 
     /// The kernel's deterministic random-number generator.
@@ -232,15 +219,9 @@ impl Sim {
         action: impl FnOnce(&mut Sim) + 'static,
     ) -> EventId {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        let id = EventId(self.seq);
-        self.queue.push(Entry {
-            at,
-            ord_key: self.tie_break.ord_key(self.seq),
-            seq: self.seq,
-            id,
-            label,
-            action: Box::new(action),
-        });
+        let key = self.tie_break.ord_key(self.seq);
+        let id =
+            self.queue.insert(at, key, Ev { seq: self.seq, label, action: Box::new(action) });
         self.seq += 1;
         id
     }
@@ -255,33 +236,59 @@ impl Sim {
         self.schedule_at_named(label, self.now + delay, action)
     }
 
-    /// Cancels a pending event. Has no effect if the event already fired.
-    pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+    /// Cancels a pending event, removing it from the queue immediately.
+    /// Returns `true` if the event was still pending; `false` (and does
+    /// nothing) if it already fired, was cancelled, or never existed.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Moves a pending event to absolute time `at`, keeping its
+    /// [`EventId`] valid. The event is re-ranked as if it had been freshly
+    /// scheduled: it receives a new insertion number, so under FIFO
+    /// tie-breaking it fires after events already scheduled at `at`.
+    /// Returns `false` (and does nothing) for events that already fired
+    /// or were cancelled.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn reschedule_at(&mut self, id: EventId, at: SimTime) -> bool {
+        assert!(at >= self.now, "cannot reschedule into the past: {at} < {}", self.now);
+        let key = self.tie_break.ord_key(self.seq);
+        let seq = self.seq;
+        match self.queue.reschedule(id, at, key) {
+            Some(ev) => {
+                ev.seq = seq;
+                self.seq += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Moves a pending event to `delay` after the current time (see
+    /// [`reschedule_at`](Sim::reschedule_at)).
+    pub fn reschedule_in(&mut self, id: EventId, delay: SimDuration) -> bool {
+        self.reschedule_at(id, self.now + delay)
     }
 
     /// Executes the next pending event, advancing the clock to its timestamp.
     ///
     /// Returns the time of the executed event, or `None` if the queue was
-    /// empty (cancelled events are skipped silently).
+    /// empty.
     pub fn step(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue;
-            }
-            debug_assert!(entry.at >= self.now);
-            self.now = entry.at;
-            self.executed += 1;
-            if let Some(trace) = &mut self.trace {
-                trace.record(entry.at, entry.label, entry.seq);
-            }
-            if let Some(hook) = &mut self.event_hook {
-                hook(entry.at, entry.label);
-            }
-            (entry.action)(self);
-            return Some(entry.at);
+        let (at, ev) = self.queue.pop()?;
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.executed += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.record(at, ev.label, ev.seq);
         }
-        None
+        if let Some(hook) = &mut self.event_hook {
+            hook(at, ev.label);
+        }
+        (ev.action)(self);
+        Some(at)
     }
 
     /// Runs until the event queue drains. Returns the final time.
@@ -295,8 +302,8 @@ impl Sim {
     /// at the later of its current value and `horizon` only if an event
     /// actually advanced it; otherwise it stays at the last executed event.
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
-        while let Some(entry) = self.queue.peek() {
-            if entry.at > horizon {
+        while let Some(at) = self.queue.peek() {
+            if at > horizon {
                 break;
             }
             self.step();
@@ -310,18 +317,9 @@ impl Sim {
         self.run_until(horizon)
     }
 
-    /// The timestamp of the next pending (non-cancelled) event, if any.
+    /// The timestamp of the next pending event, if any.
     pub fn peek_next(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.queue.peek() {
-            if self.cancelled.contains(&entry.id) {
-                // simlint: allow(panic-path, pop directly follows a successful peek of the same queue)
-                let entry = self.queue.pop().expect("peeked entry vanished");
-                self.cancelled.remove(&entry.id);
-                continue;
-            }
-            return Some(entry.at);
-        }
-        None
+        self.queue.peek()
     }
 }
 
@@ -332,6 +330,102 @@ impl std::fmt::Debug for Sim {
             .field("pending", &self.queue.len())
             .field("executed", &self.executed)
             .finish()
+    }
+}
+
+/// The pre-indexed-queue implementation — a `BinaryHeap` of full entries
+/// plus a tombstone set consulted on every pop — kept as the reference
+/// model for the equivalence proptest below. Cancellation here is lazy
+/// (tombstones), and "reschedule" is modelled the only way the old kernel
+/// could express it: tombstone the old incarnation, push a new one.
+#[cfg(test)]
+mod reference {
+    use std::cmp::Ordering;
+    use std::collections::{BTreeSet, BinaryHeap};
+
+    use crate::time::SimTime;
+
+    struct RefEntry {
+        at: SimTime,
+        ord_key: u64,
+        /// Unique per incarnation (a rescheduled event gets a fresh
+        /// token), so tombstones never outlive their target.
+        token: u64,
+        value: u32,
+    }
+
+    impl PartialEq for RefEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.ord_key == other.ord_key
+        }
+    }
+    impl Eq for RefEntry {}
+    impl PartialOrd for RefEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for RefEntry {
+        // Max-heap; invert so the earliest (time, key) pops first.
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.ord_key).cmp(&(self.at, self.ord_key))
+        }
+    }
+
+    #[derive(Default)]
+    pub struct RefQueue {
+        heap: BinaryHeap<RefEntry>,
+        cancelled: BTreeSet<u64>,
+        next_token: u64,
+        live: usize,
+    }
+
+    impl RefQueue {
+        pub fn insert(&mut self, at: SimTime, ord_key: u64, value: u32) -> u64 {
+            let token = self.next_token;
+            self.next_token += 1;
+            self.heap.push(RefEntry { at, ord_key, token, value });
+            self.live += 1;
+            token
+        }
+
+        /// Tombstones `token`; returns whether it was live.
+        pub fn cancel(&mut self, token: u64) -> bool {
+            if token >= self.next_token || self.cancelled.contains(&token) {
+                return false;
+            }
+            let was_live = self.heap.iter().any(|e| e.token == token);
+            if was_live {
+                self.cancelled.insert(token);
+                self.live -= 1;
+            }
+            was_live
+        }
+
+        /// Old-kernel reschedule: tombstone + re-push. Returns the new
+        /// token, or `None` if `token` was no longer live.
+        pub fn reschedule(&mut self, token: u64, at: SimTime, ord_key: u64) -> Option<u64> {
+            let value = self.heap.iter().find(|e| e.token == token)?.value;
+            if !self.cancel(token) {
+                return None;
+            }
+            Some(self.insert(at, ord_key, value))
+        }
+
+        pub fn len(&self) -> usize {
+            self.live
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, u32)> {
+            while let Some(entry) = self.heap.pop() {
+                if self.cancelled.remove(&entry.token) {
+                    continue;
+                }
+                self.live -= 1;
+                return Some((entry.at, entry.value));
+            }
+            None
+        }
     }
 }
 
@@ -579,5 +673,247 @@ mod tests {
             ],
             "hook sees executed events only, cancelled ones never fire"
         );
+    }
+
+    #[test]
+    fn events_pending_is_exact_under_cancellation() {
+        let mut sim = Sim::new(0);
+        let ids: Vec<EventId> =
+            (1..=10u64).map(|t| sim.schedule_at(SimTime::from_secs(t), |_| {})).collect();
+        assert_eq!(sim.events_pending(), 10);
+        for id in ids.iter().take(4) {
+            assert!(sim.cancel(*id));
+        }
+        // Cancelled events leave immediately — no tombstones counted.
+        assert_eq!(sim.events_pending(), 6);
+        assert!(!sim.cancel(ids[0]), "double cancel reports not-pending");
+        assert_eq!(sim.events_pending(), 6);
+        sim.run();
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_executed(), 6);
+    }
+
+    #[test]
+    fn cancel_then_reschedule_same_event_id() {
+        let mut sim = Sim::new(0);
+        let fired = shared(Vec::new());
+        let f = fired.clone();
+        let id = sim.schedule_at(SimTime::from_secs(1), move |sim| {
+            f.borrow_mut().push(sim.now());
+        });
+        // Reschedule moves the event; its handle stays valid.
+        assert!(sim.reschedule_at(id, SimTime::from_secs(3)));
+        assert!(sim.is_pending(id));
+        // Cancel after reschedule kills the (moved) event for good...
+        assert!(sim.cancel(id));
+        assert!(!sim.is_pending(id));
+        // ...after which the handle is stale for both operations.
+        assert!(!sim.reschedule_at(id, SimTime::from_secs(5)));
+        assert!(!sim.cancel(id));
+        sim.run();
+        assert!(fired.borrow().is_empty());
+        assert_eq!(sim.events_executed(), 0);
+    }
+
+    #[test]
+    fn reschedule_takes_a_fresh_slot_in_fifo_order() {
+        let mut sim = Sim::new(0);
+        let log = shared(Vec::new());
+        let mut ids = Vec::new();
+        for i in 0..3u32 {
+            let log = log.clone();
+            ids.push(sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(i)));
+        }
+        // Move event 0 to the same timestamp: it re-enters FIFO order at
+        // the back, exactly as if it had been cancelled and re-scheduled.
+        assert!(sim.reschedule_at(ids[0], SimTime::from_secs(1)));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cancelling_the_head_promotes_the_next_event() {
+        let mut sim = Sim::new(0);
+        let log = shared(Vec::new());
+        let mut ids = Vec::new();
+        for t in 1..=3u64 {
+            let log = log.clone();
+            ids.push(sim.schedule_at(SimTime::from_secs(t), move |_| log.borrow_mut().push(t)));
+        }
+        assert!(sim.cancel(ids[0]));
+        assert_eq!(sim.peek_next(), Some(SimTime::from_secs(2)));
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn same_time_cancellation_between_batched_events() {
+        // Event A (t=1) cancels event B (also t=1) after the batch drain
+        // has already pulled both out of the heap: B must not fire.
+        let mut sim = Sim::new(0);
+        let fired = shared(false);
+        let f = fired.clone();
+        let victim = shared(None);
+        let v = victim.clone();
+        sim.schedule_at(SimTime::from_secs(1), move |sim| {
+            if let Some(id) = *v.borrow() {
+                assert!(sim.cancel(id));
+            }
+        });
+        let id = sim.schedule_at(SimTime::from_secs(1), move |_| *f.borrow_mut() = true);
+        *victim.borrow_mut() = Some(id);
+        sim.run();
+        assert!(!*fired.borrow());
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn mass_same_timestamp_ties_under_both_directed_tie_breaks() {
+        for (tb, expect) in [
+            (TieBreak::Fifo, (0..1000).collect::<Vec<u32>>()),
+            (TieBreak::Lifo, (0..1000).rev().collect::<Vec<u32>>()),
+        ] {
+            let mut sim = Sim::with_tie_break(0, tb);
+            let log = shared(Vec::new());
+            for i in 0..1000u32 {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_secs(7), move |_| log.borrow_mut().push(i));
+            }
+            sim.run();
+            assert_eq!(*log.borrow(), expect, "mass tie order wrong under {tb:?}");
+        }
+    }
+
+    #[test]
+    fn empty_queue_run_until_is_a_noop() {
+        let mut sim = Sim::new(0);
+        assert_eq!(sim.run_until(SimTime::from_secs(100)), SimTime::ZERO);
+        assert_eq!(sim.events_executed(), 0);
+        assert_eq!(sim.peek_next(), None);
+        // And an emptied queue behaves the same way.
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+        sim.run();
+        assert_eq!(sim.run_until(SimTime::from_secs(100)), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn lifo_interloper_scheduled_mid_batch_fires_first() {
+        // Under LIFO, an event scheduled while its same-timestamp batch is
+        // being dispatched outranks the rest of the batch. The batched
+        // drain must hand it out first (the merge check in queue::pop).
+        let mut sim = Sim::with_tie_break(0, TieBreak::Lifo);
+        let log = shared(Vec::new());
+        for i in 0..3u32 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(1), move |sim| {
+                log.borrow_mut().push(i);
+                if i == 2 {
+                    // First to fire under LIFO; schedules an interloper.
+                    let log = log.clone();
+                    sim.schedule_at(SimTime::from_secs(1), move |_| log.borrow_mut().push(99));
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![2, 99, 1, 0]);
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    //! The reference-model gate: random schedule/cancel/reschedule/pop
+    //! sequences must pop in bit-identical order from the old
+    //! `BinaryHeap`+tombstone queue and the new indexed queue, under
+    //! every tie-break mode.
+
+    use proptest::prelude::*;
+
+    use super::reference::RefQueue;
+    use super::TieBreak;
+    use crate::queue::EventQueue;
+    use crate::time::SimTime;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn indexed_queue_matches_the_old_heap(
+            ops in proptest::collection::vec((0u8..8, any::<u64>(), 0u64..64), 1..200),
+            tb_sel in 0u8..4
+        ) {
+            let tie = match tb_sel {
+                0 => TieBreak::Fifo,
+                1 => TieBreak::Lifo,
+                s => TieBreak::Salted(0xC0FFEE ^ s as u64),
+            };
+            let mut new_q: EventQueue<u32> = EventQueue::new();
+            let mut old_q = RefQueue::default();
+            // Live handle pairs: (new-queue id, old-queue token).
+            let mut handles: Vec<(crate::queue::EventId, u64)> = Vec::new();
+            let mut now = SimTime::ZERO;
+            let mut seq = 0u64;
+            let mut next_value = 0u32;
+
+            for (kind, a, delta) in ops {
+                match kind {
+                    // Schedule (weighted x3): a small delta range forces
+                    // plenty of same-timestamp ties.
+                    0..=2 => {
+                        let at = now + crate::time::SimDuration::from_nanos(delta);
+                        let key = tie.ord_key(seq);
+                        seq += 1;
+                        let id = new_q.insert(at, key, next_value);
+                        let token = old_q.insert(at, key, next_value);
+                        handles.push((id, token));
+                        next_value += 1;
+                    }
+                    3 => {
+                        if handles.is_empty() {
+                            continue;
+                        }
+                        let (id, token) = handles[a as usize % handles.len()];
+                        let cancelled_new = new_q.cancel(id);
+                        let cancelled_old = old_q.cancel(token);
+                        prop_assert_eq!(cancelled_new, cancelled_old, "cancel liveness diverged");
+                    }
+                    4 => {
+                        if handles.is_empty() {
+                            continue;
+                        }
+                        let ix = a as usize % handles.len();
+                        let (id, token) = handles[ix];
+                        let at = now + crate::time::SimDuration::from_nanos(delta);
+                        let key = tie.ord_key(seq);
+                        let moved_new = new_q.reschedule(id, at, key).is_some();
+                        let moved_old = old_q.reschedule(token, at, key);
+                        prop_assert_eq!(moved_new, moved_old.is_some(), "reschedule liveness diverged");
+                        if let Some(new_token) = moved_old {
+                            seq += 1;
+                            handles[ix] = (id, new_token);
+                        }
+                    }
+                    // Pop (weighted x3).
+                    _ => {
+                        let popped_new = new_q.pop();
+                        let popped_old = old_q.pop();
+                        prop_assert_eq!(popped_new, popped_old, "pop order diverged");
+                        if let Some((at, _)) = popped_new {
+                            now = at;
+                        }
+                    }
+                }
+                prop_assert_eq!(new_q.len(), old_q.len(), "pending counts diverged");
+            }
+            // Drain both to the end: the full remaining schedule must agree.
+            loop {
+                let popped_new = new_q.pop();
+                let popped_old = old_q.pop();
+                prop_assert_eq!(popped_new, popped_old, "drain order diverged");
+                if popped_new.is_none() {
+                    break;
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod kernel;
+mod queue;
 pub mod stats;
 mod time;
 mod trace;

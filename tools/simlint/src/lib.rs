@@ -586,6 +586,35 @@ mod tests {
     }
 
     #[test]
+    fn indexed_event_queue_keeps_every_determinism_rule_on() {
+        // The event-kernel speed campaign rewrote the queue for
+        // throughput; this pin guarantees the hot path did not buy its
+        // speed by slipping out of lint scope. Every determinism rule and
+        // the panic-path rule must stay on for queue.rs, exactly like the
+        // kernel that drives it.
+        let rs = ruleset_for(Path::new("crates/sim-core/src/queue.rs")).unwrap();
+        assert!(rs.wall_clock && rs.adhoc_rng && rs.unordered_iter && rs.thread_spawn);
+        assert!(rs.order_taint);
+        assert!(rs.panic_path, "queue sifts/indexing must surface errors, not panic");
+        assert!(!rs.width_math, "time ranks are plain u64s, not byte-bandwidth math");
+    }
+
+    #[test]
+    fn fns_after_a_restricted_visibility_struct_stay_visible_to_panic_path() {
+        // queue.rs opens with `pub(crate) struct EventQueue<T> { … }`; a
+        // parser regression once swallowed every item after such a struct
+        // into one token run, leaving per-fn rules (panic-path, width-math,
+        // order-taint) blind to the whole hot path while token-linear
+        // rules still fired. Pin the shape end-to-end.
+        let src = "pub(crate) struct Q<T> {\n    slots: Vec<T>,\n}\n\
+                   impl<T> Q<T> {\n    fn pop_front(&mut self) -> u32 { self.slots.first().unwrap() }\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "unwrap inside the impl must be seen: {f:?}");
+        assert_eq!(f[0].rule, Rule::PanicPath);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
     fn vendor_and_tools_are_out_of_scope() {
         assert!(ruleset_for(Path::new("vendor/rand/src/lib.rs")).is_none());
         assert!(ruleset_for(Path::new("tools/simlint/src/lib.rs")).is_none());

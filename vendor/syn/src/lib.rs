@@ -467,4 +467,21 @@ mod tests {
         let body = func.body.as_ref().unwrap();
         assert!(body.stream.iter().any(|t| t.ident() == Some("type")));
     }
+
+    #[test]
+    fn restricted_visibility_struct_terminates_at_its_brace() {
+        // `pub(crate) struct … { … }` must end at its body brace like any
+        // other struct — not scan ahead for a `;` and swallow the items
+        // that follow (which would hide their fns from per-fn analyses).
+        let src = "pub(crate) struct Q<T> {\n    slots: Vec<T>,\n}\n\
+                   impl<T> Q<T> {\n    pub(crate) fn new() -> Q<T> { Q { slots: Vec::new() } }\n}\n";
+        let f = parse(src);
+        assert_eq!(f.items.len(), 2);
+        let Item::Other(_, toks) = &f.items[0] else { panic!("struct as Other") };
+        assert!(toks.iter().any(|t| t.ident() == Some("struct")));
+        let Item::Impl(im) = &f.items[1] else { panic!("impl item") };
+        let Item::Fn(new) = &im.items[0] else { panic!("fn") };
+        assert_eq!(new.ident.text, "new");
+        assert!(new.body.is_some());
+    }
 }

@@ -266,7 +266,19 @@ impl Parser {
             let mut decided = false;
             while let Some(name) = self.peek_ident(j) {
                 match name {
-                    "pub" | "default" | "unsafe" | "async" => j += 1,
+                    "pub" => {
+                        j += 1;
+                        // Restricted visibility: `pub(crate)` / `pub(super)`
+                        // / `pub(in …)` carries a parenthesis group.
+                        if self
+                            .peek(j)
+                            .and_then(TokenTree::group)
+                            .is_some_and(|g| g.delimiter == Delimiter::Parenthesis)
+                        {
+                            j += 1;
+                        }
+                    }
+                    "default" | "unsafe" | "async" => j += 1,
                     "struct" | "enum" | "union" | "extern" | "macro_rules" | "macro" => {
                         decided = true;
                         break;
