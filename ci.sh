@@ -22,10 +22,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== public-API snapshot: iocontainers facade vs committed baseline =="
 cargo xtask api
 
-echo "== simlint static pass (all rules, plus JSON artifact) =="
-cargo xtask lint
+echo "== simlint v3 static pass (call-graph stats, baseline gate, JSON artifact) =="
+cargo xtask lint --stats
 mkdir -p target/ci
-cargo xtask lint --format json > target/ci/simlint-findings.json
+# Gate on the committed (empty) baseline: any unescaped finding is new
+# and fails the build. Regenerate with `cargo xtask lint --write-baseline
+# SIMLINT_BASELINE.json` and commit the file when the surface moves.
+cargo xtask lint --format json --baseline SIMLINT_BASELINE.json > target/ci/simlint-findings.json
 echo "simlint: artifact at target/ci/simlint-findings.json"
 
 echo "== loom model check: datatap channel pause/resume protocol =="
@@ -33,11 +36,11 @@ echo "== loom model check: datatap channel pause/resume protocol =="
 # preemption search — failures are real, passes are probabilistic).
 RUSTFLAGS="--cfg loom" cargo test -q -p datatap --test loom_channel
 
-echo "== miri: sim-core + simpar (undefined-behaviour pass) =="
+echo "== miri: sim-core + simpar + datatap (undefined-behaviour pass) =="
 if [[ "${CI_SKIP_MIRI:-0}" == "1" ]]; then
     echo "miri: skipped (CI_SKIP_MIRI=1)"
 elif cargo +nightly miri --version >/dev/null 2>&1; then
-    cargo +nightly miri test -q -p sim-core -p simpar
+    cargo +nightly miri test -q -p sim-core -p simpar -p datatap
 else
     # Offline containers cannot `rustup component add miri`; the step
     # degrades to a loud skip rather than failing the gate.

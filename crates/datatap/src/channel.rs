@@ -25,8 +25,9 @@ use simtel::{Category, Telemetry};
 use crate::clock::{to_sim, Clock, WallClock};
 use crate::sync::{Condvar, Mutex};
 
-/// Metadata announcing one buffered output step.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Metadata announcing one buffered output step. Three plain words —
+/// `Copy`, so the per-message paths hand it around without cloning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StepMeta {
     /// Output-step index.
     pub step: u64,
@@ -227,7 +228,7 @@ impl Writer {
 
     fn push(&self, st: &mut State, payload: StepData) -> StepMeta {
         let meta = StepMeta { step: payload.step(), bytes: payload.payload_bytes(), writer: self.id };
-        st.queue.push_back(Envelope { meta: meta.clone(), payload });
+        st.queue.push_back(Envelope { meta, payload });
         st.high_watermark = st.high_watermark.max(st.queue.len());
         self.inner.telemetry.count(Category::Transport, "datatap.announced", 1);
         self.inner.gauge_queued(st.queue.len());
@@ -316,7 +317,7 @@ pub struct Reader {
 impl Reader {
     /// Peeks the metadata of the next buffered step without pulling it.
     pub fn peek_meta(&self) -> Option<StepMeta> {
-        self.inner.state.lock().queue.front().map(|e| e.meta.clone())
+        self.inner.state.lock().queue.front().map(|e| e.meta)
     }
 
     /// Pulls the next step, blocking until one is available. Returns `None`

@@ -160,30 +160,51 @@ struct Worker {
     rx: Receiver<Msg>,
     stones: BTreeMap<StoneId, Action>,
     telemetry: Telemetry,
-    /// Counter-name prefix (`evpath.<name>`), cached so the hot dispatch
-    /// loop formats at most one stone suffix per visit.
+    /// Counter-name prefix (`evpath.<name>`), kept for per-stone names.
     prefix: String,
+    /// Precomputed `<prefix>.delivered` counter name.
+    delivered_key: String,
+    /// Precomputed `<prefix>.dropped` counter name.
+    dropped_key: String,
+    /// Per-stone counter names, allocated on a stone's first delivery
+    /// and reused for every one after.
+    stone_keys: BTreeMap<StoneId, String>,
+    /// Recycled dispatch worklist — drained empty by every dispatch, so
+    /// steady-state delivery never reallocates it.
+    work: Vec<(StoneId, Event)>,
 }
 
 impl Worker {
     fn new(rx: Receiver<Msg>, name: String, telemetry: Telemetry) -> Worker {
-        Worker { rx, stones: BTreeMap::new(), telemetry, prefix: format!("evpath.{name}") }
+        let prefix = format!("evpath.{name}");
+        Worker {
+            rx,
+            stones: BTreeMap::new(),
+            telemetry,
+            delivered_key: format!("{prefix}.delivered"),
+            dropped_key: format!("{prefix}.dropped"),
+            stone_keys: BTreeMap::new(),
+            work: Vec::new(),
+            prefix,
+        }
     }
 
-    fn note_delivered(&self, id: StoneId) {
+    fn note_delivered(&mut self, id: StoneId) {
         if self.telemetry.enabled(Category::Overlay) {
-            self.telemetry.count(Category::Overlay, &format!("{}.delivered", self.prefix), 1);
-            self.telemetry.count(
-                Category::Overlay,
-                &format!("{}.stone.{}", self.prefix, id.0),
-                1,
-            );
+            self.telemetry.count(Category::Overlay, &self.delivered_key, 1);
+            // Split-borrow so the cached name can be lent to the recorder.
+            let Worker { stone_keys, telemetry, prefix, .. } = self;
+            let key = stone_keys.entry(id).or_insert_with(|| {
+                // simlint: allow(alloc-in-hot-path, first delivery to this stone; every later delivery reuses the cached counter name)
+                format!("{prefix}.stone.{}", id.0)
+            });
+            telemetry.count(Category::Overlay, key, 1);
         }
     }
 
     fn note_dropped(&self) {
         if self.telemetry.enabled(Category::Overlay) {
-            self.telemetry.count(Category::Overlay, &format!("{}.dropped", self.prefix), 1);
+            self.telemetry.count(Category::Overlay, &self.dropped_key, 1);
         }
     }
 
@@ -210,7 +231,8 @@ impl Worker {
     /// Dispatches an event through the local graph iteratively (a worklist
     /// rather than recursion, so deep pipelines cannot overflow the stack).
     fn dispatch(&mut self, stone: StoneId, event: Event) {
-        let mut work = vec![(stone, event)];
+        let mut work = std::mem::take(&mut self.work);
+        work.push((stone, event));
         while let Some((id, ev)) = work.pop() {
             if !self.stones.contains_key(&id) {
                 self.note_dropped();
@@ -232,6 +254,7 @@ impl Worker {
                 }
                 Action::Split { targets } => {
                     for &t in targets.iter() {
+                        // simlint: allow(alloc-in-hot-path, an Event clone is an Arc refcount bump; the payload is shared, not copied)
                         work.push((t, ev.clone()));
                     }
                 }
@@ -251,6 +274,8 @@ impl Worker {
                 }
             }
         }
+        // Hand the drained buffer back so the next dispatch reuses it.
+        self.work = work;
     }
 }
 

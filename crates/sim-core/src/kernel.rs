@@ -220,8 +220,9 @@ impl Sim {
     ) -> EventId {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
         let key = self.tie_break.ord_key(self.seq);
-        let id =
-            self.queue.insert(at, key, Ev { seq: self.seq, label, action: Box::new(action) });
+        // simlint: allow(alloc-in-hot-path, the queue stores heterogeneous closures; one Box per scheduled event is the type-erasure boundary)
+        let ev = Ev { seq: self.seq, label, action: Box::new(action) };
+        let id = self.queue.insert(at, key, ev);
         self.seq += 1;
         id
     }

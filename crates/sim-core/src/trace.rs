@@ -46,6 +46,7 @@ pub struct TraceBucket {
 
 impl TraceBucket {
     fn new(at: SimTime) -> TraceBucket {
+        // simlint: allow(alloc-in-hot-path, empty Vec::new is alloc-free; the buffers grow amortized per distinct timestamp, not per event)
         TraceBucket { at, hash: 0, labels: Vec::new(), seqs: Vec::new() }
     }
 

@@ -236,6 +236,17 @@ pub struct Network {
     down: std::collections::BTreeSet<NodeId>,
     degraded: BTreeMap<NodeId, Degradation>,
     loss: Option<Box<dyn FnMut() -> bool>>,
+    /// Cached per-NIC telemetry track names (`nicN.tx`, `nicN.rx`),
+    /// allocated on a node's first transfer and reused thereafter.
+    nic_tracks: BTreeMap<NodeId, (String, String)>,
+    /// Cached drop-marker labels, keyed by (drop kind, node).
+    drop_marks: BTreeMap<(&'static str, NodeId), String>,
+}
+
+/// A node's cached `(tx, rx)` telemetry track names.
+fn track_pair(n: NodeId) -> (String, String) {
+    // simlint: allow(alloc-in-hot-path, first touch of a NIC's track names; every later transfer reuses the cached pair)
+    (format!("nic{}.tx", n.0), format!("nic{}.rx", n.0))
 }
 
 /// Shared handle to a [`Network`].
@@ -276,6 +287,8 @@ impl Network {
             down: std::collections::BTreeSet::new(),
             degraded: BTreeMap::new(),
             loss: None,
+            nic_tracks: BTreeMap::new(),
+            drop_marks: BTreeMap::new(),
         }))
     }
 
@@ -388,11 +401,16 @@ impl Network {
         slowed + payload_time(bytes, bw)
     }
 
-    fn note_drop(&mut self, label: &str, node: NodeId, at: SimTime) {
+    fn note_drop(&mut self, label: &'static str, node: NodeId, at: SimTime) {
         self.stats.dropped += 1;
         if self.telemetry.enabled(Category::Net) {
             self.telemetry.count(Category::Net, "net.dropped", 1);
-            self.telemetry.mark(Category::Net, "net", &format!("{label} n{}", node.0), at);
+            let Network { drop_marks, telemetry, .. } = self;
+            let mark = drop_marks.entry((label, node)).or_insert_with(|| {
+                // simlint: allow(alloc-in-hot-path, first drop of this kind at this node; later drops reuse the cached marker label)
+                format!("{label} n{}", node.0)
+            });
+            telemetry.mark(Category::Net, "net", mark, at);
         }
     }
 
@@ -450,15 +468,19 @@ impl Network {
             n.stats.messages += 1;
             n.stats.bytes += bytes;
             if n.telemetry.enabled(Category::Net) {
-                let track = format!("nic{}.tx", src.0);
-                n.telemetry.span(Category::Net, &track, "xfer", start, finish);
-                let track = format!("nic{}.rx", dst.0);
-                n.telemetry.span(Category::Net, &track, "xfer", start, finish);
-                n.telemetry.count(Category::Net, "net.messages", 1);
-                n.telemetry.count(Category::Net, "net.bytes", bytes);
+                // Split-borrow the fields so the cached track names can be
+                // lent to the telemetry recorder without re-borrowing `n`.
+                let Network { nic_tracks, telemetry, .. } = &mut *n;
+                let (tx_track, _) = &*nic_tracks.entry(src).or_insert_with(|| track_pair(src));
+                telemetry.span(Category::Net, tx_track, "xfer", start, finish);
+                let (_, rx_track) = &*nic_tracks.entry(dst).or_insert_with(|| track_pair(dst));
+                telemetry.span(Category::Net, rx_track, "xfer", start, finish);
+                telemetry.count(Category::Net, "net.messages", 1);
+                telemetry.count(Category::Net, "net.bytes", bytes);
             }
             finish
         };
+        // simlint: allow(alloc-in-hot-path, Shared handle clone is a refcount bump; the delivery closure needs its own handle)
         let net2 = net.clone();
         sim.schedule_at_named("net.deliver", finish, move |sim| {
             // Node-down set consulted on delivery: a message in flight to a

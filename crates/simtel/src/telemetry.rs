@@ -134,6 +134,7 @@ impl Telemetry {
     pub fn span(&self, category: Category, track: &str, name: &str, start: SimTime, end: SimTime) {
         debug_assert!(start <= end, "span ends before it starts: {start} > {end}");
         self.with_state(category, |s| {
+            // simlint: allow(alloc-in-hot-path, the recorder owns its samples — every span keeps its own track/name strings by design)
             s.spans.push(Span { track: track.to_string(), name: name.to_string(), start, end });
         });
     }
@@ -141,6 +142,7 @@ impl Telemetry {
     /// Records an instant event named `name` on `track` at `at`.
     pub fn mark(&self, category: Category, track: &str, name: &str, at: SimTime) {
         self.with_state(category, |s| {
+            // simlint: allow(alloc-in-hot-path, the recorder owns its samples — every marker keeps its own track/name strings by design)
             s.markers.push(Marker { track: track.to_string(), name: name.to_string(), at });
         });
     }
@@ -148,14 +150,24 @@ impl Telemetry {
     /// Adds `delta` to the monotonic counter `name`.
     pub fn count(&self, category: Category, name: &str, delta: u64) {
         self.with_state(category, |s| {
-            *s.counters.entry(name.to_string()).or_insert(0) += delta;
+            if let Some(c) = s.counters.get_mut(name) {
+                *c += delta;
+                return;
+            }
+            // simlint: allow(alloc-in-hot-path, first touch of a counter name; every later hit takes the get_mut fast path above)
+            s.counters.insert(name.to_string(), delta);
         });
     }
 
     /// Appends `(at, value)` to the gauge time series `name`.
     pub fn gauge(&self, category: Category, name: &str, at: SimTime, value: f64) {
         self.with_state(category, |s| {
-            s.series.entry(name.to_string()).or_default().push((at, value));
+            if let Some(series) = s.series.get_mut(name) {
+                series.push((at, value));
+                return;
+            }
+            // simlint: allow(alloc-in-hot-path, first touch of a gauge name; every later sample takes the get_mut fast path above)
+            s.series.insert(name.to_string(), vec![(at, value)]);
         });
     }
 

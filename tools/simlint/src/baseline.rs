@@ -13,7 +13,7 @@ use crate::Finding;
 
 /// Renders findings as the versioned JSON artifact.
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 3,\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -78,8 +78,8 @@ pub fn parse_baseline(src: &str) -> Result<Vec<BaselineKey>, String> {
     let value = json::parse(src)?;
     let obj = value.as_object().ok_or("baseline root must be an object")?;
     if let Some(version) = obj.get("version") {
-        if version.as_f64() != Some(2.0) {
-            return Err(format!("unsupported baseline version {version:?} (want 2)"));
+        if version.as_f64() != Some(3.0) {
+            return Err(format!("unsupported baseline version {version:?} (want 3)"));
         }
     }
     let findings = obj

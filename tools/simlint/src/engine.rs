@@ -65,16 +65,20 @@ impl FileCx {
     }
 
     /// Whether `rule` is escaped at `line` (same line or the line
-    /// directly above) **with a reason**. Reasonless escapes are the old
-    /// grammar and deliberately do not suppress.
-    pub fn escaped(&self, line: usize, rule: &str) -> bool {
+    /// directly above) **with a reason** — and by which escape: the
+    /// comment's line and the rule text as written (`"all"` or the rule
+    /// name). Reasonless escapes are the old grammar and deliberately do
+    /// not suppress. The stale-escape pass uses the returned key to know
+    /// which escapes still earn their keep.
+    pub fn escaped_at(&self, line: usize, rule: &str) -> Option<(usize, String)> {
         let hit = |l: usize| {
-            self.escapes.get(&l).is_some_and(|list| {
+            self.escapes.get(&l).and_then(|list| {
                 list.iter()
-                    .any(|e| e.reason.is_some() && (e.rule == rule || e.rule == "all"))
+                    .find(|e| e.reason.is_some() && (e.rule == rule || e.rule == "all"))
+                    .map(|e| (l, e.rule.clone()))
             })
         };
-        hit(line) || (line > 1 && hit(line - 1))
+        hit(line).or_else(|| if line > 1 { hit(line - 1) } else { None })
     }
 
     /// Whether a *reasonless* escape for `rule` sits at `line` — used to

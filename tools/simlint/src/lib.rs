@@ -38,6 +38,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod baseline;
+pub mod callgraph;
 mod engine;
 mod rules;
 mod taint;
@@ -59,6 +60,12 @@ pub enum Rule {
     PanicPath,
     /// Unwidened u64 arithmetic on bytes/bandwidth/time operands.
     UncheckedWidthMath,
+    /// Heap allocation reachable from a configured hot root (v3,
+    /// interprocedural — see [`callgraph`]).
+    AllocInHotPath,
+    /// A reasoned `allow(...)` escape that no longer suppresses any
+    /// finding (v3; workspace passes only).
+    StaleEscape,
 }
 
 impl Rule {
@@ -72,7 +79,24 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::PanicPath => "panic-path",
             Rule::UncheckedWidthMath => "unchecked-width-math",
+            Rule::AllocInHotPath => "alloc-in-hot-path",
+            Rule::StaleEscape => "stale-escape",
         }
+    }
+
+    /// Every rule, for stats tables.
+    pub fn all_rules() -> &'static [Rule] {
+        &[
+            Rule::WallClock,
+            Rule::UnorderedIter,
+            Rule::OrderTaint,
+            Rule::AdhocRng,
+            Rule::ThreadSpawn,
+            Rule::PanicPath,
+            Rule::UncheckedWidthMath,
+            Rule::AllocInHotPath,
+            Rule::StaleEscape,
+        ]
     }
 }
 
@@ -93,6 +117,11 @@ pub struct RuleSet {
     pub panic_path: bool,
     /// Enforce [`Rule::UncheckedWidthMath`].
     pub width_math: bool,
+    /// Enforce [`Rule::AllocInHotPath`] (workspace passes only — needs
+    /// the call graph, so [`lint_source`] never fires it).
+    pub alloc_hot: bool,
+    /// Enforce [`Rule::StaleEscape`] (workspace passes only).
+    pub stale_escape: bool,
 }
 
 impl RuleSet {
@@ -106,11 +135,16 @@ impl RuleSet {
             thread_spawn: true,
             panic_path: true,
             width_math: true,
+            alloc_hot: true,
+            stale_escape: true,
         }
     }
 
     /// The sim-path default: the four legacy rules plus the order-taint
-    /// dataflow; panic-path and width-math are opt-in per hot path.
+    /// dataflow; panic-path and width-math are opt-in per hot path. The
+    /// interprocedural v3 rules are on everywhere — allocation is only
+    /// flagged in *hot* functions, and stale escapes are hazards in any
+    /// file.
     pub fn sim_default() -> RuleSet {
         RuleSet { panic_path: false, width_math: false, ..RuleSet::all() }
     }
@@ -298,51 +332,253 @@ fn crate_key(rel: &str) -> String {
     }
 }
 
+/// One file handed to [`lint_units`]: workspace-relative path, raw
+/// source, and its rule configuration.
+pub struct SourceUnit {
+    /// Workspace-relative path (forward slashes).
+    pub rel: String,
+    /// The file's source text.
+    pub src: String,
+    /// Which rules apply.
+    pub rules: RuleSet,
+}
+
+/// How much one reasoned escape comment earned: the number of findings
+/// it suppressed across every pass. Zero means the escape is stale (and
+/// reported, when the file's ruleset has `stale_escape` on).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EscapeUse {
+    /// File owning the escape comment.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The rule text as written inside `allow(...)` (may be `all`).
+    pub rule: String,
+    /// Findings suppressed by this escape.
+    pub consumed: usize,
+}
+
+/// Workspace-level lint statistics (`cargo xtask lint --stats`).
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Files linted.
+    pub files: usize,
+    /// Function items seen by the call graph (tests included).
+    pub functions: usize,
+    /// Resolved call-graph edges (call sites with a proven callee).
+    pub resolved_calls: usize,
+    /// Call sites left as conservative unknown-callee edges.
+    pub unknown_calls: usize,
+    /// Functions reachable from the hot-root set.
+    pub hot_functions: usize,
+    /// Post-escape finding counts per rule name.
+    pub per_rule: BTreeMap<&'static str, usize>,
+    /// Every reasoned escape with its consumption count.
+    pub escapes: Vec<EscapeUse>,
+}
+
+/// Findings plus the statistics of the run that produced them.
+pub struct Report {
+    /// All unsuppressed findings, ordered by file then span.
+    pub findings: Vec<Finding>,
+    /// The run's statistics.
+    pub stats: Stats,
+}
+
+/// Lints a set of files as one workspace: per-file rules plus the
+/// interprocedural v3 passes (call-graph reachability, alloc-in-hot-path,
+/// hot-chain context on panic/order findings, stale-escape). This is the
+/// engine behind [`lint_workspace`]; fixtures drive it directly with
+/// in-memory multi-file sets.
+pub fn lint_units(units: &[SourceUnit]) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for u in units {
+        files.push(syn::parse_file(&u.src).map_err(|e| format!("{}: {e}", u.rel))?);
+    }
+    let cxs: Vec<engine::FileCx> =
+        units.iter().zip(&files).map(|(u, f)| engine::FileCx::build(&f.items, &u.src)).collect();
+
+    // Crate-wide hash-typed names (fields declared in one file, iterated
+    // in another).
+    let mut crate_hash: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for ((u, f), cx) in units.iter().zip(&files).zip(&cxs) {
+        let flat = engine::flatten(&f.items);
+        crate_hash
+            .entry(crate_key(&u.rel))
+            .or_default()
+            .extend(taint::collect_hash_names(cx, &flat));
+    }
+
+    // The workspace call graph and the hot set: built-in roots plus any
+    // `// simlint: hot-root(...)` directives.
+    let graph_units: Vec<(usize, String, &[syn::Item])> = units
+        .iter()
+        .enumerate()
+        .zip(&files)
+        .map(|((i, u), f)| (i, crate_key(&u.rel), f.items.as_slice()))
+        .collect();
+    let graph = callgraph::build(&graph_units);
+    let mut roots: Vec<callgraph::HotRoot> = callgraph::DEFAULT_HOT_ROOTS
+        .iter()
+        .filter_map(|s| callgraph::parse_hot_root(s))
+        .collect();
+    for u in units {
+        roots.extend(callgraph::hot_root_directives(&u.src));
+    }
+    let hot = callgraph::hot_set(&graph, &roots);
+    let mut hot_by_unit: Vec<Vec<usize>> = vec![Vec::new(); units.len()];
+    for &ix in hot.keys() {
+        hot_by_unit[graph.nodes[ix].unit].push(ix);
+    }
+
+    let mut findings = Vec::new();
+    let mut stats = Stats {
+        files: units.len(),
+        functions: graph.nodes.len(),
+        resolved_calls: graph.resolved_calls,
+        unknown_calls: graph.unknown_calls,
+        hot_functions: hot.len(),
+        ..Stats::default()
+    };
+
+    for (i, u) in units.iter().enumerate() {
+        let file = &files[i];
+        let cx = &cxs[i];
+        let flat = engine::flatten(&file.items);
+        let mut fns = Vec::new();
+        engine::for_each_fn(&file.items, false, &mut fns);
+
+        let mut hash_names = taint::collect_hash_names(cx, &flat);
+        if let Some(extra) = crate_hash.get(&crate_key(&u.rel)) {
+            hash_names.extend(extra.iter().cloned());
+        }
+
+        let mut raw = Vec::new();
+        rules::token_rules(cx, &flat, &u.rules, &mut raw);
+        if u.rules.panic_path {
+            rules::panic_path(&fns, &mut raw);
+        }
+        if u.rules.width_math {
+            rules::width_math(&fns, &mut raw);
+        }
+        taint::analyze(cx, &fns, &hash_names, &u.rules, &mut raw);
+
+        // Hot-chain context: a panic/order finding inside a hot function
+        // names the call chain that reaches it.
+        let hot_fn_at = |line: usize| -> Option<usize> {
+            hot_by_unit[i]
+                .iter()
+                .copied()
+                .filter(|&ix| {
+                    let n = &graph.nodes[ix];
+                    n.start_line <= line && line <= n.end_line
+                })
+                .max_by_key(|&ix| graph.nodes[ix].start_line)
+        };
+        for (span, rule, message) in &mut raw {
+            if matches!(rule, Rule::PanicPath | Rule::OrderTaint) {
+                if let Some(ix) = hot_fn_at(span.line) {
+                    let info = &hot[&ix];
+                    message.push_str(&format!(
+                        " (hot path: {}, root {})",
+                        callgraph::chain_display(&graph, &info.chain),
+                        info.root
+                    ));
+                }
+            }
+        }
+
+        // The alloc-in-hot-path rule over this unit's hot functions.
+        if u.rules.alloc_hot {
+            for &ix in &hot_by_unit[i] {
+                let node = &graph.nodes[ix];
+                let Some(f) = fns.iter().find(|f| {
+                    f.item.ident.span.line == node.start_line && f.item.ident.text == node.name
+                }) else {
+                    continue;
+                };
+                let Some(body) = &f.item.body else { continue };
+                let info = &hot[&ix];
+                let suffix = format!(
+                    " (hot path: {}, root {})",
+                    callgraph::chain_display(&graph, &info.chain),
+                    info.root
+                );
+                let mut sites = Vec::new();
+                rules::alloc_sites(&body.stream, &mut sites);
+                raw.extend(sites.into_iter().map(|(span, rule, mut msg)| {
+                    msg.push_str(&suffix);
+                    (span, rule, msg)
+                }));
+            }
+        }
+
+        raw.sort_by_key(|(s, r, _)| (s.line, s.column, *r));
+        raw.dedup_by(|a, b| a.0.line == b.0.line && a.0.column == b.0.column && a.1 == b.1);
+
+        let mut unit_findings = Vec::new();
+        let mut consumed = BTreeMap::new();
+        rules::finalize_tracked(&u.rel, cx, raw, &mut unit_findings, &mut consumed);
+
+        // Stale escapes: reasoned allow(...) comments that suppressed
+        // nothing in any pass.
+        for (line, escapes) in &cx.escapes {
+            for e in escapes {
+                if e.reason.is_none() {
+                    continue;
+                }
+                let used = consumed.get(&(*line, e.rule.clone())).copied().unwrap_or(0);
+                stats.escapes.push(EscapeUse {
+                    file: u.rel.clone(),
+                    line: *line,
+                    rule: e.rule.clone(),
+                    consumed: used,
+                });
+                if used == 0 && u.rules.stale_escape {
+                    unit_findings.push(Finding {
+                        file: u.rel.clone(),
+                        line: *line,
+                        column: 1,
+                        rule: Rule::StaleEscape,
+                        message: format!(
+                            "allow({}) no longer suppresses any finding; \
+                             delete the stale escape or restore what it justified",
+                            e.rule
+                        ),
+                    });
+                }
+            }
+        }
+
+        unit_findings.sort_by_key(|f| (f.line, f.column, f.rule));
+        unit_findings.dedup_by_key(|f| (f.line, f.column, f.rule));
+        findings.extend(unit_findings);
+    }
+
+    for f in &findings {
+        *stats.per_rule.entry(f.rule.name()).or_insert(0) += 1;
+    }
+    Ok(Report { findings, stats })
+}
+
 /// Lints every in-scope file under the workspace `root`. Paths in the
 /// returned findings are workspace-relative. Parse failures become
 /// `InvalidData` IO errors naming the file.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    struct Unit {
-        rel: String,
-        src: String,
-        rules: RuleSet,
-    }
+    lint_workspace_report(root).map(|r| r.findings)
+}
+
+/// [`lint_workspace`] with the run's [`Stats`] attached.
+pub fn lint_workspace_report(root: &Path) -> std::io::Result<Report> {
     let mut units = Vec::new();
     for abs in collect_files(root)? {
         let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
         let Some(rules) = ruleset_for(&rel) else { continue };
         let src = std::fs::read_to_string(&abs)?;
-        units.push(Unit { rel: rel.to_string_lossy().replace('\\', "/"), src, rules });
+        units.push(SourceUnit { rel: rel.to_string_lossy().replace('\\', "/"), src, rules });
     }
-
-    // Pass 1: crate-wide hash-typed names (fields declared in one file,
-    // iterated in another).
-    let mut crate_hash: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    for u in &units {
-        let file = syn::parse_file(&u.src).map_err(|e| parse_io_error(&u.rel, &e))?;
-        let cx = engine::FileCx::build(&file.items, &u.src);
-        let flat = engine::flatten(&file.items);
-        crate_hash
-            .entry(crate_key(&u.rel))
-            .or_default()
-            .extend(taint::collect_hash_names(&cx, &flat));
-    }
-
-    // Pass 2: lint with the crate context.
-    let mut findings = Vec::new();
-    for u in &units {
-        let extra = crate_hash.get(&crate_key(&u.rel)).cloned().unwrap_or_default();
-        findings.extend(
-            lint_source_with(Path::new(&u.rel), &u.src, &u.rules, &extra).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", u.rel))
-            })?,
-        );
-    }
-    Ok(findings)
-}
-
-fn parse_io_error(rel: &str, e: &syn::Error) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{rel}: {e}"))
+    lint_units(&units)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]

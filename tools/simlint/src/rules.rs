@@ -319,15 +319,182 @@ fn scan_width_stmt(stmt: &[TokenTree], out: &mut Vec<RawFinding>) {
     }
 }
 
+/// Heap-allocating macros for the alloc-in-hot-path scan.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+/// Owning container types whose constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "String", "Box", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+    "BinaryHeap",
+];
+/// Constructor names on [`ALLOC_TYPES`] that allocate.
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// Method calls that allocate a fresh owned value.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "to_string", "to_owned", "collect"];
+/// Growth calls that extend a heap buffer in place. Only flagged on
+/// locals *born* from an allocating initializer in the same function —
+/// a buffer recycled via `mem::take` of a scratch field passes clean,
+/// which is exactly the sanctioned fix idiom.
+const GROWTH_METHODS: &[&str] =
+    &["push", "push_back", "push_front", "push_str", "extend", "insert", "append"];
+
+/// The `alloc-in-hot-path` scan over one (already hot) function body:
+/// allocating macros, constructors, owning conversions, and growth of
+/// function-born buffers. The caller appends the hot-chain context and
+/// owns escape handling.
+pub fn alloc_sites(body: &[TokenTree], out: &mut Vec<RawFinding>) {
+    // Pass A: locals born from an allocating initializer.
+    let mut born: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    engine::visit_streams(body, &mut |stream| {
+        for stmt in engine::statements(stream) {
+            let mut i = 0;
+            if !engine::is_ident(stmt.first(), "let") {
+                continue;
+            }
+            i += 1;
+            if engine::is_ident(stmt.get(i), "mut") {
+                i += 1;
+            }
+            let Some(TokenTree::Ident(name)) = stmt.get(i) else { continue };
+            if !engine::is_punct(stmt.get(i + 1), '=') && !engine::is_punct(stmt.get(i + 2), '=') {
+                // `let x =` or `let x: T =` (single-token type) only;
+                // anything fancier falls out of the born set, which
+                // under-approximates (growth stays unflagged) — safe.
+                continue;
+            }
+            let mut probe = Vec::new();
+            alloc_scan(&stmt[i + 1..], &mut probe);
+            for t in &stmt[i + 1..] {
+                if let TokenTree::Group(g) = t {
+                    alloc_scan(&g.stream, &mut probe);
+                }
+            }
+            if !probe.is_empty() {
+                born.insert(name.text.clone());
+            }
+        }
+    });
+
+    // Pass B: allocation and growth sites anywhere in the body.
+    engine::visit_streams(body, &mut |stream| {
+        alloc_scan(stream, out);
+        for (i, t) in stream.iter().enumerate() {
+            let TokenTree::Ident(id) = t else { continue };
+            if !GROWTH_METHODS.contains(&id.text.as_str()) {
+                continue;
+            }
+            if !engine::is_punct(i.checked_sub(1).and_then(|p| stream.get(p)), '.') {
+                continue;
+            }
+            if engine::paren_at(stream, i + 1).is_none() {
+                continue;
+            }
+            let Some(recv) =
+                i.checked_sub(2).and_then(|p| stream.get(p)).and_then(TokenTree::ident)
+            else {
+                continue;
+            };
+            if born.contains(recv) {
+                out.push((
+                    id.span,
+                    Rule::AllocInHotPath,
+                    format!(
+                        "`{recv}.{}()` grows a buffer allocated in this function; \
+                         recycle a scratch buffer (mem::take) instead",
+                        id.text
+                    ),
+                ));
+            }
+        }
+    });
+}
+
+/// Flat (non-recursive) scan of one stream for allocation expressions.
+fn alloc_scan(stream: &[TokenTree], out: &mut Vec<RawFinding>) {
+    for (i, t) in stream.iter().enumerate() {
+        let TokenTree::Ident(id) = t else { continue };
+        let name = id.text.as_str();
+        // `vec![…]` / `format!(…)`.
+        if ALLOC_MACROS.contains(&name) && engine::is_punct(stream.get(i + 1), '!') {
+            out.push((
+                id.span,
+                Rule::AllocInHotPath,
+                format!("{name}! allocates per call"),
+            ));
+            continue;
+        }
+        // `Vec::new()` / `String::from(…)` / `Box::new(…)` …
+        if ALLOC_TYPES.contains(&name)
+            && engine::is_path_sep(stream, i + 1)
+            && stream.get(i + 3).and_then(TokenTree::ident).is_some_and(|m| {
+                ALLOC_CTORS.contains(&m) && engine::paren_at(stream, i + 4).is_some()
+            })
+        {
+            let ctor = stream[i + 3].ident().unwrap_or("new");
+            out.push((
+                id.span,
+                Rule::AllocInHotPath,
+                format!("{name}::{ctor} allocates per call"),
+            ));
+            continue;
+        }
+        // `.clone()` / `.to_vec()` / `.collect::<…>()` …
+        if ALLOC_METHODS.contains(&name)
+            && engine::is_punct(i.checked_sub(1).and_then(|p| stream.get(p)), '.')
+        {
+            let called = engine::paren_at(stream, i + 1).is_some() || {
+                // turbofish: `collect::<Vec<_>>(…)`.
+                engine::is_path_sep(stream, i + 1)
+                    && engine::is_punct(stream.get(i + 3), '<')
+                    && {
+                        let mut depth = 0usize;
+                        let mut close = None;
+                        for (j, t) in stream.iter().enumerate().skip(i + 3) {
+                            match t.punct() {
+                                Some('<') => depth += 1,
+                                Some('>') => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        close = Some(j);
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        close.is_some_and(|j| engine::paren_at(stream, j + 1).is_some())
+                    }
+            };
+            if called {
+                out.push((
+                    id.span,
+                    Rule::AllocInHotPath,
+                    format!(".{name}() allocates an owned value per call"),
+                ));
+            }
+        }
+    }
+}
+
 /// Converts raw findings into [`Finding`]s, applying escapes.
-pub fn finalize(
+pub fn finalize(file: &str, cx: &FileCx, raw: Vec<RawFinding>, out: &mut Vec<Finding>) {
+    let mut consumed = std::collections::BTreeMap::new();
+    finalize_tracked(file, cx, raw, out, &mut consumed);
+}
+
+/// [`finalize`], recording which escape comments suppressed something:
+/// `consumed` maps `(escape line, rule-as-written)` to the number of
+/// findings it swallowed. The stale-escape pass reports reasoned
+/// escapes that consume nothing.
+pub fn finalize_tracked(
     file: &str,
     cx: &FileCx,
     raw: Vec<RawFinding>,
     out: &mut Vec<Finding>,
+    consumed: &mut std::collections::BTreeMap<(usize, String), usize>,
 ) {
     for (span, rule, mut message) in raw {
-        if cx.escaped(span.line, rule.name()) {
+        if let Some(key) = cx.escaped_at(span.line, rule.name()) {
+            *consumed.entry(key).or_insert(0) += 1;
             continue;
         }
         if cx.reasonless_escape(span.line, rule.name()) {

@@ -1,0 +1,32 @@
+// Fixture: allocations on hot paths (never compiled; scanned as text).
+// The directive seeds `entry` as a hot root reaching two call levels.
+// simlint: hot-root(entry@2)
+
+fn entry(xs: &[u64]) {
+    let v = vec![1u64];
+    let mut grown = Vec::new();
+    grown.push(xs.len());
+    step1(v, grown);
+}
+
+fn step1(v: Vec<u64>, g: Vec<usize>) {
+    let label = format!("{}:{}", v.len(), g.len());
+    reuse_scratch(label.len());
+    deep(label);
+}
+
+fn deep(label: String) {
+    // simlint: allow(alloc-in-hot-path, fixture: sanctioned cold-site allocation at depth two)
+    let owned = label.to_string();
+    beyond(owned);
+}
+
+fn reuse_scratch(n: usize) {
+    let mut buf = std::mem::take(&mut scratch());
+    buf.push(n);
+    put_back(buf);
+}
+
+fn beyond(s: String) {
+    let _ = s.to_owned();
+}

@@ -1,0 +1,7 @@
+// Fixture: the hot entry point; its panic lives two files away (never
+// compiled; scanned as text).
+// simlint: hot-root(entry)
+
+pub fn entry(xs: &[u64]) -> u64 {
+    helper(xs)
+}

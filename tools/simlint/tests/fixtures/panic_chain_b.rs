@@ -1,0 +1,6 @@
+// Fixture: the helper a hot root reaches cross-file; its unwrap should
+// carry the call chain (never compiled; scanned as text).
+
+pub fn helper(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,13 @@
+// Fixture: a reasoned escape that still earns its keep next to one that
+// no longer suppresses anything (never compiled; scanned as text).
+use std::time::Instant;
+
+fn timed() -> Instant {
+    // simlint: allow(wall-clock, fixture: models a wall deadline)
+    Instant::now()
+}
+
+fn stale() -> u64 {
+    // simlint: allow(wall-clock, this once suppressed a now-deleted clock read)
+    42
+}

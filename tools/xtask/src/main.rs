@@ -42,6 +42,7 @@ fn workspace_root() -> PathBuf {
 #[derive(Default)]
 struct LintOpts {
     json: bool,
+    stats: bool,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
 }
@@ -56,6 +57,7 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
                 Some("text") => opts.json = false,
                 other => return Err(format!("--format expects json|text, got {other:?}")),
             },
+            "--stats" => opts.stats = true,
             "--baseline" => {
                 let path = it.next().ok_or("--baseline expects a file path")?;
                 opts.baseline = Some(PathBuf::from(path));
@@ -70,7 +72,34 @@ fn parse_lint_opts(args: &[String]) -> Result<LintOpts, String> {
     if opts.baseline.is_some() && opts.write_baseline.is_some() {
         return Err("--baseline and --write-baseline are mutually exclusive".into());
     }
+    if opts.stats && opts.json {
+        return Err("--stats prints the human summary; drop --format json".into());
+    }
     Ok(opts)
+}
+
+/// One-screen lint coverage summary (`cargo xtask lint --stats`).
+fn print_stats(stats: &simlint::Stats) {
+    println!(
+        "simlint v3: {} files, {} functions, {} resolved call edges ({} unknown callees)",
+        stats.files, stats.functions, stats.resolved_calls, stats.unknown_calls
+    );
+    println!("hot set: {} functions reachable from the hot roots", stats.hot_functions);
+    let per_rule: Vec<String> = simlint::Rule::all_rules()
+        .iter()
+        .map(|r| format!("{} {}", r.name(), stats.per_rule.get(r.name()).copied().unwrap_or(0)))
+        .collect();
+    let total: usize = stats.per_rule.values().sum();
+    println!("findings: {total} ({})", per_rule.join(", "));
+    let consumed = stats.escapes.iter().filter(|e| e.consumed > 0).count();
+    let stale = stats.escapes.len() - consumed;
+    println!(
+        "escapes: {} reasoned ({consumed} consumed, {stale} stale)",
+        stats.escapes.len()
+    );
+    for e in &stats.escapes {
+        println!("  {}:{} allow({}) suppresses {}", e.file, e.line, e.rule, e.consumed);
+    }
 }
 
 fn lint(args: &[String]) -> ExitCode {
@@ -82,13 +111,17 @@ fn lint(args: &[String]) -> ExitCode {
         }
     };
     let root = workspace_root();
-    let findings = match simlint::lint_workspace(&root) {
-        Ok(f) => f,
+    let report = match simlint::lint_workspace_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: cannot scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    if opts.stats {
+        print_stats(&report.stats);
+    }
+    let findings = report.findings;
 
     if let Some(path) = &opts.write_baseline {
         let artifact = simlint::baseline::render_json(&findings);
@@ -332,7 +365,7 @@ fn main() -> ExitCode {
         Some("bench-diff") => bench_diff(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask <lint [--format json] [--baseline FILE | --write-baseline FILE] | invariance | api [--write-baseline] | bench-diff [ARTIFACT]>"
+                "usage: cargo xtask <lint [--format json] [--stats] [--baseline FILE | --write-baseline FILE] | invariance | api [--write-baseline] | bench-diff [ARTIFACT]>"
             );
             ExitCode::from(2)
         }
