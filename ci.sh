@@ -36,11 +36,14 @@ echo "== loom model check: datatap channel pause/resume protocol =="
 # preemption search — failures are real, passes are probabilistic).
 RUSTFLAGS="--cfg loom" cargo test -q -p datatap --test loom_channel
 
-echo "== miri: sim-core + simpar + datatap (undefined-behaviour pass) =="
+echo "== miri: sim-core + simpar + datatap + stream (undefined-behaviour pass) =="
 if [[ "${CI_SKIP_MIRI:-0}" == "1" ]]; then
     echo "miri: skipped (CI_SKIP_MIRI=1)"
 elif cargo +nightly miri --version >/dev/null 2>&1; then
     cargo +nightly miri test -q -p sim-core -p simpar -p datatap
+    # The stream engine's unit suite is Miri-friendly (no file I/O);
+    # the lib filter keeps the FS-touching source tests out.
+    cargo +nightly miri test -q -p stream --lib engine
 else
     # Offline containers cannot `rustup component add miri`; the step
     # degrades to a loud skip rather than failing the gate.
@@ -77,5 +80,8 @@ cargo run --release --example fault_recovery
 
 echo "== multi-tenant example (24 tenants, managed vs unmanaged) =="
 cargo run --release --example multi_tenant
+
+echo "== stream fan-out example (N-to-M streaming, restart rejoin, file parity) =="
+cargo run --release --example stream_fanout
 
 echo "ci: all gates passed"

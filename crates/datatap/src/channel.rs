@@ -89,6 +89,40 @@ impl std::fmt::Display for PullError {
 
 impl std::error::Error for PullError {}
 
+/// Why a [`Writer::pause`] drain was aborted before every announced step
+/// had been pulled. A decrease protocol that receives this must treat the
+/// drain as **failed** — steps may have been lost (`Failed`) or may still
+/// be in a buffer it can no longer observe (`Closed`) — instead of
+/// proceeding as if the channel quiesced cleanly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauseAborted {
+    /// The reader side closed the channel mid-drain. `remaining` steps
+    /// were still buffered when the drain gave up (a closing reader may
+    /// still drain them, but the pauser can no longer wait for it).
+    Closed {
+        /// Steps still buffered when the drain aborted.
+        remaining: usize,
+    },
+    /// The channel failed mid-drain (endpoint crash); every step still
+    /// buffered at the crashed writer was discarded.
+    Failed(&'static str),
+}
+
+impl std::fmt::Display for PauseAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PauseAborted::Closed { remaining } => {
+                write!(f, "pause aborted: channel closed with {remaining} steps undrained")
+            }
+            PauseAborted::Failed(reason) => {
+                write!(f, "pause aborted: channel failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PauseAborted {}
+
 struct Envelope {
     meta: StepMeta,
     payload: StepData,
@@ -98,9 +132,22 @@ struct State {
     queue: VecDeque<Envelope>,
     capacity: usize,
     paused: bool,
+    /// Active [`Writer::pause`] drains. The write gate is held while this
+    /// is non-zero even if a concurrent [`Writer::resume`] cleared
+    /// `paused`: otherwise a resumed writer could refill the queue and
+    /// stall the pauser indefinitely.
+    drainers: usize,
     closed: bool,
     failed: Option<&'static str>,
     high_watermark: usize,
+}
+
+impl State {
+    /// True while writes must not be accepted: an explicit pause, or a
+    /// pause drain still in progress (which outlives a racing resume).
+    fn write_gated(&self) -> bool {
+        self.paused || self.drainers > 0
+    }
 }
 
 struct Inner {
@@ -162,6 +209,7 @@ pub fn channel_with_telemetry(
             queue: VecDeque::with_capacity(capacity),
             capacity,
             paused: false,
+            drainers: 0,
             closed: false,
             failed: None,
             high_watermark: 0,
@@ -198,7 +246,7 @@ impl Writer {
         if st.closed {
             return Err(WriteError::Closed);
         }
-        if st.paused {
+        if st.write_gated() {
             return Err(WriteError::Paused);
         }
         if st.queue.len() >= st.capacity {
@@ -218,7 +266,7 @@ impl Writer {
             if st.closed {
                 return Err(WriteError::Closed);
             }
-            if !st.paused && st.queue.len() < st.capacity {
+            if !st.write_gated() && st.queue.len() < st.capacity {
                 let meta = self.push(&mut st, step);
                 return Ok(meta);
             }
@@ -237,13 +285,25 @@ impl Writer {
     }
 
     /// Pauses the channel and blocks until every announced step has been
-    /// pulled. Returns the number of steps that had to drain.
+    /// pulled. On success, returns the number of steps that had to drain.
     ///
     /// This is the consistency action the decrease protocol waits on; its
-    /// cost is what dominates Fig. 5.
-    pub fn pause(&self) -> usize {
+    /// cost is what dominates Fig. 5. Because that protocol's "no step is
+    /// lost" guarantee rests on the drain actually completing, an aborted
+    /// drain is a typed error, never a success-shaped count:
+    /// [`PauseAborted::Failed`] if the channel failed mid-drain (buffered
+    /// steps were discarded), [`PauseAborted::Closed`] if the reader side
+    /// closed while steps were still buffered.
+    ///
+    /// The write gate engages before the drain starts and is held until
+    /// the drain finishes even if a concurrent [`Writer::resume`] clears
+    /// the paused flag mid-drain — a resumed writer cannot refill the
+    /// queue and stall the pauser. (After such a resume, the channel comes
+    /// out of the drain unpaused.)
+    pub fn pause(&self) -> Result<usize, PauseAborted> {
         let mut st = self.inner.state.lock();
         st.paused = true;
+        st.drainers += 1;
         let draining = st.queue.len();
         self.inner.telemetry.count(Category::Transport, "datatap.pauses", 1);
         if self.inner.telemetry.enabled(Category::Transport) {
@@ -254,13 +314,35 @@ impl Writer {
                 self.inner.clock.now(),
             );
         }
-        while !st.queue.is_empty() && !st.closed && st.failed.is_none() {
+        let outcome = loop {
+            // Failure first: fail() clears the queue, so an empty queue on
+            // a failed channel means steps were discarded, not drained.
+            if let Some(reason) = st.failed {
+                break Err(PauseAborted::Failed(reason));
+            }
+            if st.queue.is_empty() {
+                break Ok(draining);
+            }
+            if st.closed {
+                break Err(PauseAborted::Closed { remaining: st.queue.len() });
+            }
             self.inner.writer_cv.wait(&mut st);
+        };
+        st.drainers -= 1;
+        if outcome.is_err() {
+            self.inner.telemetry.count(Category::Transport, "datatap.pause_aborts", 1);
         }
-        draining
+        if st.drainers == 0 && !st.paused {
+            // A resume arrived mid-drain: the gate opens only now that the
+            // drain is over, so wake the writers it was holding back.
+            self.inner.writer_cv.notify_all();
+        }
+        outcome
     }
 
-    /// Resumes a paused channel.
+    /// Resumes a paused channel. If a [`Writer::pause`] drain is still in
+    /// progress, the paused flag clears immediately but the write gate
+    /// stays held until that drain finishes.
     pub fn resume(&self) {
         let mut st = self.inner.state.lock();
         st.paused = false;
@@ -275,9 +357,10 @@ impl Writer {
         self.inner.writer_cv.notify_all();
     }
 
-    /// True if the channel is currently paused.
+    /// True if the channel currently rejects writes: explicitly paused, or
+    /// quiescing because a pause drain is still in progress.
     pub fn is_paused(&self) -> bool {
-        self.inner.state.lock().paused
+        self.inner.state.lock().write_gated()
     }
 
     /// Injects an endpoint failure: the channel enters the failed state,
@@ -500,7 +583,7 @@ mod tests {
         for _ in 0..3 {
             r.pull().unwrap();
         }
-        assert_eq!(pauser.join().unwrap(), 3);
+        assert_eq!(pauser.join().unwrap(), Ok(3));
         assert!(w.is_paused());
         assert_eq!(w.try_write(step(9)).unwrap_err(), WriteError::Paused);
         w.resume();
@@ -547,7 +630,7 @@ mod tests {
         let tel = Telemetry::new(TelemetryConfig::all());
         let clock = Arc::new(ManualClock::new());
         let (w, _r) = channel_with_telemetry(2, clock, tel.clone());
-        w.pause(); // empty queue: returns immediately
+        assert_eq!(w.pause(), Ok(0)); // empty queue: returns immediately
         w.resume();
         assert_eq!(tel.counter("datatap.pauses"), 1);
         let snap = tel.snapshot();

@@ -42,10 +42,10 @@ mod scheduler;
 mod sync;
 
 pub use channel::{
-    channel, channel_with_clock, channel_with_telemetry, PullError, Reader, StepMeta, WriteError,
-    Writer,
+    channel, channel_with_clock, channel_with_telemetry, PauseAborted, PullError, Reader,
+    StepMeta, WriteError, Writer,
 };
 pub use clock::{Clock, ManualClock, WallClock};
 pub use cost::TransportCosts;
-pub use sched_reader::{PullGuard, ScheduledReader};
+pub use sched_reader::{PullGuard, PullSource, ScheduledReader};
 pub use scheduler::PullPolicy;

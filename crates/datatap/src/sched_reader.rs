@@ -1,11 +1,15 @@
 //! Server-directed pulls for the threaded runtime.
 //!
-//! [`ScheduledReader`] wraps a [`Reader`] and enforces a [`PullPolicy`]
+//! [`ScheduledReader`] wraps a pull endpoint and enforces a [`PullPolicy`]
 //! across any number of consumer threads: a pull slot must be acquired
 //! before data moves, and is held (via an RAII guard) until the consumer
 //! finishes with the payload — bounding how much bulk data is in flight
 //! at once, which is how DataStager keeps bulk movement from perturbing
 //! the interconnect.
+//!
+//! The endpoint is anything implementing [`PullSource`]: the staged
+//! channel's [`Reader`] is the original, and the step-streaming engine's
+//! cursors implement it too, so one policy layer serves both transports.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,48 +18,90 @@ use adios::StepData;
 use parking_lot::{Condvar, Mutex};
 
 use crate::channel::{Reader, StepMeta};
-use crate::clock::{to_sim, Clock};
+use crate::clock::{to_sim, to_std, Clock};
 use crate::scheduler::PullPolicy;
+
+/// A pull endpoint the scheduler can wrap: blocking and deadline-bounded
+/// pulls over one [`Clock`] time axis.
+pub trait PullSource {
+    /// Pulls the next step, blocking until one is available; `None` once
+    /// the source is closed and drained (or has failed).
+    fn pull(&self) -> Option<(StepMeta, StepData)>;
+
+    /// Pulls with a timeout measured on [`PullSource::clock`]; `None` on
+    /// timeout, closed-and-drained, or failure.
+    fn pull_timeout(&self, timeout: Duration) -> Option<(StepMeta, StepData)>;
+
+    /// The time source every deadline is measured on. The scheduler's
+    /// slot-wait deadlines live on the same axis, so slot time and data
+    /// time share one budget.
+    fn clock(&self) -> Arc<dyn Clock>;
+}
+
+impl PullSource for Reader {
+    fn pull(&self) -> Option<(StepMeta, StepData)> {
+        Reader::pull(self)
+    }
+
+    fn pull_timeout(&self, timeout: Duration) -> Option<(StepMeta, StepData)> {
+        Reader::pull_timeout(self, timeout)
+    }
+
+    fn clock(&self) -> Arc<dyn Clock> {
+        Reader::clock(self)
+    }
+}
 
 struct SchedState {
     in_flight: usize,
 }
 
-struct Inner {
-    reader: Reader,
+struct Inner<S> {
+    source: S,
     policy: PullPolicy,
     state: Mutex<SchedState>,
     slot_free: Condvar,
     clock: Arc<dyn Clock>,
 }
 
-/// A policy-enforcing, clonable reader handle.
-#[derive(Clone)]
-pub struct ScheduledReader {
-    inner: Arc<Inner>,
+impl<S> Inner<S> {
+    fn release_slot(&self) {
+        let mut st = self.state.lock();
+        st.in_flight -= 1;
+        self.slot_free.notify_one();
+    }
+}
+
+/// A policy-enforcing, clonable reader handle over any [`PullSource`].
+pub struct ScheduledReader<S: PullSource = Reader> {
+    inner: Arc<Inner<S>>,
+}
+
+impl<S: PullSource> Clone for ScheduledReader<S> {
+    fn clone(&self) -> Self {
+        ScheduledReader { inner: self.inner.clone() }
+    }
 }
 
 /// RAII pull slot: while alive, the pull counts against the policy's
 /// concurrency cap.
-pub struct PullGuard {
-    inner: Arc<Inner>,
+pub struct PullGuard<S: PullSource = Reader> {
+    inner: Arc<Inner<S>>,
 }
 
-impl Drop for PullGuard {
+impl<S: PullSource> Drop for PullGuard<S> {
     fn drop(&mut self) {
-        let mut st = self.inner.state.lock();
-        st.in_flight -= 1;
-        self.inner.slot_free.notify_one();
+        self.inner.release_slot();
     }
 }
 
-impl ScheduledReader {
-    /// Wraps a reader with a pull policy.
-    pub fn new(reader: Reader, policy: PullPolicy) -> ScheduledReader {
-        let clock = reader.clock();
+impl<S: PullSource> ScheduledReader<S> {
+    /// Wraps a pull endpoint with a pull policy.
+    pub fn new(source: S, policy: PullPolicy) -> ScheduledReader<S> {
+        let clock = source.clock();
         ScheduledReader {
             inner: Arc::new(Inner {
-                reader,
+                source,
                 policy,
                 state: Mutex::new(SchedState { in_flight: 0 }),
                 slot_free: Condvar::new(),
@@ -72,7 +118,7 @@ impl ScheduledReader {
     /// Acquires a pull slot (blocking while the policy's cap is reached),
     /// then pulls the next step. Returns `None` when the channel is closed
     /// and drained.
-    pub fn pull(&self) -> Option<(PullGuard, StepMeta, StepData)> {
+    pub fn pull(&self) -> Option<(PullGuard<S>, StepMeta, StepData)> {
         {
             let mut st = self.inner.state.lock();
             while !self.inner.policy.may_start(st.in_flight) {
@@ -80,24 +126,29 @@ impl ScheduledReader {
             }
             st.in_flight += 1;
         }
-        match self.inner.reader.pull() {
+        match self.inner.source.pull() {
             Some((meta, data)) => Some((PullGuard { inner: self.inner.clone() }, meta, data)),
             None => {
-                let mut st = self.inner.state.lock();
-                st.in_flight -= 1;
-                self.inner.slot_free.notify_one();
+                self.inner.release_slot();
                 None
             }
         }
     }
 
     /// As [`ScheduledReader::pull`] but gives up after `timeout` waiting
-    /// for data (a held slot is released on timeout).
-    pub fn pull_timeout(&self, timeout: Duration) -> Option<(PullGuard, StepMeta, StepData)> {
+    /// for a slot *and* data combined (a held slot is released on
+    /// timeout).
+    ///
+    /// One deadline governs the whole call: time spent waiting for a pull
+    /// slot is charged against the same budget the inner pull gets, so the
+    /// total block time never exceeds `timeout` on the channel's
+    /// [`Clock`]. (It used to hand the inner pull a fresh full budget
+    /// after the slot wait, blocking for up to twice the stated timeout.)
+    pub fn pull_timeout(&self, timeout: Duration) -> Option<(PullGuard<S>, StepMeta, StepData)> {
+        // Deadline arithmetic on the channel's clock, not Instant math:
+        // under a manual clock the slot wait passes virtually.
+        let deadline = self.inner.clock.now() + to_sim(timeout);
         {
-            // Deadline arithmetic on the channel's clock, not Instant math:
-            // under a manual clock the slot wait passes virtually.
-            let deadline = self.inner.clock.now() + to_sim(timeout);
             let mut st = self.inner.state.lock();
             while !self.inner.policy.may_start(st.in_flight) {
                 let now = self.inner.clock.now();
@@ -109,12 +160,17 @@ impl ScheduledReader {
             }
             st.in_flight += 1;
         }
-        match self.inner.reader.pull_timeout(timeout) {
+        // The slot wait may have consumed part (or all) of the budget:
+        // hand the inner pull only what remains.
+        let now = self.inner.clock.now();
+        if now >= deadline {
+            self.inner.release_slot();
+            return None;
+        }
+        match self.inner.source.pull_timeout(to_std(deadline.since(now))) {
             Some((meta, data)) => Some((PullGuard { inner: self.inner.clone() }, meta, data)),
             None => {
-                let mut st = self.inner.state.lock();
-                st.in_flight -= 1;
-                self.inner.slot_free.notify_one();
+                self.inner.release_slot();
                 None
             }
         }
@@ -191,7 +247,7 @@ mod tests {
         let (w, r) = channel(4);
         drop(w);
         let sched = ScheduledReader::new(r, PullPolicy::fifo());
-        sched.inner.reader.close();
+        sched.inner.source.close();
         assert!(sched.pull().is_none());
         assert_eq!(sched.in_flight(), 0);
     }

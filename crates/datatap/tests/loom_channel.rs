@@ -5,17 +5,20 @@
 //! swaps the channel's mutex/condvar for the loom stand-in via
 //! `datatap::sync`. Each `loom::model` call replays its closure under many
 //! seeded preemption schedules; the properties checked are the protocol's
-//! deadlock classes:
+//! deadlock and lost-step classes:
 //!
 //! * a pause must not return before every announced step drains,
 //! * a writer blocked by pause must always see the resume wakeup,
-//! * a close must unblock a pause that is still draining.
+//! * a close or fail must unblock a draining pause — and must surface as
+//!   a typed [`PauseAborted`], never as a success-shaped count,
+//! * a resume racing a draining pause must not reopen the write gate
+//!   mid-drain (a refilled queue would stall the pauser indefinitely).
 //!
 //! The vendored loom is a bounded stress search, not an exhaustive proof:
 //! failures are real protocol bugs, passes are probabilistic.
 
 use adios::StepData;
-use datatap::{channel, WriteError};
+use datatap::{channel, PauseAborted, WriteError};
 use loom::thread;
 
 fn step(ix: u64) -> StepData {
@@ -43,7 +46,8 @@ fn pause_waits_for_full_drain() {
         assert_eq!(got, vec![0, 1], "announced order is pull order");
         // pause() reports the backlog at the instant it engages — the
         // reader may already have drained some of it.
-        assert!(pauser.join().expect("pauser thread") <= 2);
+        let drained = pauser.join().expect("pauser thread").expect("drain completes");
+        assert!(drained <= 2);
         // After pause returns the channel is quiesced: paused and empty.
         assert!(w.is_paused());
         assert_eq!(r.queued(), 0, "pause returned before the drain finished");
@@ -68,12 +72,12 @@ fn pause_resume_never_loses_a_wakeup() {
         let (m, _) = r.pull().expect("the write always completes");
         assert_eq!(m.step, 7);
         assert_eq!(writer.join().expect("writer thread").expect("write succeeds"), 7);
-        assert!(pauser.join().expect("pauser thread") <= 1);
+        assert!(pauser.join().expect("pauser thread").expect("drain completes") <= 1);
     });
 }
 
 #[test]
-fn close_unblocks_a_draining_pause() {
+fn close_aborts_a_draining_pause_with_a_typed_outcome() {
     loom::model(|| {
         let (w, r) = channel(4);
         w.try_write(step(0)).expect("capacity 4 holds 1 step");
@@ -83,12 +87,84 @@ fn close_unblocks_a_draining_pause() {
             r.close();
             r
         });
-        // pause() reported the backlog it found, then either drained or
-        // was released by the close — it must not hang.
-        assert_eq!(pauser.join().expect("pauser thread"), 1);
+        // Nobody pulls, so the drain can only end via the close — and that
+        // must be distinguishable from a completed drain.
+        assert_eq!(
+            pauser.join().expect("pauser thread"),
+            Err(PauseAborted::Closed { remaining: 1 }),
+            "an aborted drain must not look like success"
+        );
         let r = closer.join().expect("closer thread");
         // Buffered data is still drainable after close.
         assert!(r.pull().is_some());
         assert!(r.pull().is_none());
+    });
+}
+
+#[test]
+fn fail_aborts_a_draining_pause_with_a_typed_outcome() {
+    loom::model(|| {
+        let (w, r) = channel(4);
+        w.try_write(step(0)).expect("capacity 4 holds 1 step");
+        let w2 = w.clone();
+        let pauser = thread::spawn(move || w2.pause());
+        let failer = thread::spawn(move || w.fail("injected crash"));
+        // The drain can only end via the failure; the buffered step was
+        // discarded, so success would be a silent lost step.
+        assert_eq!(
+            pauser.join().expect("pauser thread"),
+            Err(PauseAborted::Failed("injected crash")),
+            "a failed drain must not look like success"
+        );
+        assert_eq!(failer.join().expect("failer thread"), 1, "one step was lost");
+        assert!(r.pull().is_none(), "pull on a failed channel returns");
+    });
+}
+
+#[test]
+fn resume_cannot_reopen_the_gate_mid_drain() {
+    loom::model(|| {
+        let (w, r) = channel(4);
+        w.try_write(step(0)).expect("capacity 4 holds 1 step");
+        let w_pause = w.clone();
+        let pauser = thread::spawn(move || w_pause.pause());
+        // Wait for the pause to engage before racing anything against it:
+        // the gate cannot drop until the puller (spawned below) drains the
+        // queue, so this spin terminates and every schedule exercises the
+        // resume/write-racing-an-active-drain interleavings.
+        while !w.is_paused() {
+            thread::yield_now();
+        }
+        let w_resume = w.clone();
+        let resumer = thread::spawn(move || w_resume.resume());
+        let w_refill = w.clone();
+        // A writer racing the pause/resume pair: it must never slip a step
+        // in while the drain is still waiting for the queue to empty.
+        let refiller = thread::spawn(move || w_refill.try_write(step(1)));
+        let puller = thread::spawn(move || {
+            let (m, _) = r.pull().expect("the announced step drains");
+            (r, m.step)
+        });
+        let drained = pauser.join().expect("pauser thread").expect("drain completes");
+        assert!(drained <= 1);
+        resumer.join().expect("resumer thread");
+        let (r, first) = puller.join().expect("puller thread");
+        assert_eq!(first, 0);
+        // Whatever the refiller saw — Paused (gate held) or Ok (it ran
+        // after the drain finished and the resume landed) — the pauser's
+        // contract held: when pause() returned Ok, the queue held nothing
+        // announced before the drain completed. A refill that succeeded
+        // must have happened after the gate dropped, so at most one step
+        // remains now.
+        match refiller.join().expect("refiller thread") {
+            Ok(m) => {
+                assert_eq!(m.step, 1);
+                assert_eq!(r.queued(), 1);
+            }
+            Err(e) => {
+                assert_eq!(e, WriteError::Paused);
+                assert_eq!(r.queued(), 0);
+            }
+        }
     });
 }

@@ -10,13 +10,23 @@
 //! operation for Bonds when its staging queue backs up. The CSym → CNA
 //! dynamic branch fires from the data itself: CSym detecting the crack
 //! retires and the router redirects subsequent steps to CNA.
+//!
+//! The Helper → Bonds edge rides the step-streaming engine
+//! ([`stream::StreamEngine`]) rather than a raw staged channel: Helper is
+//! a one-rank writer group sealing merged steps into a bounded log, the
+//! Bonds worker pool shares one named cursor (handle clones divide the
+//! stream), and the manager's *decrease* operation uses the engine's
+//! typed pause protocol — pause, drain through the cursor, retire a
+//! replica, resume — with aborted drains surfacing as errors instead of
+//! success-shaped counts.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use datatap::channel;
+use datatap::{channel, PauseAborted};
 use evpath::{Action as EvAction, Event, Overlay};
+use stream::{Attach, StreamConfig, StreamEngine};
 use mdsim::{MdConfig, MdEngine};
 use sim_core::stats::Welford;
 use smartpointer::{split_snapshot, AggregationTree, Bonds, CSym, Cna};
@@ -53,6 +63,10 @@ pub struct ThreadedConfig {
     pub max_bonds_workers: usize,
     /// Enable the managing thread (increase-on-backlog).
     pub manage: bool,
+    /// Enable the manager's decrease path: when the Bonds stream sits
+    /// idle with more than one replica, pause the writer group, drain the
+    /// log, retire a replica, and resume.
+    pub decrease: bool,
     /// When the manager cannot grow Bonds further and the backlog
     /// persists, take Bonds offline and stage the remaining steps into a
     /// provenance-labeled BP container file in this directory.
@@ -75,6 +89,7 @@ impl Default for ThreadedConfig {
             initial_bonds_workers: 1,
             max_bonds_workers: 4,
             manage: true,
+            decrease: false,
             offline_dir: None,
         }
     }
@@ -97,6 +112,12 @@ impl ThreadedConfig {
 pub enum ThreadedAction {
     /// The manager added a Bonds round-robin worker.
     IncreaseBonds {
+        /// Worker count after the action.
+        workers: usize,
+    },
+    /// The manager paused the stream, drained it, and retired a Bonds
+    /// round-robin worker.
+    DecreaseBonds {
         /// Worker count after the action.
         workers: usize,
     },
@@ -201,13 +222,21 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
     })));
     let monitor = overlay.sender();
 
-    // Staged channels between containers.
+    // Staged channels between containers; the Helper → Bonds edge rides
+    // the step-streaming engine (a one-rank writer group over a bounded
+    // log) so the worker pool shares a named cursor and the manager can
+    // use the typed pause protocol for the decrease operation.
     let (w_chunks, r_chunks) = channel(cfg.queue_capacity * cfg.ranks.max(1));
-    let (w_bonds, r_bonds) = channel(cfg.queue_capacity);
+    let bonds_stream =
+        StreamEngine::new(StreamConfig { writers: 1, retention: cfg.queue_capacity });
+    let w_bonds = bonds_stream.writer(0);
+    let r_bonds = bonds_stream
+        .reader("bonds", Attach::Oldest, None)
+        .expect("fresh engine has no cursor named 'bonds'");
     let (w_routed, r_routed) = channel(cfg.queue_capacity);
     let (w_csym, r_csym) = channel(cfg.queue_capacity);
     let (w_cna, r_cna) = channel(cfg.queue_capacity);
-    let r_bonds = Arc::new(r_bonds);
+    let retire_tokens = Arc::new(AtomicU64::new(0));
 
     let offline_path: Arc<Mutex<Option<std::path::PathBuf>>> = Arc::new(Mutex::new(None));
     let steps = cfg.steps;
@@ -278,18 +307,31 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
             let monitor = monitor.clone();
             let r_bonds = r_bonds.clone();
             let w_routed = w_routed.clone();
+            let retire_tokens = retire_tokens.clone();
             move || {
                 let cfg = cfg.clone();
                 let shared = shared.clone();
                 let monitor = monitor.clone();
                 let r_bonds = r_bonds.clone();
                 let w_routed = w_routed.clone();
+                let retire_tokens = retire_tokens.clone();
                 scope.spawn(move || {
                     loop {
                         if shared.bonds_done.load(Ordering::Acquire)
                             + shared.offline_written.load(Ordering::Acquire)
                             >= cfg.steps
                             || shared.bonds_offline.load(Ordering::Acquire)
+                        {
+                            break;
+                        }
+                        // Decrease: a pending retire token means the
+                        // manager paused and drained the stream so one
+                        // replica can exit without stranding a step.
+                        if retire_tokens
+                            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                                t.checked_sub(1)
+                            })
+                            .is_ok()
                         {
                             break;
                         }
@@ -491,8 +533,11 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
             let worker_count = worker_count.clone();
             let r_stats = r_bonds.clone();
             let spawn_bonds_worker = spawn_bonds_worker.clone();
+            let retire_tokens = retire_tokens.clone();
+            let w_manage = w_bonds.clone();
             scope.spawn(move || {
                 let mut saturated_checks = 0u32;
+                let mut idle_checks = 0u32;
                 loop {
                     if shared.bonds_done.load(Ordering::Acquire)
                         + shared.offline_written.load(Ordering::Acquire)
@@ -533,6 +578,41 @@ pub fn run_threaded(cfg: ThreadedConfig) -> ThreadedReport {
                         }
                     } else {
                         saturated_checks = 0;
+                        if cfg.decrease && queued == 0 && workers > 1 {
+                            idle_checks += 1;
+                            if idle_checks >= 5 {
+                                idle_checks = 0;
+                                // The decrease operation, on the paper's
+                                // pause → drain → unlink → resume
+                                // protocol. The typed pause outcome
+                                // distinguishes a completed drain from an
+                                // abort: only a clean drain retires a
+                                // replica.
+                                match w_manage.pause() {
+                                    Ok(_drained) => {
+                                        retire_tokens.fetch_add(1, Ordering::AcqRel);
+                                        worker_count.fetch_sub(1, Ordering::Relaxed);
+                                        shared.actions.lock().unwrap().push(
+                                            ThreadedAction::DecreaseBonds {
+                                                workers: workers - 1,
+                                            },
+                                        );
+                                    }
+                                    Err(PauseAborted::Failed(reason)) => {
+                                        shared.errors.lock().unwrap().push(format!(
+                                            "manager: decrease pause aborted: {reason}"
+                                        ));
+                                    }
+                                    Err(PauseAborted::Closed { .. }) => {
+                                        w_manage.resume();
+                                        break;
+                                    }
+                                }
+                                w_manage.resume();
+                            }
+                        } else {
+                            idle_checks = 0;
+                        }
                     }
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -649,6 +729,32 @@ mod tests {
             "manager should have increased bonds: {:?}",
             report.actions
         );
+    }
+
+    #[test]
+    fn manager_decreases_idle_bonds() {
+        // A slow producer (long MD epochs) in front of an over-provisioned
+        // Bonds pool: the stream sits idle between steps, so the manager
+        // pauses, drains, and retires replicas — and every step still
+        // lands because the pause protocol only retires after a clean
+        // drain.
+        let cfg = ThreadedConfig {
+            steps: 5,
+            initial_bonds_workers: 3,
+            max_bonds_workers: 3,
+            queue_capacity: 4,
+            manage: true,
+            decrease: true,
+            ..ThreadedConfig::default()
+        };
+        let report = run_threaded(cfg);
+        assert_eq!(report.stage_steps[1], 5, "decrease must not lose steps");
+        assert!(
+            report.actions.iter().any(|a| matches!(a, ThreadedAction::DecreaseBonds { .. })),
+            "manager should have retired an idle bonds replica: {:?}",
+            report.actions
+        );
+        assert!(report.errors.is_empty(), "clean run: {:?}", report.errors);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! One consumption API over live streams and post-hoc files.
+//!
+//! In-situ pipelines read a [`StreamReader`]; offline reruns read the BP
+//! file an archival reader wrote. [`StepSource`] lets the analysis kernel
+//! be written once against `next_step()` and run against either.
+
+use adios::bpfile::BpFileError;
+use adios::{BpFileReader, StepData};
+
+use crate::engine::StreamReader;
+
+/// Why a source could not produce its next step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SourceError {
+    /// The backing BP file is unreadable or corrupt.
+    File(String),
+    /// The live stream failed (writer-side crash).
+    Failed(&'static str),
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceError::File(e) => write!(f, "file source: {e}"),
+            SourceError::Failed(reason) => write!(f, "stream failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A sequential source of step fragments: the file-vs-stream seam.
+///
+/// `Ok(None)` is clean end-of-stream (file exhausted, or live stream
+/// closed and drained); errors distinguish a truncated file from a failed
+/// transport so recovery logic can branch.
+pub trait StepSource {
+    /// Produces the next fragment, blocking if the source is live and the
+    /// step has not sealed yet.
+    fn next_step(&mut self) -> Result<Option<StepData>, SourceError>;
+}
+
+/// A [`StepSource`] over a live stream cursor, yielding fragments in the
+/// cursor's step-major, rank-minor order.
+pub struct LiveSource {
+    reader: StreamReader,
+}
+
+impl LiveSource {
+    /// Wraps a stream cursor.
+    pub fn new(reader: StreamReader) -> LiveSource {
+        LiveSource { reader }
+    }
+
+    /// The wrapped cursor.
+    pub fn reader(&self) -> &StreamReader {
+        &self.reader
+    }
+}
+
+impl StepSource for LiveSource {
+    fn next_step(&mut self) -> Result<Option<StepData>, SourceError> {
+        match self.reader.pull() {
+            Some((_, data)) => Ok(Some(data)),
+            None => match self.reader.failure() {
+                Some(reason) => Err(SourceError::Failed(reason)),
+                None => Ok(None),
+            },
+        }
+    }
+}
+
+/// A [`StepSource`] replaying a BP file sequentially, step by step, in
+/// the order the archival reader appended them.
+pub struct FileSource {
+    reader: BpFileReader,
+    pos: usize,
+}
+
+impl FileSource {
+    /// Opens a BP file for sequential replay.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<FileSource, SourceError> {
+        let reader = BpFileReader::open(path).map_err(file_err)?;
+        Ok(FileSource { reader, pos: 0 })
+    }
+
+    /// Steps in the file.
+    pub fn len(&self) -> usize {
+        self.reader.len()
+    }
+
+    /// True when the file holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.reader.is_empty()
+    }
+}
+
+impl StepSource for FileSource {
+    fn next_step(&mut self) -> Result<Option<StepData>, SourceError> {
+        if self.pos >= self.reader.len() {
+            return Ok(None);
+        }
+        let step = self.reader.read_at(self.pos).map_err(file_err)?;
+        self.pos += 1;
+        Ok(Some(step.data))
+    }
+}
+
+fn file_err(e: BpFileError) -> SourceError {
+    SourceError::File(e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Attach, StreamConfig, StreamEngine};
+    use adios::{AttrValue, BpFileWriter};
+    use datatap::ManualClock;
+    use std::sync::Arc;
+
+    fn frag(step: u64) -> StepData {
+        let mut s = StepData::new(step);
+        s.set_attr("kind", AttrValue::Str("source-test".into()));
+        s
+    }
+
+    #[test]
+    fn live_source_ends_cleanly_on_close() {
+        let eng = StreamEngine::builder(StreamConfig { writers: 1, retention: 8 })
+            .clock(Arc::new(ManualClock::new()))
+            .build();
+        let w = eng.writer(0);
+        let r = eng.reader("kernel", Attach::Oldest, None).unwrap();
+        w.try_write(frag(0)).unwrap();
+        w.try_write(frag(1)).unwrap();
+        drop(w);
+        let mut src = LiveSource::new(r);
+        assert_eq!(src.next_step().unwrap().unwrap().step(), 0);
+        assert_eq!(src.next_step().unwrap().unwrap().step(), 1);
+        assert!(src.next_step().unwrap().is_none(), "closed and drained is a clean end");
+    }
+
+    #[test]
+    fn live_source_surfaces_a_stream_failure() {
+        let eng = StreamEngine::builder(StreamConfig { writers: 1, retention: 8 })
+            .clock(Arc::new(ManualClock::new()))
+            .build();
+        let w = eng.writer(0);
+        let r = eng.reader("kernel", Attach::Oldest, None).unwrap();
+        w.try_write(frag(0)).unwrap();
+        w.fail("injected crash");
+        let mut src = LiveSource::new(r);
+        assert!(matches!(src.next_step(), Err(SourceError::Failed("injected crash"))));
+    }
+
+    #[test]
+    fn file_replay_matches_the_live_sequence() {
+        let dir = std::env::temp_dir().join(format!("stream-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.bp");
+
+        // Live pass: stream three steps and archive them.
+        let eng = StreamEngine::builder(StreamConfig { writers: 1, retention: 8 })
+            .clock(Arc::new(ManualClock::new()))
+            .build();
+        let w = eng.writer(0);
+        let r = eng.reader("archival", Attach::Oldest, None).unwrap();
+        for step in 0..3 {
+            w.try_write(frag(step)).unwrap();
+        }
+        drop(w);
+        let mut live = LiveSource::new(r);
+        let mut bp = BpFileWriter::create(&path).unwrap();
+        let mut live_steps = Vec::new();
+        while let Some(data) = live.next_step().unwrap() {
+            live_steps.push(data.step());
+            bp.append("bonds", &data).unwrap();
+        }
+        bp.finalize().unwrap();
+
+        // Offline pass: the replay sees the identical sequence and attrs.
+        let mut file = FileSource::open(&path).unwrap();
+        assert_eq!(file.len(), 3);
+        assert!(!file.is_empty());
+        let mut file_steps = Vec::new();
+        while let Some(data) = file.next_step().unwrap() {
+            assert_eq!(data.attr("kind"), Some(&AttrValue::Str("source-test".into())));
+            file_steps.push(data.step());
+        }
+        assert_eq!(file_steps, live_steps);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_file_error() {
+        assert!(matches!(
+            FileSource::open("/nonexistent/replay.bp"),
+            Err(SourceError::File(_))
+        ));
+    }
+}

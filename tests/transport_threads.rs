@@ -54,7 +54,7 @@ fn pause_blocks_concurrent_writers_until_resume() {
     let pauser = thread::spawn(move || w_pause.pause());
     thread::sleep(Duration::from_millis(10));
     r.pull().unwrap();
-    assert_eq!(pauser.join().unwrap(), 1);
+    assert_eq!(pauser.join().unwrap(), Ok(1));
 
     // All writers now see Paused.
     assert_eq!(w.try_write(StepData::new(1)).unwrap_err(), WriteError::Paused);

@@ -264,6 +264,13 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
         rs.wall_clock = false;
         rs.thread_spawn = false;
     }
+    // The step-streaming engine is threaded-transport territory like
+    // datatap (its unit tests spawn real pausers/pullers), and its
+    // library paths carry live experiment data: a panic there loses every
+    // attached pipeline at once, so failures must be typed.
+    if p.starts_with("crates/stream/") {
+        rs.thread_spawn = false;
+    }
     // simfault deliberately owns per-plan RNGs (message-loss sampling) and
     // is NOT exempted from anything: its samplers derive from the plan seed
     // via `seed_from_u64`, which is the sanctioned construction everywhere,
@@ -273,6 +280,7 @@ pub fn ruleset_for(rel: &Path) -> Option<RuleSet> {
     // failure must surface as typed errors.
     let panic_scope = p.starts_with("crates/sim-core/src/")
         || p.starts_with("crates/simnet/src/")
+        || p.starts_with("crates/stream/src/")
         || p == "crates/iocontainers/src/pipeline.rs"
         || p == "crates/iocontainers/src/policy.rs"
         || p == "crates/iocontainers/src/protocol.rs";
@@ -819,6 +827,18 @@ mod tests {
         // Cold paths keep the sim defaults.
         let tel = ruleset_for(Path::new("crates/simtel/src/lib.rs")).unwrap();
         assert!(!tel.panic_path && !tel.width_math);
+    }
+
+    #[test]
+    fn stream_engine_is_panic_checked_and_thread_exempt() {
+        let engine = ruleset_for(Path::new("crates/stream/src/engine.rs")).unwrap();
+        assert!(engine.panic_path, "library paths carry live data: failures must be typed");
+        assert!(!engine.thread_spawn, "the engine is threaded-transport territory");
+        assert!(engine.wall_clock && engine.adhoc_rng, "clock and RNG discipline stay on");
+        // The integration tests assert with unwrap/expect freely: only
+        // src/ gets the panic class.
+        let tests = ruleset_for(Path::new("crates/stream/tests/stream_integration.rs")).unwrap();
+        assert!(!tests.panic_path && !tests.thread_spawn);
     }
 
     #[test]
